@@ -1,0 +1,191 @@
+// Section 4.4 -- limits of the resource-accounting design, reproduced on
+// purpose. Three experiments:
+//
+//  1. CPU time: bundle M calls a function of bundle A a million times; the
+//     sampler charges CPU to whichever isolate a thread is in, so both are
+//     charged, the callee more (paper observed ~75% A / 25% M).
+//  2. Garbage collection: A's function allocates and returns an object;
+//     since allocation happens while the thread is *in* A, the collections
+//     M's call storm provokes are charged to A.
+//  3. Memory: M's service returns a large object that callers retain; the
+//     GC charges it to the first isolate that references it -- the caller
+//     -- not to M.
+#include "bench_util.h"
+#include "bytecode/builder.h"
+
+using namespace ijvm;
+using namespace ijvm::bench;
+
+namespace {
+
+struct TwoBundles {
+  BenchPlatform* p;
+  Bundle* provider;
+  Bundle* client;
+};
+
+// Provider exporting service `svc` implementing api_iface.mk()Ljava/lang/Object;
+// with body `mk_body`; client with static grabAll(I)V calling mk() n times
+// and (optionally) retaining the last result in a static.
+TwoBundles makeCallPair(BenchPlatform& p, const std::string& tag,
+                        const std::function<void(MethodBuilder&)>& mk_body,
+                        bool retain) {
+  ClassLoader* shared = p.fw->frameworkIsolate()->loader;
+  std::string iface = "api_" + tag + "/Svc";
+  if (shared->findLocal(iface) == nullptr) {
+    ClassBuilder cb(iface, "", ACC_PUBLIC | ACC_INTERFACE);
+    cb.abstractMethod("mk", "()Ljava/lang/Object;");
+    shared->define(cb.build());
+  }
+
+  BundleDescriptor provider;
+  provider.symbolic_name = tag + ".provider";
+  {
+    ClassBuilder cb(tag + "_p/Impl");
+    cb.addInterface(iface);
+    auto& mk = cb.method("mk", "()Ljava/lang/Object;");
+    mk_body(mk);
+    provider.classes.push_back(cb.build());
+  }
+  {
+    ClassBuilder cb(tag + "_p/Activator");
+    cb.addInterface("osgi/BundleActivator");
+    auto& start = cb.method("start", "(Losgi/BundleContext;)V");
+    start.aload(1).ldcStr(tag + ".svc");
+    start.newDefault(tag + "_p/Impl");
+    start.invokevirtual("osgi/BundleContext", "registerService",
+                        "(Ljava/lang/String;Ljava/lang/Object;)V");
+    start.ret();
+    cb.method("stop", "(Losgi/BundleContext;)V").ret();
+    provider.classes.push_back(cb.build());
+    provider.activator = tag + "_p/Activator";
+  }
+
+  BundleDescriptor client;
+  client.symbolic_name = tag + ".client";
+  std::string ccls = tag + "_c/Client";
+  {
+    ClassBuilder cb(ccls);
+    cb.field("svc", "L" + iface + ";", ACC_PUBLIC | ACC_STATIC);
+    cb.field("held", "Ljava/lang/Object;", ACC_PUBLIC | ACC_STATIC);
+    auto& m = cb.method("grabAll", "(I)V", ACC_PUBLIC | ACC_STATIC);
+    Label loop = m.newLabel(), done = m.newLabel();
+    m.bind(loop).iload(0).ifle(done);
+    m.getstatic(ccls, "svc", "L" + iface + ";");
+    m.invokeinterface(iface, "mk", "()Ljava/lang/Object;");
+    if (retain) {
+      m.putstatic(ccls, "held", "Ljava/lang/Object;");
+    } else {
+      m.pop();
+    }
+    m.iinc(0, -1).gotoLabel(loop);
+    m.bind(done).ret();
+    client.classes.push_back(cb.build());
+  }
+  {
+    ClassBuilder cb(tag + "_c/Activator");
+    cb.addInterface("osgi/BundleActivator");
+    auto& start = cb.method("start", "(Losgi/BundleContext;)V");
+    start.aload(1).ldcStr(tag + ".svc");
+    start.invokevirtual("osgi/BundleContext", "getService",
+                        "(Ljava/lang/String;)Ljava/lang/Object;");
+    start.checkcast(iface);
+    start.putstatic(ccls, "svc", "L" + iface + ";");
+    start.ret();
+    cb.method("stop", "(Losgi/BundleContext;)V").ret();
+    client.classes.push_back(cb.build());
+    client.activator = tag + "_c/Activator";
+  }
+
+  TwoBundles tb;
+  tb.p = &p;
+  tb.provider = p.fw->install(std::move(provider));
+  tb.client = p.fw->install(std::move(client));
+  p.fw->start(tb.provider);
+  p.fw->start(tb.client);
+  return tb;
+}
+
+void grabAll(TwoBundles& tb, const std::string& tag, i32 n) {
+  JThread* t = tb.p->vm->mainThread();
+  tb.p->vm->callStaticIn(t, tb.client->loader(), tag + "_c/Client", "grabAll",
+                         "(I)V", {Value::ofInt(n)});
+  IJVM_CHECK(t->pending_exception == nullptr, tb.p->vm->pendingMessage(t));
+}
+
+void experiment1() {
+  printHeader("4.4 / experiment 1: CPU sampling splits time between caller and callee");
+  auto p = bootPlatform(true);
+  // A trivial callee: return null.
+  TwoBundles tb = makeCallPair(*p, "cpu", [](MethodBuilder& mk) {
+    mk.aconstNull().areturn();
+  }, /*retain=*/false);
+
+  grabAll(tb, "cpu", 1000000);  // the paper's "a million times"
+
+  u64 callee = tb.provider->isolate()->stats.cpu_samples.load();
+  u64 caller = tb.client->isolate()->stats.cpu_samples.load();
+  u64 total = callee + caller;
+  std::printf("caller (M) samples: %llu (%.0f%%)\n",
+              static_cast<unsigned long long>(caller),
+              total ? 100.0 * caller / total : 0.0);
+  std::printf("callee (A) samples: %llu (%.0f%%)\n",
+              static_cast<unsigned long long>(callee),
+              total ? 100.0 * callee / total : 0.0);
+  std::printf("paper observed ~25%% / ~75%%: both are charged even though only\n"
+              "M is malicious -- sampling cannot attribute a call storm.\n");
+}
+
+void experiment2() {
+  printHeader("4.4 / experiment 2: GC activations are blamed on the allocating callee");
+  VmOptions opts = VmOptions::isolated();
+  opts.gc_threshold = 256u << 10;  // frequent collections
+  auto p = std::make_unique<BenchPlatform>(opts);
+  // Callee allocates and returns a fresh object.
+  TwoBundles tb = makeCallPair(*p, "gc", [](MethodBuilder& mk) {
+    mk.newDefault("java/lang/Object").areturn();
+  }, /*retain=*/false);
+
+  grabAll(tb, "gc", 200000);
+
+  u64 callee_gc = tb.provider->isolate()->stats.gc_activations.load();
+  u64 caller_gc = tb.client->isolate()->stats.gc_activations.load();
+  std::printf("GC activations charged to callee (A): %llu\n",
+              static_cast<unsigned long long>(callee_gc));
+  std::printf("GC activations charged to caller (M): %llu\n",
+              static_cast<unsigned long long>(caller_gc));
+  std::printf("paper: \"a garbage collection is triggered on behalf of A\" --\n"
+              "the storm M provokes lands on A's account.\n");
+}
+
+void experiment3() {
+  printHeader("4.4 / experiment 3: returned objects are charged to the callers");
+  auto p = bootPlatform(true);
+  // Callee returns a large array (the paper used a 100 MB object; we use a
+  // 16 MiB one); the client retains it in a static.
+  TwoBundles tb = makeCallPair(*p, "mem", [](MethodBuilder& mk) {
+    mk.iconst(4 * 1024 * 1024).newarray(Kind::Int).areturn();
+  }, /*retain=*/true);
+
+  grabAll(tb, "mem", 1);
+  p->vm->collectGarbage(p->vm->mainThread(), nullptr);
+
+  u64 provider_bytes = tb.provider->isolate()->stats.bytes_charged.load();
+  u64 client_bytes = tb.client->isolate()->stats.bytes_charged.load();
+  std::printf("bytes charged to provider (M): %10.1f KiB\n", provider_bytes / 1024.0);
+  std::printf("bytes charged to client   (A): %10.1f KiB\n", client_bytes / 1024.0);
+  std::printf("paper: \"the garbage collector does not charge the large objects\n"
+              "to M but to the callers of M\" -- the retaining caller pays.\n");
+}
+
+}  // namespace
+
+int main() {
+  experiment1();
+  experiment2();
+  experiment3();
+  std::printf("\nThese experiments reproduce the accounting *imprecision* the\n"
+              "paper documents: the trade-off between preciseness and the cost\n"
+              "of call/write barriers (section 4.4).\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Shared helpers for the benchmark binaries.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "osgi/framework.h"
+#include "stdlib/system_library.h"
+#include "workloads/bundles.h"
+
+namespace ijvm::bench {
+
+inline i64 nowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Minimum of `reps` timed runs (interference-resistant point estimate).
+inline i64 bestOf(int reps, const std::function<void()>& fn) {
+  i64 best = -1;
+  for (int i = 0; i < reps; ++i) {
+    i64 t0 = nowNs();
+    fn();
+    i64 dt = nowNs() - t0;
+    if (best < 0 || dt < best) best = dt;
+  }
+  return best;
+}
+
+// A booted platform: VM + system library + OSGi framework.
+struct BenchPlatform {
+  explicit BenchPlatform(VmOptions opts) {
+    vm = std::make_unique<VM>(opts);
+    installSystemLibrary(*vm);
+    fw = std::make_unique<Framework>(*vm);
+  }
+  ~BenchPlatform() {
+    fw.reset();
+    vm.reset();
+  }
+  std::unique_ptr<VM> vm;
+  std::unique_ptr<Framework> fw;
+};
+
+inline std::unique_ptr<BenchPlatform> bootPlatform(bool isolated) {
+  VmOptions opts = isolated ? VmOptions::isolated() : VmOptions::shared();
+  opts.gc_threshold = 32u << 20;  // keep GC out of the timed paths
+  opts.heap_limit = 512u << 20;
+  return std::make_unique<BenchPlatform>(opts);
+}
+
+inline double pct(double with, double without) {
+  return without > 0 ? (with / without - 1.0) * 100.0 : 0.0;
+}
+
+inline void printHeader(const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("================================================================\n");
+}
+
+}  // namespace ijvm::bench

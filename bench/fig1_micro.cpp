@@ -1,0 +1,99 @@
+// Figure 1 -- micro-benchmark overhead of I-JVM relative to the baseline VM.
+//
+// Paper bars: intra-isolate call +14%, inter-isolate call +16%, object
+// allocation +18%, static variable access +46% (unoptimized) / <1% (with
+// optimizations, amortized). We run each micro-loop on identical bytecode
+// in isolated and shared mode and report the relative overhead. The shape
+// to reproduce: every overhead is small and positive, static access pays
+// the TCM indirection, allocation pays the accounting + limit checks.
+#include "bench_util.h"
+#include "comm/comm.h"
+
+using namespace ijvm;
+using namespace ijvm::bench;
+
+namespace {
+
+struct MicroSetup {
+  std::unique_ptr<BenchPlatform> platform;
+  std::unique_ptr<CommHarness> comm;
+  Bundle* micro = nullptr;
+
+  explicit MicroSetup(bool isolated) {
+    platform = bootPlatform(isolated);
+    comm = std::make_unique<CommHarness>(*platform->fw);
+    micro = platform->fw->install(makeMicroBundle("micro"));
+    platform->fw->start(micro);
+  }
+
+  i64 run(const char* method, i32 n) {
+    JThread* t = platform->vm->mainThread();
+    i64 t0 = nowNs();
+    platform->vm->callStaticIn(t, micro->loader(), "micro/Bench", method, "(I)I",
+                               {Value::ofInt(n)});
+    i64 dt = nowNs() - t0;
+    IJVM_CHECK(t->pending_exception == nullptr,
+               platform->vm->pendingMessage(t));
+    return dt;
+  }
+};
+
+}  // namespace
+
+int main() {
+  const i32 kCalls = 1000000;  // "performing the same operation a million times"
+  const i32 kAllocs = 300000;
+  const i32 kStatics = 1000000;
+  const int kReps = 7;  // min-of-7: the migration delta is ~10 ns on a
+                        // ~175 ns interpreted call, so noise control matters
+
+  MicroSetup isolated(true);
+  MicroSetup shared(false);
+
+  struct Row {
+    const char* name;
+    i64 iso_ns;
+    i64 shr_ns;
+    i64 ops;
+    const char* paper;
+  };
+  std::vector<Row> rows;
+
+  // Intra- and inter-isolate calls ride on the comm harness loops
+  // (same invokeinterface bytecode; only the callee's isolate differs).
+  rows.push_back({"intra-isolate call",
+                  bestOf(kReps, [&] { isolated.comm->runLocal(kCalls); }),
+                  bestOf(kReps, [&] { shared.comm->runLocal(kCalls); }), kCalls,
+                  "+14%"});
+  rows.push_back({"inter-isolate call",
+                  bestOf(kReps, [&] { isolated.comm->runIJvm(kCalls); }),
+                  bestOf(kReps, [&] { shared.comm->runIJvm(kCalls); }), kCalls,
+                  "+16%"});
+  rows.push_back({"object allocation",
+                  bestOf(kReps, [&] { isolated.run("allocMany", kAllocs); }),
+                  bestOf(kReps, [&] { shared.run("allocMany", kAllocs); }),
+                  kAllocs, "+18%"});
+  rows.push_back({"static variable access",
+                  bestOf(kReps, [&] { isolated.run("staticMany", kStatics); }),
+                  bestOf(kReps, [&] { shared.run("staticMany", kStatics); }),
+                  kStatics, "+46% unopt / <1% opt"});
+  rows.push_back({"pure arithmetic (control)",
+                  bestOf(kReps, [&] { isolated.run("spinFor", kCalls); }),
+                  bestOf(kReps, [&] { shared.run("spinFor", kCalls); }), kCalls,
+                  "~0%"});
+
+  printHeader("Figure 1: micro-benchmark cost of I-JVM relative to the baseline");
+  std::printf("%-28s %12s %12s %10s   %s\n", "micro-benchmark", "I-JVM ns/op",
+              "base ns/op", "overhead", "paper");
+  for (const Row& r : rows) {
+    std::printf("%-28s %12.1f %12.1f %+9.1f%%   %s\n", r.name,
+                static_cast<double>(r.iso_ns) / static_cast<double>(r.ops),
+                static_cast<double>(r.shr_ns) / static_cast<double>(r.ops),
+                pct(static_cast<double>(r.iso_ns), static_cast<double>(r.shr_ns)),
+                r.paper);
+  }
+  std::printf("\nshape: overheads small and positive; static access pays the TCM\n"
+              "indirection + init check; allocation pays accounting/limit checks;\n"
+              "the pure-arithmetic control stays near zero.\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Table 1 -- cost of 200 inter-bundle calls under the four communication
+// models: local method call, RMI-style call, Incommunicado-style call, and
+// the I-JVM inter-isolate direct call.
+//
+// Paper values (Pentium D 3.0 GHz): local 20 us, RMI 90 ms, Incommunicado
+// 9 ms, I-JVM 24 us. We reproduce the *shape*: local ~ I-JVM, both orders
+// of magnitude below Incommunicado, which is itself well below RMI.
+//
+// Runs both as a google-benchmark suite (per-call costs) and prints the
+// paper-style 200-call row at the end.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "comm/comm.h"
+
+namespace {
+
+using namespace ijvm;
+using namespace ijvm::bench;
+
+CommHarness& harness() {
+  static std::unique_ptr<BenchPlatform> platform = bootPlatform(true);
+  static CommHarness h(*platform->fw);
+  return h;
+}
+
+void BM_LocalCall(benchmark::State& state) {
+  CommHarness& h = harness();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.runLocal(static_cast<i32>(state.range(0))));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_IJvmCall(benchmark::State& state) {
+  CommHarness& h = harness();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.runIJvm(static_cast<i32>(state.range(0))));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_IncommunicadoCall(benchmark::State& state) {
+  CommHarness& h = harness();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.runIncommunicado(static_cast<i32>(state.range(0))));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_RmiCall(benchmark::State& state) {
+  CommHarness& h = harness();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.runRmi(static_cast<i32>(state.range(0))));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+BENCHMARK(BM_LocalCall)->Arg(200)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_IJvmCall)->Arg(200)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_IncommunicadoCall)->Arg(200)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_RmiCall)->Arg(200)->Unit(benchmark::kMicrosecond);
+
+void printPaperTable() {
+  CommHarness& h = harness();
+  const i32 n = 200;
+  // Warm up every path once.
+  h.runLocal(n);
+  h.runIJvm(n);
+  h.runIncommunicado(n);
+  h.runRmi(n);
+  i64 local = bestOf(5, [&] { h.runLocal(n); });
+  i64 ijvm = bestOf(5, [&] { h.runIJvm(n); });
+  i64 inc = bestOf(5, [&] { h.runIncommunicado(n); });
+  i64 rmi = bestOf(5, [&] { h.runRmi(n); });
+
+  printHeader("Table 1: cost of 200 inter-bundle calls per communication model");
+  std::printf("%-22s %14s %14s\n", "model", "total", "per call");
+  auto row = [](const char* name, i64 ns) {
+    std::printf("%-22s %11.1f us %11.2f us\n", name, ns / 1e3, ns / 200.0 / 1e3);
+  };
+  row("Local method", local);
+  row("RMI local call", rmi);
+  row("Incommunicado", inc);
+  row("I-JVM", ijvm);
+  std::printf("\nshape checks: I-JVM/local = %.2fx, Incommunicado/I-JVM = %.1fx, "
+              "RMI/Incommunicado = %.1fx\n",
+              static_cast<double>(ijvm) / static_cast<double>(local),
+              static_cast<double>(inc) / static_cast<double>(ijvm),
+              static_cast<double>(rmi) / static_cast<double>(inc));
+  std::printf("(paper: 20 us / 24 us / 9 ms / 90 ms -- local ~ I-JVM << "
+              "Incommunicado << RMI)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  printPaperTable();
+  return 0;
+}

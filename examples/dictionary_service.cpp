@@ -1,0 +1,152 @@
+// The section-4.4 dictionary service, end to end.
+//
+// The paper's third accounting-limits experiment uses "a well-defined
+// interface (in our experiment a dictionary service)" whose lookups return
+// large objects that callers retain -- and shows the GC then bills the
+// *callers*, not the dictionary. This example builds that exact service as
+// an OSGi application and shows how the choice of AccountingPolicy changes
+// who the administrator would blame:
+//
+//   first-reference (paper default) -> the retaining clients are billed
+//   creator-pays    (future work)   -> the dictionary bundle is billed
+//
+// Run: build/examples/dictionary_service
+#include <cstdio>
+
+#include "bytecode/builder.h"
+#include "osgi/framework.h"
+#include "stdlib/system_library.h"
+
+using namespace ijvm;
+
+namespace {
+
+// dict/Service.lookup(word) -> a fresh "definition" payload: a String plus
+// a 64 KiB int[] standing in for rendered article data.
+BundleDescriptor makeDictionary() {
+  BundleDescriptor desc;
+  desc.symbolic_name = "dictionary";
+  {
+    ClassBuilder cb("dict/Impl");
+    cb.addInterface("api/Dictionary");
+    auto& lk = cb.method("lookup",
+                         "(Ljava/lang/String;)Ljava/lang/Object;");
+    // return new int[16384]  (the heavy "definition" payload)
+    lk.iconst(16384).newarray(Kind::Int).areturn();
+    desc.classes.push_back(cb.build());
+  }
+  {
+    ClassBuilder cb("dict/Activator");
+    cb.addInterface("osgi/BundleActivator");
+    auto& s = cb.method("start", "(Losgi/BundleContext;)V");
+    s.aload(1).ldcStr("dictionary").newDefault("dict/Impl");
+    s.invokevirtual("osgi/BundleContext", "registerService",
+                    "(Ljava/lang/String;Ljava/lang/Object;)V");
+    s.ret();
+    cb.method("stop", "(Losgi/BundleContext;)V").ret();
+    desc.classes.push_back(cb.build());
+    desc.activator = "dict/Activator";
+  }
+  return desc;
+}
+
+// A reader bundle that looks up `count` words and keeps every definition.
+BundleDescriptor makeReader(const std::string& name, i32 count) {
+  BundleDescriptor desc;
+  desc.symbolic_name = name;
+  std::string cls = name + "/Reader";
+  {
+    ClassBuilder cb(cls);
+    cb.field("svc", "Lapi/Dictionary;", ACC_PUBLIC | ACC_STATIC);
+    cb.field("shelf", "Ljava/util/ArrayList;", ACC_PUBLIC | ACC_STATIC);
+    auto& m = cb.method("readAll", "()I", ACC_PUBLIC | ACC_STATIC);
+    m.newDefault("java/util/ArrayList").putstatic(cls, "shelf",
+                                                  "Ljava/util/ArrayList;");
+    Label loop = m.newLabel(), done = m.newLabel();
+    m.iconst(0).istore(0);
+    m.bind(loop).iload(0).iconst(count).ifIcmpGe(done);
+    m.getstatic(cls, "shelf", "Ljava/util/ArrayList;");
+    m.getstatic(cls, "svc", "Lapi/Dictionary;");
+    m.ldcStr("word");
+    m.invokeinterface("api/Dictionary", "lookup",
+                      "(Ljava/lang/String;)Ljava/lang/Object;");
+    m.invokevirtual("java/util/ArrayList", "add", "(Ljava/lang/Object;)I").pop();
+    m.iinc(0, 1).gotoLabel(loop);
+    m.bind(done).getstatic(cls, "shelf", "Ljava/util/ArrayList;");
+    m.invokevirtual("java/util/ArrayList", "size", "()I").ireturn();
+    desc.classes.push_back(cb.build());
+  }
+  {
+    ClassBuilder cb(name + "/Activator");
+    cb.addInterface("osgi/BundleActivator");
+    auto& s = cb.method("start", "(Losgi/BundleContext;)V");
+    s.aload(1).ldcStr("dictionary");
+    s.invokevirtual("osgi/BundleContext", "getService",
+                    "(Ljava/lang/String;)Ljava/lang/Object;");
+    s.checkcast("api/Dictionary").putstatic(cls, "svc", "Lapi/Dictionary;");
+    s.ret();
+    cb.method("stop", "(Losgi/BundleContext;)V").ret();
+    desc.classes.push_back(cb.build());
+    desc.activator = name + "/Activator";
+  }
+  return desc;
+}
+
+void runScenario(AccountingPolicy policy) {
+  VmOptions opts = VmOptions::isolated();
+  opts.accounting_policy = policy;
+  opts.gc_threshold = 64u << 20;
+  opts.heap_limit = 256u << 20;
+  VM vm(opts);
+  installSystemLibrary(vm);
+  Framework fw(vm);
+
+  // Shared service interface, visible to every bundle.
+  {
+    ClassBuilder cb("api/Dictionary", "", ACC_PUBLIC | ACC_INTERFACE);
+    cb.abstractMethod("lookup", "(Ljava/lang/String;)Ljava/lang/Object;");
+    fw.frameworkIsolate()->loader->define(cb.build());
+  }
+
+  Bundle* dict = fw.install(makeDictionary());
+  Bundle* avid = fw.install(makeReader("avid", 48));    // keeps 48 articles
+  Bundle* casual = fw.install(makeReader("casual", 6)); // keeps 6
+  for (Bundle* b : {dict, avid, casual}) fw.start(b);
+
+  JThread* t = vm.mainThread();
+  vm.callStaticIn(t, avid->loader(), "avid/Reader", "readAll", "()I", {});
+  vm.callStaticIn(t, casual->loader(), "casual/Reader", "readAll", "()I", {});
+  vm.collectGarbage(t, nullptr);
+
+  std::printf("\naccounting policy: %s\n", accountingPolicyName(policy));
+  std::printf("  %-12s %-10s %14s %10s\n", "bundle", "state", "mem charged",
+              "allocs");
+  for (Bundle* b : fw.bundles()) {
+    IsolateReport r = fw.reportFor(b);
+    std::printf("  %-12s %-10s %11.2f MiB %10llu\n",
+                b->symbolicName().c_str(), bundleStateName(b->state()),
+                static_cast<double>(r.bytes_charged) / (1u << 20),
+                static_cast<unsigned long long>(r.objects_allocated));
+  }
+  vm.shutdownAllThreads();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Dictionary service (paper section 4.4, experiment 3):\n");
+  std::printf("the dictionary returns 64 KiB definitions; 'avid' retains 48\n");
+  std::printf("(3 MiB), 'casual' retains 6. Who does the administrator see?\n");
+
+  runScenario(AccountingPolicy::FirstReference);
+  runScenario(AccountingPolicy::CreatorPays);
+
+  std::printf(
+      "\nUnder the paper's first-reference policy the dictionary that\n"
+      "*produced* every byte shows ~zero usage -- exactly the imprecision\n"
+      "section 4.4 reports. Switching the VM to creator-pays (the paper's\n"
+      "future work, VmOptions::accounting_policy) pins the production on\n"
+      "the dictionary instead; the right choice depends on whether the\n"
+      "administrator hunts hoarders or producers.\n");
+  return 0;
+}

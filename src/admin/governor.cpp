@@ -1,0 +1,285 @@
+#include "admin/governor.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace ijvm {
+
+const char* signalName(Signal s) {
+  switch (s) {
+    case Signal::MemoryCharged: return "memory-charged";
+    case Signal::RetainedEstimate: return "retained-estimate";
+    case Signal::LiveThreads: return "live-threads";
+    case Signal::SleepingThreads: return "sleeping-threads";
+    case Signal::HungCallers: return "hung-callers";
+    case Signal::CpuShare: return "cpu-share";
+    case Signal::GcRate: return "gc-rate";
+    case Signal::AllocRate: return "alloc-rate";
+    case Signal::AllocBytesRate: return "alloc-bytes-rate";
+    case Signal::IoRate: return "io-rate";
+    case Signal::ThreadSpawnRate: return "thread-spawn-rate";
+  }
+  return "?";
+}
+
+GovernorPolicy GovernorPolicy::standard(u64 memory_budget_bytes,
+                                        i64 thread_budget,
+                                        double cpu_share_limit) {
+  GovernorPolicy p;
+  // A3: a bundle retaining more than its budget. Two strikes so a burst
+  // that the next GC reclaims does not kill the bundle.
+  p.rules.push_back({Signal::RetainedEstimate,
+                     static_cast<double>(memory_budget_bytes), 2,
+                     GovernorAction::Kill, "A3-memory"});
+  // A4: sustained GC pressure. Allocation-side corroboration (AllocRate)
+  // avoids killing the *victim* of misattributed GC blame (section 4.4
+  // experiment 2): gc_activations charge the triggering isolate, which for
+  // call-allocated garbage is the callee; the warn rule surfaces it, the
+  // kill rule requires the bundle to also be the one allocating.
+  p.rules.push_back({Signal::GcRate, 3.0, 2, GovernorAction::Warn, "A4-gc-warn"});
+  // Threshold assumes ~50 ms ticks: a churner allocates tens of thousands
+  // of objects per tick even when competing with other bundles for CPU; a
+  // busy-but-honest service stays orders of magnitude below.
+  p.rules.push_back({Signal::AllocRate, 15000.0, 2, GovernorAction::Kill,
+                     "A4-alloc"});
+  // A5: more live threads than the budget.
+  p.rules.push_back({Signal::LiveThreads, static_cast<double>(thread_budget),
+                     1, GovernorAction::Kill, "A5-threads"});
+  // A6: monopolizing the CPU.
+  p.rules.push_back({Signal::CpuShare, cpu_share_limit, 3,
+                     GovernorAction::Kill, "A6-cpu"});
+  // A7: foreign threads parked inside the bundle (hung callers). A bundle
+  // sleeping on its *own* threads is normal; only stuck migrated-in calls
+  // count. Three strikes so a slow-but-returning service call passes.
+  p.rules.push_back({Signal::HungCallers, 0.5, 3, GovernorAction::Kill,
+                     "A7-hang"});
+  return p;
+}
+
+ResourceGovernor::ResourceGovernor(Framework& fw, GovernorPolicy policy)
+    : fw_(fw), policy_(std::move(policy)) {
+  // The governor acts as the administrator: it needs an Isolate0-privileged
+  // guest identity of its own, because kills/GCs may run on its watcher
+  // thread rather than the framework's main thread.
+  admin_ = fw_.vm().attachThread("governor", fw_.frameworkIsolate());
+}
+
+ResourceGovernor::~ResourceGovernor() {
+  stop();
+  fw_.vm().detachThread(admin_);
+}
+
+void ResourceGovernor::onKill(std::function<void(const GovernorEvent&)> cb) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  on_kill_ = std::move(cb);
+}
+
+double ResourceGovernor::evaluate(const GovernorRule& rule,
+                                  const IsolateReport& now,
+                                  const BundleTrack& track,
+                                  u64 total_cpu_delta,
+                                  double hung_callers) const {
+  const IsolateReport& prev = track.last;
+  auto delta = [&](u64 IsolateReport::*field) -> double {
+    u64 cur = now.*field;
+    u64 old = track.has_last ? prev.*field : 0;
+    return cur >= old ? static_cast<double>(cur - old) : 0.0;
+  };
+  switch (rule.signal) {
+    case Signal::MemoryCharged:
+      return static_cast<double>(now.bytes_charged);
+    case Signal::RetainedEstimate:
+      // bytes_charged is as of the last GC; bytes allocated since then are
+      // an upper bound on growth (some may already be garbage). A churner
+      // that keeps triggering collections keeps bytes_since_gc small, so it
+      // trips the A4 allocation rules instead of this one.
+      return static_cast<double>(now.bytes_charged + now.bytes_since_gc);
+    case Signal::LiveThreads:
+      return static_cast<double>(now.live_threads);
+    case Signal::SleepingThreads:
+      return static_cast<double>(now.sleeping_threads);
+    case Signal::HungCallers:
+      return hung_callers;
+    case Signal::CpuShare: {
+      if (total_cpu_delta == 0) return 0.0;
+      return delta(&IsolateReport::cpu_samples) /
+             static_cast<double>(total_cpu_delta);
+    }
+    case Signal::GcRate:
+      return delta(&IsolateReport::gc_activations);
+    case Signal::AllocRate:
+      return delta(&IsolateReport::objects_allocated);
+    case Signal::AllocBytesRate:
+      return delta(&IsolateReport::bytes_allocated);
+    case Signal::IoRate:
+      return delta(&IsolateReport::io_bytes_read) +
+             delta(&IsolateReport::io_bytes_written);
+    case Signal::ThreadSpawnRate:
+      return delta(&IsolateReport::threads_created);
+  }
+  return 0.0;
+}
+
+std::vector<GovernorEvent> ResourceGovernor::tick() {
+  u64 tick_no = tick_count_.fetch_add(1, std::memory_order_relaxed) + 1;
+
+  // Force a collection if the heap charges are stale (level signals read
+  // bytes_charged, which only the GC updates).
+  if (policy_.gc_if_allocated_bytes > 0) {
+    // bytes_charged is only recomputed by the GC; trigger one when any
+    // bundle's allocation counter grew enough since our previous tick.
+    u64 allocated_since = 0;
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (Bundle* b : fw_.bundles()) {
+      if (b->isolate() == nullptr) continue;
+      IsolateReport now = fw_.reportFor(b);
+      auto it = tracks_.find(b->id());
+      u64 old = (it != tracks_.end() && it->second.has_last)
+                    ? it->second.last.bytes_allocated
+                    : 0;
+      if (now.bytes_allocated - old > allocated_since)
+        allocated_since = now.bytes_allocated - old;
+    }
+    if (allocated_since > policy_.gc_if_allocated_bytes) {
+      fw_.vm().collectGarbage(admin_, nullptr);
+    }
+  }
+
+  struct PendingKill {
+    Bundle* bundle;
+    GovernorEvent event;
+  };
+  std::vector<GovernorEvent> out;
+  std::vector<PendingKill> kills;
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+
+    // Total CPU delta across *all* isolates (including Isolate0) for the
+    // share computation.
+    u64 total_cpu = 0;
+    for (const IsolateReport& r : fw_.reportAll()) total_cpu += r.cpu_samples;
+    u64 total_cpu_delta =
+        has_last_total_cpu_ && total_cpu >= last_total_cpu_
+            ? total_cpu - last_total_cpu_
+            : 0;
+    last_total_cpu_ = total_cpu;
+    has_last_total_cpu_ = true;
+
+    // Hung callers per isolate: threads some *other* isolate created,
+    // currently blocked while migrated into this one (racy atomic reads;
+    // the strike hysteresis absorbs the noise).
+    std::unordered_map<i32, double> hung;
+    for (JThread* t : fw_.vm().threadsSnapshot()) {
+      if (t->state.load(std::memory_order_acquire) != ThreadState::Blocked)
+        continue;
+      if (!t->hasFrames()) continue;  // attached thread idling in C++
+      Isolate* cur = t->current_isolate.load(std::memory_order_acquire);
+      if (cur == nullptr || cur == t->creator_isolate) continue;
+      hung[cur->id] += 1.0;
+    }
+
+    for (Bundle* b : fw_.bundles()) {
+      if (b->isolate() == nullptr) continue;
+      if (b->isolate()->privileged) continue;  // never judge Isolate0
+      if (b->state() == BundleState::Uninstalled) continue;
+      if (!b->isolate()->isActive()) continue;  // already dying
+
+      IsolateReport now = fw_.reportFor(b);
+      BundleTrack& track = tracks_[b->id()];
+      track.ticks_seen++;
+
+      bool warmed = track.ticks_seen > policy_.warmup_ticks;
+      bool kill_queued = false;
+      for (size_t i = 0; i < policy_.rules.size() && warmed; ++i) {
+        const GovernorRule& rule = policy_.rules[i];
+        auto hung_it = hung.find(b->isolate()->id);
+        double hung_here = hung_it == hung.end() ? 0.0 : hung_it->second;
+        double observed = evaluate(rule, now, track, total_cpu_delta, hung_here);
+        int& strikes = track.strikes[i];
+        if (observed > rule.threshold) {
+          strikes++;
+        } else {
+          strikes = 0;
+          continue;
+        }
+        GovernorEvent ev;
+        ev.tick = tick_no;
+        ev.bundle_id = b->id();
+        ev.bundle_name = b->symbolicName();
+        ev.signal = rule.signal;
+        ev.rule_label = rule.label.empty() ? signalName(rule.signal) : rule.label;
+        ev.observed = observed;
+        ev.threshold = rule.threshold;
+        ev.strikes = strikes;
+        ev.action = rule.action;
+        ev.acted = strikes >= rule.strikes_to_act;
+        if (ev.acted && rule.action == GovernorAction::Kill && !kill_queued) {
+          kill_queued = true;
+          kills.push_back({b, ev});
+        }
+        out.push_back(ev);
+        history_.push_back(ev);
+      }
+      track.last = now;
+      track.has_last = true;
+    }
+  }
+
+  // Kill outside the governor lock: killBundle stops the world and
+  // broadcasts events, which may re-enter reporting paths.
+  for (PendingKill& k : kills) {
+    fw_.killBundleFrom(admin_, k.bundle);
+    std::function<void(const GovernorEvent&)> cb;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      killed_.push_back(k.bundle->id());
+      cb = on_kill_;
+    }
+    if (cb) cb(k.event);
+  }
+  return out;
+}
+
+void ResourceGovernor::start(i64 period_ms) {
+  std::lock_guard<std::mutex> lock(wake_mutex_);
+  if (running_) return;
+  stop_requested_ = false;
+  running_ = true;
+  worker_ = std::thread([this, period_ms] {
+    std::unique_lock<std::mutex> lock(wake_mutex_);
+    while (!stop_requested_) {
+      lock.unlock();
+      tick();
+      lock.lock();
+      wake_cv_.wait_for(lock, std::chrono::milliseconds(period_ms),
+                        [this] { return stop_requested_; });
+    }
+  });
+}
+
+void ResourceGovernor::stop() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  wake_cv_.notify_all();
+  worker_.join();
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    running_ = false;
+  }
+}
+
+std::vector<GovernorEvent> ResourceGovernor::history() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return history_;
+}
+
+std::vector<i32> ResourceGovernor::killed() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return killed_;
+}
+
+}  // namespace ijvm

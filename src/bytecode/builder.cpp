@@ -1,0 +1,276 @@
+#include "bytecode/builder.h"
+
+#include <algorithm>
+
+#include "support/strf.h"
+
+namespace ijvm {
+
+MethodBuilder::MethodBuilder(ClassBuilder* owner, std::string name,
+                             std::string descriptor, u16 flags)
+    : owner_(owner), name_(std::move(name)), descriptor_(std::move(descriptor)),
+      flags_(flags) {}
+
+Label MethodBuilder::newLabel() {
+  Label l;
+  l.id = static_cast<i32>(label_pos_.size());
+  label_pos_.push_back(-1);
+  return l;
+}
+
+MethodBuilder& MethodBuilder::bind(Label l) {
+  IJVM_CHECK(l.id >= 0 && l.id < static_cast<i32>(label_pos_.size()),
+             "bind: label not from this method");
+  IJVM_CHECK(label_pos_[static_cast<size_t>(l.id)] == -1, "bind: label bound twice");
+  label_pos_[static_cast<size_t>(l.id)] = static_cast<i32>(code_.size());
+  return *this;
+}
+
+MethodBuilder& MethodBuilder::emit(Op op, i32 a, i32 b) {
+  // Track the highest local slot touched for max_locals inference.
+  switch (op) {
+    case Op::ILOAD:
+    case Op::LLOAD:
+    case Op::DLOAD:
+    case Op::ALOAD:
+    case Op::ISTORE:
+    case Op::LSTORE:
+    case Op::DSTORE:
+    case Op::ASTORE:
+    case Op::IINC:
+      max_local_touched_ = std::max(max_local_touched_, a);
+      break;
+    default:
+      break;
+  }
+  code_.push_back(Instruction{op, a, b});
+  return *this;
+}
+
+MethodBuilder& MethodBuilder::emitBranch(Op op, Label l) {
+  IJVM_CHECK(l.id >= 0 && l.id < static_cast<i32>(label_pos_.size()),
+             "branch: label not from this method");
+  branch_fixups_.push_back(static_cast<i32>(code_.size()));
+  code_.push_back(Instruction{op, l.id, 0});
+  return *this;
+}
+
+MethodBuilder& MethodBuilder::lconst(i64 v) {
+  return emit(Op::LDC, owner_->pool().addLong(v));
+}
+
+MethodBuilder& MethodBuilder::dconst(double v) {
+  return emit(Op::LDC, owner_->pool().addDouble(v));
+}
+
+MethodBuilder& MethodBuilder::ldcStr(const std::string& s) {
+  return emit(Op::LDC, owner_->pool().addString(s));
+}
+
+MethodBuilder& MethodBuilder::getstatic(const std::string& owner,
+                                        const std::string& name,
+                                        const std::string& desc) {
+  return emit(Op::GETSTATIC, owner_->pool().addFieldRef(owner, name, desc));
+}
+
+MethodBuilder& MethodBuilder::putstatic(const std::string& owner,
+                                        const std::string& name,
+                                        const std::string& desc) {
+  return emit(Op::PUTSTATIC, owner_->pool().addFieldRef(owner, name, desc));
+}
+
+MethodBuilder& MethodBuilder::getfield(const std::string& owner,
+                                       const std::string& name,
+                                       const std::string& desc) {
+  return emit(Op::GETFIELD, owner_->pool().addFieldRef(owner, name, desc));
+}
+
+MethodBuilder& MethodBuilder::putfield(const std::string& owner,
+                                       const std::string& name,
+                                       const std::string& desc) {
+  return emit(Op::PUTFIELD, owner_->pool().addFieldRef(owner, name, desc));
+}
+
+MethodBuilder& MethodBuilder::invokevirtual(const std::string& owner,
+                                            const std::string& name,
+                                            const std::string& desc) {
+  return emit(Op::INVOKEVIRTUAL, owner_->pool().addMethodRef(owner, name, desc));
+}
+
+MethodBuilder& MethodBuilder::invokespecial(const std::string& owner,
+                                            const std::string& name,
+                                            const std::string& desc) {
+  return emit(Op::INVOKESPECIAL, owner_->pool().addMethodRef(owner, name, desc));
+}
+
+MethodBuilder& MethodBuilder::invokestatic(const std::string& owner,
+                                           const std::string& name,
+                                           const std::string& desc) {
+  return emit(Op::INVOKESTATIC, owner_->pool().addMethodRef(owner, name, desc));
+}
+
+MethodBuilder& MethodBuilder::invokeinterface(const std::string& owner,
+                                              const std::string& name,
+                                              const std::string& desc) {
+  return emit(Op::INVOKEINTERFACE, owner_->pool().addMethodRef(owner, name, desc));
+}
+
+MethodBuilder& MethodBuilder::newObject(const std::string& class_name) {
+  return emit(Op::NEW, owner_->pool().addClassRef(class_name));
+}
+
+MethodBuilder& MethodBuilder::newDefault(const std::string& class_name) {
+  newObject(class_name);
+  dup();
+  return invokespecial(class_name, "<init>", "()V");
+}
+
+MethodBuilder& MethodBuilder::newarray(Kind elem) {
+  i32 code;
+  switch (elem) {
+    case Kind::Int:
+      code = 0;
+      break;
+    case Kind::Long:
+      code = 1;
+      break;
+    case Kind::Double:
+      code = 2;
+      break;
+    default:
+      IJVM_UNREACHABLE("newarray: element kind must be Int/Long/Double");
+  }
+  return emit(Op::NEWARRAY, code);
+}
+
+MethodBuilder& MethodBuilder::anewarray(const std::string& elem_class) {
+  return emit(Op::ANEWARRAY, owner_->pool().addClassRef(elem_class));
+}
+
+MethodBuilder& MethodBuilder::checkcast(const std::string& class_name) {
+  return emit(Op::CHECKCAST, owner_->pool().addClassRef(class_name));
+}
+
+MethodBuilder& MethodBuilder::instanceOf(const std::string& class_name) {
+  return emit(Op::INSTANCEOF, owner_->pool().addClassRef(class_name));
+}
+
+MethodBuilder& MethodBuilder::handler(Label from, Label to, Label target,
+                                      const std::string& catch_class) {
+  handlers_.push_back(PendingHandler{from, to, target, catch_class});
+  return *this;
+}
+
+MethodBuilder& MethodBuilder::maxLocals(u16 n) {
+  explicit_max_locals_ = n;
+  return *this;
+}
+
+MethodDef MethodBuilder::finish() {
+  // Resolve label ids to instruction indices.
+  auto resolve = [&](Label l) -> i32 {
+    i32 pos = label_pos_[static_cast<size_t>(l.id)];
+    IJVM_CHECK(pos >= 0, strf("method %s: unbound label %d", name_.c_str(), l.id));
+    return pos;
+  };
+  for (i32 at : branch_fixups_) {
+    Instruction& insn = code_[static_cast<size_t>(at)];
+    Label l{insn.a};
+    insn.a = resolve(l);
+  }
+
+  MethodDef def;
+  def.name = name_;
+  def.descriptor = descriptor_;
+  def.flags = flags_;
+  def.code.insns = std::move(code_);
+
+  MethodSig sig = parseMethodSig(descriptor_);
+  i32 arg_slots = sig.argSlots((flags_ & ACC_STATIC) != 0);
+  i32 locals = std::max(arg_slots, max_local_touched_ + 1);
+  if (explicit_max_locals_ >= 0) locals = std::max(locals, explicit_max_locals_);
+  def.code.max_locals = static_cast<u16>(locals);
+
+  for (const PendingHandler& h : handlers_) {
+    ExHandler eh;
+    eh.start = resolve(h.from);
+    eh.end = resolve(h.to);
+    eh.handler = resolve(h.target);
+    eh.catch_type_pool =
+        h.catch_class.empty() ? -1 : owner_->pool().addClassRef(h.catch_class);
+    def.code.handlers.push_back(eh);
+  }
+  return def;
+}
+
+ClassBuilder::ClassBuilder(std::string name, std::string super_name, u16 flags)
+    : name_(std::move(name)) {
+  def_.name = name_;
+  def_.super_name = std::move(super_name);
+  def_.flags = flags;
+}
+
+ClassBuilder& ClassBuilder::addInterface(const std::string& name) {
+  def_.interfaces.push_back(name);
+  return *this;
+}
+
+ClassBuilder& ClassBuilder::field(const std::string& name,
+                                  const std::string& descriptor, u16 flags) {
+  def_.fields.push_back(FieldDef{name, descriptor, flags});
+  return *this;
+}
+
+MethodBuilder& ClassBuilder::method(const std::string& name,
+                                    const std::string& descriptor, u16 flags) {
+  methods_.push_back(std::make_unique<MethodBuilder>(this, name, descriptor, flags));
+  return *methods_.back();
+}
+
+ClassBuilder& ClassBuilder::nativeMethod(const std::string& name,
+                                         const std::string& descriptor,
+                                         u16 extra_flags) {
+  MethodDef def;
+  def.name = name;
+  def.descriptor = descriptor;
+  def.flags = static_cast<u16>(ACC_PUBLIC | ACC_NATIVE | extra_flags);
+  def_.methods.push_back(std::move(def));
+  return *this;
+}
+
+ClassBuilder& ClassBuilder::abstractMethod(const std::string& name,
+                                           const std::string& descriptor) {
+  MethodDef def;
+  def.name = name;
+  def.descriptor = descriptor;
+  def.flags = ACC_PUBLIC | ACC_ABSTRACT;
+  def_.methods.push_back(std::move(def));
+  return *this;
+}
+
+ClassBuilder& ClassBuilder::defaultCtor() {
+  for (const auto& mb : methods_) {
+    if (mb->name() == "<init>") return *this;
+  }
+  for (const auto& m : def_.methods) {
+    if (m.name == "<init>") return *this;
+  }
+  auto& m = method("<init>", "()V");
+  m.aload(0).invokespecial(def_.super_name, "<init>", "()V").ret();
+  return *this;
+}
+
+ClassDef ClassBuilder::build() {
+  IJVM_CHECK(!built_, strf("class %s built twice", def_.name.c_str()));
+  built_ = true;
+  if ((def_.flags & ACC_INTERFACE) == 0 && !def_.super_name.empty()) {
+    defaultCtor();
+  }
+  for (auto& mb : methods_) {
+    def_.methods.push_back(mb->finish());
+  }
+  methods_.clear();
+  return std::move(def_);
+}
+
+}  // namespace ijvm

@@ -1,0 +1,250 @@
+// ClassBuilder / MethodBuilder: the in-memory assembler.
+//
+// This replaces the paper's Java compiler + class files: guest programs
+// (system library, OSGi bundles, SPEC-analog workloads, attack bundles) are
+// written against this fluent API. Labels handle forward branches:
+//
+//   ClassBuilder cb("demo/Counter");
+//   cb.field("count", "I", ACC_STATIC | ACC_PUBLIC);
+//   auto& m = cb.method("inc", "(I)I", ACC_STATIC | ACC_PUBLIC);
+//   auto loop = m.newLabel();
+//   m.iload(0).bind(loop).iconst(1).isub().istore(0);
+//   m.iload(0).ifgt(loop);
+//   m.iload(0).ireturn();
+//   ClassDef def = cb.build();
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bytecode/classdef.h"
+#include "bytecode/descriptor.h"
+
+namespace ijvm {
+
+class ClassBuilder;
+
+struct Label {
+  i32 id = -1;
+};
+
+class MethodBuilder {
+ public:
+  MethodBuilder(ClassBuilder* owner, std::string name, std::string descriptor,
+                u16 flags);
+
+  // ---- labels & control flow ----
+  Label newLabel();
+  MethodBuilder& bind(Label l);
+
+  // ---- raw emit (escape hatch; used by tests to build invalid code) ----
+  MethodBuilder& emit(Op op, i32 a = 0, i32 b = 0);
+
+  // ---- constants ----
+  MethodBuilder& iconst(i32 v) { return emit(Op::ICONST, v); }
+  MethodBuilder& lconst(i64 v);
+  MethodBuilder& dconst(double v);
+  MethodBuilder& ldcStr(const std::string& s);
+  MethodBuilder& aconstNull() { return emit(Op::ACONST_NULL); }
+
+  // ---- locals ----
+  MethodBuilder& iload(i32 slot) { return emit(Op::ILOAD, slot); }
+  MethodBuilder& lload(i32 slot) { return emit(Op::LLOAD, slot); }
+  MethodBuilder& dload(i32 slot) { return emit(Op::DLOAD, slot); }
+  MethodBuilder& aload(i32 slot) { return emit(Op::ALOAD, slot); }
+  MethodBuilder& istore(i32 slot) { return emit(Op::ISTORE, slot); }
+  MethodBuilder& lstore(i32 slot) { return emit(Op::LSTORE, slot); }
+  MethodBuilder& dstore(i32 slot) { return emit(Op::DSTORE, slot); }
+  MethodBuilder& astore(i32 slot) { return emit(Op::ASTORE, slot); }
+  MethodBuilder& iinc(i32 slot, i32 delta) { return emit(Op::IINC, slot, delta); }
+
+  // ---- stack ----
+  MethodBuilder& pop() { return emit(Op::POP); }
+  MethodBuilder& dup() { return emit(Op::DUP); }
+  MethodBuilder& dupX1() { return emit(Op::DUP_X1); }
+  MethodBuilder& swap() { return emit(Op::SWAP); }
+
+  // ---- arithmetic ----
+  MethodBuilder& iadd() { return emit(Op::IADD); }
+  MethodBuilder& isub() { return emit(Op::ISUB); }
+  MethodBuilder& imul() { return emit(Op::IMUL); }
+  MethodBuilder& idiv() { return emit(Op::IDIV); }
+  MethodBuilder& irem() { return emit(Op::IREM); }
+  MethodBuilder& ineg() { return emit(Op::INEG); }
+  MethodBuilder& ishl() { return emit(Op::ISHL); }
+  MethodBuilder& ishr() { return emit(Op::ISHR); }
+  MethodBuilder& iushr() { return emit(Op::IUSHR); }
+  MethodBuilder& iand() { return emit(Op::IAND); }
+  MethodBuilder& ior() { return emit(Op::IOR); }
+  MethodBuilder& ixor() { return emit(Op::IXOR); }
+  MethodBuilder& ladd() { return emit(Op::LADD); }
+  MethodBuilder& lsub() { return emit(Op::LSUB); }
+  MethodBuilder& lmul() { return emit(Op::LMUL); }
+  MethodBuilder& ldiv() { return emit(Op::LDIV); }
+  MethodBuilder& lrem() { return emit(Op::LREM); }
+  MethodBuilder& lneg() { return emit(Op::LNEG); }
+  MethodBuilder& lshl() { return emit(Op::LSHL); }
+  MethodBuilder& lshr() { return emit(Op::LSHR); }
+  MethodBuilder& land() { return emit(Op::LAND); }
+  MethodBuilder& lor() { return emit(Op::LOR); }
+  MethodBuilder& lxor() { return emit(Op::LXOR); }
+  MethodBuilder& lcmp() { return emit(Op::LCMP); }
+  MethodBuilder& dadd() { return emit(Op::DADD); }
+  MethodBuilder& dsub() { return emit(Op::DSUB); }
+  MethodBuilder& dmul() { return emit(Op::DMUL); }
+  MethodBuilder& ddiv() { return emit(Op::DDIV); }
+  MethodBuilder& drem() { return emit(Op::DREM); }
+  MethodBuilder& dneg() { return emit(Op::DNEG); }
+  MethodBuilder& dcmpl() { return emit(Op::DCMPL); }
+  MethodBuilder& dcmpg() { return emit(Op::DCMPG); }
+
+  // ---- conversions ----
+  MethodBuilder& i2l() { return emit(Op::I2L); }
+  MethodBuilder& i2d() { return emit(Op::I2D); }
+  MethodBuilder& l2i() { return emit(Op::L2I); }
+  MethodBuilder& l2d() { return emit(Op::L2D); }
+  MethodBuilder& d2i() { return emit(Op::D2I); }
+  MethodBuilder& d2l() { return emit(Op::D2L); }
+
+  // ---- branches ----
+  MethodBuilder& ifeq(Label l) { return emitBranch(Op::IFEQ, l); }
+  MethodBuilder& ifne(Label l) { return emitBranch(Op::IFNE, l); }
+  MethodBuilder& iflt(Label l) { return emitBranch(Op::IFLT, l); }
+  MethodBuilder& ifge(Label l) { return emitBranch(Op::IFGE, l); }
+  MethodBuilder& ifgt(Label l) { return emitBranch(Op::IFGT, l); }
+  MethodBuilder& ifle(Label l) { return emitBranch(Op::IFLE, l); }
+  MethodBuilder& ifIcmpEq(Label l) { return emitBranch(Op::IF_ICMPEQ, l); }
+  MethodBuilder& ifIcmpNe(Label l) { return emitBranch(Op::IF_ICMPNE, l); }
+  MethodBuilder& ifIcmpLt(Label l) { return emitBranch(Op::IF_ICMPLT, l); }
+  MethodBuilder& ifIcmpGe(Label l) { return emitBranch(Op::IF_ICMPGE, l); }
+  MethodBuilder& ifIcmpGt(Label l) { return emitBranch(Op::IF_ICMPGT, l); }
+  MethodBuilder& ifIcmpLe(Label l) { return emitBranch(Op::IF_ICMPLE, l); }
+  MethodBuilder& ifAcmpEq(Label l) { return emitBranch(Op::IF_ACMPEQ, l); }
+  MethodBuilder& ifAcmpNe(Label l) { return emitBranch(Op::IF_ACMPNE, l); }
+  MethodBuilder& ifNull(Label l) { return emitBranch(Op::IFNULL, l); }
+  MethodBuilder& ifNonNull(Label l) { return emitBranch(Op::IFNONNULL, l); }
+  MethodBuilder& gotoLabel(Label l) { return emitBranch(Op::GOTO, l); }
+
+  // ---- returns ----
+  MethodBuilder& ret() { return emit(Op::RETURN); }
+  MethodBuilder& ireturn() { return emit(Op::IRETURN); }
+  MethodBuilder& lreturn() { return emit(Op::LRETURN); }
+  MethodBuilder& dreturn() { return emit(Op::DRETURN); }
+  MethodBuilder& areturn() { return emit(Op::ARETURN); }
+
+  // ---- fields ----
+  MethodBuilder& getstatic(const std::string& owner, const std::string& name,
+                           const std::string& desc);
+  MethodBuilder& putstatic(const std::string& owner, const std::string& name,
+                           const std::string& desc);
+  MethodBuilder& getfield(const std::string& owner, const std::string& name,
+                          const std::string& desc);
+  MethodBuilder& putfield(const std::string& owner, const std::string& name,
+                          const std::string& desc);
+
+  // ---- calls ----
+  MethodBuilder& invokevirtual(const std::string& owner, const std::string& name,
+                               const std::string& desc);
+  MethodBuilder& invokespecial(const std::string& owner, const std::string& name,
+                               const std::string& desc);
+  MethodBuilder& invokestatic(const std::string& owner, const std::string& name,
+                              const std::string& desc);
+  MethodBuilder& invokeinterface(const std::string& owner, const std::string& name,
+                                 const std::string& desc);
+
+  // ---- objects & arrays ----
+  MethodBuilder& newObject(const std::string& class_name);
+  // Convenience: NEW + DUP + INVOKESPECIAL <init> with no args.
+  MethodBuilder& newDefault(const std::string& class_name);
+  MethodBuilder& newarray(Kind elem);  // Int/Long/Double
+  MethodBuilder& anewarray(const std::string& elem_class);
+  MethodBuilder& arraylength() { return emit(Op::ARRAYLENGTH); }
+  MethodBuilder& iaload() { return emit(Op::IALOAD); }
+  MethodBuilder& iastore() { return emit(Op::IASTORE); }
+  MethodBuilder& laload() { return emit(Op::LALOAD); }
+  MethodBuilder& lastore() { return emit(Op::LASTORE); }
+  MethodBuilder& daload() { return emit(Op::DALOAD); }
+  MethodBuilder& dastore() { return emit(Op::DASTORE); }
+  MethodBuilder& aaload() { return emit(Op::AALOAD); }
+  MethodBuilder& aastore() { return emit(Op::AASTORE); }
+  MethodBuilder& checkcast(const std::string& class_name);
+  MethodBuilder& instanceOf(const std::string& class_name);
+
+  // ---- monitors & exceptions ----
+  MethodBuilder& monitorenter() { return emit(Op::MONITORENTER); }
+  MethodBuilder& monitorexit() { return emit(Op::MONITOREXIT); }
+  MethodBuilder& athrow() { return emit(Op::ATHROW); }
+
+  // Exception table entry over [from, to) branching to `handler`.
+  // catch_class "" means catch-all.
+  MethodBuilder& handler(Label from, Label to, Label target,
+                         const std::string& catch_class = "");
+
+  // Explicit local count (defaults to max slot touched + 1, at least the
+  // argument count).
+  MethodBuilder& maxLocals(u16 n);
+
+  const std::string& name() const { return name_; }
+  const std::string& descriptor() const { return descriptor_; }
+  i32 insnCount() const { return static_cast<i32>(code_.size()); }
+
+ private:
+  friend class ClassBuilder;
+
+  MethodBuilder& emitBranch(Op op, Label l);
+  MethodDef finish();  // resolves labels; called by ClassBuilder::build
+
+  struct PendingHandler {
+    Label from, to, target;
+    std::string catch_class;
+  };
+
+  ClassBuilder* owner_;
+  std::string name_;
+  std::string descriptor_;
+  u16 flags_;
+  std::vector<Instruction> code_;
+  std::vector<i32> label_pos_;       // label id -> instruction index (-1 unbound)
+  std::vector<i32> branch_fixups_;   // instruction indices whose `a` is a label id
+  std::vector<PendingHandler> handlers_;
+  i32 max_local_touched_ = -1;
+  i32 explicit_max_locals_ = -1;
+};
+
+class ClassBuilder {
+ public:
+  explicit ClassBuilder(std::string name,
+                        std::string super_name = "java/lang/Object",
+                        u16 flags = ACC_PUBLIC);
+
+  ClassBuilder& addInterface(const std::string& name);
+  ClassBuilder& field(const std::string& name, const std::string& descriptor,
+                      u16 flags = ACC_PUBLIC);
+  MethodBuilder& method(const std::string& name, const std::string& descriptor,
+                        u16 flags = ACC_PUBLIC);
+  // Declares a method with no body (native or interface methods).
+  ClassBuilder& nativeMethod(const std::string& name, const std::string& descriptor,
+                             u16 extra_flags = 0);
+  ClassBuilder& abstractMethod(const std::string& name, const std::string& descriptor);
+
+  // Adds a default no-arg constructor calling super() if none was declared.
+  // Called automatically by build() for non-interface classes.
+  ClassBuilder& defaultCtor();
+
+  ClassDef build();
+
+  ConstantPool& pool() { return def_.pool; }
+  // Stays valid after build() (the ClassDef itself is moved out).
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MethodBuilder;
+
+  std::string name_;
+  ClassDef def_;
+  std::vector<std::unique_ptr<MethodBuilder>> methods_;
+  bool built_ = false;
+};
+
+}  // namespace ijvm

@@ -1,0 +1,48 @@
+// ClassDef: the "class file" -- the loader-independent, unlinked form of a
+// class, produced by ClassBuilder and consumed by ClassRegistry::define.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bytecode/constant_pool.h"
+#include "bytecode/instruction.h"
+
+namespace ijvm {
+
+// Access / modifier flags (subset of the JVM's).
+enum AccessFlags : u16 {
+  ACC_PUBLIC = 0x0001,
+  ACC_PRIVATE = 0x0002,
+  ACC_STATIC = 0x0008,
+  ACC_FINAL = 0x0010,
+  ACC_SYNCHRONIZED = 0x0020,
+  ACC_NATIVE = 0x0100,
+  ACC_INTERFACE = 0x0200,
+  ACC_ABSTRACT = 0x0400,
+};
+
+struct FieldDef {
+  std::string name;
+  std::string descriptor;
+  u16 flags = ACC_PUBLIC;
+};
+
+struct MethodDef {
+  std::string name;
+  std::string descriptor;
+  u16 flags = ACC_PUBLIC;
+  Code code;  // empty for native/abstract methods
+};
+
+struct ClassDef {
+  std::string name;                     // e.g. "demo/Main"
+  std::string super_name;               // "" only for java/lang/Object
+  std::vector<std::string> interfaces;  // names of implemented interfaces
+  u16 flags = ACC_PUBLIC;
+  std::vector<FieldDef> fields;
+  std::vector<MethodDef> methods;
+  ConstantPool pool;
+};
+
+}  // namespace ijvm

@@ -1,0 +1,103 @@
+#include "bytecode/constant_pool.h"
+
+#include <cstring>
+
+#include "support/strf.h"
+
+namespace ijvm {
+
+namespace {
+bool sameEntry(const CpEntry& a, const CpEntry& b) {
+  if (a.tag != b.tag) return false;
+  switch (a.tag) {
+    case CpTag::Int:
+    case CpTag::Long:
+      return a.i == b.i;
+    case CpTag::Double:
+      // bit-compare so NaN constants intern consistently
+      return std::memcmp(&a.d, &b.d, sizeof(double)) == 0;
+    case CpTag::String:
+    case CpTag::ClassRef:
+      return a.text == b.text;
+    case CpTag::FieldRef:
+    case CpTag::MethodRef:
+      return a.owner == b.owner && a.name == b.name && a.descriptor == b.descriptor;
+  }
+  return false;
+}
+}  // namespace
+
+i32 ConstantPool::intern(CpEntry e) {
+  for (i32 i = 0; i < size(); ++i) {
+    if (sameEntry(entries_[static_cast<size_t>(i)], e)) return i;
+  }
+  entries_.push_back(std::move(e));
+  return size() - 1;
+}
+
+i32 ConstantPool::addInt(i32 v) {
+  CpEntry e;
+  e.tag = CpTag::Int;
+  e.i = v;
+  return intern(std::move(e));
+}
+
+i32 ConstantPool::addLong(i64 v) {
+  CpEntry e;
+  e.tag = CpTag::Long;
+  e.i = v;
+  return intern(std::move(e));
+}
+
+i32 ConstantPool::addDouble(double v) {
+  CpEntry e;
+  e.tag = CpTag::Double;
+  e.d = v;
+  return intern(std::move(e));
+}
+
+i32 ConstantPool::addString(const std::string& chars) {
+  CpEntry e;
+  e.tag = CpTag::String;
+  e.text = chars;
+  return intern(std::move(e));
+}
+
+i32 ConstantPool::addClassRef(const std::string& class_name) {
+  CpEntry e;
+  e.tag = CpTag::ClassRef;
+  e.text = class_name;
+  return intern(std::move(e));
+}
+
+i32 ConstantPool::addFieldRef(const std::string& owner, const std::string& name,
+                              const std::string& descriptor) {
+  CpEntry e;
+  e.tag = CpTag::FieldRef;
+  e.owner = owner;
+  e.name = name;
+  e.descriptor = descriptor;
+  return intern(std::move(e));
+}
+
+i32 ConstantPool::addMethodRef(const std::string& owner, const std::string& name,
+                               const std::string& descriptor) {
+  CpEntry e;
+  e.tag = CpTag::MethodRef;
+  e.owner = owner;
+  e.name = name;
+  e.descriptor = descriptor;
+  return intern(std::move(e));
+}
+
+const CpEntry& ConstantPool::at(i32 idx) const {
+  IJVM_CHECK(idx >= 0 && idx < size(), strf("constant pool index %d out of range", idx));
+  return entries_[static_cast<size_t>(idx)];
+}
+
+CpEntry& ConstantPool::at(i32 idx) {
+  IJVM_CHECK(idx >= 0 && idx < size(), strf("constant pool index %d out of range", idx));
+  return entries_[static_cast<size_t>(idx)];
+}
+
+}  // namespace ijvm

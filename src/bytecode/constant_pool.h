@@ -1,0 +1,59 @@
+// Per-class constant pool.
+//
+// Entries are symbolic (names and descriptors); the runtime lazily resolves
+// Class/Field/Method refs and caches the resolution in `resolved`. The cache
+// is isolate-independent: classes are shared across isolates, only their
+// static state lives in per-isolate task class mirrors (paper section 3.1).
+#pragma once
+
+#include <string>
+#include <vector>
+#include <atomic>
+
+#include "support/common.h"
+
+namespace ijvm {
+
+enum class CpTag : u8 { Int, Long, Double, String, ClassRef, FieldRef, MethodRef };
+
+struct CpEntry {
+  CpTag tag = CpTag::Int;
+  i64 i = 0;                // Int / Long payload
+  double d = 0;             // Double payload
+  std::string text;         // String chars / ClassRef class name
+  std::string owner;        // Field/MethodRef: owning class name
+  std::string name;         // Field/MethodRef: member name
+  std::string descriptor;   // Field/MethodRef: member descriptor
+  std::atomic<void*> resolved{nullptr};  // runtime cache (JClass*/JField*/JMethod*)
+
+  CpEntry() = default;
+  CpEntry(const CpEntry& o)
+      : tag(o.tag), i(o.i), d(o.d), text(o.text), owner(o.owner), name(o.name),
+        descriptor(o.descriptor), resolved(o.resolved.load(std::memory_order_relaxed)) {}
+};
+
+class ConstantPool {
+ public:
+  i32 addInt(i32 v);
+  i32 addLong(i64 v);
+  i32 addDouble(double v);
+  i32 addString(const std::string& chars);
+  i32 addClassRef(const std::string& class_name);
+  i32 addFieldRef(const std::string& owner, const std::string& name,
+                  const std::string& descriptor);
+  i32 addMethodRef(const std::string& owner, const std::string& name,
+                   const std::string& descriptor);
+
+  const CpEntry& at(i32 idx) const;
+  CpEntry& at(i32 idx);
+  i32 size() const { return static_cast<i32>(entries_.size()); }
+
+ private:
+  // Interns: identical entries share one index (keeps pools small and makes
+  // resolution caches effective).
+  i32 intern(CpEntry e);
+
+  std::vector<CpEntry> entries_;
+};
+
+}  // namespace ijvm

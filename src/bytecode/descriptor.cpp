@@ -1,0 +1,117 @@
+#include "bytecode/descriptor.h"
+
+#include "support/common.h"
+#include "support/strf.h"
+
+namespace ijvm {
+
+namespace {
+
+// Parses one type starting at *pos; advances *pos past it.
+TypeDesc parseOne(const std::string& s, size_t* pos) {
+  TypeDesc t;
+  size_t i = *pos;
+  IJVM_CHECK(i < s.size(), strf("truncated descriptor '%s'", s.c_str()));
+  int dims = 0;
+  while (s[i] == '[') {
+    ++dims;
+    ++i;
+    IJVM_CHECK(i < s.size(), strf("truncated array descriptor '%s'", s.c_str()));
+  }
+  Kind base;
+  std::string cls;
+  switch (s[i]) {
+    case 'I':
+      base = Kind::Int;
+      ++i;
+      break;
+    case 'J':
+      base = Kind::Long;
+      ++i;
+      break;
+    case 'D':
+      base = Kind::Double;
+      ++i;
+      break;
+    case 'V':
+      base = Kind::Void;
+      ++i;
+      break;
+    case 'L': {
+      size_t semi = s.find(';', i);
+      IJVM_CHECK(semi != std::string::npos,
+                 strf("missing ';' in descriptor '%s'", s.c_str()));
+      cls = s.substr(i + 1, semi - i - 1);
+      base = Kind::Ref;
+      i = semi + 1;
+      break;
+    }
+    default:
+      IJVM_UNREACHABLE(strf("bad descriptor char '%c' in '%s'", s[i], s.c_str()));
+  }
+  *pos = i;
+  if (dims > 0) {
+    IJVM_CHECK(base != Kind::Void, "array of void");
+    t.kind = Kind::Ref;
+    t.array_dims = dims;
+    t.elem_kind = base;
+    t.class_name = cls;  // element class for ref arrays, "" for primitives
+  } else {
+    t.kind = base;
+    t.class_name = cls;
+  }
+  return t;
+}
+
+}  // namespace
+
+std::string TypeDesc::toString() const {
+  std::string s(static_cast<size_t>(array_dims), '[');
+  Kind base = array_dims > 0 ? elem_kind : kind;
+  switch (base) {
+    case Kind::Int:
+      return s + "I";
+    case Kind::Long:
+      return s + "J";
+    case Kind::Double:
+      return s + "D";
+    case Kind::Void:
+      return s + "V";
+    case Kind::Ref:
+      return s + "L" + class_name + ";";
+  }
+  return s;
+}
+
+TypeDesc parseTypeDesc(const std::string& desc) {
+  size_t pos = 0;
+  TypeDesc t = parseOne(desc, &pos);
+  IJVM_CHECK(pos == desc.size(), strf("trailing junk in descriptor '%s'", desc.c_str()));
+  IJVM_CHECK(t.kind != Kind::Void, "void field descriptor");
+  return t;
+}
+
+MethodSig parseMethodSig(const std::string& desc) {
+  MethodSig sig;
+  IJVM_CHECK(!desc.empty() && desc[0] == '(',
+             strf("method descriptor must start with '(': '%s'", desc.c_str()));
+  size_t pos = 1;
+  while (pos < desc.size() && desc[pos] != ')') {
+    sig.params.push_back(parseOne(desc, &pos));
+    IJVM_CHECK(sig.params.back().kind != Kind::Void, "void parameter");
+  }
+  IJVM_CHECK(pos < desc.size() && desc[pos] == ')',
+             strf("missing ')' in descriptor '%s'", desc.c_str()));
+  ++pos;
+  sig.ret = parseOne(desc, &pos);
+  IJVM_CHECK(pos == desc.size(), strf("trailing junk in descriptor '%s'", desc.c_str()));
+  return sig;
+}
+
+std::string typeRuntimeClassName(const TypeDesc& t) {
+  if (t.array_dims > 0) return t.toString();
+  if (t.kind == Kind::Ref) return t.class_name;
+  return {};
+}
+
+}  // namespace ijvm

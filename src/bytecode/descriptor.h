@@ -1,0 +1,63 @@
+// JVM-style type and method descriptors.
+//
+//   I = int (covers boolean/byte/char/short)   J = long   D = double
+//   V = void   Lpkg/Cls; = class reference     [T = array of T
+//
+// Example: "(I[Ljava/lang/String;)J" -- (int, String[]) -> long.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bytecode/value.h"
+
+namespace ijvm {
+
+// A parsed field/parameter/return type.
+struct TypeDesc {
+  Kind kind = Kind::Void;       // Ref for classes and arrays
+  std::string class_name;       // for Ref: element/ class name ("" for prim arrays)
+  int array_dims = 0;           // 0 = scalar
+  Kind elem_kind = Kind::Void;  // for arrays: element kind at dims==1
+
+  bool isRef() const { return kind == Kind::Ref; }
+  bool isArray() const { return array_dims > 0; }
+
+  // Canonical descriptor text, e.g. "[[I" or "Ljava/lang/String;".
+  std::string toString() const;
+
+  static TypeDesc ofKind(Kind k) {
+    TypeDesc t;
+    t.kind = k;
+    return t;
+  }
+  static TypeDesc ofClass(std::string name) {
+    TypeDesc t;
+    t.kind = Kind::Ref;
+    t.class_name = std::move(name);
+    return t;
+  }
+};
+
+struct MethodSig {
+  std::vector<TypeDesc> params;
+  TypeDesc ret;
+
+  // Number of argument slots including an implicit receiver if !is_static.
+  int argSlots(bool is_static) const {
+    return static_cast<int>(params.size()) + (is_static ? 0 : 1);
+  }
+};
+
+// Parse a field descriptor. Panics on malformed input (descriptors are
+// produced by trusted builder code, not by guest programs).
+TypeDesc parseTypeDesc(const std::string& desc);
+
+// Parse a "(params)ret" method descriptor.
+MethodSig parseMethodSig(const std::string& desc);
+
+// The runtime class name a TypeDesc resolves against, e.g. "[I",
+// "[Ljava/lang/String;" or "java/lang/String". Empty for primitives.
+std::string typeRuntimeClassName(const TypeDesc& t);
+
+}  // namespace ijvm

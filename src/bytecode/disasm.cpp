@@ -1,0 +1,104 @@
+#include "bytecode/disasm.h"
+
+#include "support/strf.h"
+
+namespace ijvm {
+
+namespace {
+
+std::string poolOperand(const ConstantPool& pool, i32 idx) {
+  if (idx < 0 || idx >= pool.size()) return strf("<bad pool #%d>", idx);
+  const CpEntry& e = pool.at(idx);
+  switch (e.tag) {
+    case CpTag::Int:
+      return strf("int %lld", static_cast<long long>(e.i));
+    case CpTag::Long:
+      return strf("long %lldL", static_cast<long long>(e.i));
+    case CpTag::Double:
+      return strf("double %g", e.d);
+    case CpTag::String:
+      return strf("\"%s\"", e.text.c_str());
+    case CpTag::ClassRef:
+      return e.text;
+    case CpTag::FieldRef:
+    case CpTag::MethodRef:
+      return strf("%s.%s%s%s", e.owner.c_str(), e.name.c_str(),
+                  e.tag == CpTag::FieldRef ? ":" : "", e.descriptor.c_str());
+  }
+  return "?";
+}
+
+bool opUsesPool(Op op) {
+  switch (op) {
+    case Op::LDC:
+    case Op::GETSTATIC:
+    case Op::PUTSTATIC:
+    case Op::GETFIELD:
+    case Op::PUTFIELD:
+    case Op::INVOKEVIRTUAL:
+    case Op::INVOKESPECIAL:
+    case Op::INVOKESTATIC:
+    case Op::INVOKEINTERFACE:
+    case Op::NEW:
+    case Op::ANEWARRAY:
+    case Op::CHECKCAST:
+    case Op::INSTANCEOF:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::string disasmInsn(const ConstantPool& pool, const Instruction& insn, i32 index) {
+  std::string s = strf("%4d: %-14s", index, opName(insn.op));
+  if (opIsBranch(insn.op)) {
+    s += strf(" -> %d", insn.a);
+  } else if (opUsesPool(insn.op)) {
+    s += " " + poolOperand(pool, insn.a);
+  } else if (insn.op == Op::IINC) {
+    s += strf(" slot=%d delta=%d", insn.a, insn.b);
+  } else if (insn.op == Op::ICONST || insn.op == Op::NEWARRAY ||
+             insn.op == Op::ILOAD || insn.op == Op::LLOAD || insn.op == Op::DLOAD ||
+             insn.op == Op::ALOAD || insn.op == Op::ISTORE || insn.op == Op::LSTORE ||
+             insn.op == Op::DSTORE || insn.op == Op::ASTORE) {
+    s += strf(" %d", insn.a);
+  }
+  return s;
+}
+
+std::string disasmMethod(const ConstantPool& pool, const MethodDef& method) {
+  std::string out = strf("%s%s  (flags=0x%x, max_locals=%u)\n", method.name.c_str(),
+                         method.descriptor.c_str(), method.flags,
+                         static_cast<unsigned>(method.code.max_locals));
+  if ((method.flags & ACC_NATIVE) != 0) {
+    out += "  <native>\n";
+    return out;
+  }
+  for (i32 i = 0; i < static_cast<i32>(method.code.insns.size()); ++i) {
+    out += "  " + disasmInsn(pool, method.code.insns[static_cast<size_t>(i)], i) + "\n";
+  }
+  for (const ExHandler& h : method.code.handlers) {
+    out += strf("  handler [%d,%d) -> %d catch %s\n", h.start, h.end, h.handler,
+                h.catch_type_pool < 0 ? "<any>"
+                                      : pool.at(h.catch_type_pool).text.c_str());
+  }
+  return out;
+}
+
+std::string disasmClass(const ClassDef& def) {
+  std::string out = strf("class %s extends %s\n", def.name.c_str(),
+                         def.super_name.empty() ? "<none>" : def.super_name.c_str());
+  for (const auto& itf : def.interfaces) out += "  implements " + itf + "\n";
+  for (const auto& f : def.fields) {
+    out += strf("  field %s:%s (flags=0x%x)\n", f.name.c_str(), f.descriptor.c_str(),
+                f.flags);
+  }
+  for (const auto& m : def.methods) {
+    out += disasmMethod(def.pool, m);
+  }
+  return out;
+}
+
+}  // namespace ijvm

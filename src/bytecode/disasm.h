@@ -1,0 +1,19 @@
+// Human-readable disassembly of method bodies (debugging / golden tests).
+#pragma once
+
+#include <string>
+
+#include "bytecode/classdef.h"
+
+namespace ijvm {
+
+// One instruction, e.g. "  12: INVOKEVIRTUAL demo/Shape.draw(II)V".
+std::string disasmInsn(const ConstantPool& pool, const Instruction& insn, i32 index);
+
+// Whole method body including the exception table.
+std::string disasmMethod(const ConstantPool& pool, const MethodDef& method);
+
+// Whole class.
+std::string disasmClass(const ClassDef& def);
+
+}  // namespace ijvm

@@ -1,0 +1,32 @@
+// Pre-decoded instruction and method-body ("Code attribute") model.
+#pragma once
+
+#include <vector>
+
+#include "bytecode/opcodes.h"
+
+namespace ijvm {
+
+struct Instruction {
+  Op op = Op::NOP;
+  i32 a = 0;  // meaning per opcode: immediate, local slot, pool index, target
+  i32 b = 0;  // second operand (IINC delta)
+};
+
+// One entry of a method's exception table. Ranges are instruction indices,
+// [start, end). catch_type_pool is a ClassRef pool index, or -1 for
+// catch-all (used by `finally`-style cleanup and by tests).
+struct ExHandler {
+  i32 start = 0;
+  i32 end = 0;
+  i32 handler = 0;
+  i32 catch_type_pool = -1;
+};
+
+struct Code {
+  u16 max_locals = 0;
+  std::vector<Instruction> insns;
+  std::vector<ExHandler> handlers;
+};
+
+}  // namespace ijvm

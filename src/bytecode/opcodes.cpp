@@ -1,0 +1,57 @@
+#include "bytecode/opcodes.h"
+#include "bytecode/value.h"
+
+namespace ijvm {
+
+const char* opName(Op op) {
+  static const char* names[] = {
+#define IJVM_OP_NAME(name, pops, pushes, doc) #name,
+      IJVM_OPCODES(IJVM_OP_NAME)
+#undef IJVM_OP_NAME
+  };
+  auto idx = static_cast<unsigned>(op);
+  return idx < static_cast<unsigned>(kOpCount) ? names[idx] : "<bad-op>";
+}
+
+bool opIsBranch(Op op) {
+  switch (op) {
+    case Op::IFEQ:
+    case Op::IFNE:
+    case Op::IFLT:
+    case Op::IFGE:
+    case Op::IFGT:
+    case Op::IFLE:
+    case Op::IF_ICMPEQ:
+    case Op::IF_ICMPNE:
+    case Op::IF_ICMPLT:
+    case Op::IF_ICMPGE:
+    case Op::IF_ICMPGT:
+    case Op::IF_ICMPLE:
+    case Op::IF_ACMPEQ:
+    case Op::IF_ACMPNE:
+    case Op::IFNULL:
+    case Op::IFNONNULL:
+    case Op::GOTO:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const char* kindName(Kind k) {
+  switch (k) {
+    case Kind::Void:
+      return "void";
+    case Kind::Int:
+      return "int";
+    case Kind::Long:
+      return "long";
+    case Kind::Double:
+      return "double";
+    case Kind::Ref:
+      return "ref";
+  }
+  return "<bad-kind>";
+}
+
+}  // namespace ijvm

@@ -1,0 +1,151 @@
+// The ijvm bytecode instruction set.
+//
+// A JVM-like, verified, stack-based ISA. Instructions are pre-decoded into
+// fixed-size records (see instruction.h); `a` and `b` are the operands whose
+// meaning is listed per opcode below. "pool:X" means `a` indexes the owning
+// class's constant pool and the entry must have tag X.
+#pragma once
+
+#include "support/common.h"
+
+namespace ijvm {
+
+// X-macro: OP(name, stack_pops, stack_pushes, operand_doc)
+// pops/pushes of -1 mean "depends on the resolved call/field signature".
+#define IJVM_OPCODES(OP)                                                \
+  /* ---- constants ---- */                                             \
+  OP(NOP, 0, 0, "")                                                     \
+  OP(ACONST_NULL, 0, 1, "")                                             \
+  OP(ICONST, 0, 1, "a=imm32")                                           \
+  OP(LDC, 0, 1, "a=pool:Int|Long|Double|String")                        \
+  /* ---- locals ---- */                                                \
+  OP(ILOAD, 0, 1, "a=slot")                                             \
+  OP(LLOAD, 0, 1, "a=slot")                                             \
+  OP(DLOAD, 0, 1, "a=slot")                                             \
+  OP(ALOAD, 0, 1, "a=slot")                                             \
+  OP(ISTORE, 1, 0, "a=slot")                                            \
+  OP(LSTORE, 1, 0, "a=slot")                                            \
+  OP(DSTORE, 1, 0, "a=slot")                                            \
+  OP(ASTORE, 1, 0, "a=slot")                                            \
+  OP(IINC, 0, 0, "a=slot b=delta")                                      \
+  /* ---- operand stack ---- */                                         \
+  OP(POP, 1, 0, "")                                                     \
+  OP(DUP, 1, 2, "")                                                     \
+  OP(DUP_X1, 2, 3, "")                                                  \
+  OP(SWAP, 2, 2, "")                                                    \
+  /* ---- int arithmetic ---- */                                        \
+  OP(IADD, 2, 1, "")                                                    \
+  OP(ISUB, 2, 1, "")                                                    \
+  OP(IMUL, 2, 1, "")                                                    \
+  OP(IDIV, 2, 1, "throws ArithmeticException on /0")                    \
+  OP(IREM, 2, 1, "throws ArithmeticException on /0")                    \
+  OP(INEG, 1, 1, "")                                                    \
+  OP(ISHL, 2, 1, "")                                                    \
+  OP(ISHR, 2, 1, "")                                                    \
+  OP(IUSHR, 2, 1, "")                                                   \
+  OP(IAND, 2, 1, "")                                                    \
+  OP(IOR, 2, 1, "")                                                     \
+  OP(IXOR, 2, 1, "")                                                    \
+  /* ---- long arithmetic ---- */                                       \
+  OP(LADD, 2, 1, "")                                                    \
+  OP(LSUB, 2, 1, "")                                                    \
+  OP(LMUL, 2, 1, "")                                                    \
+  OP(LDIV, 2, 1, "throws ArithmeticException on /0")                    \
+  OP(LREM, 2, 1, "throws ArithmeticException on /0")                    \
+  OP(LNEG, 1, 1, "")                                                    \
+  OP(LSHL, 2, 1, "shift amount is an int")                              \
+  OP(LSHR, 2, 1, "shift amount is an int")                              \
+  OP(LAND, 2, 1, "")                                                    \
+  OP(LOR, 2, 1, "")                                                     \
+  OP(LXOR, 2, 1, "")                                                    \
+  OP(LCMP, 2, 1, "pushes -1/0/1 as int")                                \
+  /* ---- double arithmetic ---- */                                     \
+  OP(DADD, 2, 1, "")                                                    \
+  OP(DSUB, 2, 1, "")                                                    \
+  OP(DMUL, 2, 1, "")                                                    \
+  OP(DDIV, 2, 1, "")                                                    \
+  OP(DREM, 2, 1, "fmod semantics")                                      \
+  OP(DNEG, 1, 1, "")                                                    \
+  OP(DCMPL, 2, 1, "NaN compares as -1")                                 \
+  OP(DCMPG, 2, 1, "NaN compares as 1")                                  \
+  /* ---- conversions ---- */                                           \
+  OP(I2L, 1, 1, "")                                                     \
+  OP(I2D, 1, 1, "")                                                     \
+  OP(L2I, 1, 1, "")                                                     \
+  OP(L2D, 1, 1, "")                                                     \
+  OP(D2I, 1, 1, "saturating, NaN -> 0")                                 \
+  OP(D2L, 1, 1, "saturating, NaN -> 0")                                 \
+  /* ---- branches (a = target instruction index) ---- */               \
+  OP(IFEQ, 1, 0, "a=target")                                            \
+  OP(IFNE, 1, 0, "a=target")                                            \
+  OP(IFLT, 1, 0, "a=target")                                            \
+  OP(IFGE, 1, 0, "a=target")                                            \
+  OP(IFGT, 1, 0, "a=target")                                            \
+  OP(IFLE, 1, 0, "a=target")                                            \
+  OP(IF_ICMPEQ, 2, 0, "a=target")                                       \
+  OP(IF_ICMPNE, 2, 0, "a=target")                                       \
+  OP(IF_ICMPLT, 2, 0, "a=target")                                       \
+  OP(IF_ICMPGE, 2, 0, "a=target")                                       \
+  OP(IF_ICMPGT, 2, 0, "a=target")                                       \
+  OP(IF_ICMPLE, 2, 0, "a=target")                                       \
+  OP(IF_ACMPEQ, 2, 0, "a=target")                                       \
+  OP(IF_ACMPNE, 2, 0, "a=target")                                       \
+  OP(IFNULL, 1, 0, "a=target")                                          \
+  OP(IFNONNULL, 1, 0, "a=target")                                       \
+  OP(GOTO, 0, 0, "a=target")                                            \
+  /* ---- returns ---- */                                               \
+  OP(RETURN, 0, 0, "")                                                  \
+  OP(IRETURN, 1, 0, "")                                                 \
+  OP(LRETURN, 1, 0, "")                                                 \
+  OP(DRETURN, 1, 0, "")                                                 \
+  OP(ARETURN, 1, 0, "")                                                 \
+  /* ---- fields ---- */                                                \
+  OP(GETSTATIC, 0, 1, "a=pool:FieldRef (isolate-indexed via TCM)")      \
+  OP(PUTSTATIC, 1, 0, "a=pool:FieldRef (isolate-indexed via TCM)")      \
+  OP(GETFIELD, 1, 1, "a=pool:FieldRef")                                 \
+  OP(PUTFIELD, 2, 0, "a=pool:FieldRef")                                 \
+  /* ---- calls ---- */                                                 \
+  OP(INVOKEVIRTUAL, -1, -1, "a=pool:MethodRef")                         \
+  OP(INVOKESPECIAL, -1, -1, "a=pool:MethodRef (ctor / super / private)") \
+  OP(INVOKESTATIC, -1, -1, "a=pool:MethodRef")                          \
+  OP(INVOKEINTERFACE, -1, -1, "a=pool:MethodRef")                       \
+  /* ---- objects & arrays ---- */                                      \
+  OP(NEW, 0, 1, "a=pool:ClassRef")                                      \
+  OP(NEWARRAY, 1, 1, "a=element kind: 0=int 1=long 2=double")           \
+  OP(ANEWARRAY, 1, 1, "a=pool:ClassRef (element class)")                \
+  OP(ARRAYLENGTH, 1, 1, "")                                             \
+  OP(IALOAD, 2, 1, "")                                                  \
+  OP(IASTORE, 3, 0, "")                                                 \
+  OP(LALOAD, 2, 1, "")                                                  \
+  OP(LASTORE, 3, 0, "")                                                 \
+  OP(DALOAD, 2, 1, "")                                                  \
+  OP(DASTORE, 3, 0, "")                                                 \
+  OP(AALOAD, 2, 1, "")                                                  \
+  OP(AASTORE, 3, 0, "")                                                 \
+  /* ---- type checks ---- */                                           \
+  OP(CHECKCAST, 1, 1, "a=pool:ClassRef")                                \
+  OP(INSTANCEOF, 1, 1, "a=pool:ClassRef")                               \
+  /* ---- monitors ---- */                                              \
+  OP(MONITORENTER, 1, 0, "")                                            \
+  OP(MONITOREXIT, 1, 0, "")                                             \
+  /* ---- exceptions ---- */                                            \
+  OP(ATHROW, 1, 0, "")
+
+enum class Op : u8 {
+#define IJVM_OP_ENUM(name, pops, pushes, doc) name,
+  IJVM_OPCODES(IJVM_OP_ENUM)
+#undef IJVM_OP_ENUM
+};
+
+constexpr int kOpCount = 0
+#define IJVM_OP_COUNT(name, pops, pushes, doc) +1
+    IJVM_OPCODES(IJVM_OP_COUNT)
+#undef IJVM_OP_COUNT
+    ;
+
+const char* opName(Op op);
+
+// True for conditional and unconditional branches (operand a is a target).
+bool opIsBranch(Op op);
+
+}  // namespace ijvm

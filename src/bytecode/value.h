@@ -1,0 +1,80 @@
+// Tagged value slots.
+//
+// The interpreter uses one uniform 16-byte slot for locals and operand-stack
+// entries (unlike the JVM's split 32/64-bit slots). The tag makes garbage
+// collection precise without verifier-computed stack maps: the GC can scan
+// any frame and know exactly which slots are references (paper section 3.2,
+// step 3 of the accounting algorithm, requires exactly this).
+#pragma once
+
+#include "support/common.h"
+
+namespace ijvm {
+
+struct Object;  // heap/object.h
+
+// Value/descriptor kinds. Int covers boolean/byte/char/short/int.
+enum class Kind : u8 { Void, Int, Long, Double, Ref };
+
+const char* kindName(Kind k);
+
+struct Value {
+  Kind kind = Kind::Ref;
+  union {
+    i64 i;
+    double d;
+    Object* ref;
+  };
+
+  Value() : ref(nullptr) {}
+
+  static Value ofInt(i32 v) {
+    Value r;
+    r.kind = Kind::Int;
+    r.i = v;
+    return r;
+  }
+  static Value ofLong(i64 v) {
+    Value r;
+    r.kind = Kind::Long;
+    r.i = v;
+    return r;
+  }
+  static Value ofDouble(double v) {
+    Value r;
+    r.kind = Kind::Double;
+    r.d = v;
+    return r;
+  }
+  static Value ofRef(Object* o) {
+    Value r;
+    r.kind = Kind::Ref;
+    r.ref = o;
+    return r;
+  }
+  static Value nullRef() { return ofRef(nullptr); }
+
+  i32 asInt() const { return static_cast<i32>(i); }
+  i64 asLong() const { return i; }
+  double asDouble() const { return d; }
+  Object* asRef() const { return ref; }
+
+  bool isRef() const { return kind == Kind::Ref; }
+  bool isNull() const { return kind == Kind::Ref && ref == nullptr; }
+
+  // Default (zero) value for a field/array-element of the given kind.
+  static Value zeroOf(Kind k) {
+    switch (k) {
+      case Kind::Int:
+        return ofInt(0);
+      case Kind::Long:
+        return ofLong(0);
+      case Kind::Double:
+        return ofDouble(0.0);
+      default:
+        return nullRef();
+    }
+  }
+};
+
+}  // namespace ijvm

@@ -1,0 +1,115 @@
+// Class loaders and the class registry (linker).
+//
+// As in OSGi, each bundle gets its own class loader; in I-JVM the loader is
+// also the unit of isolation -- the runtime attaches an Isolate to each
+// non-system loader (paper section 3.1: "an isolate is built from a class
+// loader"). Loaders delegate lookups to their parent; the root loader is the
+// *system loader* that defines the Java System Library, whose code executes
+// in the caller's isolate and is charged to the caller.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "classes/jclass.h"
+
+namespace ijvm {
+
+class ClassRegistry;
+
+class ClassLoader {
+ public:
+  ClassLoader(ClassRegistry* registry, std::string name, ClassLoader* parent,
+              bool is_system);
+
+  ClassLoader(const ClassLoader&) = delete;
+  ClassLoader& operator=(const ClassLoader&) = delete;
+
+  // Defines (links) a class from its unlinked form. The superclass and any
+  // interfaces must already be resolvable through this loader.
+  JClass* define(ClassDef def);
+
+  // Parent-delegating lookup; returns nullptr when not found.
+  JClass* find(const std::string& name);
+
+  // Lookup restricted to classes this loader defined.
+  JClass* findLocal(const std::string& name);
+
+  const std::string& name() const { return name_; }
+  bool isSystem() const { return is_system_; }
+  ClassLoader* parent() const { return parent_; }
+  ClassRegistry* registry() const { return registry_; }
+
+  // The isolate attached to this loader (set once by the runtime; null for
+  // the system loader, whose classes run in the caller's isolate).
+  Isolate* isolate() const { return isolate_; }
+  void attachIsolate(Isolate* iso);
+
+  std::vector<JClass*> definedClasses() const;
+  size_t definedCount() const;
+
+ private:
+  friend class ClassRegistry;
+
+  ClassRegistry* registry_;
+  std::string name_;
+  ClassLoader* parent_;
+  bool is_system_;
+  Isolate* isolate_ = nullptr;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, JClass*> classes_;
+};
+
+// Owns all loaders and all JClass storage; performs linking.
+class ClassRegistry {
+ public:
+  using VerifyHook = std::function<void(const JClass&)>;
+
+  ClassRegistry();
+
+  ClassRegistry(const ClassRegistry&) = delete;
+  ClassRegistry& operator=(const ClassRegistry&) = delete;
+
+  ClassLoader* systemLoader() { return system_loader_; }
+  ClassLoader* newLoader(const std::string& name, ClassLoader* parent = nullptr,
+                         bool is_system = false);
+
+  // Called after linking each class; the runtime installs the bytecode
+  // verifier here (panics / throws VerifyError on bad code).
+  void setVerifyHook(VerifyHook hook) { verify_hook_ = std::move(hook); }
+
+  // Array class for an element type descriptor, e.g. "[I",
+  // "[Ljava/lang/String;", "[[D". Created on demand in the system loader.
+  JClass* arrayClass(const std::string& array_name);
+
+  // Resolves `name` through `ctx` (array names supported); nullptr if absent.
+  JClass* resolve(ClassLoader* ctx, const std::string& name);
+
+  std::vector<ClassLoader*> loaders() const;
+
+  // Visits every linked class (used by the GC root enumerator to reach
+  // per-isolate statics and Class objects). Safe to call concurrently with
+  // definitions; holds the registry lock for the duration.
+  void forEachClass(const std::function<void(JClass&)>& fn) const;
+
+  // Total metadata footprint across all classes (Figure-3 memory report).
+  size_t totalMetadataBytes() const;
+  size_t classCount() const;
+
+ private:
+  friend class ClassLoader;
+
+  JClass* link(ClassLoader* loader, ClassDef def);
+
+  mutable std::mutex mutex_;
+  std::deque<std::unique_ptr<JClass>> classes_;  // owns all JClass storage
+  std::deque<std::unique_ptr<ClassLoader>> loaders_;
+  ClassLoader* system_loader_ = nullptr;
+  VerifyHook verify_hook_;
+};
+
+}  // namespace ijvm

@@ -1,0 +1,84 @@
+// The four communication models of Table 1.
+//
+//   local          -- intra-isolate method call (the "Local method" column)
+//   ijvm           -- inter-isolate direct call with thread migration
+//   incommunicado  -- Isolate-style message passing: per-call request object,
+//                     deep copy into the receiver's isolate, two thread
+//                     handoffs (the Incommunicado column)
+//   rmi            -- full RMI-style stack: verbose stream serialization with
+//                     checksums, length-prefixed framing over an in-memory
+//                     byte pipe, a dispatcher thread, and serialization of
+//                     the reply (the "RMI local call" column)
+//
+// All four invoke the same api/Counter.inc() service method 200 times (the
+// paper's paint-demo drag produces ~200 inter-bundle calls).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <thread>
+
+#include "osgi/framework.h"
+#include "stdlib/channels.h"
+
+namespace ijvm {
+
+class CommHarness {
+ public:
+  // Installs a provider bundle (service "comm.counter") and a client bundle,
+  // defines the shared api and message classes, and starts the
+  // incommunicado + RMI server threads.
+  explicit CommHarness(Framework& fw);
+  ~CommHarness();
+
+  CommHarness(const CommHarness&) = delete;
+  CommHarness& operator=(const CommHarness&) = delete;
+
+  // Each runs `n` calls and returns the total wall time in nanoseconds.
+  // The counter value advances by n each time (validated by tests).
+  i64 runLocal(i32 n);
+  i64 runIJvm(i32 n);
+  i64 runIncommunicado(i32 n);
+  i64 runRmi(i32 n);
+
+  // Counter observed by the most recent run (for validation).
+  i32 lastCounterValue() const { return last_value_; }
+
+  Bundle* provider() { return provider_; }
+  Bundle* client() { return client_; }
+
+ private:
+  struct Mailbox {
+    std::mutex m;
+    std::condition_variable cv;
+    std::deque<i64> messages;
+    void push(i64 v);
+    // Returns false when cancelled.
+    bool pop(i64* out, const std::atomic<bool>* cancel);
+  };
+
+  void incommunicadoServer();
+  void rmiServer();
+  Object* serviceObject();
+
+  Framework& fw_;
+  VM& vm_;
+  Bundle* provider_ = nullptr;
+  Bundle* client_ = nullptr;
+  JClass* request_class_ = nullptr;
+  JClass* reply_class_ = nullptr;
+
+  std::atomic<bool> stop_{false};
+  Mailbox inc_requests_;  // carries GlobalRef* of request objects
+  Mailbox inc_replies_;   // carries int results
+  std::thread inc_server_;
+
+  std::shared_ptr<ByteChannel> rmi_channel_;
+  std::thread rmi_server_;
+
+  i32 last_value_ = 0;
+};
+
+}  // namespace ijvm

@@ -1,0 +1,37 @@
+// Object-graph copying and serialization between isolates.
+//
+// Two fidelity levels, matching the two isolate-communication baselines of
+// Table 1:
+//  * deepCopy     -- direct graph copy into the receiver's isolate, the
+//                    Incommunicado model (no byte encoding, but allocation
+//                    and copying per call, plus thread synchronization);
+//  * serialize /  -- verbose stream encoding with per-field tags and a
+//    deserialize    checksum, the RMI model (everything deepCopy does plus
+//                    encode/decode and transport).
+//
+// Supported graphs: null, strings, primitive arrays, reference arrays and
+// Plain objects (fields by declared order). Shared nodes and cycles are
+// preserved via back-references. Native-backed objects are not supported
+// (they would not survive a real process boundary either).
+#pragma once
+
+#include <string>
+
+#include "runtime/vm.h"
+
+namespace ijvm {
+
+// Copies `src` into the isolate `receiver` currently runs in. Allocations
+// are charged to the receiver (it performs the copy). Returns nullptr and
+// sets a pending guest exception on failure.
+Object* deepCopy(VM& vm, JThread* receiver, Object* src);
+
+// Serializes the graph rooted at `root` (read-only, no allocation).
+std::string serializeGraph(VM& vm, Object* root);
+
+// Rebuilds the graph in the receiver's isolate; class names resolve through
+// the receiver's current loader. Returns nullptr (pending exception) on
+// malformed input or unresolvable classes.
+Object* deserializeGraph(VM& vm, JThread* receiver, const std::string& bytes);
+
+}  // namespace ijvm

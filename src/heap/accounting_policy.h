@@ -1,0 +1,33 @@
+// Memory-accounting policies for the GC accounting pass.
+//
+// The paper (section 3.2) charges every live object to the *first* isolate
+// that references it during tracing and documents the resulting
+// imprecision in section 4.4 (a large object returned by bundle M is
+// charged to M's callers), leaving better accounting as future work. The
+// two alternative policies implement that future work:
+//
+//  * CreatorPays  -- charge each object to the isolate that allocated it
+//    (recorded at allocation; no extra GC cost). Blame for M's large
+//    returned object lands on M. The trade-off: a caller can hold the creator's
+//    memory hostage -- retention is billed to the allocator even after it
+//    dropped every reference.
+//  * DividedShared -- compute, per object, the set of isolates that can
+//    reach it and split its footprint evenly among them (the "maintaining
+//    a list of isolates that use the shared object" design the paper
+//    rejects for cost reasons; bench/ablation_accounting measures that
+//    cost). Shared objects are billed fractionally to every sharer.
+#pragma once
+
+#include "support/common.h"
+
+namespace ijvm {
+
+enum class AccountingPolicy : u8 {
+  FirstReference,  // the paper's policy (default)
+  CreatorPays,
+  DividedShared,
+};
+
+const char* accountingPolicyName(AccountingPolicy p);
+
+}  // namespace ijvm

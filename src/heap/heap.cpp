@@ -1,0 +1,308 @@
+#include "heap/heap.h"
+
+#include <bit>
+#include <cstring>
+#include <deque>
+
+#include "support/strf.h"
+
+namespace ijvm {
+
+const char* accountingPolicyName(AccountingPolicy p) {
+  switch (p) {
+    case AccountingPolicy::FirstReference: return "first-reference";
+    case AccountingPolicy::CreatorPays: return "creator-pays";
+    case AccountingPolicy::DividedShared: return "divided-shared";
+  }
+  return "?";
+}
+
+void Object::traceRefs(const std::function<void(Object*)>& visit) {
+  switch (kind) {
+    case ObjKind::Plain: {
+      Value* f = fields();
+      const i32 n = cls != nullptr ? cls->instance_slots : 0;
+      for (i32 i = 0; i < n; ++i) {
+        if (f[i].kind == Kind::Ref && f[i].ref != nullptr) visit(f[i].ref);
+      }
+      break;
+    }
+    case ObjKind::ArrayRef: {
+      Object** elems = refElems();
+      for (i32 i = 0; i < length; ++i) {
+        if (elems[i] != nullptr) visit(elems[i]);
+      }
+      break;
+    }
+    case ObjKind::Native:
+      if (native() != nullptr) native()->trace(visit);
+      break;
+    default:
+      break;  // primitive arrays and strings hold no references
+  }
+}
+
+Heap::Heap(size_t gc_threshold) : gc_threshold_(gc_threshold) {}
+
+Heap::~Heap() {
+  Object* o = all_objects_;
+  while (o != nullptr) {
+    Object* next = o->gc_next;
+    freeObject(o);
+    o = next;
+  }
+}
+
+Object* Heap::allocRaw(JClass* cls, ObjKind kind, size_t payload_bytes, i32 length,
+                       i32 creator_isolate) {
+  const size_t total = sizeof(Object) + payload_bytes;
+  void* mem = ::operator new(total, std::nothrow);
+  if (mem == nullptr) return nullptr;
+  std::memset(mem, 0, total);
+  Object* obj = new (mem) Object();
+  obj->cls = cls;
+  obj->kind = kind;
+  obj->length = length;
+  obj->byte_size = total;
+  obj->creator_isolate = creator_isolate;
+  obj->charged_isolate = creator_isolate;
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  obj->gc_next = all_objects_;
+  all_objects_ = obj;
+  live_bytes_.fetch_add(total, std::memory_order_relaxed);
+  live_objects_.fetch_add(1, std::memory_order_relaxed);
+  bytes_since_gc_.fetch_add(total, std::memory_order_relaxed);
+  total_allocated_.fetch_add(total, std::memory_order_relaxed);
+  return obj;
+}
+
+Object* Heap::allocPlain(JClass* cls, i32 creator_isolate) {
+  const size_t payload = static_cast<size_t>(cls->instance_slots) * sizeof(Value);
+  Object* obj = allocRaw(cls, ObjKind::Plain, payload, 0, creator_isolate);
+  if (obj == nullptr) return nullptr;
+  // Initialize fields to typed zero values (memset already made refs null;
+  // tags must still be set so the GC sees correct kinds).
+  Value* f = obj->fields();
+  for (JClass* c = cls; c != nullptr; c = c->super) {
+    for (const JField& fd : c->fields) {
+      if (!fd.isStatic()) f[fd.slot] = Value::zeroOf(fd.type.kind);
+    }
+  }
+  return obj;
+}
+
+Object* Heap::allocArray(JClass* array_cls, i32 length, i32 creator_isolate) {
+  IJVM_CHECK(array_cls->is_array, "allocArray on non-array class");
+  IJVM_CHECK(length >= 0, "negative array length reaches heap");
+  ObjKind kind;
+  size_t elem_size;
+  switch (array_cls->elem_kind) {
+    case Kind::Int:
+      kind = ObjKind::ArrayInt;
+      elem_size = sizeof(i32);
+      break;
+    case Kind::Long:
+      kind = ObjKind::ArrayLong;
+      elem_size = sizeof(i64);
+      break;
+    case Kind::Double:
+      kind = ObjKind::ArrayDouble;
+      elem_size = sizeof(double);
+      break;
+    case Kind::Ref:
+      kind = ObjKind::ArrayRef;
+      elem_size = sizeof(Object*);
+      break;
+    default:
+      IJVM_UNREACHABLE("bad array element kind");
+  }
+  return allocRaw(array_cls, kind, elem_size * static_cast<size_t>(length), length,
+                  creator_isolate);
+}
+
+Object* Heap::allocString(JClass* string_cls, std::string chars, i32 creator_isolate) {
+  Object* obj = allocRaw(string_cls, ObjKind::String, sizeof(std::string*), 0,
+                         creator_isolate);
+  if (obj == nullptr) return nullptr;
+  obj->strSlot() = new std::string(std::move(chars));
+  const size_t payload = obj->str().capacity();
+  obj->byte_size += payload;
+  live_bytes_.fetch_add(payload, std::memory_order_relaxed);
+  bytes_since_gc_.fetch_add(payload, std::memory_order_relaxed);
+  total_allocated_.fetch_add(payload, std::memory_order_relaxed);
+  return obj;
+}
+
+Object* Heap::allocNative(JClass* cls, std::unique_ptr<NativePayload> payload,
+                          i32 creator_isolate) {
+  Object* obj =
+      allocRaw(cls, ObjKind::Native, sizeof(NativePayload*), 0, creator_isolate);
+  if (obj == nullptr) return nullptr;
+  obj->nativeSlot() = payload.release();
+  return obj;
+}
+
+Monitor* Heap::monitorFor(Object* obj) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (obj->monitor == nullptr) obj->monitor = new Monitor();
+  return obj->monitor;
+}
+
+size_t Heap::footprint(const Object* obj) {
+  size_t bytes = obj->byte_size;
+  if (obj->kind == ObjKind::Native && obj->native() != nullptr) {
+    bytes += obj->native()->byteSize();
+  }
+  return bytes;
+}
+
+void Heap::freeObject(Object* obj) {
+  if (obj->kind == ObjKind::String) {
+    delete obj->strSlot();
+  } else if (obj->kind == ObjKind::Native) {
+    delete obj->nativeSlot();
+  }
+  delete obj->monitor;
+  obj->~Object();
+  ::operator delete(obj);
+}
+
+void Heap::forEachObject(const std::function<void(Object*)>& fn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Object* o = all_objects_; o != nullptr; o = o->gc_next) fn(o);
+}
+
+GcStats Heap::collect(const RootEnumerator& enumerate_roots,
+                      AccountingPolicy policy) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  GcStats stats;
+
+  auto charge = [&stats, this](Object* o, i32 iso, size_t share_of = 1) {
+    if (iso < 0) iso = 0;
+    if (static_cast<size_t>(iso) >= stats.charges.size()) {
+      stats.charges.resize(static_cast<size_t>(iso) + 1);
+    }
+    IsolateCharge& c = stats.charges[static_cast<size_t>(iso)];
+    c.bytes += footprint(o) / share_of;
+    c.objects += 1;
+    if (o->kind == ObjKind::Native && o->native() != nullptr &&
+        o->native()->isConnection()) {
+      c.connections += 1;
+    }
+  };
+
+  // ---- mark (liveness + first-reference ownership) ----
+  // "An object is charged to the first isolate that references it" -- BFS
+  // discovery order implements "first". charged_isolate is derived under
+  // every policy (termination's dead-isolate detection uses it); only the
+  // *billing* below varies.
+  std::deque<Object*> queue;
+  auto mark_root = [&](Object* o, i32 iso) {
+    if (o == nullptr || o->gc_mark != 0) return;
+    o->gc_mark = 1;
+    o->charged_isolate = iso;
+    o->reach_mask = 0;
+    if (policy == AccountingPolicy::FirstReference) charge(o, iso);
+    queue.push_back(o);
+  };
+
+  enumerate_roots(mark_root);
+
+  while (!queue.empty()) {
+    Object* o = queue.front();
+    queue.pop_front();
+    const i32 iso = o->charged_isolate;
+    o->traceRefs([&](Object* child) {
+      if (child->gc_mark != 0) return;
+      child->gc_mark = 1;
+      child->charged_isolate = iso;  // inherits the discovering isolate
+      child->reach_mask = 0;
+      if (policy == AccountingPolicy::FirstReference) charge(child, iso);
+      queue.push_back(child);
+    });
+  }
+
+  switch (policy) {
+    case AccountingPolicy::FirstReference:
+      break;  // charged during the mark above
+    case AccountingPolicy::CreatorPays:
+      // One extra walk over the live set; no propagation.
+      for (Object* o = all_objects_; o != nullptr; o = o->gc_next) {
+        if (o->gc_mark != 0) charge(o, o->creator_isolate);
+      }
+      break;
+    case AccountingPolicy::DividedShared: {
+      // Propagate per-isolate reachability masks to a fixpoint, then split
+      // each object's footprint among the isolates that reach it. This is
+      // the extra cost the paper declined to pay (section 3.2: "would
+      // introduce a new list traversal for all objects during GC").
+      auto root_bit = [](i32 iso) -> u64 {
+        u64 bit = iso < 0 ? 0 : (iso > 63 ? 63 : static_cast<u64>(iso));
+        return u64{1} << bit;
+      };
+      std::deque<Object*> work;
+      enumerate_roots([&](Object* o, i32 iso) {
+        if (o == nullptr || o->gc_mark == 0) return;
+        u64 bit = root_bit(iso);
+        if ((o->reach_mask & bit) == 0) {
+          o->reach_mask |= bit;
+          work.push_back(o);
+        }
+      });
+      while (!work.empty()) {
+        Object* o = work.front();
+        work.pop_front();
+        const u64 mask = o->reach_mask;
+        o->traceRefs([&](Object* child) {
+          if ((child->reach_mask | mask) != child->reach_mask) {
+            child->reach_mask |= mask;
+            work.push_back(child);
+          }
+        });
+      }
+      for (Object* o = all_objects_; o != nullptr; o = o->gc_next) {
+        if (o->gc_mark == 0) continue;
+        const int sharers = std::popcount(o->reach_mask);
+        if (sharers > 1) {
+          stats.shared_objects += 1;
+          stats.shared_bytes += footprint(o);
+        }
+        for (int bit = 0; bit < 64; ++bit) {
+          if ((o->reach_mask >> bit) & 1) {
+            charge(o, bit, static_cast<size_t>(sharers));
+          }
+        }
+      }
+      break;
+    }
+  }
+
+  // ---- sweep ----
+  Object** link = &all_objects_;
+  size_t live_bytes = 0;
+  size_t live_objects = 0;
+  while (*link != nullptr) {
+    Object* o = *link;
+    if (o->gc_mark != 0) {
+      o->gc_mark = 0;
+      live_bytes += footprint(o);
+      ++live_objects;
+      link = &o->gc_next;
+    } else {
+      *link = o->gc_next;
+      ++stats.objects_freed;
+      stats.bytes_freed += footprint(o);
+      freeObject(o);
+    }
+  }
+
+  stats.live_bytes = live_bytes;
+  stats.live_objects = live_objects;
+  live_bytes_.store(live_bytes, std::memory_order_relaxed);
+  live_objects_.store(live_objects, std::memory_order_relaxed);
+  bytes_since_gc_.store(0, std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace ijvm

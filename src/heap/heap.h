@@ -1,0 +1,107 @@
+// The garbage-collected heap.
+//
+// A stop-the-world mark-sweep collector over a single address space shared
+// by all isolates -- exactly the setting of the paper (one GC for all
+// isolates, section 3.2). The collector doubles as the resource-accounting
+// pass: besides collecting unreferenced objects it re-derives the memory
+// and connection usage of every isolate:
+//
+//   1. per-isolate usage is reset to zero;
+//   2. each isolate's roots (interned strings, static variables, Class
+//      objects) are enumerated tagged with that isolate;
+//   3. each thread frame's references are enumerated tagged with the
+//      isolate the frame executes in (system-library frames are skipped by
+//      the enumerator -- their objects are reachable from the caller);
+//   4. tracing charges every live object to the first isolate that reaches
+//      it (BFS discovery order).
+//
+// The *caller* (VM::collectGarbage) is responsible for bringing all guest
+// threads to a safepoint first; the heap itself is oblivious to threads.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "heap/accounting_policy.h"
+#include "heap/monitor.h"
+#include "heap/object.h"
+
+namespace ijvm {
+
+// Charges computed for one isolate by a GC pass.
+struct IsolateCharge {
+  size_t bytes = 0;
+  size_t objects = 0;
+  size_t connections = 0;
+};
+
+struct GcStats {
+  size_t objects_freed = 0;
+  size_t bytes_freed = 0;
+  size_t live_objects = 0;
+  size_t live_bytes = 0;
+  // Objects reachable from more than one isolate (computed only under
+  // AccountingPolicy::DividedShared, zero otherwise).
+  size_t shared_objects = 0;
+  size_t shared_bytes = 0;
+  std::vector<IsolateCharge> charges;  // indexed by isolate id
+};
+
+// Sink used by root enumeration: (object, isolate-to-charge).
+using RootSink = std::function<void(Object*, i32)>;
+// Root enumerator provided by the VM.
+using RootEnumerator = std::function<void(const RootSink&)>;
+
+class Heap {
+ public:
+  // gc_threshold: allocated-bytes-since-last-GC that triggers a collection
+  // request (checked by the VM after allocations).
+  explicit Heap(size_t gc_threshold);
+  ~Heap();
+
+  Heap(const Heap&) = delete;
+  Heap& operator=(const Heap&) = delete;
+
+  // ---- allocation (thread-safe). Returns nullptr on hard OOM only. ----
+  Object* allocPlain(JClass* cls, i32 creator_isolate);
+  Object* allocArray(JClass* array_cls, i32 length, i32 creator_isolate);
+  Object* allocString(JClass* string_cls, std::string chars, i32 creator_isolate);
+  Object* allocNative(JClass* cls, std::unique_ptr<NativePayload> payload,
+                      i32 creator_isolate);
+
+  Monitor* monitorFor(Object* obj);
+
+  // ---- statistics ----
+  size_t liveBytes() const { return live_bytes_.load(std::memory_order_relaxed); }
+  size_t liveObjects() const { return live_objects_.load(std::memory_order_relaxed); }
+  size_t bytesSinceGc() const { return bytes_since_gc_.load(std::memory_order_relaxed); }
+  u64 totalAllocatedBytes() const { return total_allocated_.load(std::memory_order_relaxed); }
+  bool wantsGc() const { return bytesSinceGc() >= gc_threshold_; }
+  size_t gcThreshold() const { return gc_threshold_; }
+
+  // ---- collection (caller must hold the world stopped) ----
+  GcStats collect(const RootEnumerator& enumerate_roots,
+                  AccountingPolicy policy = AccountingPolicy::FirstReference);
+
+  // Visits every live object. Only meaningful while the world is stopped
+  // (the VM uses it right after a collection to detect dead isolates).
+  void forEachObject(const std::function<void(Object*)>& fn);
+
+ private:
+  Object* allocRaw(JClass* cls, ObjKind kind, size_t payload_bytes, i32 length,
+                   i32 creator_isolate);
+  static size_t footprint(const Object* obj);
+  void freeObject(Object* obj);
+
+  size_t gc_threshold_;
+  mutable std::mutex mutex_;  // guards the object list and monitor creation
+  Object* all_objects_ = nullptr;
+  std::atomic<size_t> live_bytes_{0};
+  std::atomic<size_t> live_objects_{0};
+  std::atomic<size_t> bytes_since_gc_{0};
+  std::atomic<u64> total_allocated_{0};
+};
+
+}  // namespace ijvm

@@ -1,0 +1,122 @@
+#include "heap/monitor.h"
+
+#include <chrono>
+
+namespace ijvm {
+
+namespace {
+// Poll slice for interruptible waits. Short enough that interrupts and
+// termination signals are prompt; long enough to avoid busy spinning.
+constexpr auto kSlice = std::chrono::microseconds(500);
+}  // namespace
+
+bool Monitor::tryEnter(void* self) {
+  std::lock_guard<std::mutex> lock(m_);
+  if (owner_ == nullptr) {
+    owner_ = self;
+    recursion_ = 1;
+    return true;
+  }
+  if (owner_ == self) {
+    ++recursion_;
+    return true;
+  }
+  return false;
+}
+
+bool Monitor::enter(void* self, const std::atomic<bool>* cancel) {
+  std::unique_lock<std::mutex> lock(m_);
+  if (owner_ == self) {
+    ++recursion_;
+    return true;
+  }
+  while (owner_ != nullptr) {
+    if (cancel != nullptr && cancel->load(std::memory_order_acquire)) return false;
+    cv_.wait_for(lock, kSlice);
+  }
+  owner_ = self;
+  recursion_ = 1;
+  return true;
+}
+
+bool Monitor::exit(void* self) {
+  std::lock_guard<std::mutex> lock(m_);
+  if (owner_ != self) return false;
+  if (--recursion_ == 0) {
+    owner_ = nullptr;
+    cv_.notify_all();
+  }
+  return true;
+}
+
+bool Monitor::ownedBy(const void* self) const {
+  std::lock_guard<std::mutex> lock(m_);
+  return owner_ == self;
+}
+
+Monitor::WaitResult Monitor::wait(void* self, i64 millis,
+                                  const std::atomic<bool>* interrupted) {
+  std::unique_lock<std::mutex> lock(m_);
+  if (owner_ != self) return WaitResult::Interrupted;  // caller validates first
+
+  const int saved_recursion = recursion_;
+  owner_ = nullptr;
+  recursion_ = 0;
+  cv_.notify_all();
+
+  const u64 entry_epoch = notify_epoch_;
+  ++waiters_;
+
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(millis > 0 ? millis : 0);
+  WaitResult result = WaitResult::Notified;
+  for (;;) {
+    if (interrupted != nullptr && interrupted->load(std::memory_order_acquire)) {
+      result = WaitResult::Interrupted;
+      break;
+    }
+    if (notify_all_pending_ && notify_epoch_ != entry_epoch) {
+      break;  // woken by notifyAll
+    }
+    if (notify_tickets_ > 0) {
+      --notify_tickets_;
+      break;  // woken by notify
+    }
+    if (millis > 0 && std::chrono::steady_clock::now() >= deadline) {
+      result = WaitResult::TimedOut;
+      break;
+    }
+    cv_.wait_for(lock, kSlice);
+  }
+  --waiters_;
+  if (waiters_ == 0) notify_all_pending_ = false;
+
+  // Re-acquire the monitor before returning (Object.wait semantics). An
+  // interrupted waiter still re-acquires (Java semantics: the
+  // InterruptedException is thrown with the monitor held).
+  while (owner_ != nullptr && owner_ != self) {
+    if (interrupted != nullptr && interrupted->load(std::memory_order_acquire) &&
+        result != WaitResult::Interrupted) {
+      result = WaitResult::Interrupted;
+    }
+    cv_.wait_for(lock, kSlice);
+  }
+  owner_ = self;
+  recursion_ = saved_recursion;
+  return result;
+}
+
+void Monitor::notifyOne() {
+  std::lock_guard<std::mutex> lock(m_);
+  if (waiters_ > notify_tickets_) ++notify_tickets_;
+  cv_.notify_all();
+}
+
+void Monitor::notifyAll() {
+  std::lock_guard<std::mutex> lock(m_);
+  ++notify_epoch_;
+  notify_all_pending_ = waiters_ > 0;
+  cv_.notify_all();
+}
+
+}  // namespace ijvm

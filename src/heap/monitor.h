@@ -1,0 +1,51 @@
+// Object monitors: the lock behind MONITORENTER/EXIT, synchronized methods
+// and Object.wait/notify.
+//
+// Blocking paths poll in short slices so that (a) Thread.interrupt and
+// isolate termination can break a wait, and (b) the safepoint protocol can
+// count blocked threads as stopped (the *caller* flips the thread into the
+// Blocked state around these calls; the monitor itself is runtime-agnostic).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+
+#include "support/common.h"
+
+namespace ijvm {
+
+struct Monitor {
+  enum class WaitResult { Notified, TimedOut, Interrupted };
+
+  // `self` is an opaque thread identity (JThread*).
+  bool tryEnter(void* self);
+  // Blocks until acquired; returns false if `cancel` became true first
+  // (used by VM shutdown to unwind threads parked on contended monitors).
+  bool enter(void* self, const std::atomic<bool>* cancel = nullptr);
+  // Returns false if `self` does not own the monitor
+  // (IllegalMonitorStateException in the interpreter).
+  bool exit(void* self);
+  bool ownedBy(const void* self) const;
+
+  // Object.wait: atomically releases the monitor and waits. millis <= 0
+  // waits indefinitely. `interrupted` is the thread's interrupt flag; when
+  // it becomes true the wait ends with Interrupted (flag is NOT cleared
+  // here; Thread semantics are handled by the caller).
+  WaitResult wait(void* self, i64 millis, const std::atomic<bool>* interrupted);
+
+  void notifyOne();
+  void notifyAll();
+
+ private:
+  mutable std::mutex m_;
+  std::condition_variable cv_;
+  void* owner_ = nullptr;
+  int recursion_ = 0;
+  u64 notify_epoch_ = 0;
+  int notify_tickets_ = 0;  // pending notifyOne wakeups
+  bool notify_all_pending_ = false;
+  int waiters_ = 0;
+};
+
+}  // namespace ijvm

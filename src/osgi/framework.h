@@ -1,0 +1,173 @@
+// Mini OSGi framework running on I-JVM.
+//
+// Maps the paper's section 3.4 onto the VM:
+//  * the framework (the "OSGi runtime") lives in the privileged Isolate0;
+//  * every installed bundle gets a fresh class loader, hence a fresh
+//    standard isolate;
+//  * activator start/stop run on fresh threads so a malicious bundle cannot
+//    freeze the runtime (rule 1);
+//  * privileged operations (System.exit, isolate termination) are denied to
+//    bundles via Isolate0 privileges (rule 2);
+//  * when a bundle is killed, a StoppedBundleEvent is broadcast so other
+//    bundles may release references to it (rule 3).
+//
+// Bundles see the framework through the guest class osgi/BundleContext
+// (registerService / getService / addBundleListener / getBundleId); the
+// service registry is the explicit object-sharing channel between isolates.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bytecode/classdef.h"
+#include "runtime/vm.h"
+
+namespace ijvm {
+
+enum class BundleState : u8 {
+  Installed,
+  Active,
+  Stopping,
+  Uninstalled,
+};
+
+const char* bundleStateName(BundleState s);
+
+// The deployable unit: a set of classes plus the activator class name
+// (which must implement osgi/BundleActivator).
+struct BundleDescriptor {
+  std::string symbolic_name;
+  std::string version = "1.0.0";
+  std::vector<ClassDef> classes;
+  std::string activator;  // "" = no activator (library-only bundle)
+};
+
+class Framework;
+
+class Bundle {
+ public:
+  i32 id() const { return id_; }
+  const std::string& symbolicName() const { return name_; }
+  BundleState state() const { return state_; }
+  ClassLoader* loader() const { return loader_; }
+  Isolate* isolate() const { return isolate_; }
+
+ private:
+  friend class Framework;
+
+  i32 id_ = 0;
+  std::string name_;
+  std::string version_;
+  std::string activator_class_;
+  BundleState state_ = BundleState::Installed;
+  ClassLoader* loader_ = nullptr;
+  Isolate* isolate_ = nullptr;
+  GlobalRef* activator_ref_ = nullptr;  // activator instance
+  GlobalRef* context_ref_ = nullptr;    // this bundle's BundleContext
+};
+
+struct FrameworkOptions {
+  // How long start()/stop() wait for the activator thread before declaring
+  // the bundle unresponsive (the thread keeps running; A7/A8 handling kills
+  // it via isolate termination).
+  i64 activator_timeout_ms = 2000;
+};
+
+class Framework {
+ public:
+  // Must be constructed before any isolate exists: the framework's loader
+  // becomes Isolate0. Defines the osgi/* guest API classes.
+  explicit Framework(VM& vm, FrameworkOptions options = {});
+  ~Framework();
+
+  Framework(const Framework&) = delete;
+  Framework& operator=(const Framework&) = delete;
+
+  VM& vm() { return vm_; }
+  Isolate* frameworkIsolate() { return isolate0_; }
+
+  // ---- bundle lifecycle ----
+  Bundle* install(BundleDescriptor descriptor);
+  // Starts the bundle: instantiates the activator and calls
+  // start(BundleContext) on a fresh thread. Returns false if the activator
+  // did not complete within the timeout (bundle stays Active; the thread
+  // keeps running).
+  bool start(Bundle* bundle);
+  // Calls activator stop() on a fresh thread (same timeout contract).
+  bool stop(Bundle* bundle);
+  // Polite uninstall: stop, broadcast StoppedBundleEvent, terminate the
+  // bundle's isolate, drop its services, GC.
+  void uninstall(Bundle* bundle);
+  // Administrator kill (paper's "the administrator kills the offending
+  // bundle"): no stop() courtesy -- broadcast, terminate, drop, GC.
+  void killBundle(Bundle* bundle);
+  // Same, but with an explicit admin thread. Required when the caller is
+  // not the OS thread that owns adminThread() (e.g. the ResourceGovernor's
+  // watcher thread): terminateIsolate/collectGarbage decide whether the
+  // requester participates in the stop-the-world from the requester's
+  // state, so it must be a JThread attached to the *calling* OS thread.
+  void killBundleFrom(JThread* admin, Bundle* bundle);
+
+  std::vector<Bundle*> bundles();
+  Bundle* findBundle(const std::string& symbolic_name);
+  Bundle* bundleById(i32 id);
+
+  // ---- service registry (C++ view; guest uses BundleContext natives) ----
+  void registerService(const std::string& name, Object* service, Bundle* owner);
+  Object* getService(const std::string& name);
+  Bundle* serviceOwner(const std::string& name);
+  std::vector<std::string> serviceNames();
+
+  // ---- admin / monitoring ----
+  IsolateReport reportFor(Bundle* bundle) { return vm_.reportFor(bundle->isolate_); }
+  std::vector<IsolateReport> reportAll() { return vm_.reportAll(); }
+
+  // The guest thread used for framework-side calls from C++ (runs in
+  // Isolate0).
+  JThread* adminThread() { return vm_.mainThread(); }
+
+ private:
+  friend struct FrameworkNatives;
+
+  struct ServiceEntry {
+    std::string name;
+    GlobalRef* ref = nullptr;
+    i32 owner_bundle = -1;
+  };
+  struct ListenerEntry {
+    GlobalRef* ref = nullptr;
+    i32 owner_bundle = -1;
+  };
+
+  void defineGuestApi();
+  Object* makeContext(JThread* t, Bundle* bundle);
+  // Runs `fn` (guest invocation) on a fresh attached thread; returns true
+  // if it finished within timeout.
+  bool runOnFreshThread(const std::string& name,
+                        const std::function<void(JThread*)>& fn);
+  void broadcastStopped(Bundle* dying);
+  void dropBundleRefs(Bundle* bundle);
+  Bundle* bundleOfIsolate(Isolate* iso);
+
+  VM& vm_;
+  FrameworkOptions options_;
+  ClassLoader* framework_loader_ = nullptr;
+  Isolate* isolate0_ = nullptr;
+  JClass* context_class_ = nullptr;
+
+  std::mutex mutex_;
+  std::vector<std::unique_ptr<Bundle>> bundles_;
+  std::vector<ServiceEntry> services_;
+  std::vector<ListenerEntry> listeners_;
+  std::vector<std::thread> workers_;
+  i32 next_bundle_id_ = 1;
+};
+
+// Key under which the Framework registers itself as a VM extension so the
+// BundleContext natives can find it.
+inline constexpr const char* kFrameworkExtension = "osgi-framework";
+
+}  // namespace ijvm

@@ -1,0 +1,179 @@
+#include "osgi/profiles.h"
+
+#include "bytecode/builder.h"
+#include "support/strf.h"
+
+namespace ijvm {
+
+ProfileSpec felixProfile() {
+  return ProfileSpec{"felix", {"felix.admin", "felix.shell", "felix.repository"}};
+}
+
+ProfileSpec equinoxProfile() {
+  ProfileSpec spec;
+  spec.name = "equinox";
+  const char* names[] = {
+      "equinox.admin",      "equinox.shell",     "equinox.repository",
+      "equinox.console",    "equinox.log",       "equinox.prefs",
+      "equinox.registry",   "equinox.jobs",      "equinox.contenttype",
+      "equinox.app",        "equinox.common",    "equinox.ds",
+      "equinox.event",      "equinox.http",      "equinox.metatype",
+      "equinox.useradmin",  "equinox.wireadmin", "equinox.io",
+      "equinox.device",     "equinox.provision", "equinox.update",
+      "equinox.supplement",
+  };
+  for (const char* n : names) spec.management_bundles.push_back(n);
+  return spec;
+}
+
+BundleDescriptor makeManagementBundle(const std::string& name,
+                                      int classes_per_bundle,
+                                      int strings_per_class,
+                                      int statics_per_class,
+                                      bool use_shared_config) {
+  BundleDescriptor desc;
+  desc.symbolic_name = name;
+  std::string pkg = name;
+  for (char& c : pkg) {
+    if (c == '.') c = '/';
+  }
+
+  // Service classes: statics, string constants, a little arithmetic code.
+  for (int ci = 0; ci < classes_per_bundle; ++ci) {
+    ClassBuilder cb(strf("%s/Service%d", pkg.c_str(), ci));
+    for (int si = 0; si < statics_per_class; ++si) {
+      cb.field(strf("config%d", si),
+               si % 2 == 0 ? "I" : "Ljava/lang/String;",
+               ACC_PUBLIC | ACC_STATIC);
+    }
+    cb.field("state", "I");
+
+    // <clinit>: populate the statics (string literals land in the isolate's
+    // intern table -- the per-isolate memory the paper measures).
+    auto& clinit = cb.method("<clinit>", "()V", ACC_STATIC);
+    for (int si = 0; si < statics_per_class; ++si) {
+      if (si % 2 == 0) {
+        clinit.iconst(si * 17 + ci);
+        clinit.putstatic(cb.name(), strf("config%d", si), "I");
+      } else {
+        clinit.ldcStr(strf("%s.service%d.option%d.default-value", name.c_str(),
+                           ci, si));
+        clinit.putstatic(cb.name(), strf("config%d", si), "Ljava/lang/String;");
+      }
+    }
+    clinit.ret();
+
+    for (int si = 0; si < strings_per_class; ++si) {
+      auto& m = cb.method(strf("describe%d", si), "()Ljava/lang/String;");
+      m.ldcStr(strf("%s/Service%d: management operation %d ready", name.c_str(),
+                    ci, si));
+      m.areturn();
+    }
+
+    auto& tick = cb.method("tick", "(I)I");
+    Label loop = tick.newLabel();
+    Label done = tick.newLabel();
+    tick.iconst(0).istore(2);
+    tick.bind(loop).iload(1).ifle(done);
+    tick.iload(2).iload(1).iadd().istore(2);
+    tick.iinc(1, -1).gotoLabel(loop);
+    tick.bind(done);
+    tick.aload(0).iload(2).putfield(cb.name(), "state", "I");
+    tick.iload(2).ireturn();
+
+    desc.classes.push_back(cb.build());
+  }
+
+  // Activator: allocates a couple of service objects, exercises them, and
+  // registers Service0 under "<bundle>.svc".
+  {
+    ClassBuilder cb(pkg + "/Activator");
+    cb.addInterface("osgi/BundleActivator");
+    auto& start = cb.method("start", "(Losgi/BundleContext;)V");
+    for (int ci = 0; ci < classes_per_bundle; ++ci) {
+      std::string svc = strf("%s/Service%d", pkg.c_str(), ci);
+      start.newDefault(svc);
+      start.astore(2);
+      start.aload(2).iconst(10 + ci).invokevirtual(svc, "tick", "(I)I").pop();
+    }
+    std::string svc0 = pkg + "/Service0";
+    start.newDefault(svc0).astore(2);
+    start.aload(1).ldcStr(name + ".svc").aload(2);
+    start.invokevirtual("osgi/BundleContext", "registerService",
+                        "(Ljava/lang/String;Ljava/lang/Object;)V");
+    if (use_shared_config) {
+      // Touch the shared library's statics: this bundle's isolate gets its
+      // own mirror and its own interned copies of the literals.
+      for (int i = 0; i < 8; ++i) {
+        start.getstatic("osgi/SharedConfig", strf("text%d", i),
+                        "Ljava/lang/String;").pop();
+        start.getstatic("osgi/SharedConfig", strf("num%d", i), "I").pop();
+      }
+    }
+    start.ret();
+    auto& stop = cb.method("stop", "(Losgi/BundleContext;)V");
+    stop.ret();
+    desc.classes.push_back(cb.build());
+    desc.activator = pkg + "/Activator";
+  }
+  return desc;
+}
+
+namespace {
+
+// A library class shared by every management bundle (stands for exported
+// utility packages and java.* classes with static state). Each bundle reads
+// its statics directly, so in isolated mode every bundle materializes its
+// own task class mirror and interns its own copies of the literals -- the
+// per-isolate duplication Figure 3 measures.
+void defineSharedSupport(Framework& fw) {
+  ClassLoader* shared = fw.frameworkIsolate()->loader;
+  if (shared->findLocal("osgi/SharedConfig") != nullptr) return;
+  ClassBuilder cb("osgi/SharedConfig");
+  const int kStrings = 8;
+  const int kInts = 8;
+  for (int i = 0; i < kStrings; ++i) {
+    cb.field(strf("text%d", i), "Ljava/lang/String;", ACC_PUBLIC | ACC_STATIC);
+  }
+  for (int i = 0; i < kInts; ++i) {
+    cb.field(strf("num%d", i), "I", ACC_PUBLIC | ACC_STATIC);
+  }
+  auto& clinit = cb.method("<clinit>", "()V", ACC_STATIC);
+  for (int i = 0; i < kStrings; ++i) {
+    clinit.ldcStr(strf("osgi.shared.config.option%d.default-value."
+                       "framework-wide-setting-%08d", i, i * 7919));
+    clinit.putstatic("osgi/SharedConfig", strf("text%d", i),
+                     "Ljava/lang/String;");
+  }
+  for (int i = 0; i < kInts; ++i) {
+    clinit.iconst(i * 31 + 7);
+    clinit.putstatic("osgi/SharedConfig", strf("num%d", i), "I");
+  }
+  clinit.ret();
+  shared->define(cb.build());
+}
+
+}  // namespace
+
+std::vector<Bundle*> bootProfile(Framework& fw, const ProfileSpec& spec) {
+  defineSharedSupport(fw);
+  std::vector<Bundle*> out;
+  for (const std::string& name : spec.management_bundles) {
+    Bundle* b = fw.install(makeManagementBundle(name, 4, 8, 6,
+                                                /*use_shared_config=*/true));
+    fw.start(b);
+    out.push_back(b);
+  }
+  return out;
+}
+
+MemoryFootprint measureFootprint(VM& vm) {
+  vm.collectGarbage(vm.mainThread(), nullptr);
+  MemoryFootprint f;
+  f.heap_bytes = vm.heap().liveBytes();
+  f.metadata_bytes = vm.registry().totalMetadataBytes();
+  f.classes = vm.registry().classCount();
+  return f;
+}
+
+}  // namespace ijvm

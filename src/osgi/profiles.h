@@ -1,0 +1,55 @@
+// Base configurations of the two legacy OSGi implementations the paper
+// evaluates (Figure 3):
+//   * felix   -- the OSGi runtime plus 3 management bundles
+//                (administration, shell, repository);
+//   * equinox -- the OSGi runtime plus 22 management bundles.
+//
+// Each management bundle is generated with a realistic mix of classes,
+// string literals, statics and startup allocation so the memory comparison
+// between isolated and shared modes exercises the same structures the paper
+// measures: per-class TCM arrays and per-isolate string tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "osgi/framework.h"
+
+namespace ijvm {
+
+struct ProfileSpec {
+  std::string name;
+  std::vector<std::string> management_bundles;
+};
+
+// "felix": administration, shell, repository.
+ProfileSpec felixProfile();
+// "equinox": 22 management bundles.
+ProfileSpec equinoxProfile();
+
+// Generates a management bundle: `classes_per_bundle` classes, each with
+// static fields, string literals and a small amount of code; the activator
+// allocates a service object and registers it.
+// When `use_shared_config` is set, the activator also reads the statics of
+// the shared osgi/SharedConfig class (defined by bootProfile), triggering
+// per-isolate initialization -- the duplication source of Figure 3.
+BundleDescriptor makeManagementBundle(const std::string& name,
+                                      int classes_per_bundle = 4,
+                                      int strings_per_class = 8,
+                                      int statics_per_class = 6,
+                                      bool use_shared_config = false);
+
+// Installs and starts every management bundle of `spec` on `fw`.
+std::vector<Bundle*> bootProfile(Framework& fw, const ProfileSpec& spec);
+
+// Memory footprint snapshot used by the Figure-3 bench: live heap bytes +
+// class metadata bytes (which include materialized TCM arrays).
+struct MemoryFootprint {
+  size_t heap_bytes = 0;
+  size_t metadata_bytes = 0;
+  size_t classes = 0;
+  size_t total() const { return heap_bytes + metadata_bytes; }
+};
+MemoryFootprint measureFootprint(VM& vm);
+
+}  // namespace ijvm

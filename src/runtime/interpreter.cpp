@@ -1,0 +1,987 @@
+// The bytecode interpreter and the invocation path.
+//
+// This file implements the two mechanisms at the heart of I-JVM:
+//
+//  * Thread migration (paper section 3.1): VM::invoke computes the isolate a
+//    method executes in; when it differs from the thread's current isolate
+//    the call is *inter-isolate* -- the thread's isolate reference is updated
+//    on entry and restored on return. System-library methods never switch.
+//
+//  * Termination semantics (paper section 3.3): entering a poisoned method
+//    throws StoppedIsolateException; a frame whose kill_on_return bit was
+//    patched raises it when control would return into the dying isolate;
+//    exception dispatch skips every handler belonging to a terminating
+//    isolate, which is what makes the exception uncatchable *by* the dying
+//    isolate while remaining catchable below it.
+#include <cmath>
+#include <limits>
+
+#include "heap/object.h"
+#include "runtime/vm.h"
+#include "support/strf.h"
+
+namespace ijvm {
+
+namespace {
+
+// Guest stacks map onto C++ recursion; keep a conservative bound.
+constexpr size_t kMaxStackDepth = 768;
+
+// Sentinel kill_isolate meaning "skip handlers everywhere" (VM shutdown).
+constexpr i32 kKillAll = -2;
+
+void setStoppedTarget(Object* exc, i32 target) {
+  if (exc == nullptr || exc->cls == nullptr) return;
+  if (JField* f = exc->cls->findField("target"); f != nullptr && !f->isStatic()) {
+    exc->fields()[f->slot] = Value::ofInt(target);
+  }
+}
+
+// Raises StoppedIsolateException targeted at isolate `target` on t.
+void throwStopped(VM& vm, JThread* t, i32 target) {
+  vm.throwGuest(t, kStoppedIsolateException, "isolate terminated");
+  setStoppedTarget(t->pending_exception, target);
+}
+
+// Returns the target isolate id if exc is a StoppedIsolateException,
+// otherwise -3 ("not a termination exception").
+i32 stoppedTargetOf(Object* exc) {
+  if (exc == nullptr || exc->cls == nullptr) return -3;
+  bool is_sie = false;
+  for (const JClass* c = exc->cls; c != nullptr; c = c->super) {
+    if (c->name == kStoppedIsolateException) {
+      is_sie = true;
+      break;
+    }
+  }
+  if (!is_sie) return -3;
+  if (JField* f = exc->cls->findField("target"); f != nullptr && !f->isStatic()) {
+    return exc->fields()[f->slot].asInt();
+  }
+  return -3;
+}
+
+i32 wrapShift32(i32 v) { return v & 31; }
+i32 wrapShift64(i32 v) { return v & 63; }
+
+i32 idivSafe(i32 a, i32 b) {
+  if (a == std::numeric_limits<i32>::min() && b == -1) return a;
+  return a / b;
+}
+i32 iremSafe(i32 a, i32 b) {
+  if (a == std::numeric_limits<i32>::min() && b == -1) return 0;
+  return a % b;
+}
+i64 ldivSafe(i64 a, i64 b) {
+  if (a == std::numeric_limits<i64>::min() && b == -1) return a;
+  return a / b;
+}
+i64 lremSafe(i64 a, i64 b) {
+  if (a == std::numeric_limits<i64>::min() && b == -1) return 0;
+  return a % b;
+}
+
+i32 d2iSat(double d) {
+  if (std::isnan(d)) return 0;
+  if (d >= 2147483647.0) return std::numeric_limits<i32>::max();
+  if (d <= -2147483648.0) return std::numeric_limits<i32>::min();
+  return static_cast<i32>(d);
+}
+i64 d2lSat(double d) {
+  if (std::isnan(d)) return 0;
+  if (d >= 9223372036854775807.0) return std::numeric_limits<i64>::max();
+  if (d <= -9223372036854775808.0) return std::numeric_limits<i64>::min();
+  return static_cast<i64>(d);
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- invocation
+
+Value VM::invoke(JThread* t, JMethod* m, std::vector<Value> args) {
+  IJVM_CHECK(m != nullptr, "invoke: null method");
+
+  // Threads count as Running only while inside guest code; the outermost
+  // invocation flips the safepoint state.
+  const bool outermost = !t->hasFrames();
+  if (outermost) {
+    safepoints_.exitBlocked();
+    t->state.store(ThreadState::Running, std::memory_order_release);
+    t->pending_exception = nullptr;
+  }
+
+  Value result = invokeCore(t, m, args.data(), static_cast<i32>(args.size()));
+
+  if (outermost) {
+    t->state.store(ThreadState::Blocked, std::memory_order_release);
+    safepoints_.enterBlocked();
+  }
+  return result;
+}
+
+// The call path proper. `args` points at `nargs` argument slots that stay
+// valid (and GC-visible via the caller's frame or invoke()'s vector) for
+// the duration of the call.
+Value VM::invokeCore(JThread* t, JMethod* m, const Value* args, i32 nargs) {
+  Value result;
+  do {
+    if (t->pending_exception != nullptr) break;  // propagate, do not enter
+
+    // Termination barrier: a poisoned method can no longer be entered
+    // (models I-JVM's patched JIT entry points + refusing to JIT).
+    if (m->poisoned.load(std::memory_order_acquire)) {
+      Isolate* owner_iso = m->owner->loader->isolate();
+      throwStopped(*this, t, owner_iso != nullptr ? owner_iso->id : kKillAll);
+      break;
+    }
+    if (t->frames_active >= kMaxStackDepth) {
+      throwGuest(t, "java/lang/StackOverflowError", m->fullName());
+      break;
+    }
+
+    Isolate* cur = t->current_isolate.load(std::memory_order_relaxed);
+    // <clinit> never migrates: it initializes the *accessing* isolate's
+    // task class mirror (MVM semantics -- each isolate runs its own copy
+    // of the static initializer).
+    Isolate* target = m->isClinit() ? cur : executionIsolate(cur, m);
+    const bool migrated = target != cur;
+    if (migrated) {
+      // Inter-isolate call: the thread migrates (paper: "when a thread
+      // calls a method in another isolate, I-JVM sets the thread's isolate
+      // reference to the called isolate").
+      t->current_isolate.store(target, std::memory_order_release);
+      if (options_.accounting) {
+        target->stats.calls_in.fetch_add(1, std::memory_order_relaxed);
+      }
+      inter_isolate_calls_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    Frame& frame = t->pushFrame();
+    frame.method = m;
+    frame.isolate = target;
+    frame.locals.assign(args, args + nargs);
+
+    // Static methods trigger per-isolate class initialization in the
+    // isolate the method executes in (its task class mirror).
+    bool ok = true;
+    if (m->isStatic() && !m->isClinit()) {
+      ok = ensureInitialized(t, m->owner);
+    }
+
+    if (ok && m->isAbstract()) {
+      throwGuest(t, "java/lang/AbstractMethodError", m->fullName());
+      ok = false;
+    }
+
+    if (ok && m->isSynchronized()) {
+      Object* sync = m->isStatic() ? classObject(t, m->owner)
+                                   : frame.locals.at(0).asRef();
+      if (sync != nullptr) {
+        Monitor* mon = monitorOf(sync);
+        bool acquired = mon->tryEnter(t);
+        if (!acquired) {
+          BlockedScope blocked(safepoints_, t);
+          acquired = mon->enter(t, &t->force_kill);
+        }
+        if (!acquired) {
+          throwStopped(*this, t, kKillAll);
+          ok = false;
+        } else {
+          frame.sync_object = sync;
+        }
+      }
+    }
+
+    if (ok) {
+      if (m->isNative()) {
+        IJVM_CHECK(static_cast<bool>(m->native),
+                   strf("native method %s has no implementation",
+                        m->fullName().c_str()));
+        NativeCtx ctx{*this, *t, m, frame.locals};
+        result = m->native(ctx);
+      } else {
+        frame.locals.resize(m->code.max_locals);
+        result = interpret(t, frame);
+      }
+    }
+
+    if (frame.sync_object != nullptr) {
+      monitorOf(frame.sync_object)->exit(t);
+    }
+
+    const bool kill = frame.kill_on_return;
+    const i32 kill_iso = frame.kill_isolate;
+    t->popFrame();
+    if (migrated) {
+      t->current_isolate.store(cur, std::memory_order_release);
+    }
+    // Return-pointer patch: returning (normally) into a frame of the dying
+    // isolate raises StoppedIsolateException instead.
+    if (kill && t->pending_exception == nullptr) {
+      throwStopped(*this, t, kill_iso);
+      result = Value();
+    }
+    // Any exception escaping a terminating isolate's frame surfaces as
+    // StoppedIsolateException (e.g. the InterruptedException injected into
+    // a hanging bundle's sleep): callers observe the termination, per the
+    // paper's A7 outcome ("execution returns to A" with the exception).
+    if (options_.isolation && target != nullptr && !target->isActive() &&
+        t->pending_exception != nullptr &&
+        stoppedTargetOf(t->pending_exception) == -3) {
+      throwStopped(*this, t, target->id);
+    }
+    // The termination signal for this isolate has been delivered (either by
+    // the poll or by the interrupt-then-convert path just above); consume a
+    // still-pending stop request so it is not raised a second time in the
+    // caller's (healthy) frame.
+    if (options_.isolation && target != nullptr && !target->isActive()) {
+      i32 expected = target->id;
+      t->pending_stop_isolate.compare_exchange_strong(expected, -1,
+                                                      std::memory_order_acq_rel);
+    }
+  } while (false);
+  return result;
+}
+
+Value VM::callStatic(JThread* t, const std::string& cls_name,
+                     const std::string& method, const std::string& descriptor,
+                     std::vector<Value> args) {
+  Isolate* iso = t->current_isolate.load(std::memory_order_relaxed);
+  return callStaticIn(t, iso->loader, cls_name, method, descriptor,
+                      std::move(args));
+}
+
+Value VM::callStaticIn(JThread* t, ClassLoader* loader, const std::string& cls_name,
+                       const std::string& method, const std::string& descriptor,
+                       std::vector<Value> args) {
+  JClass* cls = registry_.resolve(loader, cls_name);
+  if (cls == nullptr) {
+    throwGuest(t, "java/lang/NoClassDefFoundError", cls_name);
+    return {};
+  }
+  JMethod* m = cls->findMethod(method, descriptor);
+  if (m == nullptr || !m->isStatic()) {
+    throwGuest(t, "java/lang/NoSuchMethodError",
+               strf("%s.%s%s", cls_name.c_str(), method.c_str(), descriptor.c_str()));
+    return {};
+  }
+  return invoke(t, m, std::move(args));
+}
+
+Value VM::callVirtual(JThread* t, Object* receiver, const std::string& method,
+                      const std::string& descriptor, std::vector<Value> args) {
+  if (receiver == nullptr) {
+    throwGuest(t, "java/lang/NullPointerException", method);
+    return {};
+  }
+  JMethod* m = receiver->cls->resolveVirtual(method, descriptor);
+  if (m == nullptr) {
+    throwGuest(t, "java/lang/NoSuchMethodError",
+               strf("%s.%s%s", receiver->cls->name.c_str(), method.c_str(),
+                    descriptor.c_str()));
+    return {};
+  }
+  args.insert(args.begin(), Value::ofRef(receiver));
+  return invoke(t, m, std::move(args));
+}
+
+// ------------------------------------------------------------ interpreter
+
+namespace {
+
+// Pool-resolution helpers. The resolution result is cached in the pool
+// entry; caches are isolate-independent because classes are shared (only
+// static *state* is per-isolate, via the TCM).
+JClass* resolveClassRef(VM& vm, JThread* t, JClass* ctx, CpEntry& e) {
+  if (void* r = e.resolved.load(std::memory_order_acquire)) {
+    return static_cast<JClass*>(r);
+  }
+  JClass* cls = vm.registry().resolve(ctx->loader, e.text);
+  if (cls == nullptr) {
+    vm.throwGuest(t, "java/lang/NoClassDefFoundError", e.text);
+    return nullptr;
+  }
+  e.resolved.store(cls, std::memory_order_release);
+  return cls;
+}
+
+JField* resolveFieldRef(VM& vm, JThread* t, JClass* ctx, CpEntry& e,
+                        bool want_static) {
+  if (void* r = e.resolved.load(std::memory_order_acquire)) {
+    return static_cast<JField*>(r);
+  }
+  JClass* owner = vm.registry().resolve(ctx->loader, e.owner);
+  if (owner == nullptr) {
+    vm.throwGuest(t, "java/lang/NoClassDefFoundError", e.owner);
+    return nullptr;
+  }
+  JField* f = owner->findField(e.name);
+  if (f == nullptr || f->isStatic() != want_static) {
+    vm.throwGuest(t, "java/lang/NoSuchFieldError",
+                  strf("%s.%s", e.owner.c_str(), e.name.c_str()));
+    return nullptr;
+  }
+  e.resolved.store(f, std::memory_order_release);
+  return f;
+}
+
+JMethod* resolveMethodRef(VM& vm, JThread* t, JClass* ctx, CpEntry& e) {
+  if (void* r = e.resolved.load(std::memory_order_acquire)) {
+    return static_cast<JMethod*>(r);
+  }
+  JClass* owner = vm.registry().resolve(ctx->loader, e.owner);
+  if (owner == nullptr) {
+    vm.throwGuest(t, "java/lang/NoClassDefFoundError", e.owner);
+    return nullptr;
+  }
+  JMethod* m = owner->findMethod(e.name, e.descriptor);
+  if (m == nullptr) {
+    vm.throwGuest(t, "java/lang/NoSuchMethodError",
+                  strf("%s.%s%s", e.owner.c_str(), e.name.c_str(),
+                       e.descriptor.c_str()));
+    return nullptr;
+  }
+  e.resolved.store(m, std::memory_order_release);
+  return m;
+}
+
+}  // namespace
+
+Value VM::interpret(JThread* t, Frame& frame) {
+  JMethod* method = frame.method;
+  JClass* owner = method->owner;
+  const std::vector<Instruction>& code = method->code.insns;
+  std::vector<Value>& stack = frame.stack;
+  std::vector<Value>& locals = frame.locals;
+
+  auto push = [&stack](Value v) { stack.push_back(v); };
+  auto pop = [&stack]() {
+    IJVM_CHECK(!stack.empty(), "operand stack underflow (verifier miss)");
+    Value v = stack.back();
+    stack.pop_back();
+    return v;
+  };
+
+  auto throwNPE = [&](const char* what) {
+    throwGuest(t, "java/lang/NullPointerException", what);
+  };
+
+  // Tries to find a handler for the pending exception in this frame.
+  // Returns true when handled (pc updated, exception consumed).
+  auto dispatchException = [&]() -> bool {
+    Object* exc = t->pending_exception;
+    IJVM_CHECK(exc != nullptr, "dispatch without pending exception");
+    // Handlers of a terminating isolate's frames are skipped entirely: the
+    // dying isolate "cannot catch this exception ... I-JVM will ignore it".
+    if (frame.isolate != nullptr && !frame.isolate->isActive()) return false;
+    const i32 sie_target = stoppedTargetOf(exc);
+    if (sie_target == kKillAll) return false;
+    if (sie_target >= 0 && frame.isolate != nullptr &&
+        frame.isolate->id == sie_target) {
+      return false;
+    }
+    for (const ExHandler& h : method->code.handlers) {
+      if (frame.pc < h.start || frame.pc >= h.end) continue;
+      if (h.catch_type_pool >= 0) {
+        JClass* catch_cls =
+            resolveClassRef(*this, t, owner, owner->pool.at(h.catch_type_pool));
+        if (catch_cls == nullptr) {
+          // Catch type missing: treat as non-matching; keep original exception.
+          t->pending_exception = exc;
+          continue;
+        }
+        if (!exc->cls->isAssignableTo(catch_cls)) continue;
+      }
+      stack.clear();
+      push(Value::ofRef(exc));
+      t->pending_exception = nullptr;
+      frame.pc = h.handler;
+      return true;
+    }
+    return false;
+  };
+
+  for (;;) {
+    // ---- safepoint & thread-attention checks (per instruction) ----
+    if (safepoints_.stopRequested()) safepoints_.poll();
+    if (t->force_kill.load(std::memory_order_relaxed) &&
+        t->pending_exception == nullptr) {
+      throwStopped(*this, t, kKillAll);
+    } else if (t->pending_stop_isolate.load(std::memory_order_relaxed) >= 0 &&
+               t->pending_exception == nullptr) {
+      i32 target = t->pending_stop_isolate.exchange(-1, std::memory_order_acq_rel);
+      if (target >= 0) throwStopped(*this, t, target);
+    }
+
+    if (t->pending_exception != nullptr) {
+      if (dispatchException()) continue;
+      return {};  // unwind to caller
+    }
+
+    IJVM_CHECK(frame.pc >= 0 && static_cast<size_t>(frame.pc) < code.size(),
+               strf("pc %d out of range in %s", frame.pc,
+                    method->fullName().c_str()));
+    const Instruction& insn = code[static_cast<size_t>(frame.pc)];
+    i32 next = frame.pc + 1;
+
+    switch (insn.op) {
+      case Op::NOP:
+        break;
+      case Op::ACONST_NULL:
+        push(Value::nullRef());
+        break;
+      case Op::ICONST:
+        push(Value::ofInt(insn.a));
+        break;
+      case Op::LDC: {
+        CpEntry& e = owner->pool.at(insn.a);
+        switch (e.tag) {
+          case CpTag::Int:
+            push(Value::ofInt(static_cast<i32>(e.i)));
+            break;
+          case CpTag::Long:
+            push(Value::ofLong(e.i));
+            break;
+          case CpTag::Double:
+            push(Value::ofDouble(e.d));
+            break;
+          case CpTag::String: {
+            // Interned in the *current* isolate's string map: two bundles
+            // loading the same literal get different objects (paper 3.5).
+            Object* s = internString(t, e.text);
+            if (s != nullptr) push(Value::ofRef(s));
+            break;
+          }
+          default:
+            IJVM_UNREACHABLE("LDC with non-constant pool entry");
+        }
+        break;
+      }
+
+      // ---- locals ----
+      case Op::ILOAD:
+      case Op::LLOAD:
+      case Op::DLOAD:
+      case Op::ALOAD:
+        push(locals[static_cast<size_t>(insn.a)]);
+        break;
+      case Op::ISTORE:
+      case Op::LSTORE:
+      case Op::DSTORE:
+      case Op::ASTORE:
+        locals[static_cast<size_t>(insn.a)] = pop();
+        break;
+      case Op::IINC: {
+        Value& v = locals[static_cast<size_t>(insn.a)];
+        v = Value::ofInt(v.asInt() + insn.b);
+        break;
+      }
+
+      // ---- stack ----
+      case Op::POP:
+        pop();
+        break;
+      case Op::DUP: {
+        Value v = pop();
+        push(v);
+        push(v);
+        break;
+      }
+      case Op::DUP_X1: {
+        Value a = pop();
+        Value b = pop();
+        push(a);
+        push(b);
+        push(a);
+        break;
+      }
+      case Op::SWAP: {
+        Value a = pop();
+        Value b = pop();
+        push(a);
+        push(b);
+        break;
+      }
+
+      // ---- int arithmetic (wrapping) ----
+#define IJVM_IBIN(OPNAME, EXPR)                                        \
+  case Op::OPNAME: {                                                   \
+    i32 b = pop().asInt();                                             \
+    i32 a = pop().asInt();                                             \
+    push(Value::ofInt(EXPR));                                          \
+    break;                                                             \
+  }
+      IJVM_IBIN(IADD, static_cast<i32>(static_cast<u32>(a) + static_cast<u32>(b)))
+      IJVM_IBIN(ISUB, static_cast<i32>(static_cast<u32>(a) - static_cast<u32>(b)))
+      IJVM_IBIN(IMUL, static_cast<i32>(static_cast<u32>(a) * static_cast<u32>(b)))
+      IJVM_IBIN(ISHL, static_cast<i32>(static_cast<u32>(a) << wrapShift32(b)))
+      IJVM_IBIN(ISHR, a >> wrapShift32(b))
+      IJVM_IBIN(IUSHR, static_cast<i32>(static_cast<u32>(a) >> wrapShift32(b)))
+      IJVM_IBIN(IAND, a & b)
+      IJVM_IBIN(IOR, a | b)
+      IJVM_IBIN(IXOR, a ^ b)
+#undef IJVM_IBIN
+      case Op::IDIV:
+      case Op::IREM: {
+        i32 b = pop().asInt();
+        i32 a = pop().asInt();
+        if (b == 0) {
+          throwGuest(t, "java/lang/ArithmeticException", "/ by zero");
+          break;
+        }
+        push(Value::ofInt(insn.op == Op::IDIV ? idivSafe(a, b) : iremSafe(a, b)));
+        break;
+      }
+      case Op::INEG: {
+        i32 a = pop().asInt();
+        push(Value::ofInt(static_cast<i32>(0u - static_cast<u32>(a))));
+        break;
+      }
+
+      // ---- long arithmetic ----
+#define IJVM_LBIN(OPNAME, EXPR)                                        \
+  case Op::OPNAME: {                                                   \
+    i64 b = pop().asLong();                                            \
+    i64 a = pop().asLong();                                            \
+    push(Value::ofLong(EXPR));                                         \
+    break;                                                             \
+  }
+      IJVM_LBIN(LADD, static_cast<i64>(static_cast<u64>(a) + static_cast<u64>(b)))
+      IJVM_LBIN(LSUB, static_cast<i64>(static_cast<u64>(a) - static_cast<u64>(b)))
+      IJVM_LBIN(LMUL, static_cast<i64>(static_cast<u64>(a) * static_cast<u64>(b)))
+      IJVM_LBIN(LAND, a & b)
+      IJVM_LBIN(LOR, a | b)
+      IJVM_LBIN(LXOR, a ^ b)
+#undef IJVM_LBIN
+      case Op::LSHL: {
+        i32 sh = pop().asInt();
+        i64 a = pop().asLong();
+        push(Value::ofLong(static_cast<i64>(static_cast<u64>(a) << wrapShift64(sh))));
+        break;
+      }
+      case Op::LSHR: {
+        i32 sh = pop().asInt();
+        i64 a = pop().asLong();
+        push(Value::ofLong(a >> wrapShift64(sh)));
+        break;
+      }
+      case Op::LDIV:
+      case Op::LREM: {
+        i64 b = pop().asLong();
+        i64 a = pop().asLong();
+        if (b == 0) {
+          throwGuest(t, "java/lang/ArithmeticException", "/ by zero");
+          break;
+        }
+        push(Value::ofLong(insn.op == Op::LDIV ? ldivSafe(a, b) : lremSafe(a, b)));
+        break;
+      }
+      case Op::LNEG: {
+        i64 a = pop().asLong();
+        push(Value::ofLong(static_cast<i64>(0ull - static_cast<u64>(a))));
+        break;
+      }
+      case Op::LCMP: {
+        i64 b = pop().asLong();
+        i64 a = pop().asLong();
+        push(Value::ofInt(a < b ? -1 : (a > b ? 1 : 0)));
+        break;
+      }
+
+      // ---- double arithmetic ----
+#define IJVM_DBIN(OPNAME, EXPR)                                        \
+  case Op::OPNAME: {                                                   \
+    double b = pop().asDouble();                                       \
+    double a = pop().asDouble();                                       \
+    push(Value::ofDouble(EXPR));                                       \
+    break;                                                             \
+  }
+      IJVM_DBIN(DADD, a + b)
+      IJVM_DBIN(DSUB, a - b)
+      IJVM_DBIN(DMUL, a * b)
+      IJVM_DBIN(DDIV, a / b)
+      IJVM_DBIN(DREM, std::fmod(a, b))
+#undef IJVM_DBIN
+      case Op::DNEG:
+        push(Value::ofDouble(-pop().asDouble()));
+        break;
+      case Op::DCMPL:
+      case Op::DCMPG: {
+        double b = pop().asDouble();
+        double a = pop().asDouble();
+        i32 r;
+        if (std::isnan(a) || std::isnan(b)) {
+          r = insn.op == Op::DCMPL ? -1 : 1;
+        } else {
+          r = a < b ? -1 : (a > b ? 1 : 0);
+        }
+        push(Value::ofInt(r));
+        break;
+      }
+
+      // ---- conversions ----
+      case Op::I2L:
+        push(Value::ofLong(pop().asInt()));
+        break;
+      case Op::I2D:
+        push(Value::ofDouble(pop().asInt()));
+        break;
+      case Op::L2I:
+        push(Value::ofInt(static_cast<i32>(pop().asLong())));
+        break;
+      case Op::L2D:
+        push(Value::ofDouble(static_cast<double>(pop().asLong())));
+        break;
+      case Op::D2I:
+        push(Value::ofInt(d2iSat(pop().asDouble())));
+        break;
+      case Op::D2L:
+        push(Value::ofLong(d2lSat(pop().asDouble())));
+        break;
+
+      // ---- branches ----
+#define IJVM_IF1(OPNAME, CMP)                                          \
+  case Op::OPNAME: {                                                   \
+    i32 a = pop().asInt();                                             \
+    if (a CMP 0) next = insn.a;                                        \
+    break;                                                             \
+  }
+      IJVM_IF1(IFEQ, ==)
+      IJVM_IF1(IFNE, !=)
+      IJVM_IF1(IFLT, <)
+      IJVM_IF1(IFGE, >=)
+      IJVM_IF1(IFGT, >)
+      IJVM_IF1(IFLE, <=)
+#undef IJVM_IF1
+#define IJVM_IF2(OPNAME, CMP)                                          \
+  case Op::OPNAME: {                                                   \
+    i32 b = pop().asInt();                                             \
+    i32 a = pop().asInt();                                             \
+    if (a CMP b) next = insn.a;                                        \
+    break;                                                             \
+  }
+      IJVM_IF2(IF_ICMPEQ, ==)
+      IJVM_IF2(IF_ICMPNE, !=)
+      IJVM_IF2(IF_ICMPLT, <)
+      IJVM_IF2(IF_ICMPGE, >=)
+      IJVM_IF2(IF_ICMPGT, >)
+      IJVM_IF2(IF_ICMPLE, <=)
+#undef IJVM_IF2
+      case Op::IF_ACMPEQ: {
+        Object* b = pop().asRef();
+        Object* a = pop().asRef();
+        if (a == b) next = insn.a;
+        break;
+      }
+      case Op::IF_ACMPNE: {
+        Object* b = pop().asRef();
+        Object* a = pop().asRef();
+        if (a != b) next = insn.a;
+        break;
+      }
+      case Op::IFNULL:
+        if (pop().asRef() == nullptr) next = insn.a;
+        break;
+      case Op::IFNONNULL:
+        if (pop().asRef() != nullptr) next = insn.a;
+        break;
+      case Op::GOTO:
+        next = insn.a;
+        break;
+
+      // ---- returns ----
+      case Op::RETURN:
+        return {};
+      case Op::IRETURN:
+      case Op::LRETURN:
+      case Op::DRETURN:
+      case Op::ARETURN:
+        return pop();
+
+      // ---- statics: the task-class-mirror indirection (paper 3.1) ----
+      case Op::GETSTATIC:
+      case Op::PUTSTATIC: {
+        JField* f = resolveFieldRef(*this, t, owner, owner->pool.at(insn.a),
+                                    /*want_static=*/true);
+        if (f == nullptr) break;
+        TaskClassMirror* mirror;
+        if (!options_.isolation) {
+          // Baseline path: direct access to the single shared mirror, as an
+          // unmodified JVM loads a resolved static slot.
+          mirror = &f->owner->sharedMirror();
+          if (mirror->state.load(std::memory_order_acquire) !=
+              TaskClassMirror::InitState::Initialized) {
+            if (!ensureInitialized(t, f->owner)) break;
+          }
+        } else {
+          // I-JVM path (paper section 3.1): load the thread's current
+          // isolate, index the task-class-mirror array, check the
+          // initialization state -- the "two additional loads" plus the
+          // init check that reentrant code cannot elide.
+          Isolate* iso = t->current_isolate.load(std::memory_order_relaxed);
+          mirror = f->owner->tcmFast(iso->id);
+          if (mirror == nullptr ||
+              mirror->state.load(std::memory_order_acquire) !=
+                  TaskClassMirror::InitState::Initialized) {
+            if (!ensureInitialized(t, f->owner)) break;
+            mirror = &f->owner->tcm(tcmIndex(iso));
+          }
+        }
+        if (insn.op == Op::GETSTATIC) {
+          push(mirror->statics[static_cast<size_t>(f->slot)]);
+        } else {
+          mirror->statics[static_cast<size_t>(f->slot)] = pop();
+        }
+        break;
+      }
+
+      case Op::GETFIELD: {
+        JField* f = resolveFieldRef(*this, t, owner, owner->pool.at(insn.a),
+                                    /*want_static=*/false);
+        if (f == nullptr) break;
+        Object* obj = pop().asRef();
+        if (obj == nullptr) {
+          throwNPE(f->name.c_str());
+          break;
+        }
+        push(obj->fields()[f->slot]);
+        break;
+      }
+      case Op::PUTFIELD: {
+        JField* f = resolveFieldRef(*this, t, owner, owner->pool.at(insn.a),
+                                    /*want_static=*/false);
+        if (f == nullptr) break;
+        Value v = pop();
+        Object* obj = pop().asRef();
+        if (obj == nullptr) {
+          throwNPE(f->name.c_str());
+          break;
+        }
+        obj->fields()[f->slot] = v;
+        break;
+      }
+
+      // ---- calls ----
+      case Op::INVOKEVIRTUAL:
+      case Op::INVOKESPECIAL:
+      case Op::INVOKESTATIC:
+      case Op::INVOKEINTERFACE: {
+        JMethod* resolved = resolveMethodRef(*this, t, owner, owner->pool.at(insn.a));
+        if (resolved == nullptr) break;
+        const i32 nargs = resolved->argSlots();
+        IJVM_CHECK(static_cast<size_t>(nargs) <= stack.size(),
+                   "operand stack underflow at call (verifier miss)");
+        // Arguments are passed directly from the caller's operand stack;
+        // they stay rooted there (and GC-visible) until the call returns.
+        const Value* args = stack.data() + (stack.size() - static_cast<size_t>(nargs));
+        JMethod* callee = resolved;
+        if (insn.op == Op::INVOKEVIRTUAL || insn.op == Op::INVOKEINTERFACE) {
+          Object* recv = args[0].asRef();
+          if (recv == nullptr) {
+            throwNPE(resolved->name.c_str());
+            break;
+          }
+          if (insn.op == Op::INVOKEVIRTUAL && resolved->vtable_index >= 0 &&
+              static_cast<size_t>(resolved->vtable_index) <
+                  recv->cls->vtable.size()) {
+            callee = recv->cls->vtable[static_cast<size_t>(resolved->vtable_index)];
+          } else {
+            callee = recv->cls->resolveVirtual(resolved->name, resolved->descriptor);
+            if (callee == nullptr) {
+              throwGuest(t, "java/lang/AbstractMethodError", resolved->fullName());
+              break;
+            }
+          }
+        } else if (insn.op == Op::INVOKESTATIC) {
+          if (!resolved->isStatic()) {
+            throwGuest(t, "java/lang/IncompatibleClassChangeError",
+                       resolved->fullName());
+            break;
+          }
+        } else {  // INVOKESPECIAL: ctor / super / private -- direct
+          Object* recv = args[0].asRef();
+          if (recv == nullptr) {
+            throwNPE(resolved->name.c_str());
+            break;
+          }
+        }
+        Value r = invokeCore(t, callee, args, nargs);
+        stack.resize(stack.size() - static_cast<size_t>(nargs));
+        if (t->pending_exception != nullptr) break;
+        if (callee->sig.ret.kind != Kind::Void) push(r);
+        break;
+      }
+
+      // ---- objects & arrays ----
+      case Op::NEW: {
+        JClass* cls = resolveClassRef(*this, t, owner, owner->pool.at(insn.a));
+        if (cls == nullptr) break;
+        if (cls->isInterface() || (cls->flags & ACC_ABSTRACT) != 0) {
+          throwGuest(t, "java/lang/InstantiationError", cls->name);
+          break;
+        }
+        if (!ensureInitialized(t, cls)) break;
+        Object* obj = allocObject(t, cls);
+        if (obj != nullptr) push(Value::ofRef(obj));
+        break;
+      }
+      case Op::NEWARRAY: {
+        i32 len = pop().asInt();
+        const char* name = insn.a == 0 ? "[I" : (insn.a == 1 ? "[J" : "[D");
+        JClass* cls = registry_.arrayClass(name);
+        Object* arr = allocArrayObject(t, cls, len);
+        if (arr != nullptr) push(Value::ofRef(arr));
+        break;
+      }
+      case Op::ANEWARRAY: {
+        i32 len = pop().asInt();
+        JClass* elem = resolveClassRef(*this, t, owner, owner->pool.at(insn.a));
+        if (elem == nullptr) break;
+        JClass* cls = registry_.resolve(elem->loader, "[L" + elem->name + ";");
+        if (cls == nullptr) {
+          throwGuest(t, "java/lang/NoClassDefFoundError", elem->name);
+          break;
+        }
+        Object* arr = allocArrayObject(t, cls, len);
+        if (arr != nullptr) push(Value::ofRef(arr));
+        break;
+      }
+      case Op::ARRAYLENGTH: {
+        Object* arr = pop().asRef();
+        if (arr == nullptr) {
+          throwNPE("arraylength");
+          break;
+        }
+        push(Value::ofInt(arr->length));
+        break;
+      }
+
+#define IJVM_ALOAD(OPNAME, ACCESSOR, MAKE)                               \
+  case Op::OPNAME: {                                                     \
+    i32 idx = pop().asInt();                                             \
+    Object* arr = pop().asRef();                                         \
+    if (arr == nullptr) {                                                \
+      throwNPE(#OPNAME);                                                 \
+      break;                                                             \
+    }                                                                    \
+    if (idx < 0 || idx >= arr->length) {                                 \
+      throwGuest(t, "java/lang/ArrayIndexOutOfBoundsException",          \
+                 strf("%d", idx));                                       \
+      break;                                                             \
+    }                                                                    \
+    push(MAKE(arr->ACCESSOR()[idx]));                                    \
+    break;                                                               \
+  }
+      IJVM_ALOAD(IALOAD, intElems, Value::ofInt)
+      IJVM_ALOAD(LALOAD, longElems, Value::ofLong)
+      IJVM_ALOAD(DALOAD, doubleElems, Value::ofDouble)
+      IJVM_ALOAD(AALOAD, refElems, Value::ofRef)
+#undef IJVM_ALOAD
+
+#define IJVM_ASTORE(OPNAME, ACCESSOR, GETTER, CAST)                      \
+  case Op::OPNAME: {                                                     \
+    Value v = pop();                                                     \
+    i32 idx = pop().asInt();                                             \
+    Object* arr = pop().asRef();                                         \
+    if (arr == nullptr) {                                                \
+      throwNPE(#OPNAME);                                                 \
+      break;                                                             \
+    }                                                                    \
+    if (idx < 0 || idx >= arr->length) {                                 \
+      throwGuest(t, "java/lang/ArrayIndexOutOfBoundsException",          \
+                 strf("%d", idx));                                       \
+      break;                                                             \
+    }                                                                    \
+    arr->ACCESSOR()[idx] = CAST(v.GETTER());                             \
+    break;                                                               \
+  }
+      IJVM_ASTORE(IASTORE, intElems, asInt, static_cast<i32>)
+      IJVM_ASTORE(LASTORE, longElems, asLong, static_cast<i64>)
+      IJVM_ASTORE(DASTORE, doubleElems, asDouble, static_cast<double>)
+#undef IJVM_ASTORE
+      case Op::AASTORE: {
+        Value v = pop();
+        i32 idx = pop().asInt();
+        Object* arr = pop().asRef();
+        if (arr == nullptr) {
+          throwNPE("AASTORE");
+          break;
+        }
+        if (idx < 0 || idx >= arr->length) {
+          throwGuest(t, "java/lang/ArrayIndexOutOfBoundsException", strf("%d", idx));
+          break;
+        }
+        Object* elem = v.asRef();
+        if (elem != nullptr && arr->cls->elem_class != nullptr &&
+            !elem->cls->isAssignableTo(arr->cls->elem_class)) {
+          throwGuest(t, "java/lang/ArrayStoreException", elem->cls->name);
+          break;
+        }
+        arr->refElems()[idx] = elem;
+        break;
+      }
+
+      // ---- type checks ----
+      case Op::CHECKCAST: {
+        JClass* target = resolveClassRef(*this, t, owner, owner->pool.at(insn.a));
+        if (target == nullptr) break;
+        Object* obj = stack.empty() ? nullptr : stack.back().asRef();
+        if (obj != nullptr && !obj->cls->isAssignableTo(target)) {
+          throwGuest(t, "java/lang/ClassCastException",
+                     strf("%s -> %s", obj->cls->name.c_str(), target->name.c_str()));
+        }
+        break;
+      }
+      case Op::INSTANCEOF: {
+        JClass* target = resolveClassRef(*this, t, owner, owner->pool.at(insn.a));
+        if (target == nullptr) break;
+        Object* obj = pop().asRef();
+        push(Value::ofInt(obj != nullptr && obj->cls->isAssignableTo(target) ? 1 : 0));
+        break;
+      }
+
+      // ---- monitors ----
+      case Op::MONITORENTER: {
+        Object* obj = pop().asRef();
+        if (obj == nullptr) {
+          throwNPE("monitorenter");
+          break;
+        }
+        Monitor* mon = monitorOf(obj);
+        bool acquired = mon->tryEnter(t);
+        if (!acquired) {
+          BlockedScope blocked(safepoints_, t);
+          acquired = mon->enter(t, &t->force_kill);
+        }
+        if (!acquired) throwStopped(*this, t, kKillAll);
+        break;
+      }
+      case Op::MONITOREXIT: {
+        Object* obj = pop().asRef();
+        if (obj == nullptr) {
+          throwNPE("monitorexit");
+          break;
+        }
+        if (!monitorOf(obj)->exit(t)) {
+          throwGuest(t, "java/lang/IllegalMonitorStateException", "not owner");
+        }
+        break;
+      }
+
+      // ---- exceptions ----
+      case Op::ATHROW: {
+        Object* exc = pop().asRef();
+        if (exc == nullptr) {
+          throwNPE("athrow");
+          break;
+        }
+        t->pending_exception = exc;
+        break;
+      }
+    }
+
+    if (t->pending_exception == nullptr) frame.pc = next;
+  }
+}
+
+}  // namespace ijvm

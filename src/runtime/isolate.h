@@ -1,0 +1,88 @@
+// Isolates and their resource statistics.
+//
+// An isolate is built from a class loader (paper section 3.1): the classes
+// defined by that loader execute "inside" the isolate, with their own copies
+// of statics, interned strings and Class objects. Isolate0 -- the first
+// isolate created -- is privileged: it may start and terminate other
+// isolates and shut down the platform (it hosts the OSGi runtime).
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "support/common.h"
+
+namespace ijvm {
+
+class ClassLoader;
+struct Object;
+
+// All counters an administrator can inspect to locate misbehaving bundles
+// (paper section 3.2). Monotonic unless noted.
+struct ResourceStats {
+  // Allocation-side counters (charged at allocation time to the creator).
+  std::atomic<u64> objects_allocated{0};
+  std::atomic<u64> bytes_allocated{0};
+  // Bytes allocated since the last GC (reset by the accounting pass);
+  // used together with bytes_charged for memory-limit checks.
+  std::atomic<u64> bytes_since_gc{0};
+
+  // Reachability-based charges recomputed by every GC (paper's 4-step
+  // algorithm): an object is charged to the first isolate that references it.
+  std::atomic<u64> bytes_charged{0};
+  std::atomic<u64> objects_charged{0};
+  std::atomic<u64> connections_charged{0};
+
+  std::atomic<u64> threads_created{0};
+  std::atomic<i64> live_threads{0};
+
+  std::atomic<u64> connections_opened{0};
+  std::atomic<u64> io_bytes_read{0};
+  std::atomic<u64> io_bytes_written{0};
+
+  // Collections *triggered by* this isolate's allocation activity.
+  std::atomic<u64> gc_activations{0};
+
+  // Ticks attributed by the CPU sampler to threads currently running in
+  // this isolate.
+  std::atomic<u64> cpu_samples{0};
+
+  // Threads currently blocked in Thread.sleep/Object.wait while executing
+  // this isolate's code (A7 "hanging thread" detection).
+  std::atomic<i64> sleeping_threads{0};
+
+  // Calls that migrated a thread *into* this isolate.
+  std::atomic<u64> calls_in{0};
+};
+
+enum class IsolateState : u8 { Active, Terminating, Dead };
+
+struct Isolate {
+  i32 id = 0;
+  std::string name;
+  ClassLoader* loader = nullptr;
+  bool privileged = false;  // Isolate0
+  std::atomic<IsolateState> state{IsolateState::Active};
+
+  ResourceStats stats;
+
+  // 0 = unlimited. Checked at allocation against
+  // bytes_charged + bytes_since_gc (a GC is forced before giving up).
+  size_t memory_limit = 0;
+  i32 thread_limit = 0;
+
+  // Per-isolate interned string table (paper section 3.1: strings are
+  // private per isolate; section 3.5: `==` therefore differs across
+  // bundles). Entries are GC roots of this isolate.
+  std::mutex strings_mutex;
+  std::unordered_map<std::string, Object*> interned_strings;
+
+  bool isActive() const { return state.load(std::memory_order_acquire) == IsolateState::Active; }
+  bool isTerminating() const {
+    return state.load(std::memory_order_acquire) == IsolateState::Terminating;
+  }
+};
+
+}  // namespace ijvm

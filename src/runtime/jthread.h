@@ -1,0 +1,155 @@
+// Guest threads and interpreter frames.
+//
+// Each guest thread carries a *current isolate* reference (paper section
+// 3.1): inter-isolate calls update it on entry and restore it on return --
+// this is the thread-migration mechanism that keeps inter-bundle calls as
+// cheap as direct calls. The frame list is the thread's guest stack; the
+// termination machinery (paper section 3.3) patches `kill_on_return` bits
+// on it while the world is stopped, and the GC accounting pass reads each
+// frame's isolate to charge the objects it references.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bytecode/value.h"
+#include "classes/jclass.h"
+#include "runtime/isolate.h"
+
+namespace ijvm {
+
+class VM;
+
+struct Frame {
+  JMethod* method = nullptr;
+  // The isolate this frame executes in. For system-library methods this is
+  // the *caller's* isolate (library code is charged to its caller).
+  Isolate* isolate = nullptr;
+  std::vector<Value> locals;
+  std::vector<Value> stack;
+  i32 pc = 0;
+
+  // Termination patch: when this frame completes, a StoppedIsolateException
+  // targeted at `kill_isolate` is raised in the caller instead of delivering
+  // the return value (models I-JVM's return-pointer rewriting).
+  bool kill_on_return = false;
+  i32 kill_isolate = -1;
+
+  // Monitor held by a synchronized method (released on exit/unwind).
+  Object* sync_object = nullptr;
+
+  // Prepares a pooled frame for reuse (vectors keep their capacity).
+  void reset() {
+    method = nullptr;
+    isolate = nullptr;
+    locals.clear();
+    stack.clear();
+    pc = 0;
+    kill_on_return = false;
+    kill_isolate = -1;
+    sync_object = nullptr;
+  }
+};
+
+enum class ThreadState : u8 { Running, Blocked, Dead };
+
+// RAII bracket that keeps guest objects alive while C++ code manipulates
+// them between guest calls (e.g. the OSGi framework allocating an activator
+// before registering a GlobalRef for it).
+class LocalRootScope {
+ public:
+  explicit LocalRootScope(JThread* t);
+  ~LocalRootScope();
+  LocalRootScope(const LocalRootScope&) = delete;
+  LocalRootScope& operator=(const LocalRootScope&) = delete;
+  // Returns `obj` for chaining: Object* o = roots.add(vm.allocObject(...));
+  Object* add(Object* obj);
+
+ private:
+  JThread* t_;
+  size_t base_;
+};
+
+class JThread {
+ public:
+  JThread(VM& vm, i32 id, std::string name, Isolate* initial_isolate);
+
+  JThread(const JThread&) = delete;
+  JThread& operator=(const JThread&) = delete;
+
+  VM& vm;
+  const i32 id;
+  std::string name;
+
+  // Isolate that created the thread (threads are charged to their creator,
+  // paper section 3.2, even though they may execute code from any isolate).
+  Isolate* const creator_isolate;
+
+  // Read by the CPU sampler without stopping the world.
+  std::atomic<Isolate*> current_isolate;
+
+  // Guest stack. Frames are pooled: entries [0, frames_active) are live,
+  // the rest are retained for reuse so a method call does not heap-allocate
+  // (hot path for Figure 1 / Table 1). The deque keeps Frame* stable.
+  std::deque<Frame> frames;
+  size_t frames_active = 0;
+
+  Frame& pushFrame() {
+    if (frames_active == frames.size()) frames.emplace_back();
+    Frame& f = frames[frames_active++];
+    f.reset();
+    return f;
+  }
+  void popFrame() { --frames_active; }
+  void dropAllFrames() { frames_active = 0; }
+  Frame& frameAt(size_t i) { return frames[i]; }
+  Frame& topFrame() { return frames[frames_active - 1]; }
+  bool hasFrames() const { return frames_active > 0; }
+
+  // Pending guest exception being thrown/propagated (GC root).
+  Object* pending_exception = nullptr;
+
+  // The guest java/lang/Thread object, if any (GC root).
+  Object* thread_object = nullptr;
+
+  // Temporary roots for C++ code holding guest references outside any
+  // frame (see LocalRootScope). Scanned by the GC, charged to the current
+  // isolate.
+  std::vector<Object*> extra_roots;
+
+  std::atomic<bool> interrupted{false};
+
+  // Termination: when >= 0, the next safepoint poll raises a
+  // StoppedIsolateException targeting this isolate id (set when the top
+  // frame belongs to a terminating isolate, or at VM shutdown).
+  std::atomic<i32> pending_stop_isolate{-1};
+
+  // Hard cancellation (VM shutdown): blocking natives return early.
+  std::atomic<bool> force_kill{false};
+
+  std::atomic<ThreadState> state{ThreadState::Blocked};
+
+  // ---- completion (Thread.join) ----
+  void markDone();
+  // Returns true when the thread finished, false on interrupt/cancel.
+  bool awaitDone(JThread* waiter, i64 millis);
+  bool isDone() const { return done_.load(std::memory_order_acquire); }
+
+  // OS thread for spawned guest threads (empty for attached threads).
+  std::thread os_thread;
+
+  // Depth of the guest stack.
+  size_t depth() const { return frames_active; }
+
+ private:
+  std::atomic<bool> done_{false};
+  std::mutex done_mutex_;
+  std::condition_variable done_cv_;
+};
+
+}  // namespace ijvm

@@ -1,0 +1,56 @@
+// VM configuration.
+//
+// `isolation=false, accounting=false` is the baseline mode: it models the
+// unmodified LadyVM (performance experiments, Figures 1-3) and the Sun JVM
+// (robustness experiments, section 4.3) -- one shared copy of statics,
+// interned strings and Class objects, no per-isolate accounting, no
+// termination support.
+#pragma once
+
+#include "heap/accounting_policy.h"
+#include "support/common.h"
+
+namespace ijvm {
+
+struct VmOptions {
+  // Per-isolate statics / strings / Class objects + thread migration.
+  bool isolation = true;
+  // Per-isolate resource accounting (allocation, threads, I/O, GC, CPU).
+  bool accounting = true;
+  // How the GC accounting pass bills live objects to isolates.
+  // FirstReference is the paper's design; the others implement its
+  // section-4.4 future work (see heap/accounting_policy.h).
+  AccountingPolicy accounting_policy = AccountingPolicy::FirstReference;
+  // Run the bytecode verifier when classes are defined.
+  bool verify = true;
+
+  // Bytes allocated since the previous collection that trigger a GC.
+  size_t gc_threshold = 8u << 20;
+  // Hard heap cap; exceeding it after a forced GC raises OutOfMemoryError.
+  size_t heap_limit = 256u << 20;
+  // Default per-isolate memory cap (0 = unlimited); per-isolate overrides
+  // via Isolate::memory_limit.
+  size_t isolate_memory_limit = 0;
+  // Default per-isolate live thread cap (0 = unlimited).
+  i32 isolate_thread_limit = 0;
+  // Platform-wide live spawned-thread cap, modelling the real JVM's
+  // "cannot create native thread" OutOfMemoryError (attack A5's failure
+  // mode on an unprotected JVM). Applies in both modes.
+  i32 host_thread_cap = 1024;
+
+  // CPU sampling period in microseconds; 0 disables the sampler thread
+  // (paper section 3.2: CPU time is charged by sampling the isolate
+  // reference of running threads).
+  i32 sampler_period_us = 1000;
+
+  static VmOptions isolated() { return VmOptions{}; }
+  static VmOptions shared() {
+    VmOptions o;
+    o.isolation = false;
+    o.accounting = false;
+    o.sampler_period_us = 0;
+    return o;
+  }
+};
+
+}  // namespace ijvm

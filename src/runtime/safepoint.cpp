@@ -1,0 +1,77 @@
+#include "runtime/safepoint.h"
+
+#include "runtime/jthread.h"
+
+namespace ijvm {
+
+BlockedScope::BlockedScope(SafepointController& sp, JThread* t) : sp_(sp), t_(t) {
+  if (t_ != nullptr) {
+    was_running_ = t_->state.load(std::memory_order_acquire) == ThreadState::Running;
+    if (was_running_) t_->state.store(ThreadState::Blocked, std::memory_order_release);
+  }
+  sp_.enterBlocked();
+}
+
+BlockedScope::~BlockedScope() {
+  sp_.exitBlocked();
+  if (t_ != nullptr && was_running_) {
+    t_->state.store(ThreadState::Running, std::memory_order_release);
+  }
+}
+
+void SafepointController::registerThread() {
+  // Threads register in the Blocked state; exitBlocked() makes them Running.
+}
+
+void SafepointController::unregisterThread() {
+  // Symmetric: threads unregister after enterBlocked().
+}
+
+void SafepointController::poll() {
+  std::unique_lock<std::mutex> lock(m_);
+  if (!stop_flag_.load(std::memory_order_relaxed)) return;
+  --running_;
+  cv_stopped_.notify_all();
+  cv_resume_.wait(lock, [this] { return !stop_flag_.load(std::memory_order_relaxed); });
+  ++running_;
+}
+
+void SafepointController::enterBlocked() {
+  std::lock_guard<std::mutex> lock(m_);
+  --running_;
+  cv_stopped_.notify_all();
+}
+
+void SafepointController::exitBlocked() {
+  std::unique_lock<std::mutex> lock(m_);
+  cv_resume_.wait(lock, [this] { return !stop_flag_.load(std::memory_order_relaxed); });
+  ++running_;
+}
+
+void SafepointController::stopTheWorld(bool self_is_guest) {
+  // A guest requester must leave the Running count *before* contending for
+  // the operation lock: if another stop-the-world is already in progress,
+  // we would otherwise block on op_mutex_ while still counted as running,
+  // and the current stopper would wait for us forever. Our guest frames
+  // are stable here (we are between interpreter instructions), so being
+  // treated as parked is safe.
+  if (self_is_guest) enterBlocked();
+  op_mutex_.lock();
+  std::unique_lock<std::mutex> lock(m_);
+  stop_flag_.store(true, std::memory_order_release);
+  cv_stopped_.wait(lock, [this] { return running_ == 0; });
+}
+
+void SafepointController::resumeTheWorld(bool self_is_guest) {
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    stop_flag_.store(false, std::memory_order_release);
+    cv_resume_.notify_all();
+  }
+  op_mutex_.unlock();
+  // Re-enter the Running count (waits if the next operation already
+  // started).
+  if (self_is_guest) exitBlocked();
+}
+
+}  // namespace ijvm

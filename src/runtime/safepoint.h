@@ -1,0 +1,70 @@
+// Cooperative safepoint protocol.
+//
+// Guest threads poll frequently from the interpreter loop. Stop-the-world
+// operations (GC, isolate termination's stack patching, the robustness
+// harness's snapshots) bring every registered thread to a halt:
+//   - Running threads park at their next poll;
+//   - threads inside blocking natives (monitors, sleep, I/O, join) are
+//     already "safe": they registered with enterBlocked() and their guest
+//     frames cannot move while blocked.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "support/common.h"
+
+namespace ijvm {
+
+class JThread;
+
+class SafepointController {
+ public:
+  // Threads must be registered while in the Blocked state and transition to
+  // Running via exitBlocked().
+  void registerThread();
+  void unregisterThread();
+
+  // Fast check used by the interpreter before calling poll().
+  bool stopRequested() const { return stop_flag_.load(std::memory_order_acquire); }
+
+  // Parks the calling (Running) thread until the world resumes.
+  void poll();
+
+  // Bracket blocking operations: while "blocked" a thread counts as stopped.
+  void enterBlocked();
+  void exitBlocked();
+
+  // Stop/resume the world. `self_is_guest` says whether the caller is a
+  // registered Running guest thread (it is excluded from the wait).
+  // Operations are serialized; nesting is not allowed.
+  void stopTheWorld(bool self_is_guest);
+  void resumeTheWorld(bool self_is_guest);
+
+ private:
+  std::mutex m_;
+  std::condition_variable cv_resume_;     // parked threads wait here
+  std::condition_variable cv_stopped_;    // the requester waits here
+  std::atomic<bool> stop_flag_{false};
+  int running_ = 0;
+  std::mutex op_mutex_;  // serializes stop-the-world operations
+};
+
+// RAII bracket for blocking natives. When a JThread is supplied, its state
+// is flipped to Blocked for the duration so the CPU sampler (paper section
+// 3.2: sample the isolate reference of *running* threads) does not charge
+// CPU to threads parked in sleep/wait/monitor/I/O.
+class BlockedScope {
+ public:
+  explicit BlockedScope(SafepointController& sp, JThread* t = nullptr);
+  ~BlockedScope();
+  BlockedScope(const BlockedScope&) = delete;
+  BlockedScope& operator=(const BlockedScope&) = delete;
+
+ private:
+  SafepointController& sp_;
+  JThread* t_;
+  bool was_running_ = false;
+};
+
+}  // namespace ijvm

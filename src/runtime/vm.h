@@ -1,0 +1,242 @@
+// The I-JVM virtual machine.
+//
+// Owns the class registry, the heap, the isolates, the guest threads, the
+// safepoint machinery and the CPU sampler; implements the interpreter
+// (interpreter.cpp), per-isolate class initialization via task class
+// mirrors, thread migration, resource accounting, GC orchestration and
+// isolate termination.
+//
+// Typical embedding (see examples/quickstart.cpp):
+//
+//   VM vm;                                      // isolated mode
+//   installSystemLibrary(vm);                   // stdlib module
+//   ClassLoader* app = vm.registry().newLoader("app");
+//   app->define(...);                           // bundle classes
+//   Isolate* iso0 = vm.createIsolate(app, "app");  // first = Isolate0
+//   Value r = vm.callStatic(vm.mainThread(), "app/Main", "main", "()I", {});
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "classes/class_loader.h"
+#include "heap/heap.h"
+#include "runtime/isolate.h"
+#include "runtime/jthread.h"
+#include "runtime/options.h"
+#include "runtime/safepoint.h"
+
+namespace ijvm {
+
+// A C++-held guest reference that keeps its object alive across GCs and
+// charges it to `isolate_id` during the accounting pass. Created via
+// VM::addGlobalRef, removed via VM::removeGlobalRef (or VM teardown).
+struct GlobalRef {
+  Object* obj = nullptr;
+  i32 isolate_id = 0;
+  bool active = false;
+};
+
+// Snapshot of one isolate's counters (admin/robustness reporting).
+struct IsolateReport {
+  i32 id = 0;
+  std::string name;
+  IsolateState state = IsolateState::Active;
+  u64 bytes_charged = 0;
+  u64 objects_charged = 0;
+  u64 connections_charged = 0;
+  u64 objects_allocated = 0;
+  u64 bytes_allocated = 0;
+  u64 bytes_since_gc = 0;  // allocated since the last accounting pass
+  u64 threads_created = 0;
+  i64 live_threads = 0;
+  u64 gc_activations = 0;
+  u64 cpu_samples = 0;
+  i64 sleeping_threads = 0;
+  u64 io_bytes_read = 0;
+  u64 io_bytes_written = 0;
+  u64 calls_in = 0;
+};
+
+class VM {
+ public:
+  explicit VM(VmOptions options = VmOptions{});
+  ~VM();
+
+  VM(const VM&) = delete;
+  VM& operator=(const VM&) = delete;
+
+  const VmOptions& options() const { return options_; }
+  ClassRegistry& registry() { return registry_; }
+  Heap& heap() { return heap_; }
+  SafepointController& safepoints() { return safepoints_; }
+
+  // ---- isolates ----
+  // Creates an isolate for a (non-system) class loader. The first isolate
+  // created becomes the privileged Isolate0 (paper section 3.1) and the
+  // calling thread is attached to it as the main guest thread.
+  Isolate* createIsolate(ClassLoader* loader, const std::string& name);
+  Isolate* isolate0() { return isolate0_; }
+  Isolate* isolateById(i32 id);
+  std::vector<Isolate*> isolates();
+  // TCM index for an isolate: its id in isolated mode, always 0 in shared
+  // mode (single copy of statics -- the baseline JVM behaviour).
+  i32 tcmIndex(const Isolate* iso) const {
+    return options_.isolation ? iso->id : 0;
+  }
+
+  // ---- threads ----
+  JThread* mainThread() { return main_thread_; }
+  // Attaches an extra C++ thread as a guest thread (used by comm models).
+  JThread* attachThread(const std::string& name, Isolate* initial);
+  void detachThread(JThread* t);
+  // Spawns a guest thread executing `thread_obj.run()`. Enforces the
+  // creator's thread limit (throws on the *calling* thread).
+  JThread* spawnThread(JThread* caller, Object* thread_obj, const std::string& name);
+  std::vector<JThread*> threadsSnapshot();
+
+  // ---- invocation (from C++) ----
+  // On guest exception: returns a null-ref Value and leaves the exception in
+  // t->pending_exception (use pendingMessage/clearPending).
+  Value callStatic(JThread* t, const std::string& cls, const std::string& method,
+                   const std::string& descriptor, std::vector<Value> args);
+  // Resolves `cls` through an explicit loader (needed to reach classes that
+  // are private to a bundle from host code; in-guest resolution always uses
+  // the executing class's own loader).
+  Value callStaticIn(JThread* t, ClassLoader* loader, const std::string& cls,
+                     const std::string& method, const std::string& descriptor,
+                     std::vector<Value> args);
+  Value callVirtual(JThread* t, Object* receiver, const std::string& method,
+                    const std::string& descriptor, std::vector<Value> args);
+  Value invoke(JThread* t, JMethod* m, std::vector<Value> args);
+  // Hot call path used by the interpreter: arguments are read directly from
+  // the caller's operand stack (no per-call allocation). `args` must stay
+  // valid and GC-visible for the duration of the call.
+  Value invokeCore(JThread* t, JMethod* m, const Value* args, i32 nargs);
+
+  std::string pendingMessage(JThread* t);
+  void clearPending(JThread* t) { t->pending_exception = nullptr; }
+
+  // ---- exceptions ----
+  // Allocates a guest throwable and sets it pending on `t`.
+  void throwGuest(JThread* t, const std::string& exception_class,
+                  const std::string& message);
+  Object* newException(JThread* t, const std::string& exception_class,
+                       const std::string& message);
+
+  // ---- strings ----
+  Object* internString(JThread* t, const std::string& chars);      // per-isolate
+  Object* newStringObject(JThread* t, std::string chars);          // fresh
+  static std::string stringValue(Object* s);                        // payload
+
+  // ---- objects ----
+  Object* allocObject(JThread* t, JClass* cls);        // checks limits, may GC
+  Object* allocArrayObject(JThread* t, JClass* array_cls, i32 length);
+  Object* allocNativeObject(JThread* t, JClass* cls,
+                            std::unique_ptr<NativePayload> payload);
+  Monitor* monitorOf(Object* obj) { return heap_.monitorFor(obj); }
+
+  // Per-isolate java/lang/Class object of `cls` (lives in the TCM).
+  Object* classObject(JThread* t, JClass* cls);
+
+  // ---- class initialization & resolution ----
+  // Ensures <clinit> ran for (cls, current isolate of t). Returns false if
+  // a guest exception is pending.
+  bool ensureInitialized(JThread* t, JClass* cls);
+  JClass* resolveClassOrThrow(JThread* t, ClassLoader* ctx, const std::string& name);
+
+  // ---- the isolate a method executes in for a caller currently in `cur` ----
+  Isolate* executionIsolate(Isolate* cur, const JMethod* m) const;
+
+  // ---- garbage collection ----
+  // Stops the world, runs mark-sweep + the accounting pass, updates
+  // per-isolate charges, detects dead isolates. `trigger` (may be null) is
+  // charged one GC activation.
+  GcStats collectGarbage(JThread* requester, Isolate* trigger);
+  u64 gcCount() const { return gc_count_.load(std::memory_order_relaxed); }
+
+  // ---- isolate termination (paper section 3.3) ----
+  // Requires `requester` to run with Isolate0 privilege. Stops the world,
+  // poisons the target's methods, patches every thread's stack, interrupts
+  // blocked top frames, marks the isolate Terminating.
+  // Returns false (and throws SecurityException on t) without privilege.
+  bool terminateIsolate(JThread* requester, Isolate* target);
+
+  // ---- shutdown ----
+  // Cancels all guest threads (used by ~VM and the A-series attacks
+  // teardown). Safe to call multiple times.
+  void shutdownAllThreads();
+
+  // ---- global refs ----
+  GlobalRef* addGlobalRef(Object* obj, Isolate* charge_to);
+  void removeGlobalRef(GlobalRef* ref);
+
+  // ---- reporting ----
+  IsolateReport reportFor(Isolate* iso);
+  std::vector<IsolateReport> reportAll();
+
+  // ---- named extension slots (used by stdlib channels, OSGi) ----
+  void setExtension(const std::string& key, std::shared_ptr<void> value);
+  std::shared_ptr<void> getExtension(const std::string& key);
+
+  // ---- interpreter entry (internal; used by invoke) ----
+  Value interpret(JThread* t, Frame& frame);
+
+  // Statistics for benchmarks.
+  u64 interIsolateCalls() const { return inter_isolate_calls_.load(std::memory_order_relaxed); }
+
+ private:
+  friend struct NativeCtx;
+
+  void samplerLoop();
+  void enumerateRoots(const RootSink& sink);
+  // Checks per-isolate + global memory limits before/after an allocation of
+  // `bytes`; may force a GC; returns false after throwing OutOfMemoryError.
+  bool checkMemoryLimits(JThread* t, size_t bytes);
+  void runClinit(JThread* t, JClass* cls, TaskClassMirror& mirror, Isolate* iso);
+  JThread* newThreadLocked(const std::string& name, Isolate* initial);
+
+  VmOptions options_;
+  ClassRegistry registry_;
+  Heap heap_;
+  SafepointController safepoints_;
+
+  std::mutex isolates_mutex_;
+  std::deque<std::unique_ptr<Isolate>> isolates_;
+  Isolate* isolate0_ = nullptr;
+
+  std::mutex threads_mutex_;
+  std::deque<std::unique_ptr<JThread>> threads_;
+  JThread* main_thread_ = nullptr;
+  i32 next_thread_id_ = 1;
+
+  std::mutex clinit_mutex_;
+  std::condition_variable clinit_cv_;
+
+  std::mutex globals_mutex_;
+  std::deque<GlobalRef> global_refs_;
+
+  std::mutex ext_mutex_;
+  std::unordered_map<std::string, std::shared_ptr<void>> extensions_;
+
+  std::atomic<u64> gc_count_{0};
+  std::atomic<u64> inter_isolate_calls_{0};
+  std::atomic<i64> live_spawned_threads_{0};
+  std::atomic<bool> shutting_down_{false};
+
+  std::thread sampler_;
+  std::atomic<bool> sampler_stop_{false};
+};
+
+// Name of the exception used by isolate termination. Lives in java/lang so
+// bundles can catch it like any Throwable -- except frames of the isolate
+// being terminated, whose handlers are skipped.
+inline constexpr const char* kStoppedIsolateException =
+    "java/lang/StoppedIsolateException";
+
+}  // namespace ijvm

@@ -1,0 +1,118 @@
+#include "stdlib/channels.h"
+
+#include <chrono>
+
+namespace ijvm {
+
+namespace {
+constexpr auto kSlice = std::chrono::microseconds(500);
+}
+
+void ByteQueue::push(const u8* data, size_t n) {
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    bytes_.insert(bytes_.end(), data, data + n);
+  }
+  cv_.notify_all();
+}
+
+size_t ByteQueue::pop(u8* out, size_t n, const std::atomic<bool>* cancel) {
+  std::unique_lock<std::mutex> lock(m_);
+  for (;;) {
+    if (!bytes_.empty()) {
+      size_t take = std::min(n, bytes_.size());
+      for (size_t i = 0; i < take; ++i) {
+        out[i] = bytes_.front();
+        bytes_.pop_front();
+      }
+      return take;
+    }
+    if (closed_) return 0;
+    if (cancel != nullptr && cancel->load(std::memory_order_acquire)) {
+      return SIZE_MAX;
+    }
+    cv_.wait_for(lock, kSlice);
+  }
+}
+
+void ByteQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+size_t ByteQueue::size() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return bytes_.size();
+}
+
+std::pair<std::shared_ptr<ByteChannel>, std::shared_ptr<ByteChannel>>
+ByteChannel::pair() {
+  auto a_to_b = std::make_shared<ByteQueue>();
+  auto b_to_a = std::make_shared<ByteQueue>();
+  auto a = std::shared_ptr<ByteChannel>(new ByteChannel(b_to_a, a_to_b));
+  auto b = std::shared_ptr<ByteChannel>(new ByteChannel(a_to_b, b_to_a));
+  return {a, b};
+}
+
+std::shared_ptr<ByteChannel> ByteChannel::loopback() {
+  auto q = std::make_shared<ByteQueue>();
+  return std::shared_ptr<ByteChannel>(new ByteChannel(q, q));
+}
+
+size_t ByteChannel::write(const u8* data, size_t n) {
+  out_->push(data, n);
+  return n;
+}
+
+size_t ByteChannel::read(u8* out, size_t n, const std::atomic<bool>* cancel) {
+  return in_->pop(out, n, cancel);
+}
+
+bool ByteChannel::readFully(std::string* out, size_t n,
+                            const std::atomic<bool>* cancel) {
+  out->clear();
+  out->reserve(n);
+  std::vector<u8> buf(4096);
+  while (out->size() < n) {
+    size_t want = std::min(buf.size(), n - out->size());
+    size_t got = read(buf.data(), want, cancel);
+    if (got == 0 || got == SIZE_MAX) return false;
+    out->append(reinterpret_cast<char*>(buf.data()), got);
+  }
+  return true;
+}
+
+void ByteChannel::close() {
+  in_->close();
+  out_->close();
+}
+
+std::shared_ptr<ByteChannel> ChannelHub::connect(const std::string& name) {
+  auto [client, server] = ByteChannel::pair();
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    pending_[name].push_back(server);
+  }
+  cv_.notify_all();
+  return client;
+}
+
+std::shared_ptr<ByteChannel> ChannelHub::accept(const std::string& name,
+                                                const std::atomic<bool>* cancel) {
+  std::unique_lock<std::mutex> lock(m_);
+  for (;;) {
+    auto it = pending_.find(name);
+    if (it != pending_.end() && !it->second.empty()) {
+      auto ch = it->second.front();
+      it->second.pop_front();
+      return ch;
+    }
+    if (cancel != nullptr && cancel->load(std::memory_order_acquire)) return nullptr;
+    cv_.wait_for(lock, kSlice);
+  }
+}
+
+}  // namespace ijvm

@@ -1,0 +1,85 @@
+// Native payloads backing system-library classes.
+#pragma once
+
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "heap/object.h"
+#include "stdlib/channels.h"
+
+namespace ijvm {
+
+// java/lang/StringBuilder
+class SbPayload : public NativePayload {
+ public:
+  std::string buf;
+  size_t byteSize() const override { return buf.capacity(); }
+};
+
+// java/util/ArrayList (elements are guest values; refs are traced)
+class ListPayload : public NativePayload {
+ public:
+  std::vector<Value> items;
+  void trace(const std::function<void(Object*)>& visit) override {
+    for (Value& v : items) {
+      if (v.kind == Kind::Ref && v.ref != nullptr) visit(v.ref);
+    }
+  }
+  size_t byteSize() const override { return items.capacity() * sizeof(Value); }
+};
+
+// java/util/HashMap (string keys -> guest values)
+class MapPayload : public NativePayload {
+ public:
+  std::unordered_map<std::string, Value> map;
+  void trace(const std::function<void(Object*)>& visit) override {
+    for (auto& [_, v] : map) {
+      if (v.kind == Kind::Ref && v.ref != nullptr) visit(v.ref);
+    }
+  }
+  size_t byteSize() const override {
+    size_t n = 0;
+    for (auto& [k, _] : map) n += k.size() + sizeof(Value) + 32;
+    return n;
+  }
+};
+
+// java/util/LinkedList (deque of guest values; refs are traced)
+class DequePayload : public NativePayload {
+ public:
+  std::deque<Value> items;
+  void trace(const std::function<void(Object*)>& visit) override {
+    for (Value& v : items) {
+      if (v.kind == Kind::Ref && v.ref != nullptr) visit(v.ref);
+    }
+  }
+  size_t byteSize() const override { return items.size() * sizeof(Value); }
+};
+
+// java/util/Random (deterministic splitmix64 stream)
+class RandomPayload : public NativePayload {
+ public:
+  u64 state = 0x9e3779b97f4a7c15ull;
+  u64 next() {
+    state += 0x9e3779b97f4a7c15ull;
+    u64 z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+  size_t byteSize() const override { return sizeof(u64); }
+};
+
+// java/io/Connection: counted as a connection by the GC accounting pass.
+class ConnectionPayload : public NativePayload {
+ public:
+  ConnectionPayload() : channel(ByteChannel::loopback()) {}
+  std::shared_ptr<ByteChannel> channel;
+  bool closed = false;
+  bool isConnection() const override { return !closed; }
+  size_t byteSize() const override { return channel ? channel->pendingBytes() : 0; }
+};
+
+}  // namespace ijvm

@@ -1,0 +1,451 @@
+// Extended guest system-library classes: java/util/LinkedList,
+// java/util/Random, java/util/Arrays, java/lang/Integer, java/lang/Long,
+// and the second tier of java/lang/String methods. Installed by
+// installSystemLibrary alongside the core classes (system_library.cpp);
+// like all library code they execute in the *caller's* isolate and their
+// allocations are charged to the caller (paper sections 3.1/3.2).
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+#include "bytecode/builder.h"
+#include "stdlib/payloads.h"
+#include "stdlib/stdlib_internal.h"
+#include "stdlib/system_library.h"
+#include "support/strf.h"
+
+namespace ijvm {
+
+namespace {
+
+Object* self(NativeCtx& ctx) { return ctx.args.at(0).asRef(); }
+
+void bindNative(JClass* cls, const std::string& name, const std::string& desc,
+                NativeFn fn) {
+  JMethod* m = cls->findDeclared(name, desc);
+  IJVM_CHECK(m != nullptr && m->isNative(),
+             strf("no native method %s.%s%s", cls->name.c_str(), name.c_str(),
+                  desc.c_str()));
+  m->native = std::move(fn);
+}
+
+// Checked guest int[] argument.
+Object* argIntArray(NativeCtx& ctx, size_t index) {
+  Object* a = ctx.args.at(index).asRef();
+  if (a == nullptr) {
+    ctx.throwGuest("java/lang/NullPointerException", "null array");
+    return nullptr;
+  }
+  IJVM_CHECK(a->kind == ObjKind::ArrayInt, "argument is not an int[]");
+  return a;
+}
+
+// --------------------------------------------------------------- LinkedList
+
+void defineLinkedList(ClassLoader* sys) {
+  ClassBuilder cb("java/util/LinkedList");
+  cb.nativeMethod("<init>", "()V");
+  cb.nativeMethod("addFirst", "(Ljava/lang/Object;)V");
+  cb.nativeMethod("addLast", "(Ljava/lang/Object;)V");
+  cb.nativeMethod("removeFirst", "()Ljava/lang/Object;");
+  cb.nativeMethod("removeLast", "()Ljava/lang/Object;");
+  cb.nativeMethod("peekFirst", "()Ljava/lang/Object;");
+  cb.nativeMethod("peekLast", "()Ljava/lang/Object;");
+  cb.nativeMethod("get", "(I)Ljava/lang/Object;");
+  cb.nativeMethod("size", "()I");
+  cb.nativeMethod("isEmpty", "()I");
+  cb.nativeMethod("clear", "()V");
+  JClass* cls = sys->define(cb.build());
+  cls->native_factory = [] { return std::make_unique<DequePayload>(); };
+
+  auto payload = [](NativeCtx& ctx) -> DequePayload* {
+    return static_cast<DequePayload*>(self(ctx)->native());
+  };
+  bindNative(cls, "<init>", "()V", [](NativeCtx&) { return Value(); });
+  bindNative(cls, "addFirst", "(Ljava/lang/Object;)V", [payload](NativeCtx& ctx) {
+    payload(ctx)->items.push_front(ctx.args.at(1));
+    return Value();
+  });
+  bindNative(cls, "addLast", "(Ljava/lang/Object;)V", [payload](NativeCtx& ctx) {
+    payload(ctx)->items.push_back(ctx.args.at(1));
+    return Value();
+  });
+  auto remove_end = [payload](bool front) {
+    return [payload, front](NativeCtx& ctx) {
+      DequePayload* p = payload(ctx);
+      if (p->items.empty()) {
+        ctx.throwGuest("java/lang/IllegalStateException", "empty list");
+        return Value();
+      }
+      Value v = front ? p->items.front() : p->items.back();
+      if (front) {
+        p->items.pop_front();
+      } else {
+        p->items.pop_back();
+      }
+      return v;
+    };
+  };
+  bindNative(cls, "removeFirst", "()Ljava/lang/Object;", remove_end(true));
+  bindNative(cls, "removeLast", "()Ljava/lang/Object;", remove_end(false));
+  bindNative(cls, "peekFirst", "()Ljava/lang/Object;", [payload](NativeCtx& ctx) {
+    DequePayload* p = payload(ctx);
+    return p->items.empty() ? Value::nullRef() : p->items.front();
+  });
+  bindNative(cls, "peekLast", "()Ljava/lang/Object;", [payload](NativeCtx& ctx) {
+    DequePayload* p = payload(ctx);
+    return p->items.empty() ? Value::nullRef() : p->items.back();
+  });
+  bindNative(cls, "get", "(I)Ljava/lang/Object;", [payload](NativeCtx& ctx) {
+    DequePayload* p = payload(ctx);
+    i32 idx = ctx.args.at(1).asInt();
+    if (idx < 0 || static_cast<size_t>(idx) >= p->items.size()) {
+      ctx.throwGuest("java/lang/ArrayIndexOutOfBoundsException", strf("%d", idx));
+      return Value();
+    }
+    return p->items[static_cast<size_t>(idx)];
+  });
+  bindNative(cls, "size", "()I", [payload](NativeCtx& ctx) {
+    return Value::ofInt(static_cast<i32>(payload(ctx)->items.size()));
+  });
+  bindNative(cls, "isEmpty", "()I", [payload](NativeCtx& ctx) {
+    return Value::ofInt(payload(ctx)->items.empty() ? 1 : 0);
+  });
+  bindNative(cls, "clear", "()V", [payload](NativeCtx& ctx) {
+    payload(ctx)->items.clear();
+    return Value();
+  });
+}
+
+// ------------------------------------------------------------------ Random
+
+void defineRandom(ClassLoader* sys) {
+  ClassBuilder cb("java/util/Random");
+  cb.nativeMethod("<init>", "()V");
+  cb.nativeMethod("<init>", "(J)V");
+  cb.nativeMethod("nextInt", "()I");
+  cb.nativeMethod("nextInt", "(I)I");
+  cb.nativeMethod("nextLong", "()J");
+  cb.nativeMethod("nextDouble", "()D");
+  JClass* cls = sys->define(cb.build());
+  cls->native_factory = [] { return std::make_unique<RandomPayload>(); };
+
+  auto payload = [](NativeCtx& ctx) -> RandomPayload* {
+    return static_cast<RandomPayload*>(self(ctx)->native());
+  };
+  bindNative(cls, "<init>", "()V", [](NativeCtx&) { return Value(); });
+  bindNative(cls, "<init>", "(J)V", [payload](NativeCtx& ctx) {
+    payload(ctx)->state = static_cast<u64>(ctx.args.at(1).asLong());
+    return Value();
+  });
+  bindNative(cls, "nextInt", "()I", [payload](NativeCtx& ctx) {
+    return Value::ofInt(static_cast<i32>(payload(ctx)->next()));
+  });
+  bindNative(cls, "nextInt", "(I)I", [payload](NativeCtx& ctx) {
+    i32 bound = ctx.args.at(1).asInt();
+    if (bound <= 0) {
+      ctx.throwGuest("java/lang/IllegalArgumentException",
+                     strf("bound %d must be positive", bound));
+      return Value();
+    }
+    return Value::ofInt(
+        static_cast<i32>(payload(ctx)->next() % static_cast<u64>(bound)));
+  });
+  bindNative(cls, "nextLong", "()J", [payload](NativeCtx& ctx) {
+    return Value::ofLong(static_cast<i64>(payload(ctx)->next()));
+  });
+  bindNative(cls, "nextDouble", "()D", [payload](NativeCtx& ctx) {
+    // 53 random mantissa bits in [0, 1).
+    return Value::ofDouble(
+        static_cast<double>(payload(ctx)->next() >> 11) * 0x1.0p-53);
+  });
+}
+
+// --------------------------------------------------------- Integer / Long
+
+// Shared digit parser: returns false (and throws NumberFormatException) on
+// malformed input. Handles an optional leading '-' and overflow via i64
+// accumulation against the supplied limits.
+bool parseDecimal(NativeCtx& ctx, const std::string& s, i64 min, i64 max,
+                  i64* out) {
+  size_t i = 0;
+  bool negative = false;
+  if (i < s.size() && (s[i] == '-' || s[i] == '+')) {
+    negative = s[i] == '-';
+    ++i;
+  }
+  if (i >= s.size()) {
+    ctx.throwGuest("java/lang/NumberFormatException", strf("\"%s\"", s.c_str()));
+    return false;
+  }
+  u64 acc = 0;
+  const u64 cap = negative ? static_cast<u64>(-(min + 1)) + 1
+                           : static_cast<u64>(max);
+  for (; i < s.size(); ++i) {
+    if (s[i] < '0' || s[i] > '9') {
+      ctx.throwGuest("java/lang/NumberFormatException", strf("\"%s\"", s.c_str()));
+      return false;
+    }
+    acc = acc * 10 + static_cast<u64>(s[i] - '0');
+    if (acc > cap) {
+      ctx.throwGuest("java/lang/NumberFormatException",
+                     strf("\"%s\" out of range", s.c_str()));
+      return false;
+    }
+  }
+  *out = negative ? -static_cast<i64>(acc) : static_cast<i64>(acc);
+  return true;
+}
+
+void defineIntegerAndLong(ClassLoader* sys) {
+  {
+    ClassBuilder cb("java/lang/Integer");
+    cb.nativeMethod("parseInt", "(Ljava/lang/String;)I", ACC_STATIC);
+    cb.nativeMethod("toString", "(I)Ljava/lang/String;", ACC_STATIC);
+    cb.nativeMethod("toHexString", "(I)Ljava/lang/String;", ACC_STATIC);
+    cb.nativeMethod("bitCount", "(I)I", ACC_STATIC);
+    cb.nativeMethod("highestOneBit", "(I)I", ACC_STATIC);
+    JClass* cls = sys->define(cb.build());
+
+    bindNative(cls, "parseInt", "(Ljava/lang/String;)I", [](NativeCtx& ctx) {
+      std::string s = argString(ctx, 0);
+      if (ctx.hasPending()) return Value();
+      i64 v = 0;
+      if (!parseDecimal(ctx, s, INT32_MIN, INT32_MAX, &v)) return Value();
+      return Value::ofInt(static_cast<i32>(v));
+    });
+    bindNative(cls, "toString", "(I)Ljava/lang/String;", [](NativeCtx& ctx) {
+      return Value::ofRef(ctx.vm.newStringObject(
+          &ctx.thread, strf("%d", ctx.args.at(0).asInt())));
+    });
+    bindNative(cls, "toHexString", "(I)Ljava/lang/String;", [](NativeCtx& ctx) {
+      return Value::ofRef(ctx.vm.newStringObject(
+          &ctx.thread,
+          strf("%x", static_cast<u32>(ctx.args.at(0).asInt()))));
+    });
+    bindNative(cls, "bitCount", "(I)I", [](NativeCtx& ctx) {
+      u32 v = static_cast<u32>(ctx.args.at(0).asInt());
+      i32 n = 0;
+      while (v != 0) {
+        n += static_cast<i32>(v & 1);
+        v >>= 1;
+      }
+      return Value::ofInt(n);
+    });
+    bindNative(cls, "highestOneBit", "(I)I", [](NativeCtx& ctx) {
+      u32 v = static_cast<u32>(ctx.args.at(0).asInt());
+      u32 top = 0;
+      while (v != 0) {
+        top = v & (~v + 1);  // isolate the lowest set bit...
+        v &= v - 1;          // ...and clear it; the last one kept is highest
+      }
+      return Value::ofInt(static_cast<i32>(top));
+    });
+  }
+  {
+    ClassBuilder cb("java/lang/Long");
+    cb.nativeMethod("parseLong", "(Ljava/lang/String;)J", ACC_STATIC);
+    cb.nativeMethod("toString", "(J)Ljava/lang/String;", ACC_STATIC);
+    JClass* cls = sys->define(cb.build());
+    bindNative(cls, "parseLong", "(Ljava/lang/String;)J", [](NativeCtx& ctx) {
+      std::string s = argString(ctx, 0);
+      if (ctx.hasPending()) return Value();
+      i64 v = 0;
+      if (!parseDecimal(ctx, s, INT64_MIN, INT64_MAX, &v)) return Value();
+      return Value::ofLong(v);
+    });
+    bindNative(cls, "toString", "(J)Ljava/lang/String;", [](NativeCtx& ctx) {
+      return Value::ofRef(ctx.vm.newStringObject(
+          &ctx.thread,
+          strf("%lld", static_cast<long long>(ctx.args.at(0).asLong()))));
+    });
+  }
+}
+
+// ------------------------------------------------------------------ Arrays
+
+void defineArrays(ClassLoader* sys) {
+  ClassBuilder cb("java/util/Arrays");
+  cb.nativeMethod("fill", "([II)V", ACC_STATIC);
+  cb.nativeMethod("sort", "([I)V", ACC_STATIC);
+  cb.nativeMethod("copyOf", "([II)[I", ACC_STATIC);
+  cb.nativeMethod("equals", "([I[I)I", ACC_STATIC);
+  cb.nativeMethod("hashCode", "([I)I", ACC_STATIC);
+  cb.nativeMethod("binarySearch", "([II)I", ACC_STATIC);
+  JClass* cls = sys->define(cb.build());
+
+  bindNative(cls, "fill", "([II)V", [](NativeCtx& ctx) {
+    Object* a = argIntArray(ctx, 0);
+    if (a == nullptr) return Value();
+    std::fill_n(a->intElems(), a->length, ctx.args.at(1).asInt());
+    return Value();
+  });
+  bindNative(cls, "sort", "([I)V", [](NativeCtx& ctx) {
+    Object* a = argIntArray(ctx, 0);
+    if (a == nullptr) return Value();
+    std::sort(a->intElems(), a->intElems() + a->length);
+    return Value();
+  });
+  bindNative(cls, "copyOf", "([II)[I", [](NativeCtx& ctx) {
+    Object* a = argIntArray(ctx, 0);
+    if (a == nullptr) return Value();
+    i32 n = ctx.args.at(1).asInt();
+    if (n < 0) {
+      ctx.throwGuest("java/lang/NegativeArraySizeException", strf("%d", n));
+      return Value();
+    }
+    Object* out = ctx.vm.allocArrayObject(
+        &ctx.thread, ctx.vm.registry().arrayClass("[I"), n);
+    if (out == nullptr) return Value();
+    const i32 copy = std::min(n, a->length);
+    std::copy_n(a->intElems(), copy, out->intElems());
+    return Value::ofRef(out);
+  });
+  bindNative(cls, "equals", "([I[I)I", [](NativeCtx& ctx) {
+    Object* a = ctx.args.at(0).asRef();
+    Object* b = ctx.args.at(1).asRef();
+    if (a == b) return Value::ofInt(1);
+    if (a == nullptr || b == nullptr || a->length != b->length)
+      return Value::ofInt(0);
+    return Value::ofInt(
+        std::equal(a->intElems(), a->intElems() + a->length, b->intElems()) ? 1
+                                                                            : 0);
+  });
+  bindNative(cls, "hashCode", "([I)I", [](NativeCtx& ctx) {
+    Object* a = ctx.args.at(0).asRef();
+    if (a == nullptr) return Value::ofInt(0);
+    i32 h = 1;  // Java's Arrays.hashCode contract
+    for (i32 i = 0; i < a->length; ++i) {
+      h = static_cast<i32>(static_cast<u32>(h) * 31u +
+                           static_cast<u32>(a->intElems()[i]));
+    }
+    return Value::ofInt(h);
+  });
+  bindNative(cls, "binarySearch", "([II)I", [](NativeCtx& ctx) {
+    Object* a = argIntArray(ctx, 0);
+    if (a == nullptr) return Value();
+    const i32 key = ctx.args.at(1).asInt();
+    const i32* begin = a->intElems();
+    const i32* end = begin + a->length;
+    const i32* it = std::lower_bound(begin, end, key);
+    if (it != end && *it == key) {
+      return Value::ofInt(static_cast<i32>(it - begin));
+    }
+    // Java contract: -(insertion point) - 1.
+    return Value::ofInt(-static_cast<i32>(it - begin) - 1);
+  });
+}
+
+// -------------------------------------------------- second-tier String API
+
+void defineStringExtras(ClassLoader* sys) {
+  JClass* cls = sys->findLocal("java/lang/String");
+  IJVM_CHECK(cls != nullptr, "String must be defined before its extras");
+
+  // Native methods must be declared on the class at build time; String is
+  // built in system_library.cpp (which declares these extras), so they are
+  // only *bound* here.
+  auto bind = [&](const char* name, const char* desc, NativeFn fn) {
+    bindNative(cls, name, desc, std::move(fn));
+  };
+
+  auto str_of = [](Object* o) -> const std::string& { return o->str(); };
+
+  bind("endsWith", "(Ljava/lang/String;)I", [str_of](NativeCtx& ctx) {
+    std::string suffix = argString(ctx, 1);
+    if (ctx.hasPending()) return Value();
+    const std::string& s = str_of(self(ctx));
+    return Value::ofInt(s.size() >= suffix.size() &&
+                                s.compare(s.size() - suffix.size(),
+                                          suffix.size(), suffix) == 0
+                            ? 1
+                            : 0);
+  });
+  bind("contains", "(Ljava/lang/String;)I", [str_of](NativeCtx& ctx) {
+    std::string needle = argString(ctx, 1);
+    if (ctx.hasPending()) return Value();
+    return Value::ofInt(
+        str_of(self(ctx)).find(needle) != std::string::npos ? 1 : 0);
+  });
+  bind("indexOf", "(Ljava/lang/String;)I", [str_of](NativeCtx& ctx) {
+    std::string needle = argString(ctx, 1);
+    if (ctx.hasPending()) return Value();
+    size_t pos = str_of(self(ctx)).find(needle);
+    return Value::ofInt(pos == std::string::npos ? -1 : static_cast<i32>(pos));
+  });
+  bind("lastIndexOf", "(I)I", [str_of](NativeCtx& ctx) {
+    size_t pos = str_of(self(ctx))
+                     .rfind(static_cast<char>(ctx.args.at(1).asInt()));
+    return Value::ofInt(pos == std::string::npos ? -1 : static_cast<i32>(pos));
+  });
+  bind("replace", "(II)Ljava/lang/String;", [str_of](NativeCtx& ctx) {
+    std::string s = str_of(self(ctx));
+    const char from = static_cast<char>(ctx.args.at(1).asInt());
+    const char to = static_cast<char>(ctx.args.at(2).asInt());
+    for (char& c : s) {
+      if (c == from) c = to;
+    }
+    return Value::ofRef(ctx.vm.newStringObject(&ctx.thread, std::move(s)));
+  });
+  bind("toUpperCase", "()Ljava/lang/String;", [str_of](NativeCtx& ctx) {
+    std::string s = str_of(self(ctx));
+    for (char& c : s) c = static_cast<char>(std::toupper(static_cast<u8>(c)));
+    return Value::ofRef(ctx.vm.newStringObject(&ctx.thread, std::move(s)));
+  });
+  bind("toLowerCase", "()Ljava/lang/String;", [str_of](NativeCtx& ctx) {
+    std::string s = str_of(self(ctx));
+    for (char& c : s) c = static_cast<char>(std::tolower(static_cast<u8>(c)));
+    return Value::ofRef(ctx.vm.newStringObject(&ctx.thread, std::move(s)));
+  });
+  bind("trim", "()Ljava/lang/String;", [str_of](NativeCtx& ctx) {
+    const std::string& s = str_of(self(ctx));
+    size_t b = 0, e = s.size();
+    while (b < e && static_cast<u8>(s[b]) <= ' ') ++b;
+    while (e > b && static_cast<u8>(s[e - 1]) <= ' ') --e;
+    return Value::ofRef(
+        ctx.vm.newStringObject(&ctx.thread, s.substr(b, e - b)));
+  });
+  bind("split", "(Ljava/lang/String;)[Ljava/lang/String;",
+       [str_of](NativeCtx& ctx) {
+         std::string sep = argString(ctx, 1);
+         if (ctx.hasPending()) return Value();
+         if (sep.empty()) {
+           ctx.throwGuest("java/lang/IllegalArgumentException",
+                          "empty separator");
+           return Value();
+         }
+         const std::string& s = str_of(self(ctx));
+         std::vector<std::string> parts;
+         size_t start = 0;
+         for (size_t pos = s.find(sep); pos != std::string::npos;
+              pos = s.find(sep, start)) {
+           parts.push_back(s.substr(start, pos - start));
+           start = pos + sep.size();
+         }
+         parts.push_back(s.substr(start));
+         LocalRootScope roots(&ctx.thread);
+         Object* arr = roots.add(ctx.vm.allocArrayObject(
+             &ctx.thread, ctx.vm.registry().arrayClass("[Ljava/lang/String;"),
+             static_cast<i32>(parts.size())));
+         if (arr == nullptr) return Value();
+         for (size_t i = 0; i < parts.size(); ++i) {
+           Object* piece =
+               ctx.vm.newStringObject(&ctx.thread, std::move(parts[i]));
+           if (piece == nullptr) return Value();
+           arr->refElems()[i] = piece;
+         }
+         return Value::ofRef(arr);
+       });
+}
+
+}  // namespace
+
+void defineExtraClasses(ClassLoader* sys) {
+  defineLinkedList(sys);
+  defineRandom(sys);
+  defineIntegerAndLong(sys);
+  defineArrays(sys);
+  defineStringExtras(sys);
+}
+
+}  // namespace ijvm

@@ -1,0 +1,13 @@
+// Internal wiring between the system-library translation units.
+#pragma once
+
+namespace ijvm {
+
+class ClassLoader;
+
+// Defines the extended library classes (LinkedList, Random, Arrays,
+// Integer, Long, String second-tier methods). Called by
+// installSystemLibrary after the core classes exist.
+void defineExtraClasses(ClassLoader* sys);
+
+}  // namespace ijvm

@@ -1,0 +1,31 @@
+// The guest "Java System Library".
+//
+// Defines the core classes every bundle links against -- java/lang/Object,
+// String, Class, Thread, Throwable hierarchy (including the termination
+// exception StoppedIsolateException), StringBuilder, collections, Math,
+// System and the instrumented connection class java/io/Connection -- in the
+// VM's *system loader*. System-library code executes in the caller's isolate
+// and its resource usage is charged to the caller (paper sections 3.1/3.2).
+#pragma once
+
+#include <memory>
+
+#include "runtime/vm.h"
+#include "stdlib/channels.h"
+
+namespace ijvm {
+
+// Installs the whole library. Must be called exactly once per VM, before
+// any isolate is created. Also registers the VM-wide ChannelHub extension
+// ("channels") used by guest connections and the comm module.
+void installSystemLibrary(VM& vm);
+
+// The hub installed by installSystemLibrary.
+std::shared_ptr<ChannelHub> channelHub(VM& vm);
+
+// Convenience for natives/tests: reads a guest string argument, raising
+// NullPointerException on null. Returns empty string on error (check
+// ctx.hasPending()).
+std::string argString(NativeCtx& ctx, size_t index);
+
+}  // namespace ijvm

@@ -1,0 +1,32 @@
+// Basic project-wide helpers: assertion macros and fixed-width aliases.
+//
+// IJVM_CHECK is used for internal VM invariants (a failure is a bug in the
+// VM itself, never guest-program behaviour -- guest errors are reported as
+// guest exceptions, see runtime/interpreter.cpp).
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <string>
+
+namespace ijvm {
+
+[[noreturn]] void panic(const char* file, int line, const std::string& msg);
+
+#define IJVM_CHECK(cond, msg)                                      \
+  do {                                                             \
+    if (!(cond)) ::ijvm::panic(__FILE__, __LINE__, (msg));         \
+  } while (0)
+
+#define IJVM_UNREACHABLE(msg) ::ijvm::panic(__FILE__, __LINE__, (msg))
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+}  // namespace ijvm

@@ -1,0 +1,14 @@
+#include "support/common.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ijvm {
+
+void panic(const char* file, int line, const std::string& msg) {
+  std::fprintf(stderr, "ijvm panic at %s:%d: %s\n", file, line, msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace ijvm

@@ -1,0 +1,35 @@
+// Deterministic xorshift64* RNG. Workloads and property tests use this so
+// that guest-program checksums are reproducible across runs and platforms.
+#pragma once
+
+#include "support/common.h"
+
+namespace ijvm {
+
+class Rng {
+ public:
+  explicit Rng(u64 seed = 0x9e3779b97f4a7c15ull) : state_(seed ? seed : 1) {}
+
+  u64 next() {
+    u64 x = state_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state_ = x;
+    return x * 0x2545f4914f6cdd1dull;
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  u64 nextBounded(u64 bound) { return next() % bound; }
+
+  i32 nextInt() { return static_cast<i32>(next()); }
+
+  double nextDouble() {  // [0, 1)
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+ private:
+  u64 state_;
+};
+
+}  // namespace ijvm

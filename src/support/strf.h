@@ -1,0 +1,12 @@
+// Minimal printf-style std::string formatting (gcc 12 lacks std::format).
+#pragma once
+
+#include <string>
+
+namespace ijvm {
+
+// Returns the printf-formatted string. Only used on cold paths (errors,
+// reports); not a hot-path utility.
+std::string strf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace ijvm

@@ -1,0 +1,637 @@
+#include "verifier/verifier.h"
+
+#include <algorithm>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "support/strf.h"
+
+namespace ijvm {
+
+namespace {
+
+// Abstract value kinds. Unset = local never written on this path;
+// Conflict = merge of incompatible kinds (an error only if used).
+enum class V : u8 { Unset, Int, Long, Double, Ref, Conflict };
+
+V ofKind(Kind k) {
+  switch (k) {
+    case Kind::Int:
+      return V::Int;
+    case Kind::Long:
+      return V::Long;
+    case Kind::Double:
+      return V::Double;
+    case Kind::Ref:
+      return V::Ref;
+    case Kind::Void:
+      break;
+  }
+  return V::Conflict;
+}
+
+V merge(V a, V b) {
+  if (a == b) return a;
+  if (a == V::Unset || b == V::Unset) return V::Unset;
+  return V::Conflict;
+}
+
+struct AbstractState {
+  std::vector<V> locals;
+  std::vector<V> stack;
+
+  bool mergeFrom(const AbstractState& other, bool* changed) {
+    if (stack.size() != other.stack.size()) return false;
+    for (size_t i = 0; i < locals.size(); ++i) {
+      V m = merge(locals[i], other.locals[i]);
+      if (m != locals[i]) {
+        locals[i] = m;
+        *changed = true;
+      }
+    }
+    for (size_t i = 0; i < stack.size(); ++i) {
+      V m = merge(stack[i], other.stack[i]);
+      if (m == V::Unset) m = V::Conflict;  // stack slots are always defined
+      if (m != stack[i]) {
+        stack[i] = m;
+        *changed = true;
+      }
+    }
+    return true;
+  }
+};
+
+class MethodVerifier {
+ public:
+  MethodVerifier(const JClass& cls, const JMethod& m) : cls_(cls), m_(m) {}
+
+  void run() {
+    const Code& code = m_.code;
+    if (code.insns.empty()) {
+      fail("empty code");
+    }
+    checkStructure();
+
+    // Entry state: arguments occupy the first local slots.
+    AbstractState entry;
+    entry.locals.assign(code.max_locals, V::Unset);
+    size_t slot = 0;
+    if (!m_.isStatic()) entry.locals[slot++] = V::Ref;
+    for (const TypeDesc& p : m_.sig.params) {
+      if (slot >= entry.locals.size()) fail("max_locals smaller than arguments");
+      entry.locals[slot++] = ofKind(p.kind);
+    }
+
+    states_.assign(code.insns.size(), std::nullopt);
+    reached_.assign(code.insns.size(), false);
+    setState(0, entry);
+    while (!worklist_.empty()) {
+      i32 pc = worklist_.front();
+      worklist_.pop_front();
+      step(pc);
+    }
+
+    // Every exception-handler entry must also verify; seed them with the
+    // merged locals of their protected range and a 1-deep ref stack.
+    bool seeded = true;
+    while (seeded) {
+      seeded = false;
+      for (const ExHandler& h : code.handlers) {
+        std::optional<AbstractState> covered;
+        for (i32 pc = h.start; pc < h.end; ++pc) {
+          auto& s = states_[static_cast<size_t>(pc)];
+          if (!s) continue;
+          if (!covered) {
+            covered = *s;
+          } else {
+            for (size_t i = 0; i < covered->locals.size(); ++i) {
+              covered->locals[i] = merge(covered->locals[i], s->locals[i]);
+            }
+          }
+        }
+        if (!covered) continue;
+        AbstractState at_handler;
+        at_handler.locals = covered->locals;
+        at_handler.stack = {V::Ref};
+        if (setState(h.handler, at_handler)) seeded = true;
+      }
+      while (!worklist_.empty()) {
+        i32 pc = worklist_.front();
+        worklist_.pop_front();
+        step(pc);
+      }
+    }
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw VerifyError(strf("%s.%s%s: %s", cls_.name.c_str(), m_.name.c_str(),
+                           m_.descriptor.c_str(), why.c_str()));
+  }
+  [[noreturn]] void failAt(i32 pc, const std::string& why) const {
+    throw VerifyError(strf("%s.%s%s @%d (%s): %s", cls_.name.c_str(),
+                           m_.name.c_str(), m_.descriptor.c_str(), pc,
+                           opName(m_.code.insns[static_cast<size_t>(pc)].op),
+                           why.c_str()));
+  }
+
+  void checkStructure() {
+    const Code& code = m_.code;
+    const i32 n = static_cast<i32>(code.insns.size());
+    for (i32 pc = 0; pc < n; ++pc) {
+      const Instruction& insn = code.insns[static_cast<size_t>(pc)];
+      if (opIsBranch(insn.op)) {
+        if (insn.a < 0 || insn.a >= n) failAt(pc, "branch target out of range");
+      }
+      switch (insn.op) {
+        case Op::ILOAD:
+        case Op::LLOAD:
+        case Op::DLOAD:
+        case Op::ALOAD:
+        case Op::ISTORE:
+        case Op::LSTORE:
+        case Op::DSTORE:
+        case Op::ASTORE:
+        case Op::IINC:
+          if (insn.a < 0 || insn.a >= code.max_locals) {
+            failAt(pc, "local slot out of range");
+          }
+          break;
+        case Op::LDC:
+        case Op::GETSTATIC:
+        case Op::PUTSTATIC:
+        case Op::GETFIELD:
+        case Op::PUTFIELD:
+        case Op::INVOKEVIRTUAL:
+        case Op::INVOKESPECIAL:
+        case Op::INVOKESTATIC:
+        case Op::INVOKEINTERFACE:
+        case Op::NEW:
+        case Op::ANEWARRAY:
+        case Op::CHECKCAST:
+        case Op::INSTANCEOF:
+          if (insn.a < 0 || insn.a >= cls_.pool.size()) {
+            failAt(pc, "constant pool index out of range");
+          }
+          break;
+        case Op::NEWARRAY:
+          if (insn.a < 0 || insn.a > 2) failAt(pc, "bad newarray kind");
+          break;
+        default:
+          break;
+      }
+    }
+    // The last instruction must not fall off the end.
+    const Instruction& last = code.insns[static_cast<size_t>(n - 1)];
+    switch (last.op) {
+      case Op::GOTO:
+      case Op::RETURN:
+      case Op::IRETURN:
+      case Op::LRETURN:
+      case Op::DRETURN:
+      case Op::ARETURN:
+      case Op::ATHROW:
+        break;
+      default:
+        fail("control flow can fall off the end of the code");
+    }
+    for (const ExHandler& h : code.handlers) {
+      if (h.start < 0 || h.end > n || h.start >= h.end) {
+        fail("bad exception handler range");
+      }
+      if (h.handler < 0 || h.handler >= n) fail("handler target out of range");
+      if (h.catch_type_pool >= 0) {
+        if (h.catch_type_pool >= cls_.pool.size() ||
+            cls_.pool.at(h.catch_type_pool).tag != CpTag::ClassRef) {
+          fail("handler catch type is not a class ref");
+        }
+      }
+    }
+  }
+
+  // Records `state` as the in-state of pc; enqueues pc if changed.
+  bool setState(i32 pc, const AbstractState& state) {
+    auto& slot = states_[static_cast<size_t>(pc)];
+    if (!slot) {
+      slot = state;
+      worklist_.push_back(pc);
+      return true;
+    }
+    bool changed = false;
+    if (!slot->mergeFrom(state, &changed)) {
+      failAt(pc, strf("stack depth mismatch at join (%zu vs %zu)",
+                      slot->stack.size(), state.stack.size()));
+    }
+    if (changed) worklist_.push_back(pc);
+    return changed;
+  }
+
+  V popV(AbstractState& s, i32 pc) {
+    if (s.stack.empty()) failAt(pc, "operand stack underflow");
+    V v = s.stack.back();
+    s.stack.pop_back();
+    return v;
+  }
+
+  void popExpect(AbstractState& s, i32 pc, V expect) {
+    V v = popV(s, pc);
+    if (v != expect) {
+      failAt(pc, strf("expected %d on stack, found %d", static_cast<int>(expect),
+                      static_cast<int>(v)));
+    }
+  }
+
+  void loadLocal(AbstractState& s, i32 pc, i32 slot, V expect) {
+    V v = s.locals[static_cast<size_t>(slot)];
+    if (v == V::Unset) failAt(pc, strf("local %d used before definition", slot));
+    if (v == V::Conflict) failAt(pc, strf("local %d has conflicting types", slot));
+    if (v != expect) failAt(pc, strf("local %d type mismatch", slot));
+    s.stack.push_back(v);
+  }
+
+  void step(i32 pc) {
+    AbstractState s = *states_[static_cast<size_t>(pc)];
+    reached_[static_cast<size_t>(pc)] = true;
+    const Instruction& insn = m_.code.insns[static_cast<size_t>(pc)];
+    const i32 n = static_cast<i32>(m_.code.insns.size());
+    bool falls_through = true;
+
+    auto push = [&s](V v) { s.stack.push_back(v); };
+
+    switch (insn.op) {
+      case Op::NOP:
+        break;
+      case Op::ACONST_NULL:
+        push(V::Ref);
+        break;
+      case Op::ICONST:
+        push(V::Int);
+        break;
+      case Op::LDC: {
+        const CpEntry& e = cls_.pool.at(insn.a);
+        switch (e.tag) {
+          case CpTag::Int:
+            push(V::Int);
+            break;
+          case CpTag::Long:
+            push(V::Long);
+            break;
+          case CpTag::Double:
+            push(V::Double);
+            break;
+          case CpTag::String:
+            push(V::Ref);
+            break;
+          default:
+            failAt(pc, "LDC of non-constant pool entry");
+        }
+        break;
+      }
+      case Op::ILOAD:
+        loadLocal(s, pc, insn.a, V::Int);
+        break;
+      case Op::LLOAD:
+        loadLocal(s, pc, insn.a, V::Long);
+        break;
+      case Op::DLOAD:
+        loadLocal(s, pc, insn.a, V::Double);
+        break;
+      case Op::ALOAD:
+        loadLocal(s, pc, insn.a, V::Ref);
+        break;
+      case Op::ISTORE:
+        popExpect(s, pc, V::Int);
+        s.locals[static_cast<size_t>(insn.a)] = V::Int;
+        break;
+      case Op::LSTORE:
+        popExpect(s, pc, V::Long);
+        s.locals[static_cast<size_t>(insn.a)] = V::Long;
+        break;
+      case Op::DSTORE:
+        popExpect(s, pc, V::Double);
+        s.locals[static_cast<size_t>(insn.a)] = V::Double;
+        break;
+      case Op::ASTORE:
+        popExpect(s, pc, V::Ref);
+        s.locals[static_cast<size_t>(insn.a)] = V::Ref;
+        break;
+      case Op::IINC: {
+        V v = s.locals[static_cast<size_t>(insn.a)];
+        if (v != V::Int) failAt(pc, "iinc of non-int local");
+        break;
+      }
+      case Op::POP:
+        popV(s, pc);
+        break;
+      case Op::DUP: {
+        V v = popV(s, pc);
+        push(v);
+        push(v);
+        break;
+      }
+      case Op::DUP_X1: {
+        V a = popV(s, pc);
+        V b = popV(s, pc);
+        push(a);
+        push(b);
+        push(a);
+        break;
+      }
+      case Op::SWAP: {
+        V a = popV(s, pc);
+        V b = popV(s, pc);
+        push(a);
+        push(b);
+        break;
+      }
+
+      case Op::IADD:
+      case Op::ISUB:
+      case Op::IMUL:
+      case Op::IDIV:
+      case Op::IREM:
+      case Op::ISHL:
+      case Op::ISHR:
+      case Op::IUSHR:
+      case Op::IAND:
+      case Op::IOR:
+      case Op::IXOR:
+        popExpect(s, pc, V::Int);
+        popExpect(s, pc, V::Int);
+        push(V::Int);
+        break;
+      case Op::INEG:
+        popExpect(s, pc, V::Int);
+        push(V::Int);
+        break;
+
+      case Op::LADD:
+      case Op::LSUB:
+      case Op::LMUL:
+      case Op::LDIV:
+      case Op::LREM:
+      case Op::LAND:
+      case Op::LOR:
+      case Op::LXOR:
+        popExpect(s, pc, V::Long);
+        popExpect(s, pc, V::Long);
+        push(V::Long);
+        break;
+      case Op::LSHL:
+      case Op::LSHR:
+        popExpect(s, pc, V::Int);
+        popExpect(s, pc, V::Long);
+        push(V::Long);
+        break;
+      case Op::LNEG:
+        popExpect(s, pc, V::Long);
+        push(V::Long);
+        break;
+      case Op::LCMP:
+        popExpect(s, pc, V::Long);
+        popExpect(s, pc, V::Long);
+        push(V::Int);
+        break;
+
+      case Op::DADD:
+      case Op::DSUB:
+      case Op::DMUL:
+      case Op::DDIV:
+      case Op::DREM:
+        popExpect(s, pc, V::Double);
+        popExpect(s, pc, V::Double);
+        push(V::Double);
+        break;
+      case Op::DNEG:
+        popExpect(s, pc, V::Double);
+        push(V::Double);
+        break;
+      case Op::DCMPL:
+      case Op::DCMPG:
+        popExpect(s, pc, V::Double);
+        popExpect(s, pc, V::Double);
+        push(V::Int);
+        break;
+
+      case Op::I2L:
+        popExpect(s, pc, V::Int);
+        push(V::Long);
+        break;
+      case Op::I2D:
+        popExpect(s, pc, V::Int);
+        push(V::Double);
+        break;
+      case Op::L2I:
+        popExpect(s, pc, V::Long);
+        push(V::Int);
+        break;
+      case Op::L2D:
+        popExpect(s, pc, V::Long);
+        push(V::Double);
+        break;
+      case Op::D2I:
+        popExpect(s, pc, V::Double);
+        push(V::Int);
+        break;
+      case Op::D2L:
+        popExpect(s, pc, V::Double);
+        push(V::Long);
+        break;
+
+      case Op::IFEQ:
+      case Op::IFNE:
+      case Op::IFLT:
+      case Op::IFGE:
+      case Op::IFGT:
+      case Op::IFLE:
+        popExpect(s, pc, V::Int);
+        setState(insn.a, s);
+        break;
+      case Op::IF_ICMPEQ:
+      case Op::IF_ICMPNE:
+      case Op::IF_ICMPLT:
+      case Op::IF_ICMPGE:
+      case Op::IF_ICMPGT:
+      case Op::IF_ICMPLE:
+        popExpect(s, pc, V::Int);
+        popExpect(s, pc, V::Int);
+        setState(insn.a, s);
+        break;
+      case Op::IF_ACMPEQ:
+      case Op::IF_ACMPNE:
+        popExpect(s, pc, V::Ref);
+        popExpect(s, pc, V::Ref);
+        setState(insn.a, s);
+        break;
+      case Op::IFNULL:
+      case Op::IFNONNULL:
+        popExpect(s, pc, V::Ref);
+        setState(insn.a, s);
+        break;
+      case Op::GOTO:
+        setState(insn.a, s);
+        falls_through = false;
+        break;
+
+      case Op::RETURN:
+        if (m_.sig.ret.kind != Kind::Void) failAt(pc, "RETURN from non-void method");
+        falls_through = false;
+        break;
+      case Op::IRETURN:
+        if (m_.sig.ret.kind != Kind::Int) failAt(pc, "IRETURN kind mismatch");
+        popExpect(s, pc, V::Int);
+        falls_through = false;
+        break;
+      case Op::LRETURN:
+        if (m_.sig.ret.kind != Kind::Long) failAt(pc, "LRETURN kind mismatch");
+        popExpect(s, pc, V::Long);
+        falls_through = false;
+        break;
+      case Op::DRETURN:
+        if (m_.sig.ret.kind != Kind::Double) failAt(pc, "DRETURN kind mismatch");
+        popExpect(s, pc, V::Double);
+        falls_through = false;
+        break;
+      case Op::ARETURN:
+        if (m_.sig.ret.kind != Kind::Ref) failAt(pc, "ARETURN kind mismatch");
+        popExpect(s, pc, V::Ref);
+        falls_through = false;
+        break;
+
+      case Op::GETSTATIC:
+      case Op::PUTSTATIC:
+      case Op::GETFIELD:
+      case Op::PUTFIELD: {
+        const CpEntry& e = cls_.pool.at(insn.a);
+        if (e.tag != CpTag::FieldRef) failAt(pc, "operand is not a field ref");
+        V fv = ofKind(parseTypeDesc(e.descriptor).kind);
+        switch (insn.op) {
+          case Op::GETSTATIC:
+            push(fv);
+            break;
+          case Op::PUTSTATIC:
+            popExpect(s, pc, fv);
+            break;
+          case Op::GETFIELD:
+            popExpect(s, pc, V::Ref);
+            push(fv);
+            break;
+          default:  // PUTFIELD
+            popExpect(s, pc, fv);
+            popExpect(s, pc, V::Ref);
+            break;
+        }
+        break;
+      }
+
+      case Op::INVOKEVIRTUAL:
+      case Op::INVOKESPECIAL:
+      case Op::INVOKESTATIC:
+      case Op::INVOKEINTERFACE: {
+        const CpEntry& e = cls_.pool.at(insn.a);
+        if (e.tag != CpTag::MethodRef) failAt(pc, "operand is not a method ref");
+        MethodSig sig = parseMethodSig(e.descriptor);
+        for (auto it = sig.params.rbegin(); it != sig.params.rend(); ++it) {
+          popExpect(s, pc, ofKind(it->kind));
+        }
+        if (insn.op != Op::INVOKESTATIC) popExpect(s, pc, V::Ref);
+        if (sig.ret.kind != Kind::Void) push(ofKind(sig.ret.kind));
+        break;
+      }
+
+      case Op::NEW: {
+        const CpEntry& e = cls_.pool.at(insn.a);
+        if (e.tag != CpTag::ClassRef) failAt(pc, "NEW operand is not a class ref");
+        push(V::Ref);
+        break;
+      }
+      case Op::NEWARRAY:
+        popExpect(s, pc, V::Int);
+        push(V::Ref);
+        break;
+      case Op::ANEWARRAY:
+        popExpect(s, pc, V::Int);
+        push(V::Ref);
+        break;
+      case Op::ARRAYLENGTH:
+        popExpect(s, pc, V::Ref);
+        push(V::Int);
+        break;
+
+      case Op::IALOAD:
+      case Op::LALOAD:
+      case Op::DALOAD:
+      case Op::AALOAD: {
+        popExpect(s, pc, V::Int);
+        popExpect(s, pc, V::Ref);
+        V elem = insn.op == Op::IALOAD   ? V::Int
+                 : insn.op == Op::LALOAD ? V::Long
+                 : insn.op == Op::DALOAD ? V::Double
+                                         : V::Ref;
+        push(elem);
+        break;
+      }
+      case Op::IASTORE:
+      case Op::LASTORE:
+      case Op::DASTORE:
+      case Op::AASTORE: {
+        V elem = insn.op == Op::IASTORE   ? V::Int
+                 : insn.op == Op::LASTORE ? V::Long
+                 : insn.op == Op::DASTORE ? V::Double
+                                          : V::Ref;
+        popExpect(s, pc, elem);
+        popExpect(s, pc, V::Int);
+        popExpect(s, pc, V::Ref);
+        break;
+      }
+
+      case Op::CHECKCAST: {
+        if (s.stack.empty()) failAt(pc, "operand stack underflow");
+        if (s.stack.back() != V::Ref) failAt(pc, "checkcast of non-ref");
+        break;
+      }
+      case Op::INSTANCEOF:
+        popExpect(s, pc, V::Ref);
+        push(V::Int);
+        break;
+
+      case Op::MONITORENTER:
+      case Op::MONITOREXIT:
+        popExpect(s, pc, V::Ref);
+        break;
+
+      case Op::ATHROW:
+        popExpect(s, pc, V::Ref);
+        falls_through = false;
+        break;
+    }
+
+    if (falls_through) {
+      if (pc + 1 >= n) failAt(pc, "falls off the end of the code");
+      setState(pc + 1, s);
+    }
+  }
+
+  const JClass& cls_;
+  const JMethod& m_;
+  std::vector<std::optional<AbstractState>> states_;
+  std::vector<bool> reached_;
+  std::deque<i32> worklist_;
+};
+
+}  // namespace
+
+void verifyMethod(const JClass& cls, const JMethod& method) {
+  if (method.isNative() || method.isAbstract()) return;
+  MethodVerifier(cls, method).run();
+}
+
+void verifyClass(const JClass& cls) {
+  if (cls.isInterface() || cls.is_array) return;
+  for (const JMethod& m : cls.methods) {
+    verifyMethod(cls, m);
+  }
+}
+
+}  // namespace ijvm

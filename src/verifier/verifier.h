@@ -1,0 +1,31 @@
+// Bytecode verifier.
+//
+// I-JVM's isolation argument (paper section 3.1) rests on two properties of
+// verified bytecode: (i) an isolate cannot *construct* a foreign reference,
+// and (ii) field/method access scopes are respected. This verifier enforces
+// the type-safety half: structural well-formedness plus an abstract
+// interpretation over value kinds (Int/Long/Double/Ref) with use-before-def
+// tracking for locals and merge checking at join points.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "classes/jclass.h"
+
+namespace ijvm {
+
+class VerifyError : public std::runtime_error {
+ public:
+  explicit VerifyError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Verifies every bytecode method of `cls`; throws VerifyError on the first
+// violation. Installed as the ClassRegistry verify hook by the VM when
+// VmOptions::verify is set.
+void verifyClass(const JClass& cls);
+
+// Verifies a single method (exposed for targeted tests).
+void verifyMethod(const JClass& cls, const JMethod& method);
+
+}  // namespace ijvm

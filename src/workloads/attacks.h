@@ -1,0 +1,66 @@
+// The eight attacks of paper section 2 / 4.3.
+//
+// Each attack runs on a fresh platform (VM + OSGi framework + a victim
+// bundle + a malicious bundle) in either *isolated* mode (I-JVM) or
+// *shared* mode (the unprotected Sun-JVM/LadyVM baseline), and reports a
+// structured outcome that the robustness bench prints as the paper's
+// per-attack comparison and the tests assert on.
+//
+//   A1  modification of a static variable
+//   A2  synchronized lock on a shared (interned-string / Class) object
+//   A3  memory exhaustion (objects retained)
+//   A4  excessive object creation (GC thrashing)
+//   A5  recursive thread creation
+//   A6  standalone infinite loop
+//   A7  hanging thread (callee never returns)
+//   A8  lack of termination support
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/common.h"
+
+namespace ijvm {
+
+enum class AttackId : u8 {
+  A1_StaticMutation,
+  A2_SharedLock,
+  A3_MemoryExhaustion,
+  A4_ExcessiveGc,
+  A5_ThreadCreation,
+  A6_InfiniteLoop,
+  A7_HangingThread,
+  A8_NoTermination,
+};
+
+const char* attackName(AttackId id);
+const char* attackTitle(AttackId id);
+
+struct AttackOutcome {
+  AttackId id = AttackId::A1_StaticMutation;
+  bool isolated_mode = false;
+  // Did the victim bundle keep functioning while/after the attack?
+  bool victim_unaffected = false;
+  // Could an administrator identify the offender from the per-isolate
+  // resource report (always false in shared mode: no accounting)?
+  bool attacker_identified = false;
+  // Did killing the offending bundle succeed and stop the attack?
+  bool attacker_stopped = false;
+  // One-line narration for the report.
+  std::string detail;
+
+  // The paper's bottom line: the platform survives the attack.
+  bool protectedOutcome() const {
+    return victim_unaffected && attacker_stopped;
+  }
+};
+
+// Runs one attack in the given mode. Self-contained (builds and tears down
+// its own VM); safe to call repeatedly.
+AttackOutcome runAttack(AttackId id, bool isolated_mode);
+
+// All eight, in order.
+std::vector<AttackOutcome> runAllAttacks(bool isolated_mode);
+
+}  // namespace ijvm

@@ -1,0 +1,340 @@
+#include "workloads/bundles.h"
+
+#include <functional>
+
+#include "bytecode/builder.h"
+#include "support/strf.h"
+
+namespace ijvm {
+
+std::string bundlePkg(const std::string& bundle_name) {
+  std::string pkg = bundle_name;
+  for (char& c : pkg) {
+    if (c == '.') c = '/';
+  }
+  return pkg;
+}
+
+void defineCounterApi(Framework& fw) {
+  ClassLoader* loader = fw.frameworkIsolate()->loader;
+  if (loader->findLocal("api/Counter") != nullptr) return;
+  ClassBuilder cb("api/Counter", "", ACC_PUBLIC | ACC_INTERFACE);
+  cb.abstractMethod("inc", "()I");
+  cb.abstractMethod("get", "()I");
+  cb.abstractMethod("add", "(I)I");
+  loader->define(cb.build());
+}
+
+BundleDescriptor makeCounterProvider(const std::string& bundle_name,
+                                     const std::string& service_name) {
+  BundleDescriptor desc;
+  desc.symbolic_name = bundle_name;
+  std::string pkg = bundlePkg(bundle_name);
+  std::string impl = pkg + "/CounterImpl";
+
+  {
+    ClassBuilder cb(impl);
+    cb.addInterface("api/Counter");
+    cb.field("n", "I");
+    auto& inc = cb.method("inc", "()I");
+    inc.aload(0).aload(0).getfield(impl, "n", "I").iconst(1).iadd();
+    inc.putfield(impl, "n", "I");
+    inc.aload(0).getfield(impl, "n", "I").ireturn();
+    auto& get = cb.method("get", "()I");
+    get.aload(0).getfield(impl, "n", "I").ireturn();
+    auto& add = cb.method("add", "(I)I");
+    add.aload(0).aload(0).getfield(impl, "n", "I").iload(1).iadd();
+    add.putfield(impl, "n", "I");
+    add.aload(0).getfield(impl, "n", "I").ireturn();
+    desc.classes.push_back(cb.build());
+  }
+  {
+    ClassBuilder cb(pkg + "/Activator");
+    cb.addInterface("osgi/BundleActivator");
+    auto& start = cb.method("start", "(Losgi/BundleContext;)V");
+    start.newDefault(impl).astore(2);
+    start.aload(1).ldcStr(service_name).aload(2);
+    start.invokevirtual("osgi/BundleContext", "registerService",
+                        "(Ljava/lang/String;Ljava/lang/Object;)V");
+    start.ret();
+    cb.method("stop", "(Losgi/BundleContext;)V").ret();
+    desc.classes.push_back(cb.build());
+    desc.activator = pkg + "/Activator";
+  }
+  return desc;
+}
+
+BundleDescriptor makeCounterClient(const std::string& bundle_name,
+                                   const std::string& service_name) {
+  BundleDescriptor desc;
+  desc.symbolic_name = bundle_name;
+  std::string pkg = bundlePkg(bundle_name);
+  std::string client = pkg + "/Client";
+
+  {
+    ClassBuilder cb(client);
+    cb.field("svc", "Lapi/Counter;", ACC_PUBLIC | ACC_STATIC);
+
+    auto& once = cb.method("callOnce", "()I", ACC_PUBLIC | ACC_STATIC);
+    once.getstatic(client, "svc", "Lapi/Counter;");
+    once.invokeinterface("api/Counter", "inc", "()I").ireturn();
+
+    auto& many = cb.method("callMany", "(I)I", ACC_PUBLIC | ACC_STATIC);
+    Label loop = many.newLabel();
+    Label done = many.newLabel();
+    many.iconst(0).istore(1);
+    many.bind(loop).iload(0).ifle(done);
+    many.getstatic(client, "svc", "Lapi/Counter;");
+    many.invokeinterface("api/Counter", "inc", "()I").istore(1);
+    many.iinc(0, -1).gotoLabel(loop);
+    many.bind(done).iload(1).ireturn();
+
+    auto& guarded = cb.method("callGuarded", "()I", ACC_PUBLIC | ACC_STATIC);
+    Label from = guarded.newLabel();
+    Label to = guarded.newLabel();
+    Label handler = guarded.newLabel();
+    guarded.bind(from);
+    guarded.getstatic(client, "svc", "Lapi/Counter;");
+    guarded.invokeinterface("api/Counter", "inc", "()I");
+    guarded.bind(to).ireturn();
+    guarded.bind(handler).pop().iconst(-1).ireturn();
+    guarded.handler(from, to, handler, "java/lang/Throwable");
+    desc.classes.push_back(cb.build());
+  }
+  {
+    ClassBuilder cb(pkg + "/Activator");
+    cb.addInterface("osgi/BundleActivator");
+    auto& start = cb.method("start", "(Losgi/BundleContext;)V");
+    start.aload(1).ldcStr(service_name);
+    start.invokevirtual("osgi/BundleContext", "getService",
+                        "(Ljava/lang/String;)Ljava/lang/Object;");
+    start.checkcast("api/Counter");
+    start.putstatic(client, "svc", "Lapi/Counter;");
+    start.ret();
+    cb.method("stop", "(Losgi/BundleContext;)V").ret();
+    desc.classes.push_back(cb.build());
+    desc.activator = pkg + "/Activator";
+  }
+  return desc;
+}
+
+BundleDescriptor makeMicroBundle(const std::string& bundle_name) {
+  BundleDescriptor desc;
+  desc.symbolic_name = bundle_name;
+  ClassBuilder cb("micro/Bench");
+  cb.field("counter", "I", ACC_PUBLIC | ACC_STATIC);
+
+  {
+    auto& m = cb.method("allocMany", "(I)I", ACC_PUBLIC | ACC_STATIC);
+    Label loop = m.newLabel(), done = m.newLabel();
+    m.iconst(0).istore(1);
+    m.bind(loop).iload(1).iload(0).ifIcmpGe(done);
+    m.newDefault("java/lang/Object").pop();
+    m.iinc(1, 1).gotoLabel(loop);
+    m.bind(done).iload(0).ireturn();
+  }
+  {
+    auto& m = cb.method("staticMany", "(I)I", ACC_PUBLIC | ACC_STATIC);
+    Label loop = m.newLabel(), done = m.newLabel();
+    m.iconst(0).istore(1);
+    m.bind(loop).iload(1).iload(0).ifIcmpGe(done);
+    m.getstatic("micro/Bench", "counter", "I").iconst(1).iadd();
+    m.putstatic("micro/Bench", "counter", "I");
+    m.iinc(1, 1).gotoLabel(loop);
+    m.bind(done).getstatic("micro/Bench", "counter", "I").ireturn();
+  }
+  {
+    auto& m = cb.method("spinFor", "(I)I", ACC_PUBLIC | ACC_STATIC);
+    Label loop = m.newLabel(), done = m.newLabel();
+    m.iconst(0).istore(1);
+    m.iconst(0).istore(2);
+    m.bind(loop).iload(1).iload(0).ifIcmpGe(done);
+    m.iload(2).iload(1).ixor().istore(2);
+    m.iinc(1, 1).gotoLabel(loop);
+    m.bind(done).iload(2).ireturn();
+  }
+  desc.classes.push_back(cb.build());
+  return desc;
+}
+
+// ---- misbehaving bundles ---------------------------------------------------
+
+namespace {
+
+// Runnable class `name` whose run() body is `body` (local 0 = this).
+ClassDef runnable(const std::string& name,
+                  const std::function<void(MethodBuilder&)>& body) {
+  ClassBuilder cb(name);
+  cb.addInterface("java/lang/Runnable");
+  auto& run = cb.method("run", "()V");
+  body(run);
+  return cb.build();
+}
+
+// Activator that spawns `runnable_cls` on a fresh guest thread at start().
+ClassDef spawningActivator(const std::string& name,
+                           const std::string& runnable_cls) {
+  ClassBuilder cb(name);
+  cb.addInterface("osgi/BundleActivator");
+  auto& start = cb.method("start", "(Losgi/BundleContext;)V");
+  start.newObject("java/lang/Thread").dup();
+  start.newDefault(runnable_cls);
+  start.invokespecial("java/lang/Thread", "<init>", "(Ljava/lang/Runnable;)V");
+  start.invokevirtual("java/lang/Thread", "start", "()V");
+  start.ret();
+  cb.method("stop", "(Losgi/BundleContext;)V").ret();
+  return cb.build();
+}
+
+}  // namespace
+
+BundleDescriptor makeCpuHogBundle(const std::string& bundle_name) {
+  BundleDescriptor desc;
+  desc.symbolic_name = bundle_name;
+  std::string pkg = bundlePkg(bundle_name);
+  desc.classes.push_back(runnable(pkg + "/Spin", [](MethodBuilder& run) {
+    Label loop = run.newLabel();
+    run.iconst(0).istore(1);
+    run.bind(loop).iload(1).iconst(1).iadd().istore(1).gotoLabel(loop);
+  }));
+  desc.classes.push_back(spawningActivator(pkg + "/Activator", pkg + "/Spin"));
+  desc.activator = pkg + "/Activator";
+  return desc;
+}
+
+BundleDescriptor makeChurnBundle(const std::string& bundle_name) {
+  BundleDescriptor desc;
+  desc.symbolic_name = bundle_name;
+  std::string pkg = bundlePkg(bundle_name);
+  desc.classes.push_back(runnable(pkg + "/Churn", [](MethodBuilder& run) {
+    Label loop = run.newLabel();
+    run.bind(loop);
+    run.iconst(4096).newarray(Kind::Int).pop();
+    run.gotoLabel(loop);
+  }));
+  desc.classes.push_back(spawningActivator(pkg + "/Activator", pkg + "/Churn"));
+  desc.activator = pkg + "/Activator";
+  return desc;
+}
+
+BundleDescriptor makeMemoryHogBundle(const std::string& bundle_name,
+                                     i32 chunk_ints, i32 chunks) {
+  BundleDescriptor desc;
+  desc.symbolic_name = bundle_name;
+  std::string pkg = bundlePkg(bundle_name);
+  std::string hog = pkg + "/Hog";
+  {
+    ClassBuilder cb(hog);
+    cb.addInterface("java/lang/Runnable");
+    cb.field("sink", "Ljava/util/ArrayList;", ACC_PUBLIC | ACC_STATIC);
+    auto& run = cb.method("run", "()V");
+    // sink = new ArrayList();
+    run.newDefault("java/util/ArrayList").putstatic(hog, "sink",
+                                                    "Ljava/util/ArrayList;");
+    // for (i = 0; i < chunks; i++) { sink.add(new int[chunk_ints]); sleep(1); }
+    Label loop = run.newLabel(), done = run.newLabel();
+    run.iconst(0).istore(1);
+    run.bind(loop).iload(1).iconst(chunks).ifIcmpGe(done);
+    run.getstatic(hog, "sink", "Ljava/util/ArrayList;");
+    run.iconst(chunk_ints).newarray(Kind::Int);
+    run.invokevirtual("java/util/ArrayList", "add", "(Ljava/lang/Object;)I").pop();
+    run.lconst(1).invokestatic("java/lang/Thread", "sleep", "(J)V");
+    run.iinc(1, 1).gotoLabel(loop);
+    // Park: keep the retention alive.
+    run.bind(done);
+    run.lconst(600000).invokestatic("java/lang/Thread", "sleep", "(J)V");
+    run.ret();
+    desc.classes.push_back(cb.build());
+  }
+  desc.classes.push_back(spawningActivator(pkg + "/Activator", hog));
+  desc.activator = pkg + "/Activator";
+  return desc;
+}
+
+BundleDescriptor makeThreadBombBundle(const std::string& bundle_name,
+                                      i32 threads) {
+  BundleDescriptor desc;
+  desc.symbolic_name = bundle_name;
+  std::string pkg = bundlePkg(bundle_name);
+  std::string sleeper = pkg + "/Sleeper";
+  desc.classes.push_back(runnable(sleeper, [](MethodBuilder& run) {
+    run.lconst(600000).invokestatic("java/lang/Thread", "sleep", "(J)V");
+    run.ret();
+  }));
+  desc.classes.push_back(runnable(pkg + "/Bomb", [&](MethodBuilder& run) {
+    // for (i = 0; i < threads; i++) new Thread(new Sleeper()).start();
+    Label loop = run.newLabel(), done = run.newLabel();
+    run.iconst(0).istore(1);
+    run.bind(loop).iload(1).iconst(threads).ifIcmpGe(done);
+    run.newObject("java/lang/Thread").dup();
+    run.newDefault(sleeper);
+    run.invokespecial("java/lang/Thread", "<init>", "(Ljava/lang/Runnable;)V");
+    run.invokevirtual("java/lang/Thread", "start", "()V");
+    run.iinc(1, 1).gotoLabel(loop);
+    run.bind(done).ret();
+  }));
+  desc.classes.push_back(spawningActivator(pkg + "/Activator", pkg + "/Bomb"));
+  desc.activator = pkg + "/Activator";
+  return desc;
+}
+
+BundleDescriptor makeHangServiceBundle(const std::string& bundle_name,
+                                       const std::string& service_name) {
+  BundleDescriptor desc;
+  desc.symbolic_name = bundle_name;
+  std::string pkg = bundlePkg(bundle_name);
+  std::string impl = pkg + "/HangImpl";
+  {
+    ClassBuilder cb(impl);
+    cb.addInterface("api/Counter");
+    auto& inc = cb.method("inc", "()I");
+    inc.lconst(600000).invokestatic("java/lang/Thread", "sleep", "(J)V");
+    inc.iconst(0).ireturn();
+    cb.method("get", "()I").iconst(0).ireturn();
+    auto& add = cb.method("add", "(I)I");
+    add.lconst(600000).invokestatic("java/lang/Thread", "sleep", "(J)V");
+    add.iconst(0).ireturn();
+    desc.classes.push_back(cb.build());
+  }
+  {
+    ClassBuilder cb(pkg + "/Activator");
+    cb.addInterface("osgi/BundleActivator");
+    auto& start = cb.method("start", "(Losgi/BundleContext;)V");
+    start.newDefault(impl).astore(2);
+    start.aload(1).ldcStr(service_name).aload(2);
+    start.invokevirtual("osgi/BundleContext", "registerService",
+                        "(Ljava/lang/String;Ljava/lang/Object;)V");
+    start.ret();
+    cb.method("stop", "(Losgi/BundleContext;)V").ret();
+    desc.classes.push_back(cb.build());
+    desc.activator = pkg + "/Activator";
+  }
+  return desc;
+}
+
+BundleDescriptor makeWellBehavedBundle(const std::string& bundle_name) {
+  BundleDescriptor desc;
+  desc.symbolic_name = bundle_name;
+  std::string pkg = bundlePkg(bundle_name);
+  desc.classes.push_back(runnable(pkg + "/Work", [](MethodBuilder& run) {
+    // while (true) { small arithmetic burst; a couple of allocations;
+    //                Thread.sleep(20); }
+    Label outer = run.newLabel();
+    run.bind(outer);
+    Label loop = run.newLabel(), done = run.newLabel();
+    run.iconst(0).istore(1);
+    run.iconst(0).istore(2);
+    run.bind(loop).iload(1).iconst(2000).ifIcmpGe(done);
+    run.iload(2).iload(1).ixor().istore(2);
+    run.iinc(1, 1).gotoLabel(loop);
+    run.bind(done);
+    run.iconst(8).newarray(Kind::Int).pop();
+    run.lconst(20).invokestatic("java/lang/Thread", "sleep", "(J)V");
+    run.gotoLabel(outer);
+  }));
+  desc.classes.push_back(spawningActivator(pkg + "/Activator", pkg + "/Work"));
+  desc.activator = pkg + "/Activator";
+  return desc;
+}
+
+}  // namespace ijvm

@@ -1,0 +1,74 @@
+// Reusable guest bundles for tests, examples and benchmarks:
+//  * a shared service API (defined in the framework loader so every bundle
+//    can link against it),
+//  * a provider bundle exporting a Counter service,
+//  * a client bundle calling it through the service registry -- the
+//    inter-bundle call path measured in Table 1 / Figure 1.
+#pragma once
+
+#include <string>
+
+#include "osgi/framework.h"
+
+namespace ijvm {
+
+// Defines the shared interface api/Counter { inc()I; get()I; add(I)I; }
+// in the framework's loader. Idempotent per framework.
+void defineCounterApi(Framework& fw);
+
+// Provider bundle: implements api/Counter, registers it as service `svc`.
+BundleDescriptor makeCounterProvider(const std::string& bundle_name,
+                                     const std::string& service_name);
+
+// Client bundle: binds the service in start() and exposes static methods
+//   <pkg>/Client.callOnce()I      -- one inter-bundle inc()
+//   <pkg>/Client.callMany(I)I     -- n inter-bundle calls, returns last
+//   <pkg>/Client.callGuarded()I   -- inc() but catches Throwable -> -1
+BundleDescriptor makeCounterClient(const std::string& bundle_name,
+                                   const std::string& service_name);
+
+// Micro-benchmark bundle (Figure 1 substrate): class micro/Bench with
+//   allocMany(I)I   -- n times `new java/lang/Object()`
+//   staticMany(I)I  -- n static variable read-modify-writes (TCM path)
+//   spinFor(I)I     -- n iterations of pure int arithmetic (CPU baseline)
+BundleDescriptor makeMicroBundle(const std::string& bundle_name);
+
+// Package prefix used by the generated classes of `bundle_name`
+// (dots replaced with slashes).
+std::string bundlePkg(const std::string& bundle_name);
+
+// ---- misbehaving bundles -------------------------------------------------
+// DoS stand-ins used by the ResourceGovernor tests/bench and the governor
+// example. Each starts its attack from the activator on a spawned thread
+// (the framework's rule 1 means start() itself returns), so the platform
+// stays responsive and an admin/governor observes the attack live.
+
+// A6 analog: spawns one thread running an infinite integer loop.
+BundleDescriptor makeCpuHogBundle(const std::string& bundle_name);
+
+// A4 analog: spawns one thread allocating int[4096] forever without
+// retaining them (GC churn).
+BundleDescriptor makeChurnBundle(const std::string& bundle_name);
+
+// A3 analog: spawns one thread that retains `chunks` arrays of
+// `chunk_ints` ints in a static list, pausing ~1ms between grabs, then
+// parks. Total retention ~= chunks * chunk_ints * 8 bytes (+ overhead).
+BundleDescriptor makeMemoryHogBundle(const std::string& bundle_name,
+                                     i32 chunk_ints, i32 chunks);
+
+// A5 analog: the activator thread spawns `threads` sleepers (10-minute
+// sleep each).
+BundleDescriptor makeThreadBombBundle(const std::string& bundle_name,
+                                      i32 threads);
+
+// A7 analog: registers an api/Counter service whose inc() never returns
+// (10-minute sleep). Callers hang inside this bundle. Requires
+// defineCounterApi(fw) first.
+BundleDescriptor makeHangServiceBundle(const std::string& bundle_name,
+                                       const std::string& service_name);
+
+// A well-behaved control: spawns one thread doing short bursts of work
+// separated by sleeps (never trips the standard governor policy).
+BundleDescriptor makeWellBehavedBundle(const std::string& bundle_name);
+
+}  // namespace ijvm

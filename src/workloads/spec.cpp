@@ -1,0 +1,685 @@
+#include "workloads/spec.h"
+
+#include "bytecode/builder.h"
+#include "support/strf.h"
+
+namespace ijvm {
+
+namespace {
+// Java int wrap-around helpers for the C++ reference implementations.
+i32 jmul(i32 a, i32 b) { return static_cast<i32>(static_cast<u32>(a) * static_cast<u32>(b)); }
+i32 jadd(i32 a, i32 b) { return static_cast<i32>(static_cast<u32>(a) + static_cast<u32>(b)); }
+i32 jhash(const std::string& s) {
+  i32 h = 0;
+  for (char c : s) h = jadd(jmul(h, 31), static_cast<u8>(c));
+  return h;
+}
+}  // namespace
+
+// ----------------------------------------------------------------- compress
+
+SpecWorkload makeCompress() {
+  SpecWorkload wl;
+  wl.name = "compress";
+  wl.main_class = "compress/Main";
+  wl.default_size = 64;  // KiB of input
+
+  ClassBuilder cb(wl.main_class);
+  auto& m = cb.method("run", "(I)I", ACC_PUBLIC | ACC_STATIC);
+  // locals: 0=size 1=n 2=data 3=seed 4=i 5=chk 6=runs 7=v 8=len
+  m.iload(0).iconst(1024).imul().istore(1);
+  m.iload(1).newarray(Kind::Int).astore(2);
+  m.iconst(12345).istore(3);
+  m.iconst(0).istore(4);
+  {
+    Label head = m.newLabel(), out = m.newLabel(), store = m.newLabel();
+    m.bind(head).iload(4).iload(1).ifIcmpGe(out);
+    m.iload(3).iconst(1103515245).imul().iconst(12345).iadd().istore(3);
+    m.iload(3).iconst(16).iushr().iconst(255).iand().istore(7);
+    // Bias toward runs: if ((seed>>>20)&3)==0 && i>0, repeat previous byte.
+    m.iload(3).iconst(20).iushr().iconst(3).iand().ifne(store);
+    m.iload(4).ifle(store);
+    m.aload(2).iload(4).iconst(1).isub().iaload().istore(7);
+    m.bind(store).aload(2).iload(4).iload(7).iastore();
+    m.iinc(4, 1).gotoLabel(head);
+    m.bind(out);
+  }
+  m.iconst(0).istore(5);
+  m.iconst(0).istore(6);
+  m.iconst(0).istore(4);
+  {
+    Label head = m.newLabel(), out = m.newLabel();
+    m.bind(head).iload(4).iload(1).ifIcmpGe(out);
+    m.aload(2).iload(4).iaload().istore(7);
+    m.iconst(1).istore(8);
+    Label scan = m.newLabel(), scanned = m.newLabel();
+    m.bind(scan);
+    m.iload(4).iload(8).iadd().iload(1).ifIcmpGe(scanned);
+    m.aload(2).iload(4).iload(8).iadd().iaload().iload(7).ifIcmpNe(scanned);
+    m.iload(8).iconst(255).ifIcmpGe(scanned);
+    m.iinc(8, 1).gotoLabel(scan);
+    m.bind(scanned);
+    m.iload(5).iconst(31).imul().iload(7).iadd().istore(5);
+    m.iload(5).iconst(31).imul().iload(8).iadd().istore(5);
+    m.iinc(6, 1);
+    m.iload(4).iload(8).iadd().istore(4);
+    m.gotoLabel(head);
+    m.bind(out);
+  }
+  m.iload(5).iload(6).ixor().ireturn();
+  wl.classes.push_back(cb.build());
+  return wl;
+}
+
+i32 referenceCompress(i32 size) {
+  const i32 n = jmul(size, 1024);
+  std::vector<i32> data(static_cast<size_t>(n));
+  i32 seed = 12345;
+  for (i32 i = 0; i < n; ++i) {
+    seed = jadd(jmul(seed, 1103515245), 12345);
+    i32 v = static_cast<i32>(static_cast<u32>(seed) >> 16) & 255;
+    if (((static_cast<u32>(seed) >> 20) & 3) == 0 && i > 0) {
+      v = data[static_cast<size_t>(i - 1)];
+    }
+    data[static_cast<size_t>(i)] = v;
+  }
+  i32 chk = 0, runs = 0, i = 0;
+  while (i < n) {
+    i32 v = data[static_cast<size_t>(i)];
+    i32 len = 1;
+    while (i + len < n && data[static_cast<size_t>(i + len)] == v && len < 255) ++len;
+    chk = jadd(jmul(chk, 31), v);
+    chk = jadd(jmul(chk, 31), len);
+    ++runs;
+    i += len;
+  }
+  return chk ^ runs;
+}
+
+// --------------------------------------------------------------------- jess
+
+SpecWorkload makeJess() {
+  SpecWorkload wl;
+  wl.name = "jess";
+  wl.main_class = "jess/Main";
+  wl.default_size = 400;  // rule-matching iterations
+
+  {
+    ClassBuilder cb("jess/Fact");
+    cb.field("type", "I");
+    cb.field("value", "I");
+    wl.classes.push_back(cb.build());
+  }
+  ClassBuilder cb(wl.main_class);
+  auto& m = cb.method("run", "(I)I", ACC_PUBLIC | ACC_STATIC);
+  // locals: 0=iters 1=facts 2=seed 3=i 4=fact 5=it 6=fired 7=chk
+  const i32 kFacts = 200;
+  m.iconst(kFacts).anewarray("jess/Fact").astore(1);
+  m.iconst(98765).istore(2);
+  m.iconst(0).istore(3);
+  {
+    Label head = m.newLabel(), out = m.newLabel();
+    m.bind(head).iload(3).iconst(kFacts).ifIcmpGe(out);
+    m.iload(2).iconst(1103515245).imul().iconst(12345).iadd().istore(2);
+    m.newDefault("jess/Fact").astore(4);
+    m.aload(4).iload(2).iconst(16).iushr().iconst(7).iand().putfield("jess/Fact", "type", "I");
+    m.aload(4).iload(2).iconst(8).iushr().iconst(100).irem().putfield("jess/Fact", "value", "I");
+    m.aload(1).iload(3).aload(4).aastore();
+    m.iinc(3, 1).gotoLabel(head);
+    m.bind(out);
+  }
+  m.iconst(0).istore(6);
+  m.iconst(0).istore(5);
+  {
+    Label it_head = m.newLabel(), it_out = m.newLabel();
+    m.bind(it_head).iload(5).iload(0).ifIcmpGe(it_out);
+    m.iconst(0).istore(3);
+    Label f_head = m.newLabel(), f_out = m.newLabel();
+    m.bind(f_head).iload(3).iconst(kFacts).ifIcmpGe(f_out);
+    m.aload(1).iload(3).aaload().astore(4);
+    // rule 1: type == it%8 && value > 50  -> value--, fired++
+    Label rule2 = m.newLabel(), next = m.newLabel();
+    m.aload(4).getfield("jess/Fact", "type", "I");
+    m.iload(5).iconst(8).irem().ifIcmpNe(rule2);
+    m.aload(4).getfield("jess/Fact", "value", "I").iconst(50).ifIcmpLe(rule2);
+    m.aload(4).aload(4).getfield("jess/Fact", "value", "I").iconst(1).isub();
+    m.putfield("jess/Fact", "value", "I");
+    m.iinc(6, 1).gotoLabel(next);
+    // rule 2: type == (it+1)%8 && value < 50 -> value++, fired += 2
+    m.bind(rule2);
+    m.aload(4).getfield("jess/Fact", "type", "I");
+    m.iload(5).iconst(1).iadd().iconst(8).irem().ifIcmpNe(next);
+    m.aload(4).getfield("jess/Fact", "value", "I").iconst(50).ifIcmpGe(next);
+    m.aload(4).aload(4).getfield("jess/Fact", "value", "I").iconst(1).iadd();
+    m.putfield("jess/Fact", "value", "I");
+    m.iinc(6, 2);
+    m.bind(next).iinc(3, 1).gotoLabel(f_head);
+    m.bind(f_out).iinc(5, 1).gotoLabel(it_head);
+    m.bind(it_out);
+  }
+  m.iconst(0).istore(7);
+  m.iconst(0).istore(3);
+  {
+    Label head = m.newLabel(), out = m.newLabel();
+    m.bind(head).iload(3).iconst(kFacts).ifIcmpGe(out);
+    m.iload(7).iconst(31).imul();
+    m.aload(1).iload(3).aaload().getfield("jess/Fact", "value", "I").iadd().istore(7);
+    m.iinc(3, 1).gotoLabel(head);
+    m.bind(out);
+  }
+  m.iload(7).iload(6).ixor().ireturn();
+  wl.classes.push_back(cb.build());
+  return wl;
+}
+
+// ----------------------------------------------------------------------- db
+
+SpecWorkload makeDb() {
+  SpecWorkload wl;
+  wl.name = "db";
+  wl.main_class = "db/Main";
+  wl.default_size = 3000;  // operations
+
+  {
+    ClassBuilder cb("db/Record");
+    cb.field("id", "I");
+    cb.field("balance", "I");
+    cb.field("name", "Ljava/lang/String;");
+    wl.classes.push_back(cb.build());
+  }
+  ClassBuilder cb(wl.main_class);
+  const i32 kRecords = 64;
+  auto& m = cb.method("run", "(I)I", ACC_PUBLIC | ACC_STATIC);
+  // locals: 0=ops 1=records 2=op 3=i 4=rec 5=id 6=j 7=tmpRec 8=chk
+  m.iconst(kRecords).anewarray("db/Record").astore(1);
+  m.iconst(0).istore(3);
+  {
+    Label head = m.newLabel(), out = m.newLabel();
+    m.bind(head).iload(3).iconst(kRecords).ifIcmpGe(out);
+    m.newDefault("db/Record").astore(4);
+    m.aload(4).iload(3).putfield("db/Record", "id", "I");
+    m.aload(4).iload(3).iconst(37).imul().iconst(100).irem();
+    m.putfield("db/Record", "balance", "I");
+    m.aload(4).iload(3).iconst(7).imul();
+    m.invokestatic("java/lang/Integer", "toString", "(I)Ljava/lang/String;");
+    m.putfield("db/Record", "name", "Ljava/lang/String;");
+    m.aload(1).iload(3).aload(4).aastore();
+    m.iinc(3, 1).gotoLabel(head);
+    m.bind(out);
+  }
+  m.iconst(0).istore(2);
+  {
+    Label op_head = m.newLabel(), op_out = m.newLabel();
+    m.bind(op_head).iload(2).iload(0).ifIcmpGe(op_out);
+    m.iload(2).iconst(31).imul().iconst(kRecords).irem().istore(5);
+    // linear lookup by id field
+    m.iconst(0).istore(3);
+    Label s_head = m.newLabel(), s_out = m.newLabel(), s_next = m.newLabel();
+    m.bind(s_head).iload(3).iconst(kRecords).ifIcmpGe(s_out);
+    m.aload(1).iload(3).aaload().astore(4);
+    m.aload(4).getfield("db/Record", "id", "I").iload(5).ifIcmpNe(s_next);
+    m.aload(4).aload(4).getfield("db/Record", "balance", "I");
+    m.iload(2).iconst(17).irem().iconst(8).isub().iadd();
+    m.putfield("db/Record", "balance", "I");
+    m.gotoLabel(s_out);
+    m.bind(s_next).iinc(3, 1).gotoLabel(s_head);
+    m.bind(s_out);
+    // periodic bubble sort by balance (ascending)
+    Label no_sort = m.newLabel();
+    m.iload(2).iconst(64).irem().ifne(no_sort);
+    {
+      // for i in 0..n-1: for j in 0..n-2-i: if a[j].bal > a[j+1].bal swap
+      Label i_head = m.newLabel(), i_out = m.newLabel();
+      m.iconst(0).istore(3);
+      m.bind(i_head).iload(3).iconst(kRecords - 1).ifIcmpGe(i_out);
+      m.iconst(0).istore(6);
+      Label j_head = m.newLabel(), j_out = m.newLabel(), no_swap = m.newLabel();
+      m.bind(j_head);
+      m.iload(6).iconst(kRecords - 1).iload(3).isub().ifIcmpGe(j_out);
+      m.aload(1).iload(6).aaload().getfield("db/Record", "balance", "I");
+      m.aload(1).iload(6).iconst(1).iadd().aaload().getfield("db/Record", "balance", "I");
+      m.ifIcmpLe(no_swap);
+      m.aload(1).iload(6).aaload().astore(7);
+      m.aload(1).iload(6);
+      m.aload(1).iload(6).iconst(1).iadd().aaload();
+      m.aastore();
+      m.aload(1).iload(6).iconst(1).iadd().aload(7).aastore();
+      m.bind(no_swap).iinc(6, 1).gotoLabel(j_head);
+      m.bind(j_out).iinc(3, 1).gotoLabel(i_head);
+      m.bind(i_out);
+    }
+    m.bind(no_sort).iinc(2, 1).gotoLabel(op_head);
+    m.bind(op_out);
+  }
+  // checksum
+  m.iconst(0).istore(8);
+  m.iconst(0).istore(3);
+  {
+    Label head = m.newLabel(), out = m.newLabel();
+    m.bind(head).iload(3).iconst(kRecords).ifIcmpGe(out);
+    m.iload(8).iconst(31).imul();
+    m.aload(1).iload(3).aaload().getfield("db/Record", "balance", "I").iadd().istore(8);
+    m.iinc(3, 1).gotoLabel(head);
+    m.bind(out);
+  }
+  m.iload(8);
+  m.aload(1).iconst(0).aaload().getfield("db/Record", "name", "Ljava/lang/String;");
+  m.invokevirtual("java/lang/String", "hashCode", "()I");
+  m.iadd().ireturn();
+  wl.classes.push_back(cb.build());
+  return wl;
+}
+
+i32 referenceDb(i32 ops) {
+  const i32 n = 64;
+  struct Rec {
+    i32 id, balance;
+    std::string name;
+  };
+  std::vector<Rec> recs;
+  for (i32 i = 0; i < n; ++i) {
+    recs.push_back(Rec{i, jmul(i, 37) % 100, strf("%d", jmul(i, 7))});
+  }
+  for (i32 op = 0; op < ops; ++op) {
+    i32 id = jmul(op, 31) % n;
+    for (i32 i = 0; i < n; ++i) {
+      if (recs[static_cast<size_t>(i)].id == id) {
+        recs[static_cast<size_t>(i)].balance =
+            jadd(recs[static_cast<size_t>(i)].balance, op % 17 - 8);
+        break;
+      }
+    }
+    if (op % 64 == 0) {
+      for (i32 i = 0; i < n - 1; ++i) {
+        for (i32 j = 0; j < n - 1 - i; ++j) {
+          if (recs[static_cast<size_t>(j)].balance >
+              recs[static_cast<size_t>(j + 1)].balance) {
+            std::swap(recs[static_cast<size_t>(j)], recs[static_cast<size_t>(j + 1)]);
+          }
+        }
+      }
+    }
+  }
+  i32 chk = 0;
+  for (i32 i = 0; i < n; ++i) {
+    chk = jadd(jmul(chk, 31), recs[static_cast<size_t>(i)].balance);
+  }
+  return jadd(chk, jhash(recs[0].name));
+}
+
+// -------------------------------------------------------------------- javac
+
+SpecWorkload makeJavac() {
+  SpecWorkload wl;
+  wl.name = "javac";
+  wl.main_class = "javac/Main";
+  wl.default_size = 300;  // expressions parsed
+
+  ClassBuilder cb(wl.main_class);
+  cb.field("src", "Ljava/lang/String;", ACC_STATIC | ACC_PUBLIC);
+  cb.field("pos", "I", ACC_STATIC | ACC_PUBLIC);
+
+  // gen(it): "(d+d*d+d)*(d+d*d+d)..." -- balanced groups of four digits.
+  {
+    auto& g = cb.method("gen", "(I)Ljava/lang/String;", ACC_PUBLIC | ACC_STATIC);
+    // locals: 0=it 1=sb 2=k
+    g.newDefault("java/lang/StringBuilder").astore(1);
+    g.iconst(0).istore(2);
+    Label head = g.newLabel(), out = g.newLabel();
+    g.bind(head).iload(2).iconst(16).ifIcmpGe(out);
+    Label no_open = g.newLabel();
+    g.iload(2).iconst(4).irem().ifne(no_open);
+    g.aload(1).iconst('(').invokevirtual("java/lang/StringBuilder", "appendChar",
+                                         "(I)Ljava/lang/StringBuilder;").pop();
+    g.bind(no_open);
+    g.aload(1);
+    g.iload(0).iconst(7).imul().iload(2).iconst(3).imul().iadd().iconst(10).irem();
+    g.invokevirtual("java/lang/StringBuilder", "appendInt",
+                    "(I)Ljava/lang/StringBuilder;").pop();
+    Label no_close = g.newLabel();
+    g.iload(2).iconst(4).irem().iconst(3).ifIcmpNe(no_close);
+    g.aload(1).iconst(')').invokevirtual("java/lang/StringBuilder", "appendChar",
+                                         "(I)Ljava/lang/StringBuilder;").pop();
+    g.bind(no_close);
+    Label no_op = g.newLabel(), star = g.newLabel(), op_done = g.newLabel();
+    g.iload(2).iconst(15).ifIcmpGe(no_op);
+    g.iload(2).iconst(2).irem().ifne(star);
+    g.aload(1).iconst('+').invokevirtual("java/lang/StringBuilder", "appendChar",
+                                         "(I)Ljava/lang/StringBuilder;").pop();
+    g.gotoLabel(op_done);
+    g.bind(star);
+    g.aload(1).iconst('*').invokevirtual("java/lang/StringBuilder", "appendChar",
+                                         "(I)Ljava/lang/StringBuilder;").pop();
+    g.bind(op_done);
+    g.bind(no_op).iinc(2, 1).gotoLabel(head);
+    g.bind(out);
+    g.aload(1).invokevirtual("java/lang/StringBuilder", "toString",
+                             "()Ljava/lang/String;").areturn();
+  }
+
+  const char* cls = "javac/Main";
+  auto emit_pos_inc = [cls](MethodBuilder& b) {
+    b.getstatic(cls, "pos", "I").iconst(1).iadd().putstatic(cls, "pos", "I");
+  };
+
+  // factor(): '(' expr ')' | digit
+  {
+    auto& f = cb.method("factor", "()I", ACC_PUBLIC | ACC_STATIC);
+    // locals: 0=c 1=v
+    f.getstatic(cls, "src", "Ljava/lang/String;").getstatic(cls, "pos", "I");
+    f.invokevirtual("java/lang/String", "charAt", "(I)I").istore(0);
+    Label digit = f.newLabel();
+    f.iload(0).iconst('(').ifIcmpNe(digit);
+    emit_pos_inc(f);
+    f.invokestatic(cls, "expr", "()I").istore(1);
+    emit_pos_inc(f);  // skip ')'
+    f.iload(1).ireturn();
+    f.bind(digit);
+    emit_pos_inc(f);
+    f.iload(0).iconst('0').isub().ireturn();
+  }
+  // term(): factor ('*' factor)*
+  {
+    auto& t = cb.method("term", "()I", ACC_PUBLIC | ACC_STATIC);
+    // locals: 0=v
+    t.invokestatic(cls, "factor", "()I").istore(0);
+    Label head = t.newLabel(), out = t.newLabel();
+    t.bind(head);
+    t.getstatic(cls, "pos", "I");
+    t.getstatic(cls, "src", "Ljava/lang/String;");
+    t.invokevirtual("java/lang/String", "length", "()I").ifIcmpGe(out);
+    t.getstatic(cls, "src", "Ljava/lang/String;").getstatic(cls, "pos", "I");
+    t.invokevirtual("java/lang/String", "charAt", "(I)I");
+    t.iconst('*').ifIcmpNe(out);
+    emit_pos_inc(t);
+    t.iload(0).invokestatic(cls, "factor", "()I").imul().istore(0);
+    t.gotoLabel(head);
+    t.bind(out).iload(0).ireturn();
+  }
+  // expr(): term (('+'|'-') term)*
+  {
+    auto& e = cb.method("expr", "()I", ACC_PUBLIC | ACC_STATIC);
+    // locals: 0=v 1=c
+    e.invokestatic(cls, "term", "()I").istore(0);
+    Label head = e.newLabel(), out = e.newLabel(), minus = e.newLabel();
+    e.bind(head);
+    e.getstatic(cls, "pos", "I");
+    e.getstatic(cls, "src", "Ljava/lang/String;");
+    e.invokevirtual("java/lang/String", "length", "()I").ifIcmpGe(out);
+    e.getstatic(cls, "src", "Ljava/lang/String;").getstatic(cls, "pos", "I");
+    e.invokevirtual("java/lang/String", "charAt", "(I)I").istore(1);
+    e.iload(1).iconst('+').ifIcmpNe(minus);
+    emit_pos_inc(e);
+    e.iload(0).invokestatic(cls, "term", "()I").iadd().istore(0);
+    e.gotoLabel(head);
+    e.bind(minus);
+    e.iload(1).iconst('-').ifIcmpNe(out);
+    emit_pos_inc(e);
+    e.iload(0).invokestatic(cls, "term", "()I").isub().istore(0);
+    e.gotoLabel(head);
+    e.bind(out).iload(0).ireturn();
+  }
+  // run(iters): parse `iters` generated expressions.
+  {
+    auto& m = cb.method("run", "(I)I", ACC_PUBLIC | ACC_STATIC);
+    // locals: 0=iters 1=chk 2=it
+    m.iconst(0).istore(1);
+    m.iconst(0).istore(2);
+    Label head = m.newLabel(), out = m.newLabel();
+    m.bind(head).iload(2).iload(0).ifIcmpGe(out);
+    m.iload(2).invokestatic(cls, "gen", "(I)Ljava/lang/String;");
+    m.putstatic(cls, "src", "Ljava/lang/String;");
+    m.iconst(0).putstatic(cls, "pos", "I");
+    m.iload(1).iconst(31).imul().invokestatic(cls, "expr", "()I").iadd().istore(1);
+    m.iinc(2, 1).gotoLabel(head);
+    m.bind(out).iload(1).ireturn();
+  }
+  wl.classes.push_back(cb.build());
+  return wl;
+}
+
+// ---------------------------------------------------------------- mpegaudio
+
+SpecWorkload makeMpegaudio() {
+  SpecWorkload wl;
+  wl.name = "mpegaudio";
+  wl.main_class = "mpegaudio/Main";
+  wl.default_size = 8;  // frames
+
+  ClassBuilder cb(wl.main_class);
+  auto& m = cb.method("run", "(I)I", ACC_PUBLIC | ACC_STATIC);
+  // locals: 0=frames 1=window 2=samples 3=f 4=i 5=j 6=acc(D) 7=s(D)
+  const i32 kN = 512, kTaps = 32;
+  m.iconst(kN).newarray(Kind::Double).astore(1);
+  m.iconst(kN).newarray(Kind::Double).astore(2);
+  m.iconst(0).istore(4);
+  {
+    Label head = m.newLabel(), out = m.newLabel();
+    m.bind(head).iload(4).iconst(kN).ifIcmpGe(out);
+    m.aload(1).iload(4);
+    m.iload(4).i2d().dconst(0.03).dmul();
+    m.invokestatic("java/lang/Math", "sin", "(D)D");
+    m.dastore();
+    m.iinc(4, 1).gotoLabel(head);
+    m.bind(out);
+  }
+  m.dconst(0.0).dstore(6);
+  m.iconst(0).istore(3);
+  {
+    Label f_head = m.newLabel(), f_out = m.newLabel();
+    m.bind(f_head).iload(3).iload(0).ifIcmpGe(f_out);
+    // refill samples
+    m.iconst(0).istore(4);
+    {
+      Label head = m.newLabel(), out = m.newLabel();
+      m.bind(head).iload(4).iconst(kN).ifIcmpGe(out);
+      m.aload(2).iload(4);
+      m.iload(4).i2d().dconst(0.001).dmul();
+      m.iload(3).iconst(1).iadd().i2d().dmul();
+      m.invokestatic("java/lang/Math", "sin", "(D)D");
+      m.dastore();
+      m.iinc(4, 1).gotoLabel(head);
+      m.bind(out);
+    }
+    // FIR filter
+    m.iconst(0).istore(4);
+    {
+      Label i_head = m.newLabel(), i_out = m.newLabel();
+      m.bind(i_head).iload(4).iconst(kN - kTaps).ifIcmpGe(i_out);
+      m.dconst(0.0).dstore(7);
+      m.iconst(0).istore(5);
+      Label j_head = m.newLabel(), j_out = m.newLabel();
+      m.bind(j_head).iload(5).iconst(kTaps).ifIcmpGe(j_out);
+      m.dload(7);
+      m.aload(2).iload(4).iload(5).iadd().daload();
+      m.aload(1).iload(5).daload();
+      m.dmul().dadd().dstore(7);
+      m.iinc(5, 1).gotoLabel(j_head);
+      m.bind(j_out);
+      m.dload(6).dload(7).dadd().dstore(6);
+      m.iinc(4, 1).gotoLabel(i_head);
+      m.bind(i_out);
+    }
+    m.iinc(3, 1).gotoLabel(f_head);
+    m.bind(f_out);
+  }
+  m.dload(6).dconst(1000.0).dmul().d2i().ireturn();
+  wl.classes.push_back(cb.build());
+  return wl;
+}
+
+// --------------------------------------------------------------------- mtrt
+
+SpecWorkload makeMtrt() {
+  SpecWorkload wl;
+  wl.name = "mtrt";
+  wl.main_class = "mtrt/Main";
+  wl.default_size = 4096;  // pixels per thread
+
+  // Tracer: half of the image per thread.
+  {
+    ClassBuilder cb("mtrt/Tracer");
+    cb.addInterface("java/lang/Runnable");
+    cb.field("from", "I");
+    cb.field("to", "I");
+    cb.field("out", "[I");
+    auto& ctor = cb.method("<init>", "(II[I)V");
+    ctor.aload(0).invokespecial("java/lang/Object", "<init>", "()V");
+    ctor.aload(0).iload(1).putfield("mtrt/Tracer", "from", "I");
+    ctor.aload(0).iload(2).putfield("mtrt/Tracer", "to", "I");
+    ctor.aload(0).aload(3).putfield("mtrt/Tracer", "out", "[I");
+    ctor.ret();
+
+    auto& run = cb.method("run", "()V");
+    // locals: 0=this 1=p 2=spheres 3=hits 4=s 5=px 6=py 7=dx 8=dy 9=r 10=outArr
+    run.getstatic("mtrt/Main", "spheres", "[D").astore(2);
+    run.aload(0).getfield("mtrt/Tracer", "out", "[I").astore(10);
+    run.aload(0).getfield("mtrt/Tracer", "from", "I").istore(1);
+    Label p_head = run.newLabel(), p_out = run.newLabel();
+    run.bind(p_head);
+    run.iload(1).aload(0).getfield("mtrt/Tracer", "to", "I").ifIcmpGe(p_out);
+    run.iload(1).iconst(64).irem().i2d().dconst(0.1).dmul().dconst(3.2).dsub().dstore(5);
+    run.iload(1).iconst(64).idiv().i2d().dconst(0.1).dmul().dconst(3.2).dsub().dstore(6);
+    run.iconst(0).istore(3);
+    run.iconst(0).istore(4);
+    Label s_head = run.newLabel(), s_out = run.newLabel(), no_hit = run.newLabel();
+    run.bind(s_head).iload(4).iconst(16).ifIcmpGe(s_out);
+    run.dload(5).aload(2).iload(4).iconst(3).imul().daload().dsub().dstore(7);
+    run.dload(6).aload(2).iload(4).iconst(3).imul().iconst(1).iadd().daload().dsub().dstore(8);
+    run.aload(2).iload(4).iconst(3).imul().iconst(2).iadd().daload().dstore(9);
+    run.dload(7).dload(7).dmul().dload(8).dload(8).dmul().dadd();
+    run.dload(9).dload(9).dmul();
+    run.dcmpg().ifgt(no_hit);
+    run.iinc(3, 1);
+    run.bind(no_hit).iinc(4, 1).gotoLabel(s_head);
+    run.bind(s_out);
+    run.aload(10).iload(1).iload(3).iastore();
+    run.iinc(1, 1).gotoLabel(p_head);
+    run.bind(p_out).ret();
+    wl.classes.push_back(cb.build());
+  }
+  {
+    ClassBuilder cb(wl.main_class);
+    cb.field("spheres", "[D", ACC_PUBLIC | ACC_STATIC);
+    auto& m = cb.method("run", "(I)I", ACC_PUBLIC | ACC_STATIC);
+    // locals: 0=pixels 1=out 2=s 3=t1 4=t2 5=chk 6=i 7=spheres
+    m.iconst(48).newarray(Kind::Double).astore(7);
+    m.iconst(0).istore(2);
+    {
+      Label head = m.newLabel(), out = m.newLabel();
+      m.bind(head).iload(2).iconst(16).ifIcmpGe(out);
+      m.aload(7).iload(2).iconst(3).imul();
+      m.iload(2).i2d().invokestatic("java/lang/Math", "sin", "(D)D");
+      m.dconst(3.0).dmul().dastore();
+      m.aload(7).iload(2).iconst(3).imul().iconst(1).iadd();
+      m.iload(2).i2d().invokestatic("java/lang/Math", "cos", "(D)D");
+      m.dconst(3.0).dmul().dastore();
+      m.aload(7).iload(2).iconst(3).imul().iconst(2).iadd();
+      m.dconst(0.5).iload(2).iconst(4).irem().i2d().dconst(0.3).dmul().dadd().dastore();
+      m.iinc(2, 1).gotoLabel(head);
+      m.bind(out);
+    }
+    m.aload(7).putstatic("mtrt/Main", "spheres", "[D");
+    m.iload(0).iconst(2).imul().newarray(Kind::Int).astore(1);
+    // two tracer threads
+    m.newObject("java/lang/Thread").dup();
+    m.newObject("mtrt/Tracer").dup().iconst(0).iload(0).aload(1);
+    m.invokespecial("mtrt/Tracer", "<init>", "(II[I)V");
+    m.invokespecial("java/lang/Thread", "<init>", "(Ljava/lang/Runnable;)V");
+    m.astore(3);
+    m.newObject("java/lang/Thread").dup();
+    m.newObject("mtrt/Tracer").dup().iload(0).iload(0).iconst(2).imul().aload(1);
+    m.invokespecial("mtrt/Tracer", "<init>", "(II[I)V");
+    m.invokespecial("java/lang/Thread", "<init>", "(Ljava/lang/Runnable;)V");
+    m.astore(4);
+    m.aload(3).invokevirtual("java/lang/Thread", "start", "()V");
+    m.aload(4).invokevirtual("java/lang/Thread", "start", "()V");
+    m.aload(3).invokevirtual("java/lang/Thread", "join", "()V");
+    m.aload(4).invokevirtual("java/lang/Thread", "join", "()V");
+    // checksum
+    m.iconst(0).istore(5);
+    m.iconst(0).istore(6);
+    {
+      Label head = m.newLabel(), out = m.newLabel();
+      m.bind(head).iload(6).iload(0).iconst(2).imul().ifIcmpGe(out);
+      m.iload(5).iconst(31).imul().aload(1).iload(6).iaload().iadd().istore(5);
+      m.iinc(6, 1).gotoLabel(head);
+      m.bind(out);
+    }
+    m.iload(5).ireturn();
+    wl.classes.push_back(cb.build());
+  }
+  return wl;
+}
+
+// --------------------------------------------------------------------- jack
+
+SpecWorkload makeJack() {
+  SpecWorkload wl;
+  wl.name = "jack";
+  wl.main_class = "jack/Main";
+  wl.default_size = 250;  // generated documents
+
+  ClassBuilder cb(wl.main_class);
+  auto& m = cb.method("run", "(I)I", ACC_PUBLIC | ACC_STATIC);
+  // locals: 0=iters 1=chk 2=it 3=sb 4=k 5=s
+  m.iconst(0).istore(1);
+  m.iconst(0).istore(2);
+  Label it_head = m.newLabel(), it_out = m.newLabel();
+  m.bind(it_head).iload(2).iload(0).ifIcmpGe(it_out);
+  m.newDefault("java/lang/StringBuilder").astore(3);
+  m.iconst(0).istore(4);
+  {
+    Label head = m.newLabel(), out = m.newLabel();
+    m.bind(head).iload(4).iconst(64).ifIcmpGe(out);
+    m.aload(3).ldcStr("tok");
+    m.invokevirtual("java/lang/StringBuilder", "append",
+                    "(Ljava/lang/String;)Ljava/lang/StringBuilder;");
+    m.iload(4).iload(2).imul().iconst(10).irem();
+    m.invokevirtual("java/lang/StringBuilder", "appendInt",
+                    "(I)Ljava/lang/StringBuilder;");
+    m.iconst(';');
+    m.invokevirtual("java/lang/StringBuilder", "appendChar",
+                    "(I)Ljava/lang/StringBuilder;");
+    m.pop();
+    m.iinc(4, 1).gotoLabel(head);
+    m.bind(out);
+  }
+  m.aload(3).invokevirtual("java/lang/StringBuilder", "toString",
+                           "()Ljava/lang/String;").astore(5);
+  m.iload(1).iconst(31).imul();
+  m.aload(5).invokevirtual("java/lang/String", "hashCode", "()I").iadd();
+  m.aload(5).invokevirtual("java/lang/String", "length", "()I").iadd().istore(1);
+  m.iinc(2, 1).gotoLabel(it_head);
+  m.bind(it_out).iload(1).ireturn();
+  wl.classes.push_back(cb.build());
+  return wl;
+}
+
+std::vector<SpecWorkload> specWorkloads() {
+  std::vector<SpecWorkload> out;
+  out.push_back(makeCompress());
+  out.push_back(makeJess());
+  out.push_back(makeDb());
+  out.push_back(makeJavac());
+  out.push_back(makeMpegaudio());
+  out.push_back(makeMtrt());
+  out.push_back(makeJack());
+  return out;
+}
+
+i32 runSpecWorkload(VM& vm, JThread* t, ClassLoader* loader,
+                    const SpecWorkload& wl, i32 size) {
+  if (loader->findLocal(wl.main_class) == nullptr) {
+    for (const ClassDef& def : wl.classes) {
+      loader->define(ClassDef(def));
+    }
+  }
+  Value r = vm.callStaticIn(t, loader, wl.main_class, "run", "(I)I",
+                            {Value::ofInt(size)});
+  IJVM_CHECK(t->pending_exception == nullptr,
+             strf("%s failed: %s", wl.name.c_str(), vm.pendingMessage(t).c_str()));
+  return r.asInt();
+}
+
+}  // namespace ijvm

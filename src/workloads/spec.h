@@ -1,0 +1,61 @@
+// SPEC JVM98-analog guest workloads (Figure 2 substrate).
+//
+// The paper measures I-JVM's overhead on SPEC JVM98. The original class
+// files cannot be run on this VM, so each benchmark is re-implemented as a
+// guest program with the same *character* -- the relative-overhead
+// comparison (isolated vs shared mode on identical bytecode) is what the
+// figure reports:
+//
+//   compress  -- run-length compression over pseudo-random buffers
+//                (int arrays, tight loops)
+//   jess      -- rule matching over a fact base (objects, field access,
+//                branchy inner loops)
+//   db        -- record store: lookups, updates, periodic sorts
+//                (objects + strings)
+//   javac     -- expression tokenizer + recursive-descent parser
+//                (strings, recursion, per-isolate statics)
+//   mpegaudio -- windowed FIR filtering (double arrays, FP loops)
+//   mtrt      -- two-thread ray/sphere tracer (doubles, objects, threads)
+//   jack      -- repeated text generation (StringBuilder, hashing)
+//
+// Every workload is `<name>/Main.run(I)I`: deterministic, returns a
+// checksum. Tests pin the checksums (and compress/db against independent
+// C++ reference implementations).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bytecode/classdef.h"
+#include "runtime/vm.h"
+
+namespace ijvm {
+
+struct SpecWorkload {
+  std::string name;        // "compress", ...
+  std::string main_class;  // "compress/Main"
+  std::vector<ClassDef> classes;
+  i32 default_size;  // argument to run(I)I used by tests/benches
+};
+
+SpecWorkload makeCompress();
+SpecWorkload makeJess();
+SpecWorkload makeDb();
+SpecWorkload makeJavac();
+SpecWorkload makeMpegaudio();
+SpecWorkload makeMtrt();
+SpecWorkload makeJack();
+
+// All seven, in the paper's order.
+std::vector<SpecWorkload> specWorkloads();
+
+// Defines the workload's classes in `loader` (if not already present) and
+// invokes run(size). Returns the checksum; panics on guest exception.
+i32 runSpecWorkload(VM& vm, JThread* t, ClassLoader* loader,
+                    const SpecWorkload& wl, i32 size);
+
+// Independent C++ reference implementations (property tests).
+i32 referenceCompress(i32 size);
+i32 referenceDb(i32 ops);
+
+}  // namespace ijvm

@@ -1,0 +1,190 @@
+// Resource accounting (paper section 3.2): who gets charged for what.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "bytecode/builder.h"
+#include "heap/object.h"
+#include "osgi/framework.h"
+#include "osgi/profiles.h"
+#include "stdlib/system_library.h"
+#include "workloads/bundles.h"
+
+namespace ijvm {
+namespace {
+
+struct AcctFixture : ::testing::Test {
+  void SetUp() override {
+    vm = std::make_unique<VM>();
+    installSystemLibrary(*vm);
+    fw = std::make_unique<Framework>(*vm);
+    defineCounterApi(*fw);
+  }
+  void TearDown() override {
+    fw.reset();
+    vm.reset();
+  }
+  std::unique_ptr<VM> vm;
+  std::unique_ptr<Framework> fw;
+};
+
+TEST_F(AcctFixture, AllocationChargedToTheAllocatingIsolate) {
+  BundleDescriptor desc;
+  desc.symbolic_name = "allocator";
+  {
+    ClassBuilder cb("ac/Main");
+    cb.field("kept", "[I", ACC_PUBLIC | ACC_STATIC);
+    auto& m = cb.method("grab", "()V", ACC_PUBLIC | ACC_STATIC);
+    m.iconst(50000).newarray(Kind::Int).putstatic("ac/Main", "kept", "[I");
+    m.ret();
+    desc.classes.push_back(cb.build());
+  }
+  Bundle* b = fw->install(std::move(desc));
+  fw->start(b);
+
+  JThread* t = vm->mainThread();
+  vm->callStaticIn(t, b->loader(), "ac/Main", "grab", "()V", {});
+  ASSERT_EQ(t->pending_exception, nullptr) << vm->pendingMessage(t);
+
+  // Allocation-side counters update immediately...
+  EXPECT_GE(b->isolate()->stats.bytes_allocated.load(), 200000u);
+  // ...and the GC pass confirms the reachability-based charge.
+  vm->collectGarbage(t, nullptr);
+  EXPECT_GE(b->isolate()->stats.bytes_charged.load(), 200000u);
+  EXPECT_LT(fw->frameworkIsolate()->stats.bytes_charged.load(), 200000u);
+}
+
+TEST_F(AcctFixture, LibraryWorkChargedToTheCallingBundle) {
+  // A bundle doing I/O through the system library: the bytes land on the
+  // bundle's account, not on a "library" account (library code runs in the
+  // caller's isolate -- paper section 3.1/3.2).
+  BundleDescriptor desc;
+  desc.symbolic_name = "iouser";
+  {
+    ClassBuilder cb("io/Main");
+    auto& m = cb.method("doIo", "()V", ACC_PUBLIC | ACC_STATIC);
+    m.ldcStr("x").invokestatic("java/io/Connection", "open",
+                               "(Ljava/lang/String;)Ljava/io/Connection;");
+    m.astore(0);
+    m.aload(0).ldcStr("0123456789abcdef");
+    m.invokevirtual("java/io/Connection", "writeString", "(Ljava/lang/String;)V");
+    m.aload(0).iconst(16);
+    m.invokevirtual("java/io/Connection", "readString", "(I)Ljava/lang/String;");
+    m.pop().ret();
+    desc.classes.push_back(cb.build());
+  }
+  Bundle* b = fw->install(std::move(desc));
+  fw->start(b);
+  JThread* t = vm->mainThread();
+  vm->callStaticIn(t, b->loader(), "io/Main", "doIo", "()V", {});
+  ASSERT_EQ(t->pending_exception, nullptr) << vm->pendingMessage(t);
+
+  EXPECT_EQ(b->isolate()->stats.io_bytes_written.load(), 16u);
+  EXPECT_EQ(b->isolate()->stats.io_bytes_read.load(), 16u);
+  EXPECT_EQ(b->isolate()->stats.connections_opened.load(), 1u);
+  // Isolate0 did none of it.
+  EXPECT_EQ(fw->frameworkIsolate()->stats.io_bytes_written.load(), 0u);
+}
+
+TEST_F(AcctFixture, CallsInCountsMigrationsIntoTheIsolate) {
+  Bundle* provider = fw->install(makeCounterProvider("p", "svc"));
+  Bundle* client = fw->install(makeCounterClient("c", "svc"));
+  fw->start(provider);
+  fw->start(client);
+  const u64 before = provider->isolate()->stats.calls_in.load();
+  JThread* t = vm->mainThread();
+  vm->callStaticIn(t, client->loader(), "c/Client", "callMany", "(I)I",
+                   {Value::ofInt(123)});
+  EXPECT_EQ(provider->isolate()->stats.calls_in.load() - before, 123u);
+}
+
+TEST_F(AcctFixture, CpuSamplerChargesTheRunningIsolate) {
+  BundleDescriptor desc;
+  desc.symbolic_name = "spinner";
+  {
+    ClassBuilder cb("cpu/Main");
+    auto& m = cb.method("spin", "(I)I", ACC_PUBLIC | ACC_STATIC);
+    Label loop = m.newLabel(), done = m.newLabel();
+    m.iconst(0).istore(1);
+    m.bind(loop).iload(0).ifle(done);
+    m.iload(1).iload(0).ixor().istore(1);
+    m.iinc(0, -1).gotoLabel(loop);
+    m.bind(done).iload(1).ireturn();
+    desc.classes.push_back(cb.build());
+  }
+  Bundle* b = fw->install(std::move(desc));
+  fw->start(b);
+  const u64 before = b->isolate()->stats.cpu_samples.load();
+  JThread* t = vm->mainThread();
+  // ~200 ms of spinning inside the bundle's isolate.
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(200);
+  while (std::chrono::steady_clock::now() < deadline) {
+    vm->callStaticIn(t, b->loader(), "cpu/Main", "spin", "(I)I",
+                     {Value::ofInt(200000)});
+  }
+  EXPECT_GT(b->isolate()->stats.cpu_samples.load(), before)
+      << "sampler never caught the spinning isolate";
+}
+
+TEST_F(AcctFixture, SharedModeKeepsNoPerIsolateCharges) {
+  VM vm2(VmOptions::shared());
+  installSystemLibrary(vm2);
+  Framework fw2(vm2);
+  defineCounterApi(fw2);
+  Bundle* p = fw2.install(makeCounterProvider("sp", "ssvc"));
+  Bundle* c = fw2.install(makeCounterClient("sc", "ssvc"));
+  fw2.start(p);
+  fw2.start(c);
+  vm2.callStaticIn(vm2.mainThread(), c->loader(), "sc/Client", "callMany",
+                   "(I)I", {Value::ofInt(50)});
+  // No migration, no accounting: the baseline VM has nothing to report.
+  EXPECT_EQ(p->isolate()->stats.calls_in.load(), 0u);
+  EXPECT_EQ(p->isolate()->stats.bytes_allocated.load(), 0u);
+}
+
+TEST_F(AcctFixture, ReportAllCoversEveryIsolate) {
+  Bundle* p = fw->install(makeCounterProvider("r1", "r1.svc"));
+  fw->start(p);
+  std::vector<IsolateReport> reports = vm->reportAll();
+  ASSERT_EQ(reports.size(), 2u);  // framework + bundle
+  EXPECT_EQ(reports[0].name, "osgi-framework");
+  EXPECT_EQ(reports[1].name, "r1");
+  EXPECT_EQ(reports[1].state, IsolateState::Active);
+}
+
+TEST_F(AcctFixture, FelixProfileBootsAndRegistersServices) {
+  std::vector<Bundle*> bundles = bootProfile(*fw, felixProfile());
+  EXPECT_EQ(bundles.size(), 3u);
+  for (Bundle* b : bundles) {
+    EXPECT_EQ(b->state(), BundleState::Active);
+    EXPECT_NE(fw->getService(b->symbolicName() + ".svc"), nullptr);
+  }
+}
+
+TEST_F(AcctFixture, IsolatedFootprintExceedsSharedFootprint) {
+  MemoryFootprint iso_fp;
+  MemoryFootprint shr_fp;
+  {
+    VM v(VmOptions::isolated());
+    installSystemLibrary(v);
+    Framework f(v);
+    bootProfile(f, felixProfile());
+    iso_fp = measureFootprint(v);
+  }
+  {
+    VM v(VmOptions::shared());
+    installSystemLibrary(v);
+    Framework f(v);
+    bootProfile(f, felixProfile());
+    shr_fp = measureFootprint(v);
+  }
+  // Figure 3's direction: per-isolate duplication costs memory.
+  EXPECT_GT(iso_fp.total(), shr_fp.total());
+  // ...but within the paper's bound (below 16%).
+  EXPECT_LT(static_cast<double>(iso_fp.total()),
+            static_cast<double>(shr_fp.total()) * 1.16);
+}
+
+}  // namespace
+}  // namespace ijvm

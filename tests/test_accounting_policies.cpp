@@ -1,0 +1,309 @@
+// Memory-accounting policies (heap/accounting_policy.h).
+//
+// AccountingPolicy::FirstReference is the paper's design (section 3.2);
+// CreatorPays and DividedShared implement the "better resource accounting"
+// it leaves as future work (section 4.4). The parameterized tests pin the
+// invariants shared by all policies; the per-policy tests pin exactly how
+// blame for a shared object differs -- including the section-4.4
+// experiment-3 scenario (provider returns a large object, caller retains
+// it) where the policies disagree on purpose.
+
+#include <gtest/gtest.h>
+
+#include "bytecode/builder.h"
+#include "heap/object.h"
+#include "osgi/framework.h"
+#include "stdlib/system_library.h"
+#include "workloads/bundles.h"
+
+namespace ijvm {
+namespace {
+
+struct PolicyRig {
+  explicit PolicyRig(AccountingPolicy policy) {
+    VmOptions opts;
+    opts.accounting_policy = policy;
+    opts.gc_threshold = 64u << 20;  // no GC behind our back
+    vm = std::make_unique<VM>(opts);
+    installSystemLibrary(*vm);
+    ClassLoader* l0 = vm->registry().newLoader("main");
+    iso0 = vm->createIsolate(l0, "main");
+    ClassLoader* la = vm->registry().newLoader("A");
+    ClassLoader* lb = vm->registry().newLoader("B");
+    a = vm->createIsolate(la, "A");
+    b = vm->createIsolate(lb, "B");
+    ta = vm->attachThread("ta", a);
+    tb = vm->attachThread("tb", b);
+  }
+
+  Object* bigArrayFrom(JThread* t, i32 ints) {
+    return vm->allocArrayObject(t, vm->registry().arrayClass("[I"), ints);
+  }
+
+  u64 charged(Isolate* iso) {
+    return iso->stats.bytes_charged.load(std::memory_order_relaxed);
+  }
+
+  std::unique_ptr<VM> vm;
+  Isolate* iso0 = nullptr;
+  Isolate* a = nullptr;
+  Isolate* b = nullptr;
+  JThread* ta = nullptr;
+  JThread* tb = nullptr;
+};
+
+class AccountingPolicyTest
+    : public ::testing::TestWithParam<AccountingPolicy> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, AccountingPolicyTest,
+    ::testing::Values(AccountingPolicy::FirstReference,
+                      AccountingPolicy::CreatorPays,
+                      AccountingPolicy::DividedShared),
+    [](const ::testing::TestParamInfo<AccountingPolicy>& info) {
+      std::string n = accountingPolicyName(info.param);
+      for (char& c : n) {
+        if (c == '-') c = '_';
+      }
+      return n;
+    });
+
+TEST_P(AccountingPolicyTest, UnsharedObjectChargedToItsOnlyUser) {
+  PolicyRig rig(GetParam());
+  // A allocates and retains 1 MiB; nobody else sees it. All three policies
+  // must agree: A pays, B pays ~nothing.
+  Object* arr = rig.bigArrayFrom(rig.ta, 250000);
+  GlobalRef* ref = rig.vm->addGlobalRef(arr, rig.a);
+  rig.vm->collectGarbage(nullptr, nullptr);
+  EXPECT_GT(rig.charged(rig.a), 900000u);
+  EXPECT_LT(rig.charged(rig.b), 100000u);
+  rig.vm->removeGlobalRef(ref);
+}
+
+TEST_P(AccountingPolicyTest, ChargesSumToLiveBytes) {
+  PolicyRig rig(GetParam());
+  // Mixed population: private to A, private to B, shared by both.
+  GlobalRef* r1 = rig.vm->addGlobalRef(rig.bigArrayFrom(rig.ta, 50000), rig.a);
+  GlobalRef* r2 = rig.vm->addGlobalRef(rig.bigArrayFrom(rig.tb, 80000), rig.b);
+  Object* shared = rig.bigArrayFrom(rig.ta, 120000);
+  GlobalRef* r3 = rig.vm->addGlobalRef(shared, rig.a);
+  GlobalRef* r4 = rig.vm->addGlobalRef(shared, rig.b);
+
+  GcStats stats = rig.vm->collectGarbage(nullptr, nullptr);
+  u64 sum = 0;
+  for (const IsolateCharge& c : stats.charges) sum += c.bytes;
+  // Every policy accounts every live byte exactly once -- except
+  // DividedShared, which loses at most (sharers-1) bytes per shared object
+  // to integer division.
+  EXPECT_LE(sum, stats.live_bytes);
+  EXPECT_GE(sum + 64 * stats.shared_objects + 1, stats.live_bytes);
+  for (GlobalRef* r : {r1, r2, r3, r4}) rig.vm->removeGlobalRef(r);
+}
+
+TEST_P(AccountingPolicyTest, SharedObjectBlameMatchesPolicy) {
+  PolicyRig rig(GetParam());
+  // A allocates 1 MiB; both A and B retain it.
+  Object* arr = rig.bigArrayFrom(rig.ta, 250000);
+  GlobalRef* ra = rig.vm->addGlobalRef(arr, rig.a);
+  GlobalRef* rb = rig.vm->addGlobalRef(arr, rig.b);
+  rig.vm->collectGarbage(nullptr, nullptr);
+
+  const u64 ca = rig.charged(rig.a);
+  const u64 cb = rig.charged(rig.b);
+  switch (GetParam()) {
+    case AccountingPolicy::FirstReference:
+      // One of them pays in full (global refs enumerate in creation order:
+      // A first), the other pays ~nothing.
+      EXPECT_GT(ca, 900000u);
+      EXPECT_LT(cb, 100000u);
+      break;
+    case AccountingPolicy::CreatorPays:
+      // The allocator pays regardless of who retains.
+      EXPECT_GT(ca, 900000u);
+      EXPECT_LT(cb, 100000u);
+      break;
+    case AccountingPolicy::DividedShared:
+      // Both pay about half.
+      EXPECT_GT(ca, 400000u);
+      EXPECT_LT(ca, 700000u);
+      EXPECT_GT(cb, 400000u);
+      EXPECT_LT(cb, 700000u);
+      break;
+  }
+  rig.vm->removeGlobalRef(ra);
+  rig.vm->removeGlobalRef(rb);
+}
+
+TEST_P(AccountingPolicyTest, DroppedByCreatorRetainedByOther) {
+  PolicyRig rig(GetParam());
+  // The section-4.4 experiment-3 shape: A creates, only B retains.
+  Object* arr = rig.bigArrayFrom(rig.ta, 250000);
+  GlobalRef* rb = rig.vm->addGlobalRef(arr, rig.b);
+  rig.vm->collectGarbage(nullptr, nullptr);
+
+  const u64 ca = rig.charged(rig.a);
+  const u64 cb = rig.charged(rig.b);
+  switch (GetParam()) {
+    case AccountingPolicy::FirstReference:
+    case AccountingPolicy::DividedShared:
+      // Only B reaches it: B pays (the paper's documented imprecision --
+      // the provider escapes blame -- persists under DividedShared because
+      // the provider really holds no reference anymore).
+      EXPECT_LT(ca, 100000u);
+      EXPECT_GT(cb, 900000u);
+      break;
+    case AccountingPolicy::CreatorPays:
+      // The allocator keeps paying: blame sticks to the producer.
+      EXPECT_GT(ca, 900000u);
+      EXPECT_LT(cb, 100000u);
+      break;
+  }
+  rig.vm->removeGlobalRef(rb);
+}
+
+TEST_P(AccountingPolicyTest, SharedStatsOnlyComputedWhenDividing) {
+  PolicyRig rig(GetParam());
+  Object* arr = rig.bigArrayFrom(rig.ta, 1000);
+  GlobalRef* ra = rig.vm->addGlobalRef(arr, rig.a);
+  GlobalRef* rb = rig.vm->addGlobalRef(arr, rig.b);
+  GcStats stats = rig.vm->collectGarbage(nullptr, nullptr);
+  if (GetParam() == AccountingPolicy::DividedShared) {
+    EXPECT_GE(stats.shared_objects, 1u);
+    EXPECT_GE(stats.shared_bytes, 4000u);
+  } else {
+    EXPECT_EQ(stats.shared_objects, 0u);
+  }
+  rig.vm->removeGlobalRef(ra);
+  rig.vm->removeGlobalRef(rb);
+}
+
+TEST_P(AccountingPolicyTest, DeepGraphChargedTransitively) {
+  PolicyRig rig(GetParam());
+  // A chain of ref-array nodes created by A, retained by A only: the whole
+  // graph lands on A under every policy.
+  JClass* ref_arr = rig.vm->registry().arrayClass("[Ljava/lang/Object;");
+  LocalRootScope roots(rig.ta);
+  Object* head = roots.add(rig.vm->allocArrayObject(rig.ta, ref_arr, 2));
+  Object* cur = head;
+  for (int i = 0; i < 64; ++i) {
+    Object* next = roots.add(rig.vm->allocArrayObject(rig.ta, ref_arr, 2));
+    Object* payload = roots.add(rig.bigArrayFrom(rig.ta, 2500));  // ~10 KiB
+    cur->refElems()[0] = next;
+    cur->refElems()[1] = payload;
+    cur = next;
+  }
+  GlobalRef* ref = rig.vm->addGlobalRef(head, rig.a);
+  rig.vm->collectGarbage(nullptr, nullptr);
+  EXPECT_GT(rig.charged(rig.a), 64u * 10000u);
+  EXPECT_LT(rig.charged(rig.b), 10000u);
+  rig.vm->removeGlobalRef(ref);
+}
+
+// Guest-level reproduction of section 4.4 experiment 3 under the two new
+// policies (the FirstReference outcome is already pinned by
+// tests/test_accounting.cpp and bench/accounting_limits).
+class Sec44Exp3Test : public ::testing::TestWithParam<AccountingPolicy> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    NewPolicies, Sec44Exp3Test,
+    ::testing::Values(AccountingPolicy::CreatorPays,
+                      AccountingPolicy::DividedShared),
+    [](const ::testing::TestParamInfo<AccountingPolicy>& info) {
+      std::string n = accountingPolicyName(info.param);
+      for (char& c : n) {
+        if (c == '-') c = '_';
+      }
+      return n;
+    });
+
+TEST_P(Sec44Exp3Test, ProviderReturnsLargeObjectClientRetains) {
+  VmOptions opts;
+  opts.accounting_policy = GetParam();
+  opts.gc_threshold = 64u << 20;
+  VM vm(opts);
+  installSystemLibrary(vm);
+  Framework fw(vm);
+
+  // Shared interface: mk() returns a fresh 1 MiB int array.
+  ClassLoader* shared = fw.frameworkIsolate()->loader;
+  {
+    ClassBuilder cb("apix/Maker", "", ACC_PUBLIC | ACC_INTERFACE);
+    cb.abstractMethod("mk", "()Ljava/lang/Object;");
+    shared->define(cb.build());
+  }
+
+  BundleDescriptor provider;
+  provider.symbolic_name = "provider";
+  {
+    ClassBuilder cb("prov/Impl");
+    cb.addInterface("apix/Maker");
+    auto& mk = cb.method("mk", "()Ljava/lang/Object;");
+    mk.iconst(250000).newarray(Kind::Int).areturn();
+    provider.classes.push_back(cb.build());
+  }
+  {
+    ClassBuilder cb("prov/Activator");
+    cb.addInterface("osgi/BundleActivator");
+    auto& start = cb.method("start", "(Losgi/BundleContext;)V");
+    start.aload(1).ldcStr("maker").newDefault("prov/Impl");
+    start.invokevirtual("osgi/BundleContext", "registerService",
+                        "(Ljava/lang/String;Ljava/lang/Object;)V");
+    start.ret();
+    cb.method("stop", "(Losgi/BundleContext;)V").ret();
+    provider.classes.push_back(cb.build());
+    provider.activator = "prov/Activator";
+  }
+
+  BundleDescriptor client;
+  client.symbolic_name = "client";
+  {
+    ClassBuilder cb("cli/Main");
+    cb.field("kept", "Ljava/lang/Object;", ACC_PUBLIC | ACC_STATIC);
+    cb.field("svc", "Lapix/Maker;", ACC_PUBLIC | ACC_STATIC);
+    auto& grab = cb.method("grab", "()V", ACC_PUBLIC | ACC_STATIC);
+    grab.getstatic("cli/Main", "svc", "Lapix/Maker;");
+    grab.invokeinterface("apix/Maker", "mk", "()Ljava/lang/Object;");
+    grab.putstatic("cli/Main", "kept", "Ljava/lang/Object;");
+    grab.ret();
+    client.classes.push_back(cb.build());
+  }
+  {
+    ClassBuilder cb("cli/Activator");
+    cb.addInterface("osgi/BundleActivator");
+    auto& start = cb.method("start", "(Losgi/BundleContext;)V");
+    start.aload(1).ldcStr("maker");
+    start.invokevirtual("osgi/BundleContext", "getService",
+                        "(Ljava/lang/String;)Ljava/lang/Object;");
+    start.checkcast("apix/Maker").putstatic("cli/Main", "svc", "Lapix/Maker;");
+    start.ret();
+    cb.method("stop", "(Losgi/BundleContext;)V").ret();
+    client.classes.push_back(cb.build());
+    client.activator = "cli/Activator";
+  }
+
+  Bundle* pb = fw.install(std::move(provider));
+  Bundle* cb2 = fw.install(std::move(client));
+  fw.start(pb);
+  fw.start(cb2);
+
+  JThread* t = vm.mainThread();
+  vm.callStaticIn(t, cb2->loader(), "cli/Main", "grab", "()V", {});
+  ASSERT_EQ(t->pending_exception, nullptr) << vm.pendingMessage(t);
+  vm.collectGarbage(t, nullptr);
+
+  const u64 prov_bytes = pb->isolate()->stats.bytes_charged.load();
+  const u64 cli_bytes = cb2->isolate()->stats.bytes_charged.load();
+  if (GetParam() == AccountingPolicy::CreatorPays) {
+    // The paper's misattribution is fixed: the producer M is billed.
+    EXPECT_GT(prov_bytes, 900000u);
+    EXPECT_LT(cli_bytes, 200000u);
+  } else {
+    // DividedShared bills the retainer (only the client still reaches the
+    // array) -- same outcome as the paper here, by design.
+    EXPECT_GT(cli_bytes, 900000u);
+    EXPECT_LT(prov_bytes, 200000u);
+  }
+}
+
+}  // namespace
+}  // namespace ijvm

@@ -1,0 +1,44 @@
+// Robustness suite (paper section 4.3): all eight attacks, in both modes.
+//
+// Expected outcomes follow the paper's table:
+//   * shared mode (Sun JVM / LadyVM): every attack corrupts, freezes or
+//     aborts the platform (victim affected and/or attack unstoppable);
+//   * isolated mode (I-JVM): the victim is unaffected (or regains control),
+//     the administrator can identify the offender from per-isolate
+//     statistics, and killing the bundle stops the attack.
+#include <gtest/gtest.h>
+
+#include "workloads/attacks.h"
+
+namespace ijvm {
+namespace {
+
+class AttackParity : public ::testing::TestWithParam<int> {};
+
+TEST_P(AttackParity, IsolatedModeContainsTheAttack) {
+  auto id = static_cast<AttackId>(GetParam());
+  AttackOutcome out = runAttack(id, /*isolated=*/true);
+  EXPECT_TRUE(out.victim_unaffected) << out.detail;
+  EXPECT_TRUE(out.attacker_identified) << out.detail;
+  EXPECT_TRUE(out.attacker_stopped) << out.detail;
+  EXPECT_TRUE(out.protectedOutcome()) << out.detail;
+}
+
+TEST_P(AttackParity, SharedModeIsVulnerable) {
+  auto id = static_cast<AttackId>(GetParam());
+  AttackOutcome out = runAttack(id, /*isolated=*/false);
+  // On the unprotected platform the attack succeeds: either the victim is
+  // harmed or the attack cannot be stopped (usually both).
+  EXPECT_FALSE(out.protectedOutcome()) << out.detail;
+  // Termination is never available on the baseline.
+  EXPECT_FALSE(out.attacker_stopped) << out.detail;
+  EXPECT_FALSE(out.attacker_identified) << out.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAttacks, AttackParity, ::testing::Range(0, 8),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return attackName(static_cast<AttackId>(info.param));
+                         });
+
+}  // namespace
+}  // namespace ijvm

@@ -1,0 +1,200 @@
+// Bytecode layer units: descriptors, constant pool interning, the builder's
+// label fixup and max_locals inference, and the disassembler.
+#include <gtest/gtest.h>
+
+#include "bytecode/builder.h"
+#include "bytecode/descriptor.h"
+#include "bytecode/disasm.h"
+
+namespace ijvm {
+namespace {
+
+TEST(Descriptor, ParsesPrimitives) {
+  EXPECT_EQ(parseTypeDesc("I").kind, Kind::Int);
+  EXPECT_EQ(parseTypeDesc("J").kind, Kind::Long);
+  EXPECT_EQ(parseTypeDesc("D").kind, Kind::Double);
+}
+
+TEST(Descriptor, ParsesClassAndArray) {
+  TypeDesc s = parseTypeDesc("Ljava/lang/String;");
+  EXPECT_EQ(s.kind, Kind::Ref);
+  EXPECT_EQ(s.class_name, "java/lang/String");
+  EXPECT_EQ(s.array_dims, 0);
+
+  TypeDesc arr = parseTypeDesc("[[I");
+  EXPECT_EQ(arr.kind, Kind::Ref);
+  EXPECT_EQ(arr.array_dims, 2);
+  EXPECT_EQ(arr.elem_kind, Kind::Int);
+  EXPECT_EQ(arr.toString(), "[[I");
+
+  TypeDesc sarr = parseTypeDesc("[Ljava/lang/String;");
+  EXPECT_EQ(sarr.array_dims, 1);
+  EXPECT_EQ(sarr.class_name, "java/lang/String");
+  EXPECT_EQ(sarr.toString(), "[Ljava/lang/String;");
+}
+
+TEST(Descriptor, ParsesMethodSignatures) {
+  MethodSig sig = parseMethodSig("(I[Ljava/lang/String;D)J");
+  ASSERT_EQ(sig.params.size(), 3u);
+  EXPECT_EQ(sig.params[0].kind, Kind::Int);
+  EXPECT_EQ(sig.params[1].array_dims, 1);
+  EXPECT_EQ(sig.params[2].kind, Kind::Double);
+  EXPECT_EQ(sig.ret.kind, Kind::Long);
+  EXPECT_EQ(sig.argSlots(true), 3);
+  EXPECT_EQ(sig.argSlots(false), 4);
+}
+
+TEST(Descriptor, VoidReturnAndNoParams) {
+  MethodSig sig = parseMethodSig("()V");
+  EXPECT_TRUE(sig.params.empty());
+  EXPECT_EQ(sig.ret.kind, Kind::Void);
+}
+
+TEST(ConstantPool, InternsEqualEntries) {
+  ConstantPool pool;
+  i32 a = pool.addInt(42);
+  i32 b = pool.addInt(42);
+  i32 c = pool.addInt(43);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+
+  i32 m1 = pool.addMethodRef("x/Y", "f", "()V");
+  i32 m2 = pool.addMethodRef("x/Y", "f", "()V");
+  i32 m3 = pool.addMethodRef("x/Y", "f", "(I)V");
+  EXPECT_EQ(m1, m2);
+  EXPECT_NE(m1, m3);
+
+  i32 s1 = pool.addString("hello");
+  i32 s2 = pool.addString("hello");
+  EXPECT_EQ(s1, s2);
+}
+
+TEST(ConstantPool, DistinguishesTagsWithSamePayload) {
+  ConstantPool pool;
+  i32 s = pool.addString("x/Y");
+  i32 c = pool.addClassRef("x/Y");
+  EXPECT_NE(s, c);
+}
+
+TEST(Builder, ForwardAndBackwardLabelsResolve) {
+  ClassBuilder cb("b/Loop");
+  auto& m = cb.method("f", "(I)I", ACC_PUBLIC | ACC_STATIC);
+  Label head = m.newLabel();
+  Label done = m.newLabel();
+  m.iconst(0).istore(1);
+  m.bind(head).iload(0).ifle(done);       // forward
+  m.iload(1).iload(0).iadd().istore(1);
+  m.iinc(0, -1).gotoLabel(head);          // backward
+  m.bind(done).iload(1).ireturn();
+  ClassDef def = cb.build();
+
+  const MethodDef* f = nullptr;
+  for (const MethodDef& md : def.methods) {
+    if (md.name == "f") f = &md;
+  }
+  ASSERT_NE(f, nullptr);
+  // The ifle target must point at the instruction bound to `done`.
+  const Instruction& branch = f->code.insns[3];
+  EXPECT_EQ(branch.op, Op::IFLE);
+  EXPECT_EQ(f->code.insns[static_cast<size_t>(branch.a)].op, Op::ILOAD);
+  // GOTO points back at `head` (instruction index 2).
+  bool found_backward = false;
+  for (const Instruction& insn : f->code.insns) {
+    if (insn.op == Op::GOTO && insn.a == 2) found_backward = true;
+  }
+  EXPECT_TRUE(found_backward);
+}
+
+TEST(Builder, MaxLocalsInference) {
+  auto find = [](const ClassDef& def, const std::string& name) -> const MethodDef* {
+    for (const MethodDef& m : def.methods) {
+      if (m.name == name) return &m;
+    }
+    return nullptr;
+  };
+
+  ClassBuilder cb("b/Locals");
+  auto& m = cb.method("f", "(IJ)V", ACC_PUBLIC | ACC_STATIC);
+  m.iconst(1).istore(5);
+  m.ret();
+  ClassDef def = cb.build();
+  ASSERT_NE(find(def, "f"), nullptr);
+  EXPECT_EQ(find(def, "f")->code.max_locals, 6);  // slot 5 touched
+
+  ClassBuilder cb2("b/Locals2");
+  auto& m2 = cb2.method("g", "(IJD)V", ACC_PUBLIC | ACC_STATIC);
+  m2.ret();
+  ClassDef def2 = cb2.build();
+  ASSERT_NE(find(def2, "g"), nullptr);
+  EXPECT_EQ(find(def2, "g")->code.max_locals, 3);  // one slot per arg
+}
+
+TEST(Builder, DefaultCtorAddedOnce) {
+  ClassBuilder cb("b/Ctor");
+  ClassDef def = cb.build();
+  int ctors = 0;
+  for (const MethodDef& m : def.methods) {
+    if (m.name == "<init>") ++ctors;
+  }
+  EXPECT_EQ(ctors, 1);
+}
+
+TEST(Builder, InterfacesGetNoCtor) {
+  ClassBuilder cb("b/Itf", "", ACC_PUBLIC | ACC_INTERFACE);
+  cb.abstractMethod("f", "()V");
+  ClassDef def = cb.build();
+  for (const MethodDef& m : def.methods) {
+    EXPECT_NE(m.name, "<init>");
+  }
+}
+
+TEST(Builder, NameSurvivesBuild) {
+  ClassBuilder cb("b/Named");
+  EXPECT_EQ(cb.name(), "b/Named");
+  ClassDef def = cb.build();
+  EXPECT_EQ(def.name, "b/Named");
+  EXPECT_EQ(cb.name(), "b/Named");  // still valid after the move
+}
+
+TEST(Disasm, RendersInstructionsAndHandlers) {
+  ClassBuilder cb("b/Show");
+  cb.field("count", "I", ACC_PUBLIC | ACC_STATIC);
+  auto& m = cb.method("f", "()I", ACC_PUBLIC | ACC_STATIC);
+  Label from = m.newLabel(), to = m.newLabel(), handler = m.newLabel();
+  m.bind(from);
+  m.getstatic("b/Show", "count", "I");
+  m.ldcStr("hello");
+  m.invokevirtual("java/lang/String", "length", "()I");
+  m.iadd();
+  m.bind(to).ireturn();
+  m.bind(handler).pop().iconst(-1).ireturn();
+  m.handler(from, to, handler, "java/lang/Throwable");
+  ClassDef def = cb.build();
+
+  std::string text = disasmClass(def);
+  EXPECT_NE(text.find("class b/Show"), std::string::npos);
+  EXPECT_NE(text.find("GETSTATIC"), std::string::npos);
+  EXPECT_NE(text.find("b/Show.count:I"), std::string::npos);
+  EXPECT_NE(text.find("\"hello\""), std::string::npos);
+  EXPECT_NE(text.find("java/lang/String.length()I"), std::string::npos);
+  EXPECT_NE(text.find("catch java/lang/Throwable"), std::string::npos);
+}
+
+TEST(Disasm, MarksNativeMethods) {
+  ClassBuilder cb("b/Nat");
+  cb.nativeMethod("n", "()V");
+  ClassDef def = cb.build();
+  EXPECT_NE(disasmClass(def).find("<native>"), std::string::npos);
+}
+
+TEST(Opcodes, NamesAndBranchClassification) {
+  EXPECT_STREQ(opName(Op::IADD), "IADD");
+  EXPECT_STREQ(opName(Op::INVOKEVIRTUAL), "INVOKEVIRTUAL");
+  EXPECT_TRUE(opIsBranch(Op::GOTO));
+  EXPECT_TRUE(opIsBranch(Op::IFNULL));
+  EXPECT_FALSE(opIsBranch(Op::IADD));
+  EXPECT_FALSE(opIsBranch(Op::ATHROW));
+}
+
+}  // namespace
+}  // namespace ijvm

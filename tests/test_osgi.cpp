@@ -1,0 +1,192 @@
+// OSGi framework integration: lifecycle, services, inter-bundle calls,
+// isolation of statics between bundles, and bundle termination.
+#include <gtest/gtest.h>
+
+#include "bytecode/builder.h"
+#include "heap/object.h"
+#include "osgi/framework.h"
+#include "stdlib/system_library.h"
+#include "workloads/bundles.h"
+
+namespace ijvm {
+namespace {
+
+struct OsgiFixture : ::testing::Test {
+  void boot(VmOptions opts = VmOptions{}) {
+    vm = std::make_unique<VM>(opts);
+    installSystemLibrary(*vm);
+    fw = std::make_unique<Framework>(*vm);
+    defineCounterApi(*fw);
+  }
+  void TearDown() override {
+    fw.reset();
+    vm.reset();
+  }
+  std::unique_ptr<VM> vm;
+  std::unique_ptr<Framework> fw;
+};
+
+TEST_F(OsgiFixture, ServiceRegistrationAndInterBundleCall) {
+  boot();
+  Bundle* provider = fw->install(makeCounterProvider("prov", "counter"));
+  Bundle* client = fw->install(makeCounterClient("cli", "counter"));
+  ASSERT_TRUE(fw->start(provider));
+  ASSERT_TRUE(fw->start(client));
+
+  ASSERT_NE(fw->getService("counter"), nullptr);
+  EXPECT_EQ(fw->serviceOwner("counter"), provider);
+
+  JThread* t = vm->mainThread();
+  const u64 calls_before = vm->interIsolateCalls();
+  Value r = vm->callStaticIn(t, client->loader(), "cli/Client", "callMany", "(I)I",
+                            {Value::ofInt(10)});
+  ASSERT_EQ(t->pending_exception, nullptr) << vm->pendingMessage(t);
+  EXPECT_EQ(r.asInt(), 10);
+  // main->client plus client->provider per iteration.
+  EXPECT_GE(vm->interIsolateCalls() - calls_before, 11u);
+
+  // The provider's isolate got charged the calls into it.
+  EXPECT_GE(provider->isolate()->stats.calls_in.load(), 10u);
+  (void)client;
+}
+
+TEST_F(OsgiFixture, StaticsAreIsolatedBetweenBundles) {
+  boot();
+  // Two bundles share one *class source* shape but have separate loaders;
+  // more interestingly, a bundle reading another bundle's class statics
+  // sees its own TCM copy (attack A1's defence).
+  BundleDescriptor victim;
+  victim.symbolic_name = "victim";
+  {
+    ClassBuilder cb("victim/Data");
+    cb.field("shared", "I", ACC_PUBLIC | ACC_STATIC);
+    auto& set = cb.method("set", "(I)V", ACC_PUBLIC | ACC_STATIC);
+    set.iload(0).putstatic("victim/Data", "shared", "I").ret();
+    auto& get = cb.method("get", "()I", ACC_PUBLIC | ACC_STATIC);
+    get.getstatic("victim/Data", "shared", "I").ireturn();
+    victim.classes.push_back(cb.build());
+  }
+  Bundle* vb = fw->install(std::move(victim));
+  ASSERT_TRUE(fw->start(vb));
+
+  JThread* t = vm->mainThread();
+  // Victim writes 42 into its own copy (call migrates into victim isolate).
+  vm->callStaticIn(t, vb->loader(), "victim/Data", "set", "(I)V",
+                   {Value::ofInt(42)});
+  ASSERT_EQ(t->pending_exception, nullptr) << vm->pendingMessage(t);
+
+  // A second bundle (same loader delegation via its own class referencing
+  // victim/Data would not resolve; the framework-level equivalent is a
+  // direct read from Isolate0, which sees Isolate0's own TCM copy = 0).
+  // Reading "as" the victim shows 42.
+  Value own = vm->callStaticIn(t, vb->loader(), "victim/Data", "get", "()I", {});
+  EXPECT_EQ(own.asInt(), 42);
+}
+
+TEST_F(OsgiFixture, KillBundlePoisonsItsMethods) {
+  boot();
+  Bundle* provider = fw->install(makeCounterProvider("prov2", "counter2"));
+  Bundle* client = fw->install(makeCounterClient("cli2", "counter2"));
+  ASSERT_TRUE(fw->start(provider));
+  ASSERT_TRUE(fw->start(client));
+
+  JThread* t = vm->mainThread();
+  Value before =
+      vm->callStaticIn(t, client->loader(), "cli2/Client", "callOnce", "()I", {});
+  ASSERT_EQ(t->pending_exception, nullptr) << vm->pendingMessage(t);
+  EXPECT_EQ(before.asInt(), 1);
+
+  fw->killBundle(provider);
+  EXPECT_EQ(provider->state(), BundleState::Uninstalled);
+  EXPECT_NE(provider->isolate()->state.load(), IsolateState::Active);
+
+  // Unguarded call: the StoppedIsolateException unwinds out to C++.
+  vm->callStaticIn(t, client->loader(), "cli2/Client", "callOnce", "()I", {});
+  ASSERT_NE(t->pending_exception, nullptr);
+  EXPECT_NE(vm->pendingMessage(t).find("StoppedIsolate"), std::string::npos);
+  vm->clearPending(t);
+
+  // Guarded call: the *client* may catch it (only the dying isolate's
+  // handlers are skipped).
+  Value guarded =
+      vm->callStaticIn(t, client->loader(), "cli2/Client", "callGuarded", "()I", {});
+  ASSERT_EQ(t->pending_exception, nullptr) << vm->pendingMessage(t);
+  EXPECT_EQ(guarded.asInt(), -1);
+}
+
+TEST_F(OsgiFixture, StoppedBundleEventBroadcast) {
+  boot();
+  // A watcher bundle registers a BundleListener and records events.
+  BundleDescriptor watcher;
+  watcher.symbolic_name = "watch";
+  {
+    ClassBuilder cb("watch/Listener");
+    cb.addInterface("osgi/BundleListener");
+    cb.field("lastStopped", "I", ACC_PUBLIC | ACC_STATIC);
+    auto& on = cb.method("bundleStopped", "(I)V");
+    on.iload(1).putstatic("watch/Listener", "lastStopped", "I").ret();
+    auto& last = cb.method("last", "()I", ACC_PUBLIC | ACC_STATIC);
+    last.getstatic("watch/Listener", "lastStopped", "I").ireturn();
+    watcher.classes.push_back(cb.build());
+  }
+  {
+    ClassBuilder cb("watch/Activator");
+    cb.addInterface("osgi/BundleActivator");
+    auto& start = cb.method("start", "(Losgi/BundleContext;)V");
+    start.aload(1);
+    start.newDefault("watch/Listener");
+    start.invokevirtual("osgi/BundleContext", "addBundleListener",
+                        "(Losgi/BundleListener;)V");
+    start.ret();
+    cb.method("stop", "(Losgi/BundleContext;)V").ret();
+    watcher.classes.push_back(cb.build());
+    watcher.activator = "watch/Activator";
+  }
+  Bundle* wb = fw->install(std::move(watcher));
+  ASSERT_TRUE(fw->start(wb));
+
+  Bundle* doomed = fw->install(makeCounterProvider("doomed", "svc.doomed"));
+  ASSERT_TRUE(fw->start(doomed));
+  fw->killBundle(doomed);
+
+  JThread* t = vm->mainThread();
+  Value last = vm->callStaticIn(t, wb->loader(), "watch/Listener", "last", "()I", {});
+  ASSERT_EQ(t->pending_exception, nullptr) << vm->pendingMessage(t);
+  EXPECT_EQ(last.asInt(), doomed->id());
+}
+
+TEST_F(OsgiFixture, ServiceObjectSurvivesOwnerTerminationWhileReferenced) {
+  boot();
+  Bundle* provider = fw->install(makeCounterProvider("prov3", "counter3"));
+  ASSERT_TRUE(fw->start(provider));
+
+  Object* svc = fw->getService("counter3");
+  ASSERT_NE(svc, nullptr);
+  // Another party (here: C++ test standing in for a client bundle) keeps a
+  // reference to the service object.
+  GlobalRef* held = vm->addGlobalRef(svc, fw->frameworkIsolate());
+
+  fw->killBundle(provider);
+  // The object is still alive (referenced) even though its bundle is gone:
+  // "resources from the terminating bundle will not be released until all
+  // bundles release their references" (paper rule 3).
+  bool found = false;
+  vm->heap().forEachObject([&](Object* o) {
+    if (o == svc) found = true;
+  });
+  EXPECT_TRUE(found);
+  // The isolate is Terminating, not Dead, while objects survive.
+  EXPECT_EQ(provider->isolate()->state.load(), IsolateState::Terminating);
+
+  vm->removeGlobalRef(held);
+  vm->collectGarbage(vm->mainThread(), nullptr);
+  found = false;
+  vm->heap().forEachObject([&](Object* o) {
+    if (o == svc) found = true;
+  });
+  EXPECT_FALSE(found);
+  EXPECT_EQ(provider->isolate()->state.load(), IsolateState::Dead);
+}
+
+}  // namespace
+}  // namespace ijvm

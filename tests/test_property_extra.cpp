@@ -1,0 +1,439 @@
+// Extended property suites (deterministic seed sweeps):
+//  1. verifier mutation fuzzing -- randomly corrupted programs are either
+//     rejected by the verifier or execute without harming the host VM
+//     (the type-safety property isolation rests on, paper section 3.1);
+//  2. string interning -- per-isolate identity, cross-isolate separation
+//     in isolated mode, global identity in shared mode (paper section 3.5);
+//  3. monitor mutual exclusion under contention;
+//  4. GC accounting invariant -- charges sum to the live heap under every
+//     accounting policy, on random cross-isolate object graphs;
+//  5. termination geometry -- killing an isolate returns control to all
+//     concurrent callers at every call depth, with the thread's isolate
+//     reference restored.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "bytecode/builder.h"
+#include "heap/object.h"
+#include "stdlib/system_library.h"
+#include "support/rng.h"
+#include "support/strf.h"
+#include "verifier/verifier.h"
+
+namespace ijvm {
+namespace {
+
+using namespace std::chrono;
+
+// ------------------------------------------------ 1. verifier mutations
+
+// Emits a small valid program f(II)I with arithmetic, locals, a loop and a
+// conditional, mirroring what ClassBuilder users write.
+void emitValidProgram(Rng& rng, MethodBuilder& m) {
+  Label loop = m.newLabel(), done = m.newLabel(), other = m.newLabel();
+  m.iload(0).istore(2);
+  m.iconst(static_cast<i32>(rng.nextBounded(8)) + 1).istore(3);
+  m.bind(loop).iload(3).ifle(done);
+  m.iload(2).iload(1).iadd().istore(2);
+  switch (rng.nextBounded(3)) {
+    case 0:
+      m.iload(2).iconst(3).imul().istore(2);
+      break;
+    case 1:
+      m.iload(2).iload(0).ixor().istore(2);
+      break;
+    default:
+      m.iload(2).iconst(1).ishl().istore(2);
+      break;
+  }
+  m.iload(2).ifge(other);
+  m.iload(2).ineg().istore(2);
+  m.bind(other);
+  m.iinc(3, -1).gotoLabel(loop);
+  m.bind(done).iload(2).ireturn();
+}
+
+// Applies one random structural mutation to the method's code.
+void mutate(Rng& rng, MethodDef& def) {
+  std::vector<Instruction>& code = def.code.insns;
+  if (code.empty()) return;
+  size_t i = rng.nextBounded(code.size());
+  switch (rng.nextBounded(4)) {
+    case 0: {  // random opcode
+      code[i].op = static_cast<Op>(rng.nextBounded(static_cast<u64>(kOpCount)));
+      break;
+    }
+    case 1:  // perturb the operand
+      code[i].a = static_cast<i32>(rng.nextInt());
+      break;
+    case 2:  // delete an instruction
+      code.erase(code.begin() + static_cast<std::ptrdiff_t>(i));
+      break;
+    default: {  // swap two instructions
+      size_t j = rng.nextBounded(code.size());
+      std::swap(code[i], code[j]);
+      break;
+    }
+  }
+}
+
+class VerifierMutationProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(VerifierMutationProperty, MutatedProgramsAreRejectedOrRunSafely) {
+  const u64 seed = 0xf00du + static_cast<u64>(GetParam()) * 104729u;
+  Rng rng(seed);
+
+  VM vm;  // verify = true
+  installSystemLibrary(vm);
+  ClassLoader* l0 = vm.registry().newLoader("main");
+  vm.createIsolate(l0, "main");
+
+  for (int round = 0; round < 24; ++round) {
+    ClassBuilder cb(strf("mut/C%d_%d", GetParam(), round));
+    auto& m = cb.method("f", "(II)I", ACC_PUBLIC | ACC_STATIC);
+    emitValidProgram(rng, m);
+    ClassDef def = cb.build();
+    const int mutations = 1 + static_cast<int>(rng.nextBounded(3));
+    for (int k = 0; k < mutations; ++k) mutate(rng, def.methods.at(0));
+
+    // A fresh loader+isolate per program so a hang can be terminated
+    // without disturbing the next round (dogfooding paper section 3.3).
+    ClassLoader* loader =
+        vm.registry().newLoader(strf("mut%d_%d", GetParam(), round));
+    Isolate* iso = vm.createIsolate(loader, strf("mut%d_%d", GetParam(), round));
+    std::string cls_name = def.name;
+    try {
+      loader->define(std::move(def));
+    } catch (const VerifyError&) {
+      continue;  // rejected: the gate did its job
+    }
+
+    // Accepted: the program must run without corrupting the host. Guest
+    // exceptions (NPE, ArithmeticException...) and non-termination are
+    // acceptable outcomes; aborts/crashes are not.
+    std::atomic<bool> done{false};
+    JThread* t = vm.attachThread("fuzz", iso);
+    std::thread runner([&] {
+      Value r = vm.callStaticIn(t, loader, cls_name, "f", "(II)I",
+                                {Value::ofInt(rng.nextInt() % 100),
+                                 Value::ofInt(rng.nextInt() % 100)});
+      (void)r;
+      vm.clearPending(t);
+      done.store(true, std::memory_order_release);
+      vm.detachThread(t);
+    });
+    auto deadline = steady_clock::now() + seconds(5);
+    while (!done.load(std::memory_order_acquire) &&
+           steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(milliseconds(1));
+    }
+    if (!done.load(std::memory_order_acquire)) {
+      // Mutation built an infinite loop: kill the isolate, the thread must
+      // unwind (this asserts termination works on arbitrary verified code).
+      ASSERT_TRUE(vm.terminateIsolate(vm.mainThread(), iso));
+      auto kill_deadline = steady_clock::now() + seconds(5);
+      while (!done.load(std::memory_order_acquire) &&
+             steady_clock::now() < kill_deadline) {
+        std::this_thread::sleep_for(milliseconds(1));
+      }
+      ASSERT_TRUE(done.load(std::memory_order_acquire))
+          << "terminated isolate failed to unwind (seed " << seed << ")";
+    }
+    runner.join();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VerifierMutationProperty, ::testing::Range(0, 12));
+
+// --------------------------------------------------- 2. interning identity
+
+class InterningProperty : public ::testing::TestWithParam<int> {};
+
+std::string randomString(Rng& rng) {
+  std::string s;
+  const size_t n = 1 + rng.nextBounded(24);
+  for (size_t i = 0; i < n; ++i) {
+    s.push_back(static_cast<char>('a' + rng.nextBounded(26)));
+  }
+  return s;
+}
+
+TEST_P(InterningProperty, PerIsolateIdentityCrossIsolateSeparation) {
+  const u64 seed = 0xabcu + static_cast<u64>(GetParam()) * 7919u;
+  Rng rng(seed);
+  VM vm;  // isolated mode
+  installSystemLibrary(vm);
+  ClassLoader* l0 = vm.registry().newLoader("main");
+  vm.createIsolate(l0, "main");
+  ClassLoader* la = vm.registry().newLoader("A");
+  ClassLoader* lb = vm.registry().newLoader("B");
+  Isolate* a = vm.createIsolate(la, "A");
+  Isolate* b = vm.createIsolate(lb, "B");
+  JThread* ta = vm.attachThread("ta", a);
+  JThread* tb = vm.attachThread("tb", b);
+
+  for (int i = 0; i < 32; ++i) {
+    std::string s = randomString(rng);
+    Object* a1 = vm.internString(ta, s);
+    Object* a2 = vm.internString(ta, s);
+    Object* b1 = vm.internString(tb, s);
+    EXPECT_EQ(a1, a2) << "intern not idempotent within an isolate";
+    EXPECT_NE(a1, b1) << "strings shared across isolates (paper 3.1 violated)";
+    EXPECT_EQ(a1->str(), b1->str());  // equals() still works (paper 3.5)
+  }
+}
+
+TEST_P(InterningProperty, SharedModeHasOneGlobalTable) {
+  const u64 seed = 0xdefu + static_cast<u64>(GetParam()) * 271u;
+  Rng rng(seed);
+  VM vm(VmOptions::shared());
+  installSystemLibrary(vm);
+  ClassLoader* l0 = vm.registry().newLoader("main");
+  vm.createIsolate(l0, "main");
+  ClassLoader* la = vm.registry().newLoader("A");
+  ClassLoader* lb = vm.registry().newLoader("B");
+  Isolate* a = vm.createIsolate(la, "A");
+  Isolate* b = vm.createIsolate(lb, "B");
+  JThread* ta = vm.attachThread("ta", a);
+  JThread* tb = vm.attachThread("tb", b);
+
+  for (int i = 0; i < 16; ++i) {
+    std::string s = randomString(rng);
+    EXPECT_EQ(vm.internString(ta, s), vm.internString(tb, s))
+        << "baseline JVM interning must be global (attack A2's surface)";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InterningProperty, ::testing::Range(0, 8));
+
+// ------------------------------------------- 3. monitor mutual exclusion
+
+class MonitorContentionProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MonitorContentionProperty, SynchronizedCounterIsExact) {
+  const int threads = GetParam();
+  constexpr i32 kPerThread = 400;
+
+  VM vm;
+  installSystemLibrary(vm);
+  ClassLoader* app = vm.registry().newLoader("app");
+  Isolate* iso = vm.createIsolate(app, "app");
+
+  ClassBuilder cb("mx/Counter");
+  cb.field("n", "I", ACC_PUBLIC | ACC_STATIC);
+  auto& inc = cb.method("inc", "()V",
+                        ACC_PUBLIC | ACC_STATIC | ACC_SYNCHRONIZED);
+  // n = n + 1 with a deliberate read-modify-write window.
+  inc.getstatic("mx/Counter", "n", "I").iconst(1).iadd();
+  inc.putstatic("mx/Counter", "n", "I").ret();
+  auto& get = cb.method("get", "()I", ACC_PUBLIC | ACC_STATIC);
+  get.getstatic("mx/Counter", "n", "I").ireturn();
+  app->define(cb.build());
+
+  std::vector<std::thread> workers;
+  for (int k = 0; k < threads; ++k) {
+    JThread* t = vm.attachThread(strf("w%d", k), iso);
+    workers.emplace_back([&vm, t, app] {
+      for (i32 i = 0; i < kPerThread; ++i) {
+        vm.callStaticIn(t, app, "mx/Counter", "inc", "()V", {});
+      }
+      vm.detachThread(t);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  Value r = vm.callStaticIn(vm.mainThread(), app, "mx/Counter", "get", "()I", {});
+  EXPECT_EQ(r.asInt(), threads * kPerThread);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, MonitorContentionProperty,
+                         ::testing::Values(2, 4, 8));
+
+// -------------------------------------- 4. accounting invariant on graphs
+
+struct PolicySeed {
+  AccountingPolicy policy;
+  int seed;
+};
+
+class AccountingInvariantProperty
+    : public ::testing::TestWithParam<PolicySeed> {};
+
+TEST_P(AccountingInvariantProperty, ChargesCoverTheLiveHeap) {
+  Rng rng(0x5151u + static_cast<u64>(GetParam().seed) * 6151u);
+  VmOptions opts;
+  opts.accounting_policy = GetParam().policy;
+  opts.gc_threshold = 256u << 20;
+  VM vm(opts);
+  installSystemLibrary(vm);
+  ClassLoader* l0 = vm.registry().newLoader("main");
+  vm.createIsolate(l0, "main");
+  std::vector<Isolate*> isos;
+  for (int i = 0; i < 4; ++i) {
+    ClassLoader* l = vm.registry().newLoader(strf("g%d", i));
+    isos.push_back(vm.createIsolate(l, strf("g%d", i)));
+  }
+
+  // Random forest of ref-arrays with random cross-links, each root pinned
+  // by 1-3 random isolates.
+  JThread* t = vm.mainThread();
+  JClass* ref_arr = vm.registry().arrayClass("[Ljava/lang/Object;");
+  LocalRootScope roots(t);
+  std::vector<Object*> nodes;
+  const size_t n = 40 + rng.nextBounded(120);
+  for (size_t i = 0; i < n; ++i) {
+    Object* o = roots.add(
+        vm.allocArrayObject(t, ref_arr, 2 + static_cast<i32>(rng.nextBounded(6))));
+    if (!nodes.empty() && rng.nextBounded(100) < 70) {
+      Object* parent = nodes[rng.nextBounded(nodes.size())];
+      parent->refElems()[rng.nextBounded(static_cast<u64>(parent->length))] = o;
+    }
+    nodes.push_back(o);
+  }
+  for (Object* o : nodes) {
+    if (rng.nextBounded(100) < 30) {
+      const u64 pins = 1 + rng.nextBounded(3);
+      for (u64 p = 0; p < pins; ++p) {
+        vm.addGlobalRef(o, isos[rng.nextBounded(isos.size())]);
+      }
+    }
+  }
+
+  GcStats stats = vm.collectGarbage(t, nullptr);
+  u64 sum = 0;
+  for (const IsolateCharge& c : stats.charges) sum += c.bytes;
+  EXPECT_LE(sum, stats.live_bytes);
+  // DividedShared may round down by at most 63 bytes per shared object;
+  // the single-owner policies must account every byte exactly.
+  const u64 slack = GetParam().policy == AccountingPolicy::DividedShared
+                        ? 64 * stats.shared_objects
+                        : 0;
+  EXPECT_GE(sum + slack, stats.live_bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AccountingInvariantProperty,
+    ::testing::Values(PolicySeed{AccountingPolicy::FirstReference, 0},
+                      PolicySeed{AccountingPolicy::FirstReference, 1},
+                      PolicySeed{AccountingPolicy::FirstReference, 2},
+                      PolicySeed{AccountingPolicy::CreatorPays, 0},
+                      PolicySeed{AccountingPolicy::CreatorPays, 1},
+                      PolicySeed{AccountingPolicy::CreatorPays, 2},
+                      PolicySeed{AccountingPolicy::DividedShared, 0},
+                      PolicySeed{AccountingPolicy::DividedShared, 1},
+                      PolicySeed{AccountingPolicy::DividedShared, 2}),
+    [](const ::testing::TestParamInfo<PolicySeed>& info) {
+      std::string n = accountingPolicyName(info.param.policy);
+      for (char& c : n) {
+        if (c == '-') c = '_';
+      }
+      return n + "_" + std::to_string(info.param.seed);
+    });
+
+// ------------------------------------------------ 5. termination geometry
+
+struct Geometry {
+  int threads;
+  i32 depth;
+};
+
+class TerminationGeometryProperty : public ::testing::TestWithParam<Geometry> {};
+
+TEST_P(TerminationGeometryProperty, KillReturnsControlToEveryCaller) {
+  const auto [threads, depth] = GetParam();
+
+  VM vm;
+  installSystemLibrary(vm);
+  ClassLoader* shared = vm.registry().newLoader("shared");
+  {
+    ClassBuilder itf("tg/Svc", "", ACC_PUBLIC | ACC_INTERFACE);
+    itf.abstractMethod("work", "(I)I");
+    shared->define(itf.build());
+  }
+  ClassLoader* l0 = vm.registry().newLoader("home", shared);
+  Isolate* home = vm.createIsolate(l0, "home");
+  ClassLoader* lv = vm.registry().newLoader("victim", shared);
+  Isolate* victim = vm.createIsolate(lv, "victim");
+
+  // victim: work(d) recurses d times inside its own isolate, then parks in
+  // an infinite spin so callers are captive at the requested depth.
+  {
+    ClassBuilder cb("tg/Impl");
+    cb.addInterface("tg/Svc");
+    auto& w = cb.method("work", "(I)I");
+    Label spin = w.newLabel(), recurse = w.newLabel();
+    w.iload(1).ifgt(recurse);
+    w.bind(spin).gotoLabel(spin);  // captive
+    w.bind(recurse);
+    w.aload(0).iload(1).iconst(1).isub();
+    w.invokeinterface("tg/Svc", "work", "(I)I").ireturn();
+    lv->define(cb.build());
+  }
+  // home: caller(svc, d) calls the service, catching Throwable -> -1.
+  {
+    ClassBuilder cb("tg/Caller");
+    auto& c = cb.method("call", "(Ltg/Svc;I)I", ACC_PUBLIC | ACC_STATIC);
+    Label from = c.newLabel(), to = c.newLabel(), handler = c.newLabel();
+    c.bind(from);
+    c.aload(0).iload(1).invokeinterface("tg/Svc", "work", "(I)I");
+    c.bind(to).ireturn();
+    c.bind(handler).pop().iconst(-1).ireturn();
+    c.handler(from, to, handler, "java/lang/Throwable");
+    l0->define(cb.build());
+  }
+
+  JThread* main = vm.mainThread();
+  LocalRootScope roots(main);
+  Object* svc = roots.add(
+      vm.allocObject(main, vm.registry().resolve(lv, "tg/Impl")));
+
+  std::atomic<int> returned{0};
+  std::atomic<int> wrong{0};
+  std::vector<std::thread> callers;
+  for (int k = 0; k < threads; ++k) {
+    JThread* t = vm.attachThread(strf("c%d", k), home);
+    callers.emplace_back([&, t] {
+      Value r = vm.callStaticIn(t, l0, "tg/Caller", "call", "(Ltg/Svc;I)I",
+                                {Value::ofRef(svc), Value::ofInt(depth)});
+      if (t->pending_exception != nullptr) wrong.fetch_add(1);
+      vm.clearPending(t);
+      if (!(r.kind == Kind::Int && r.asInt() == -1)) wrong.fetch_add(1);
+      if (t->current_isolate.load() != home) wrong.fetch_add(1);
+      returned.fetch_add(1, std::memory_order_release);
+      vm.detachThread(t);
+    });
+  }
+
+  // Let every caller reach the captive spin, then kill the victim.
+  auto busy_deadline = steady_clock::now() + seconds(10);
+  while (victim->stats.calls_in.load() < static_cast<u64>(threads) &&
+         steady_clock::now() < busy_deadline) {
+    std::this_thread::sleep_for(milliseconds(2));
+  }
+  std::this_thread::sleep_for(milliseconds(20));
+  ASSERT_TRUE(vm.terminateIsolate(main, victim));
+
+  auto deadline = steady_clock::now() + seconds(10);
+  while (returned.load(std::memory_order_acquire) < threads &&
+         steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(milliseconds(2));
+  }
+  EXPECT_EQ(returned.load(), threads);
+  EXPECT_EQ(wrong.load(), 0);
+  for (std::thread& c : callers) c.join();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TerminationGeometryProperty,
+    ::testing::Values(Geometry{1, 0}, Geometry{1, 16}, Geometry{2, 4},
+                      Geometry{4, 32}, Geometry{8, 8}, Geometry{4, 128}),
+    [](const ::testing::TestParamInfo<Geometry>& info) {
+      return "t" + std::to_string(info.param.threads) + "_d" +
+             std::to_string(info.param.depth);
+    });
+
+}  // namespace
+}  // namespace ijvm

@@ -1,0 +1,153 @@
+// Safepoint protocol under concurrent stop-the-world pressure.
+//
+// Regression suite for a real deadlock: a guest thread requesting a
+// stop-the-world (e.g. an allocation-triggered GC) while another stopper
+// holds the operation lock used to block on that lock while still counted
+// as Running, so the current stopper waited for it forever. The fix parks
+// guest requesters before they contend for the lock
+// (SafepointController::stopTheWorld). These tests drive many concurrent
+// stoppers of both kinds (guest allocation GCs, admin GCs, terminations)
+// and must simply complete.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "bytecode/builder.h"
+#include "stdlib/system_library.h"
+#include "support/strf.h"
+
+namespace ijvm {
+namespace {
+
+using namespace std::chrono;
+
+// Guest class whose churn(n) allocates n arrays without retaining them --
+// with a tiny gc_threshold every call storms the GC from guest context.
+void defineChurn(ClassLoader* loader) {
+  ClassBuilder cb("sp/Churn");
+  auto& m = cb.method("churn", "(I)I", ACC_PUBLIC | ACC_STATIC);
+  Label loop = m.newLabel(), done = m.newLabel();
+  m.iconst(0).istore(1);
+  m.bind(loop).iload(1).iload(0).ifIcmpGe(done);
+  m.iconst(256).newarray(Kind::Int).pop();
+  m.iinc(1, 1).gotoLabel(loop);
+  m.bind(done).iload(1).ireturn();
+  loader->define(cb.build());
+}
+
+TEST(SafepointStressTest, ConcurrentGuestGcRequestersDoNotDeadlock) {
+  VmOptions opts;
+  opts.gc_threshold = 64u << 10;  // force frequent guest-triggered GCs
+  opts.heap_limit = 64u << 20;
+  VM vm(opts);
+  installSystemLibrary(vm);
+  ClassLoader* app = vm.registry().newLoader("app");
+  Isolate* iso = vm.createIsolate(app, "app");
+  defineChurn(app);
+
+  // Several guest threads storming the allocator: each one periodically
+  // becomes a stop-the-world *requester* from guest context while the
+  // others are Running.
+  constexpr int kThreads = 6;
+  std::atomic<int> finished{0};
+  std::vector<std::thread> workers;
+  for (int k = 0; k < kThreads; ++k) {
+    JThread* t = vm.attachThread(strf("w%d", k), iso);
+    workers.emplace_back([&vm, &finished, t, app] {
+      for (int round = 0; round < 20; ++round) {
+        vm.callStaticIn(t, app, "sp/Churn", "churn", "(I)I",
+                        {Value::ofInt(400)});
+      }
+      finished.fetch_add(1, std::memory_order_release);
+      vm.detachThread(t);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(finished.load(), kThreads);
+  EXPECT_GT(vm.gcCount(), 5u);  // the storm really did trigger collections
+}
+
+TEST(SafepointStressTest, GuestGcRacesAdminGcAndTermination) {
+  VmOptions opts;
+  opts.gc_threshold = 64u << 10;
+  opts.heap_limit = 64u << 20;
+  VM vm(opts);
+  installSystemLibrary(vm);
+  ClassLoader* l0 = vm.registry().newLoader("main");
+  vm.createIsolate(l0, "main");
+
+  // Guest churners in short-lived victim isolates; an admin thread GCs and
+  // terminates concurrently -- non-guest stop-the-worlds racing guest ones.
+  std::atomic<bool> stop{false};
+  std::thread admin([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      vm.collectGarbage(nullptr, nullptr);
+      std::this_thread::sleep_for(milliseconds(1));
+    }
+  });
+
+  for (int round = 0; round < 6; ++round) {
+    ClassLoader* lv = vm.registry().newLoader(strf("v%d", round));
+    Isolate* victim = vm.createIsolate(lv, strf("v%d", round));
+    defineChurn(lv);
+
+    std::atomic<bool> done{false};
+    JThread* t = vm.attachThread("victim-worker", victim);
+    std::thread worker([&vm, &done, t, lv] {
+      // Big churn: will usually be cut short by the termination below.
+      vm.callStaticIn(t, lv, "sp/Churn", "churn", "(I)I",
+                      {Value::ofInt(2000000)});
+      vm.clearPending(t);
+      done.store(true, std::memory_order_release);
+      vm.detachThread(t);
+    });
+    std::this_thread::sleep_for(milliseconds(10));
+    ASSERT_TRUE(vm.terminateIsolate(vm.mainThread(), victim));
+    auto deadline = steady_clock::now() + seconds(10);
+    while (!done.load(std::memory_order_acquire) &&
+           steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(milliseconds(1));
+    }
+    EXPECT_TRUE(done.load()) << "victim worker stuck after termination";
+    worker.join();
+  }
+  stop.store(true, std::memory_order_release);
+  admin.join();
+}
+
+TEST(SafepointStressTest, BlockedScopeRestoresRunningState) {
+  VM vm;
+  installSystemLibrary(vm);
+  ClassLoader* app = vm.registry().newLoader("app");
+  Isolate* iso = vm.createIsolate(app, "app");
+
+  // A guest method that sleeps: while parked the thread must read Blocked
+  // (the CPU sampler skips it, paper 3.2), and it must be Running again
+  // right after.
+  ClassBuilder cb("sp/Sleeper");
+  auto& m = cb.method("nap", "()V", ACC_PUBLIC | ACC_STATIC);
+  m.lconst(150).invokestatic("java/lang/Thread", "sleep", "(J)V");
+  m.ret();
+  app->define(cb.build());
+
+  JThread* t = vm.attachThread("sleeper", iso);
+  std::atomic<bool> done{false};
+  std::thread worker([&] {
+    vm.callStaticIn(t, app, "sp/Sleeper", "nap", "()V", {});
+    done.store(true, std::memory_order_release);
+  });
+  std::this_thread::sleep_for(milliseconds(50));
+  EXPECT_EQ(t->state.load(), ThreadState::Blocked)
+      << "sleeping guest thread still counted Running (CPU sampler would "
+         "bill it)";
+  while (!done.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(milliseconds(5));
+  }
+  worker.join();
+  vm.detachThread(t);
+}
+
+}  // namespace
+}  // namespace ijvm

@@ -1,0 +1,79 @@
+// End-to-end smoke: boot a VM, define a bundle class, run guest code.
+#include <gtest/gtest.h>
+
+#include "bytecode/builder.h"
+#include "runtime/vm.h"
+#include "stdlib/system_library.h"
+
+namespace ijvm {
+namespace {
+
+TEST(Smoke, AddTwoInts) {
+  VM vm;
+  installSystemLibrary(vm);
+  ClassLoader* app = vm.registry().newLoader("app");
+
+  ClassBuilder cb("app/Main");
+  auto& m = cb.method("add", "(II)I", ACC_STATIC | ACC_PUBLIC);
+  m.iload(0).iload(1).iadd().ireturn();
+  app->define(cb.build());
+
+  vm.createIsolate(app, "app");
+  Value r = vm.callStatic(vm.mainThread(), "app/Main", "add", "(II)I",
+                          {Value::ofInt(2), Value::ofInt(40)});
+  ASSERT_EQ(vm.mainThread()->pending_exception, nullptr)
+      << vm.pendingMessage(vm.mainThread());
+  EXPECT_EQ(r.asInt(), 42);
+}
+
+TEST(Smoke, LoopAndStatics) {
+  VM vm;
+  installSystemLibrary(vm);
+  ClassLoader* app = vm.registry().newLoader("app");
+
+  ClassBuilder cb("app/Loop");
+  cb.field("total", "I", ACC_STATIC | ACC_PUBLIC);
+  auto& m = cb.method("sum", "(I)I", ACC_STATIC | ACC_PUBLIC);
+  // for (i = 0; i < n; i++) total += i; return total;
+  Label head = m.newLabel();
+  Label done = m.newLabel();
+  m.iconst(0).istore(1);
+  m.bind(head).iload(1).iload(0).ifIcmpGe(done);
+  m.getstatic("app/Loop", "total", "I").iload(1).iadd();
+  m.putstatic("app/Loop", "total", "I");
+  m.iinc(1, 1).gotoLabel(head);
+  m.bind(done).getstatic("app/Loop", "total", "I").ireturn();
+  app->define(cb.build());
+
+  vm.createIsolate(app, "app");
+  Value r = vm.callStatic(vm.mainThread(), "app/Loop", "sum", "(I)I",
+                          {Value::ofInt(100)});
+  ASSERT_EQ(vm.mainThread()->pending_exception, nullptr)
+      << vm.pendingMessage(vm.mainThread());
+  EXPECT_EQ(r.asInt(), 4950);
+}
+
+TEST(Smoke, StringsAndObjects) {
+  VM vm;
+  installSystemLibrary(vm);
+  ClassLoader* app = vm.registry().newLoader("app");
+
+  ClassBuilder cb("app/Str");
+  auto& m = cb.method("greet", "()Ljava/lang/String;", ACC_STATIC | ACC_PUBLIC);
+  m.ldcStr("hello ").ldcStr("world");
+  m.invokevirtual("java/lang/String", "concat",
+                  "(Ljava/lang/String;)Ljava/lang/String;");
+  m.areturn();
+  app->define(cb.build());
+
+  vm.createIsolate(app, "app");
+  Value r = vm.callStatic(vm.mainThread(), "app/Str", "greet",
+                          "()Ljava/lang/String;", {});
+  ASSERT_EQ(vm.mainThread()->pending_exception, nullptr)
+      << vm.pendingMessage(vm.mainThread());
+  ASSERT_NE(r.asRef(), nullptr);
+  EXPECT_EQ(VM::stringValue(r.asRef()), "hello world");
+}
+
+}  // namespace
+}  // namespace ijvm

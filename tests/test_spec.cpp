@@ -1,0 +1,65 @@
+// SPEC-analog workloads: determinism, mode-independence (isolated vs shared
+// must compute identical checksums -- same bytecode, different VM), and
+// agreement with independent C++ reference implementations.
+#include <gtest/gtest.h>
+
+#include "stdlib/system_library.h"
+#include "workloads/spec.h"
+
+namespace ijvm {
+namespace {
+
+i32 runInMode(const SpecWorkload& wl, bool isolation, i32 size) {
+  VmOptions opts = isolation ? VmOptions::isolated() : VmOptions::shared();
+  VM vm(opts);
+  installSystemLibrary(vm);
+  ClassLoader* app = vm.registry().newLoader("spec");
+  vm.createIsolate(app, "spec");
+  return runSpecWorkload(vm, vm.mainThread(), app, wl, size);
+}
+
+class SpecModeParity : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpecModeParity, IsolatedAndSharedComputeTheSameChecksum) {
+  SpecWorkload wl = specWorkloads()[static_cast<size_t>(GetParam())];
+  // Small sizes keep the suite fast; benches use default_size.
+  i32 size = std::max(1, wl.default_size / 8);
+  i32 isolated = runInMode(wl, true, size);
+  i32 shared = runInMode(wl, false, size);
+  EXPECT_EQ(isolated, shared) << wl.name;
+  // Re-running in the same mode is deterministic too.
+  EXPECT_EQ(runInMode(wl, true, size), isolated) << wl.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, SpecModeParity, ::testing::Range(0, 7),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return specWorkloads()[static_cast<size_t>(info.param)]
+                               .name;
+                         });
+
+TEST(SpecReference, CompressMatchesCppReference) {
+  SpecWorkload wl = makeCompress();
+  for (i32 size : {1, 2, 8}) {
+    EXPECT_EQ(runInMode(wl, true, size), referenceCompress(size)) << size;
+  }
+}
+
+TEST(SpecReference, DbMatchesCppReference) {
+  SpecWorkload wl = makeDb();
+  for (i32 ops : {10, 100, 500}) {
+    EXPECT_EQ(runInMode(wl, true, ops), referenceDb(ops)) << ops;
+  }
+}
+
+TEST(SpecReference, MtrtUsesTwoThreads) {
+  VM vm;
+  installSystemLibrary(vm);
+  ClassLoader* app = vm.registry().newLoader("spec");
+  Isolate* iso = vm.createIsolate(app, "spec");
+  const u64 before = iso->stats.threads_created.load();
+  runSpecWorkload(vm, vm.mainThread(), app, makeMtrt(), 256);
+  EXPECT_GE(iso->stats.threads_created.load() - before, 2u);
+}
+
+}  // namespace
+}  // namespace ijvm

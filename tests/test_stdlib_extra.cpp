@@ -1,0 +1,385 @@
+// Extended system-library classes (stdlib_extra.cpp): LinkedList, Random,
+// Arrays, Integer, Long and the second-tier String methods.
+#include <gtest/gtest.h>
+
+#include "bytecode/builder.h"
+#include "heap/object.h"
+#include "runtime/vm.h"
+#include "stdlib/system_library.h"
+
+namespace ijvm {
+namespace {
+
+struct ExtraFixture : ::testing::Test {
+  void SetUp() override {
+    vm = std::make_unique<VM>();
+    installSystemLibrary(*vm);
+    app = vm->registry().newLoader("app");
+    iso = vm->createIsolate(app, "app");
+  }
+  void TearDown() override { vm.reset(); }
+
+  Value run(ClassBuilder& cb, const std::string& method, const std::string& desc,
+            std::vector<Value> args = {}) {
+    std::string cls = cb.name();
+    app->define(cb.build());
+    JThread* t = vm->mainThread();
+    Value r = vm->callStaticIn(t, app, cls, method, desc, std::move(args));
+    last_error = t->pending_exception != nullptr ? vm->pendingMessage(t) : "";
+    vm->clearPending(t);
+    return r;
+  }
+
+  // Runs a zero-arg static int method.
+  i32 runInt(ClassBuilder& cb) {
+    Value r = run(cb, "f", "()I");
+    EXPECT_TRUE(last_error.empty()) << last_error;
+    return r.kind == Kind::Int ? r.asInt() : INT32_MIN;
+  }
+
+  std::string runStr(ClassBuilder& cb) {
+    Value r = run(cb, "f", "()Ljava/lang/String;");
+    EXPECT_TRUE(last_error.empty()) << last_error;
+    return r.kind == Kind::Ref && r.asRef() != nullptr
+               ? VM::stringValue(r.asRef())
+               : "<error>";
+  }
+
+  std::unique_ptr<VM> vm;
+  ClassLoader* app = nullptr;
+  Isolate* iso = nullptr;
+  std::string last_error;
+};
+
+// --------------------------------------------------------------- LinkedList
+
+TEST_F(ExtraFixture, LinkedListDequeOperations) {
+  ClassBuilder cb("x/Dq");
+  auto& m = cb.method("f", "()I", ACC_PUBLIC | ACC_STATIC);
+  m.newDefault("java/util/LinkedList").astore(0);
+  // addLast "b", addFirst "a", addLast "c"  -> [a, b, c]
+  m.aload(0).ldcStr("b").invokevirtual("java/util/LinkedList", "addLast",
+                                       "(Ljava/lang/Object;)V");
+  m.aload(0).ldcStr("a").invokevirtual("java/util/LinkedList", "addFirst",
+                                       "(Ljava/lang/Object;)V");
+  m.aload(0).ldcStr("c").invokevirtual("java/util/LinkedList", "addLast",
+                                       "(Ljava/lang/Object;)V");
+  // removeFirst -> "a" (length 1); size now 2
+  m.aload(0).invokevirtual("java/util/LinkedList", "removeFirst",
+                           "()Ljava/lang/Object;");
+  m.checkcast("java/lang/String");
+  m.invokevirtual("java/lang/String", "length", "()I").istore(1);
+  m.aload(0).invokevirtual("java/util/LinkedList", "size", "()I");
+  m.iconst(100).imul().iload(1).iadd().ireturn();
+  EXPECT_EQ(runInt(cb), 201);
+}
+
+TEST_F(ExtraFixture, LinkedListPeekDoesNotRemove) {
+  ClassBuilder cb("x/Pk");
+  auto& m = cb.method("f", "()I", ACC_PUBLIC | ACC_STATIC);
+  m.newDefault("java/util/LinkedList").astore(0);
+  m.aload(0).ldcStr("only").invokevirtual("java/util/LinkedList", "addLast",
+                                          "(Ljava/lang/Object;)V");
+  m.aload(0).invokevirtual("java/util/LinkedList", "peekFirst",
+                           "()Ljava/lang/Object;").pop();
+  m.aload(0).invokevirtual("java/util/LinkedList", "peekLast",
+                           "()Ljava/lang/Object;").pop();
+  m.aload(0).invokevirtual("java/util/LinkedList", "size", "()I").ireturn();
+  EXPECT_EQ(runInt(cb), 1);
+}
+
+TEST_F(ExtraFixture, LinkedListRemoveFromEmptyThrows) {
+  ClassBuilder cb("x/Emp");
+  auto& m = cb.method("f", "()I", ACC_PUBLIC | ACC_STATIC);
+  m.newDefault("java/util/LinkedList");
+  m.invokevirtual("java/util/LinkedList", "removeFirst", "()Ljava/lang/Object;");
+  m.pop().iconst(0).ireturn();
+  run(cb, "f", "()I");
+  EXPECT_NE(last_error.find("IllegalStateException"), std::string::npos)
+      << last_error;
+}
+
+TEST_F(ExtraFixture, LinkedListPeekEmptyReturnsNull) {
+  ClassBuilder cb("x/PkE");
+  auto& m = cb.method("f", "()I", ACC_PUBLIC | ACC_STATIC);
+  m.newDefault("java/util/LinkedList");
+  m.invokevirtual("java/util/LinkedList", "peekFirst", "()Ljava/lang/Object;");
+  Label isnull = m.newLabel();
+  m.ifNull(isnull);
+  m.iconst(0).ireturn();
+  m.bind(isnull).iconst(1).ireturn();
+  EXPECT_EQ(runInt(cb), 1);
+}
+
+// ------------------------------------------------------------------ Random
+
+TEST_F(ExtraFixture, RandomSameSeedSameStream) {
+  ClassBuilder cb("x/Rnd");
+  auto& m = cb.method("f", "()I", ACC_PUBLIC | ACC_STATIC);
+  // Two generators with the same seed must agree on 8 draws.
+  m.newObject("java/util/Random").dup().lconst(12345);
+  m.invokespecial("java/util/Random", "<init>", "(J)V").astore(0);
+  m.newObject("java/util/Random").dup().lconst(12345);
+  m.invokespecial("java/util/Random", "<init>", "(J)V").astore(1);
+  Label fail = m.newLabel();
+  for (int i = 0; i < 8; ++i) {
+    m.aload(0).iconst(1000).invokevirtual("java/util/Random", "nextInt", "(I)I");
+    m.aload(1).iconst(1000).invokevirtual("java/util/Random", "nextInt", "(I)I");
+    m.ifIcmpNe(fail);
+  }
+  m.iconst(1).ireturn();
+  m.bind(fail).iconst(0).ireturn();
+  EXPECT_EQ(runInt(cb), 1);
+}
+
+TEST_F(ExtraFixture, RandomBoundRespected) {
+  ClassBuilder cb("x/RndB");
+  auto& m = cb.method("f", "()I", ACC_PUBLIC | ACC_STATIC);
+  m.newObject("java/util/Random").dup().lconst(7);
+  m.invokespecial("java/util/Random", "<init>", "(J)V").astore(0);
+  Label fail = m.newLabel(), loop = m.newLabel(), done = m.newLabel();
+  m.iconst(0).istore(1);
+  m.bind(loop).iload(1).iconst(200).ifIcmpGe(done);
+  m.aload(0).iconst(10).invokevirtual("java/util/Random", "nextInt", "(I)I");
+  m.istore(2);
+  m.iload(2).iflt(fail);
+  m.iload(2).iconst(10).ifIcmpGe(fail);
+  m.iinc(1, 1).gotoLabel(loop);
+  m.bind(done).iconst(1).ireturn();
+  m.bind(fail).iconst(0).ireturn();
+  EXPECT_EQ(runInt(cb), 1);
+}
+
+TEST_F(ExtraFixture, RandomNonPositiveBoundThrows) {
+  ClassBuilder cb("x/RndN");
+  auto& m = cb.method("f", "()I", ACC_PUBLIC | ACC_STATIC);
+  m.newDefault("java/util/Random");
+  m.iconst(0).invokevirtual("java/util/Random", "nextInt", "(I)I").ireturn();
+  run(cb, "f", "()I");
+  EXPECT_NE(last_error.find("IllegalArgumentException"), std::string::npos);
+}
+
+// --------------------------------------------------------- Integer / Long
+
+TEST_F(ExtraFixture, IntegerParseAndToStringRoundTrip) {
+  ClassBuilder cb("x/Int");
+  auto& m = cb.method("f", "()I", ACC_PUBLIC | ACC_STATIC);
+  m.ldcStr("-12345").invokestatic("java/lang/Integer", "parseInt",
+                                  "(Ljava/lang/String;)I");
+  m.ireturn();
+  EXPECT_EQ(runInt(cb), -12345);
+
+  ClassBuilder cb2("x/Int2");
+  auto& g = cb2.method("f", "()Ljava/lang/String;", ACC_PUBLIC | ACC_STATIC);
+  g.iconst(-987).invokestatic("java/lang/Integer", "toString",
+                              "(I)Ljava/lang/String;");
+  g.areturn();
+  EXPECT_EQ(runStr(cb2), "-987");
+}
+
+TEST_F(ExtraFixture, IntegerParseRejectsGarbage) {
+  for (const char* bad : {"", "-", "12x3", "99999999999999999999"}) {
+    ClassBuilder cb(std::string("x/Bad") + std::to_string(reinterpret_cast<uintptr_t>(bad) % 1000));
+    auto& m = cb.method("f", "()I", ACC_PUBLIC | ACC_STATIC);
+    m.ldcStr(bad).invokestatic("java/lang/Integer", "parseInt",
+                               "(Ljava/lang/String;)I");
+    m.ireturn();
+    run(cb, "f", "()I");
+    EXPECT_NE(last_error.find("NumberFormatException"), std::string::npos)
+        << "input: " << bad;
+  }
+}
+
+TEST_F(ExtraFixture, IntegerParseBoundaries) {
+  for (auto [text, expect] : std::vector<std::pair<const char*, i32>>{
+           {"2147483647", INT32_MAX}, {"-2147483648", INT32_MIN}, {"0", 0}}) {
+    ClassBuilder cb(std::string("x/B") + std::to_string(expect < 0 ? 1 : expect % 97));
+    auto& m = cb.method("f", "()I", ACC_PUBLIC | ACC_STATIC);
+    m.ldcStr(text).invokestatic("java/lang/Integer", "parseInt",
+                                "(Ljava/lang/String;)I");
+    m.ireturn();
+    EXPECT_EQ(runInt(cb), expect) << text;
+  }
+}
+
+TEST_F(ExtraFixture, IntegerBitHelpers) {
+  ClassBuilder cb("x/Bits");
+  auto& m = cb.method("f", "()I", ACC_PUBLIC | ACC_STATIC);
+  // bitCount(0b1011) * 1000 + highestOneBit(0b1011)
+  m.iconst(11).invokestatic("java/lang/Integer", "bitCount", "(I)I");
+  m.iconst(1000).imul();
+  m.iconst(11).invokestatic("java/lang/Integer", "highestOneBit", "(I)I");
+  m.iadd().ireturn();
+  EXPECT_EQ(runInt(cb), 3008);
+}
+
+TEST_F(ExtraFixture, IntegerToHexString) {
+  ClassBuilder cb("x/Hex");
+  auto& m = cb.method("f", "()Ljava/lang/String;", ACC_PUBLIC | ACC_STATIC);
+  m.iconst(48879).invokestatic("java/lang/Integer", "toHexString",
+                               "(I)Ljava/lang/String;");
+  m.areturn();
+  EXPECT_EQ(runStr(cb), "beef");
+}
+
+TEST_F(ExtraFixture, LongParseAndToString) {
+  ClassBuilder cb("x/Lng");
+  auto& m = cb.method("f", "()Ljava/lang/String;", ACC_PUBLIC | ACC_STATIC);
+  m.ldcStr("-9223372036854775808")
+      .invokestatic("java/lang/Long", "parseLong", "(Ljava/lang/String;)J");
+  m.invokestatic("java/lang/Long", "toString", "(J)Ljava/lang/String;");
+  m.areturn();
+  EXPECT_EQ(runStr(cb), "-9223372036854775808");
+}
+
+// ------------------------------------------------------------------ Arrays
+
+TEST_F(ExtraFixture, ArraysFillSortSearch) {
+  ClassBuilder cb("x/Arr");
+  auto& m = cb.method("f", "()I", ACC_PUBLIC | ACC_STATIC);
+  // a = new int[5]; a[i] = 5 - i (reverse-sorted); sort; binarySearch(4)
+  m.iconst(5).newarray(Kind::Int).astore(0);
+  for (int i = 0; i < 5; ++i) {
+    m.aload(0).iconst(i).iconst(5 - i).iastore();
+  }
+  m.aload(0).invokestatic("java/util/Arrays", "sort", "([I)V");
+  m.aload(0).iconst(4).invokestatic("java/util/Arrays", "binarySearch", "([II)I");
+  m.ireturn();
+  EXPECT_EQ(runInt(cb), 3);  // sorted [1..5]; 4 at index 3
+}
+
+TEST_F(ExtraFixture, ArraysBinarySearchMissReturnsInsertionPoint) {
+  ClassBuilder cb("x/Bs");
+  auto& m = cb.method("f", "()I", ACC_PUBLIC | ACC_STATIC);
+  m.iconst(3).newarray(Kind::Int).astore(0);
+  // [10, 20, 30]; search 25 -> -(2)-1 = -3
+  m.aload(0).iconst(0).iconst(10).iastore();
+  m.aload(0).iconst(1).iconst(20).iastore();
+  m.aload(0).iconst(2).iconst(30).iastore();
+  m.aload(0).iconst(25).invokestatic("java/util/Arrays", "binarySearch", "([II)I");
+  m.ireturn();
+  EXPECT_EQ(runInt(cb), -3);
+}
+
+TEST_F(ExtraFixture, ArraysCopyOfAndEquals) {
+  ClassBuilder cb("x/Cp");
+  auto& m = cb.method("f", "()I", ACC_PUBLIC | ACC_STATIC);
+  m.iconst(3).newarray(Kind::Int).astore(0);
+  m.aload(0).iconst(7).invokestatic("java/util/Arrays", "fill", "([II)V");
+  // copyOf to same length -> equal; copyOf to longer -> not equal
+  m.aload(0).iconst(3).invokestatic("java/util/Arrays", "copyOf", "([II)[I");
+  m.astore(1);
+  m.aload(0).aload(1).invokestatic("java/util/Arrays", "equals", "([I[I)I");
+  m.iconst(10).imul();
+  m.aload(0).iconst(4).invokestatic("java/util/Arrays", "copyOf", "([II)[I");
+  m.astore(2);
+  m.aload(0).aload(2).invokestatic("java/util/Arrays", "equals", "([I[I)I");
+  m.iadd().ireturn();
+  EXPECT_EQ(runInt(cb), 10);
+}
+
+TEST_F(ExtraFixture, ArraysHashCodeMatchesJavaContract) {
+  ClassBuilder cb("x/Hc");
+  auto& m = cb.method("f", "()I", ACC_PUBLIC | ACC_STATIC);
+  m.iconst(2).newarray(Kind::Int).astore(0);
+  m.aload(0).iconst(0).iconst(1).iastore();
+  m.aload(0).iconst(1).iconst(2).iastore();
+  m.aload(0).invokestatic("java/util/Arrays", "hashCode", "([I)I").ireturn();
+  // ((1*31)+1)*31+2 = 994
+  EXPECT_EQ(runInt(cb), 994);
+}
+
+TEST_F(ExtraFixture, ArraysNullArgumentThrowsNpe) {
+  ClassBuilder cb("x/Np");
+  auto& m = cb.method("f", "()I", ACC_PUBLIC | ACC_STATIC);
+  m.aconstNull().checkcast("[I").iconst(1)
+      .invokestatic("java/util/Arrays", "fill", "([II)V");
+  m.iconst(0).ireturn();
+  run(cb, "f", "()I");
+  EXPECT_NE(last_error.find("NullPointerException"), std::string::npos);
+}
+
+// ----------------------------------------------------------- String extras
+
+TEST_F(ExtraFixture, StringCaseTrimReplace) {
+  ClassBuilder cb("x/Str");
+  auto& m = cb.method("f", "()Ljava/lang/String;", ACC_PUBLIC | ACC_STATIC);
+  m.ldcStr("  Hello-World  ");
+  m.invokevirtual("java/lang/String", "trim", "()Ljava/lang/String;");
+  m.invokevirtual("java/lang/String", "toLowerCase", "()Ljava/lang/String;");
+  m.iconst('-').iconst('_');
+  m.invokevirtual("java/lang/String", "replace", "(II)Ljava/lang/String;");
+  m.areturn();
+  EXPECT_EQ(runStr(cb), "hello_world");
+}
+
+TEST_F(ExtraFixture, StringSearchMethods) {
+  ClassBuilder cb("x/Srch");
+  auto& m = cb.method("f", "()I", ACC_PUBLIC | ACC_STATIC);
+  // endsWith*1000 + contains*100 + indexOf("lo") (= 3)
+  m.ldcStr("hello").ldcStr("llo")
+      .invokevirtual("java/lang/String", "endsWith", "(Ljava/lang/String;)I");
+  m.iconst(1000).imul();
+  m.ldcStr("hello").ldcStr("ell")
+      .invokevirtual("java/lang/String", "contains", "(Ljava/lang/String;)I");
+  m.iconst(100).imul().iadd();
+  m.ldcStr("hello").ldcStr("lo")
+      .invokevirtual("java/lang/String", "indexOf", "(Ljava/lang/String;)I");
+  m.iadd().ireturn();
+  EXPECT_EQ(runInt(cb), 1103);
+}
+
+TEST_F(ExtraFixture, StringSplit) {
+  ClassBuilder cb("x/Spl");
+  auto& m = cb.method("f", "()I", ACC_PUBLIC | ACC_STATIC);
+  // "a,bb,,ccc".split(",") -> 4 parts; return count*1000 + len[1]*10 + len[2]
+  m.ldcStr("a,bb,,ccc").ldcStr(",");
+  m.invokevirtual("java/lang/String", "split",
+                  "(Ljava/lang/String;)[Ljava/lang/String;");
+  m.astore(0);
+  m.aload(0).arraylength().iconst(1000).imul();
+  m.aload(0).iconst(1).aaload()
+      .invokevirtual("java/lang/String", "length", "()I");
+  m.iconst(10).imul().iadd();
+  m.aload(0).iconst(2).aaload()
+      .invokevirtual("java/lang/String", "length", "()I");
+  m.iadd().ireturn();
+  EXPECT_EQ(runInt(cb), 4020);
+}
+
+TEST_F(ExtraFixture, StringUpperLower) {
+  ClassBuilder cb("x/Ul");
+  auto& m = cb.method("f", "()Ljava/lang/String;", ACC_PUBLIC | ACC_STATIC);
+  m.ldcStr("MiXeD");
+  m.invokevirtual("java/lang/String", "toUpperCase", "()Ljava/lang/String;");
+  m.areturn();
+  EXPECT_EQ(runStr(cb), "MIXED");
+}
+
+TEST_F(ExtraFixture, StringLastIndexOf) {
+  ClassBuilder cb("x/Lio");
+  auto& m = cb.method("f", "()I", ACC_PUBLIC | ACC_STATIC);
+  m.ldcStr("abcabc").iconst('b')
+      .invokevirtual("java/lang/String", "lastIndexOf", "(I)I");
+  m.ireturn();
+  EXPECT_EQ(runInt(cb), 4);
+}
+
+// Library allocations remain charged to the *calling* isolate (paper 3.2).
+TEST_F(ExtraFixture, ExtraLibraryAllocationsChargedToCaller) {
+  ClassBuilder cb("x/Chg");
+  auto& m = cb.method("f", "()I", ACC_PUBLIC | ACC_STATIC);
+  Label loop = m.newLabel(), done = m.newLabel();
+  m.iconst(0).istore(0);
+  m.bind(loop).iload(0).iconst(200).ifIcmpGe(done);
+  m.iconst(1000).invokestatic("java/lang/Integer", "toString",
+                              "(I)Ljava/lang/String;").pop();
+  m.iinc(0, 1).gotoLabel(loop);
+  m.bind(done).iload(0).ireturn();
+  u64 before = iso->stats.objects_allocated.load();
+  EXPECT_EQ(runInt(cb), 200);
+  EXPECT_GE(iso->stats.objects_allocated.load(), before + 200);
+}
+
+}  // namespace
+}  // namespace ijvm

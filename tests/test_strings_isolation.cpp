@@ -1,0 +1,149 @@
+// String semantics under isolation (paper sections 3.1 / 3.5):
+//  * each isolate has its own interned-string map;
+//  * the same literal in two bundles yields DIFFERENT objects in isolated
+//    mode -- `==` (IF_ACMPEQ) across bundles is false, equals() is true;
+//  * in shared mode the baseline behaviour (one shared object) holds.
+#include <gtest/gtest.h>
+
+#include "bytecode/builder.h"
+#include "heap/object.h"
+#include "osgi/framework.h"
+#include "stdlib/system_library.h"
+
+namespace ijvm {
+namespace {
+
+// A bundle exposing its interned literal and comparison helpers.
+BundleDescriptor makeStringBundle(const std::string& name, const std::string& pkg) {
+  BundleDescriptor desc;
+  desc.symbolic_name = name;
+  ClassBuilder cb(pkg + "/Str");
+  auto& lit = cb.method("literal", "()Ljava/lang/String;", ACC_PUBLIC | ACC_STATIC);
+  lit.ldcStr("THE_SHARED_LITERAL").areturn();
+  auto& same = cb.method("sameAs", "(Ljava/lang/String;)I", ACC_PUBLIC | ACC_STATIC);
+  Label eq = same.newLabel();
+  same.ldcStr("THE_SHARED_LITERAL").aload(0).ifAcmpEq(eq);
+  same.iconst(0).ireturn();
+  same.bind(eq).iconst(1).ireturn();
+  auto& equals = cb.method("equalsTo", "(Ljava/lang/String;)I",
+                           ACC_PUBLIC | ACC_STATIC);
+  equals.ldcStr("THE_SHARED_LITERAL").aload(0);
+  equals.invokevirtual("java/lang/String", "equals", "(Ljava/lang/Object;)I");
+  equals.ireturn();
+  desc.classes.push_back(cb.build());
+  return desc;
+}
+
+struct StringIsolationFixture : ::testing::TestWithParam<bool> {};
+
+TEST_P(StringIsolationFixture, LiteralIdentityDependsOnMode) {
+  const bool isolated = GetParam();
+  VM vm(isolated ? VmOptions::isolated() : VmOptions::shared());
+  installSystemLibrary(vm);
+  Framework fw(vm);
+  Bundle* a = fw.install(makeStringBundle("a", "sa"));
+  Bundle* b = fw.install(makeStringBundle("b", "sb"));
+  fw.start(a);
+  fw.start(b);
+
+  JThread* t = vm.mainThread();
+  Value lit_a = vm.callStaticIn(t, a->loader(), "sa/Str", "literal",
+                                "()Ljava/lang/String;", {});
+  Value lit_b = vm.callStaticIn(t, b->loader(), "sb/Str", "literal",
+                                "()Ljava/lang/String;", {});
+  ASSERT_EQ(t->pending_exception, nullptr) << vm.pendingMessage(t);
+  ASSERT_NE(lit_a.asRef(), nullptr);
+  ASSERT_NE(lit_b.asRef(), nullptr);
+
+  if (isolated) {
+    // Paper 3.5: "each bundle has its map of strings, therefore the ==
+    // operator does not work for strings allocated by different bundles."
+    EXPECT_NE(lit_a.asRef(), lit_b.asRef());
+    Value same = vm.callStaticIn(t, a->loader(), "sa/Str", "sameAs",
+                                 "(Ljava/lang/String;)I", {lit_b});
+    EXPECT_EQ(same.asInt(), 0);
+  } else {
+    EXPECT_EQ(lit_a.asRef(), lit_b.asRef());
+    Value same = vm.callStaticIn(t, a->loader(), "sa/Str", "sameAs",
+                                 "(Ljava/lang/String;)I", {lit_b});
+    EXPECT_EQ(same.asInt(), 1);
+  }
+  // equals() works in both modes ("Programmers should use equals instead").
+  Value eq = vm.callStaticIn(t, a->loader(), "sa/Str", "equalsTo",
+                             "(Ljava/lang/String;)I", {lit_b});
+  EXPECT_EQ(eq.asInt(), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothModes, StringIsolationFixture, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "isolated" : "shared";
+                         });
+
+TEST(StringIsolation, SameBundleLiteralIsInternedOnce) {
+  VM vm;
+  installSystemLibrary(vm);
+  Framework fw(vm);
+  Bundle* a = fw.install(makeStringBundle("solo", "solo"));
+  fw.start(a);
+  JThread* t = vm.mainThread();
+  Value l1 = vm.callStaticIn(t, a->loader(), "solo/Str", "literal",
+                             "()Ljava/lang/String;", {});
+  Value l2 = vm.callStaticIn(t, a->loader(), "solo/Str", "literal",
+                             "()Ljava/lang/String;", {});
+  EXPECT_EQ(l1.asRef(), l2.asRef());  // == works within one bundle
+}
+
+TEST(StringIsolation, InternReturnsPerIsolateCanonicalObject) {
+  VM vm;
+  installSystemLibrary(vm);
+  ClassLoader* app = vm.registry().newLoader("app");
+  vm.createIsolate(app, "app");
+  JThread* t = vm.mainThread();
+  Object* raw1 = vm.newStringObject(t, "xyzzy");
+  Object* raw2 = vm.newStringObject(t, "xyzzy");
+  EXPECT_NE(raw1, raw2);  // fresh strings are distinct objects
+  Object* i1 = vm.internString(t, "xyzzy");
+  Object* i2 = vm.internString(t, "xyzzy");
+  EXPECT_EQ(i1, i2);  // interning canonicalizes
+}
+
+TEST(StringIsolation, StringNativesBehave) {
+  VM vm;
+  installSystemLibrary(vm);
+  ClassLoader* app = vm.registry().newLoader("app");
+  vm.createIsolate(app, "app");
+
+  ClassBuilder cb("s/Ops");
+  auto& m = cb.method("f", "()I", ACC_PUBLIC | ACC_STATIC);
+  // "hello world".substring(6, 11).startsWith("wor") ? charAt(0) : -1
+  Label bad = m.newLabel();
+  m.ldcStr("hello world").iconst(6).iconst(11);
+  m.invokevirtual("java/lang/String", "substring", "(II)Ljava/lang/String;");
+  m.astore(0);
+  m.aload(0).ldcStr("wor");
+  m.invokevirtual("java/lang/String", "startsWith", "(Ljava/lang/String;)I");
+  m.ifeq(bad);
+  m.aload(0).iconst(0).invokevirtual("java/lang/String", "charAt", "(I)I");
+  m.ireturn();
+  m.bind(bad).iconst(-1).ireturn();
+  app->define(cb.build());
+
+  Value r = vm.callStaticIn(vm.mainThread(), app, "s/Ops", "f", "()I", {});
+  ASSERT_EQ(vm.mainThread()->pending_exception, nullptr)
+      << vm.pendingMessage(vm.mainThread());
+  EXPECT_EQ(r.asInt(), 'w');
+}
+
+TEST(StringIsolation, HashCodeMatchesJavaAlgorithm) {
+  VM vm;
+  installSystemLibrary(vm);
+  ClassLoader* app = vm.registry().newLoader("app");
+  vm.createIsolate(app, "app");
+  JThread* t = vm.mainThread();
+  Object* s = vm.newStringObject(t, "Hello");
+  Value h = vm.callVirtual(t, s, "hashCode", "()I", {});
+  EXPECT_EQ(h.asInt(), 69609650);  // Java's "Hello".hashCode()
+}
+
+}  // namespace
+}  // namespace ijvm

@@ -1,0 +1,230 @@
+// Isolate termination (paper section 3.3), beyond the attack suite:
+// privilege checks, poisoning, stack patching through nested frames,
+// uncatchability inside the dying isolate, Dead-state transition.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "bytecode/builder.h"
+#include "heap/object.h"
+#include "osgi/framework.h"
+#include "stdlib/system_library.h"
+#include "workloads/bundles.h"
+
+namespace ijvm {
+namespace {
+
+struct TermFixture : ::testing::Test {
+  void SetUp() override {
+    vm = std::make_unique<VM>();
+    installSystemLibrary(*vm);
+    fw = std::make_unique<Framework>(*vm);
+    defineCounterApi(*fw);
+  }
+  void TearDown() override {
+    fw.reset();
+    vm.reset();
+  }
+  std::unique_ptr<VM> vm;
+  std::unique_ptr<Framework> fw;
+};
+
+TEST_F(TermFixture, OnlyIsolate0MayTerminate) {
+  Bundle* a = fw->install(makeCounterProvider("ta", "ta.svc"));
+  Bundle* b = fw->install(makeCounterProvider("tb", "tb.svc"));
+  fw->start(a);
+  fw->start(b);
+
+  // A thread currently running in a standard isolate must be refused.
+  JThread* t = vm->attachThread("intruder", a->isolate());
+  EXPECT_FALSE(vm->terminateIsolate(t, b->isolate()));
+  ASSERT_NE(t->pending_exception, nullptr);
+  EXPECT_NE(vm->pendingMessage(t).find("SecurityException"), std::string::npos);
+  vm->clearPending(t);
+  EXPECT_TRUE(b->isolate()->isActive());
+
+  // Isolate0 cannot be terminated either.
+  EXPECT_FALSE(vm->terminateIsolate(vm->mainThread(), fw->frameworkIsolate()));
+  vm->clearPending(vm->mainThread());
+  vm->detachThread(t);
+}
+
+TEST_F(TermFixture, DyingIsolateCannotCatchStoppedIsolateException) {
+  // A bundle whose method wraps the *entire body* in catch(Throwable) and
+  // calls a helper; after termination the exception must STILL escape.
+  BundleDescriptor desc;
+  desc.symbolic_name = "sneaky";
+  {
+    ClassBuilder cb("sn/Main");
+    auto& helper = cb.method("helper", "()I", ACC_PUBLIC | ACC_STATIC);
+    helper.iconst(5).ireturn();
+    auto& m = cb.method("guarded", "()I", ACC_PUBLIC | ACC_STATIC);
+    Label from = m.newLabel(), to = m.newLabel(), handler = m.newLabel();
+    m.bind(from);
+    m.invokestatic("sn/Main", "helper", "()I");
+    m.bind(to).ireturn();
+    m.bind(handler).pop().iconst(-99).ireturn();  // tries to swallow
+    m.handler(from, to, handler, "java/lang/Throwable");
+    desc.classes.push_back(cb.build());
+  }
+  Bundle* b = fw->install(std::move(desc));
+  fw->start(b);
+
+  JThread* t = vm->mainThread();
+  Value before = vm->callStaticIn(t, b->loader(), "sn/Main", "guarded", "()I", {});
+  EXPECT_EQ(before.asInt(), 5);
+
+  fw->killBundle(b);
+  vm->callStaticIn(t, b->loader(), "sn/Main", "guarded", "()I", {});
+  // The bundle's catch-all must NOT have swallowed the termination: the
+  // exception reaches the host caller.
+  ASSERT_NE(t->pending_exception, nullptr);
+  EXPECT_NE(vm->pendingMessage(t).find("StoppedIsolate"), std::string::npos);
+  vm->clearPending(t);
+}
+
+TEST_F(TermFixture, KillOnReturnPatchesDeepStacks) {
+  // victim -> attacker -> victim-callback: when the attacker dies while a
+  // thread is parked below it, the return into the dying frame raises SIE
+  // and the victim's lower frame catches it.
+  {
+    ClassBuilder itf("api/Relay", "", ACC_PUBLIC | ACC_INTERFACE);
+    itf.abstractMethod("relay", "(I)I");
+    fw->frameworkIsolate()->loader->define(itf.build());
+  }
+  BundleDescriptor attacker;
+  attacker.symbolic_name = "middle";
+  {
+    ClassBuilder cb("mid/Impl");
+    cb.addInterface("api/Relay");
+    auto& relay = cb.method("relay", "(I)I");
+    // sleeps (interruptibly), then returns arg+1
+    relay.lconst(600000).invokestatic("java/lang/Thread", "sleep", "(J)V");
+    relay.iload(1).iconst(1).iadd().ireturn();
+    attacker.classes.push_back(cb.build());
+  }
+  {
+    ClassBuilder cb("mid/Activator");
+    cb.addInterface("osgi/BundleActivator");
+    auto& start = cb.method("start", "(Losgi/BundleContext;)V");
+    start.aload(1).ldcStr("relay.svc");
+    start.newDefault("mid/Impl");
+    start.invokevirtual("osgi/BundleContext", "registerService",
+                        "(Ljava/lang/String;Ljava/lang/Object;)V");
+    start.ret();
+    cb.method("stop", "(Losgi/BundleContext;)V").ret();
+    attacker.classes.push_back(cb.build());
+    attacker.activator = "mid/Activator";
+  }
+  BundleDescriptor victim;
+  victim.symbolic_name = "caller";
+  {
+    ClassBuilder cb("cal/Main");
+    cb.field("svc", "Lapi/Relay;", ACC_PUBLIC | ACC_STATIC);
+    auto& m = cb.method("go", "()I", ACC_PUBLIC | ACC_STATIC);
+    Label from = m.newLabel(), to = m.newLabel(), handler = m.newLabel();
+    m.bind(from);
+    m.getstatic("cal/Main", "svc", "Lapi/Relay;").iconst(10);
+    m.invokeinterface("api/Relay", "relay", "(I)I");
+    m.bind(to).ireturn();
+    m.bind(handler).pop().iconst(-7).ireturn();
+    m.handler(from, to, handler, "java/lang/Throwable");
+    victim.classes.push_back(cb.build());
+  }
+  {
+    ClassBuilder cb("cal/Activator");
+    cb.addInterface("osgi/BundleActivator");
+    auto& start = cb.method("start", "(Losgi/BundleContext;)V");
+    start.aload(1).ldcStr("relay.svc");
+    start.invokevirtual("osgi/BundleContext", "getService",
+                        "(Ljava/lang/String;)Ljava/lang/Object;");
+    start.checkcast("api/Relay");
+    start.putstatic("cal/Main", "svc", "Lapi/Relay;");
+    start.ret();
+    cb.method("stop", "(Losgi/BundleContext;)V").ret();
+    victim.classes.push_back(cb.build());
+    victim.activator = "cal/Activator";
+  }
+
+  Bundle* mid = fw->install(std::move(attacker));
+  Bundle* cal = fw->install(std::move(victim));
+  fw->start(mid);
+  fw->start(cal);
+
+  // Run the victim call on a separate thread; it parks inside the attacker.
+  std::atomic<bool> done{false};
+  std::atomic<i32> result{0};
+  JThread* ct = vm->attachThread("deep-call", fw->frameworkIsolate());
+  std::thread worker([&] {
+    Value r = vm->callStaticIn(ct, cal->loader(), "cal/Main", "go", "()I", {});
+    result.store(r.asInt());
+    ct->pending_exception = nullptr;
+    done.store(true);
+    vm->detachThread(ct);
+  });
+  // Wait until the call is parked in the attacker's sleep.
+  for (int i = 0; i < 5000 && mid->isolate()->stats.sleeping_threads.load() == 0;
+       ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(mid->isolate()->stats.sleeping_threads.load(), 1);
+
+  fw->killBundle(mid);
+  for (int i = 0; i < 5000 && !done.load(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(done.load()) << "victim never regained control";
+  EXPECT_EQ(result.load(), -7);  // SIE caught by the victim's handler
+  worker.join();
+}
+
+TEST_F(TermFixture, TerminatedIsolateBecomesDeadAfterObjectsReclaimed) {
+  Bundle* b = fw->install(makeCounterProvider("dying", "dying.svc"));
+  fw->start(b);
+  ASSERT_NE(fw->getService("dying.svc"), nullptr);
+  fw->killBundle(b);
+  // killBundle dropped the service ref and ran a GC: no objects of the
+  // bundle's classes remain -> Dead.
+  EXPECT_EQ(b->isolate()->state.load(), IsolateState::Dead);
+}
+
+TEST_F(TermFixture, NewInstanceOfDyingClassIsRefused) {
+  BundleDescriptor desc;
+  desc.symbolic_name = "fact";
+  {
+    ClassBuilder cb("fx/Thing");
+    cb.field("x", "I");
+    desc.classes.push_back(cb.build());
+  }
+  {
+    ClassBuilder cb("fx/Maker");
+    auto& mk = cb.method("make", "()Ljava/lang/Object;", ACC_PUBLIC | ACC_STATIC);
+    mk.newDefault("fx/Thing").areturn();
+    desc.classes.push_back(cb.build());
+  }
+  Bundle* b = fw->install(std::move(desc));
+  fw->start(b);
+
+  JThread* t = vm->mainThread();
+  Value obj = vm->callStaticIn(t, b->loader(), "fx/Maker", "make",
+                               "()Ljava/lang/Object;", {});
+  ASSERT_NE(obj.asRef(), nullptr);
+
+  fw->killBundle(b);
+  vm->callStaticIn(t, b->loader(), "fx/Maker", "make", "()Ljava/lang/Object;", {});
+  ASSERT_NE(t->pending_exception, nullptr);
+  EXPECT_NE(vm->pendingMessage(t).find("StoppedIsolate"), std::string::npos);
+  vm->clearPending(t);
+}
+
+TEST_F(TermFixture, TerminateIsIdempotent) {
+  Bundle* b = fw->install(makeCounterProvider("twice", "twice.svc"));
+  fw->start(b);
+  EXPECT_TRUE(vm->terminateIsolate(vm->mainThread(), b->isolate()));
+  EXPECT_TRUE(vm->terminateIsolate(vm->mainThread(), b->isolate()));  // no-op
+  fw->killBundle(b);  // full cleanup also fine afterwards
+}
+
+}  // namespace
+}  // namespace ijvm

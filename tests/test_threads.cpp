@@ -1,0 +1,288 @@
+// Guest threads: start/join/interrupt, sleep, wait/notify, synchronized
+// contention, thread accounting and migration of spawned threads.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "bytecode/builder.h"
+#include "heap/object.h"
+#include "runtime/vm.h"
+#include "stdlib/system_library.h"
+
+namespace ijvm {
+namespace {
+
+struct ThreadFixture : ::testing::Test {
+  void SetUp() override {
+    vm = std::make_unique<VM>();
+    installSystemLibrary(*vm);
+    app = vm->registry().newLoader("app");
+    iso = vm->createIsolate(app, "app");
+  }
+  void TearDown() override { vm.reset(); }
+
+  Value call(const std::string& cls, const std::string& method,
+             const std::string& desc, std::vector<Value> args) {
+    JThread* t = vm->mainThread();
+    Value r = vm->callStaticIn(t, app, cls, method, desc, std::move(args));
+    last_error = t->pending_exception != nullptr ? vm->pendingMessage(t) : "";
+    vm->clearPending(t);
+    return r;
+  }
+
+  std::unique_ptr<VM> vm;
+  ClassLoader* app = nullptr;
+  Isolate* iso = nullptr;
+  std::string last_error;
+};
+
+// Worker that increments a static counter n times under a lock.
+void defineCounterWorker(ClassLoader* app) {
+  {
+    ClassBuilder cb("th/Shared");
+    cb.field("count", "I", ACC_PUBLIC | ACC_STATIC);
+    cb.field("lock", "Ljava/lang/Object;", ACC_PUBLIC | ACC_STATIC);
+    auto& clinit = cb.method("<clinit>", "()V", ACC_STATIC);
+    clinit.newDefault("java/lang/Object").putstatic("th/Shared", "lock",
+                                                    "Ljava/lang/Object;");
+    clinit.ret();
+    auto& get = cb.method("get", "()I", ACC_PUBLIC | ACC_STATIC);
+    get.getstatic("th/Shared", "count", "I").ireturn();
+    app->define(cb.build());
+  }
+  {
+    ClassBuilder cb("th/Worker");
+    cb.addInterface("java/lang/Runnable");
+    cb.field("n", "I");
+    auto& ctor = cb.method("<init>", "(I)V");
+    ctor.aload(0).invokespecial("java/lang/Object", "<init>", "()V");
+    ctor.aload(0).iload(1).putfield("th/Worker", "n", "I");
+    ctor.ret();
+    auto& run = cb.method("run", "()V");
+    Label loop = run.newLabel(), done = run.newLabel();
+    run.aload(0).getfield("th/Worker", "n", "I").istore(1);
+    run.bind(loop).iload(1).ifle(done);
+    run.getstatic("th/Shared", "lock", "Ljava/lang/Object;").astore(2);
+    run.aload(2).monitorenter();
+    run.getstatic("th/Shared", "count", "I").iconst(1).iadd();
+    run.putstatic("th/Shared", "count", "I");
+    run.aload(2).monitorexit();
+    run.iinc(1, -1).gotoLabel(loop);
+    run.bind(done).ret();
+    app->define(cb.build());
+  }
+  {
+    ClassBuilder cb("th/Main");
+    auto& m = cb.method("race", "(I)I", ACC_PUBLIC | ACC_STATIC);
+    // two threads, each incrementing n times; join; return count
+    m.newObject("java/lang/Thread").dup();
+    m.newObject("th/Worker").dup().iload(0);
+    m.invokespecial("th/Worker", "<init>", "(I)V");
+    m.invokespecial("java/lang/Thread", "<init>", "(Ljava/lang/Runnable;)V");
+    m.astore(1);
+    m.newObject("java/lang/Thread").dup();
+    m.newObject("th/Worker").dup().iload(0);
+    m.invokespecial("th/Worker", "<init>", "(I)V");
+    m.invokespecial("java/lang/Thread", "<init>", "(Ljava/lang/Runnable;)V");
+    m.astore(2);
+    m.aload(1).invokevirtual("java/lang/Thread", "start", "()V");
+    m.aload(2).invokevirtual("java/lang/Thread", "start", "()V");
+    m.aload(1).invokevirtual("java/lang/Thread", "join", "()V");
+    m.aload(2).invokevirtual("java/lang/Thread", "join", "()V");
+    m.invokestatic("th/Shared", "get", "()I").ireturn();
+    app->define(cb.build());
+  }
+}
+
+TEST_F(ThreadFixture, TwoThreadsIncrementUnderLockWithoutLostUpdates) {
+  defineCounterWorker(app);
+  Value r = call("th/Main", "race", "(I)I", {Value::ofInt(2000)});
+  EXPECT_TRUE(last_error.empty()) << last_error;
+  EXPECT_EQ(r.asInt(), 4000);  // monitor prevents lost updates
+  EXPECT_GE(iso->stats.threads_created.load(), 2u);
+}
+
+TEST_F(ThreadFixture, StartingAThreadTwiceThrows) {
+  ClassBuilder cb("th/Twice");
+  auto& m = cb.method("f", "()I", ACC_PUBLIC | ACC_STATIC);
+  Label from = m.newLabel(), to = m.newLabel(), handler = m.newLabel();
+  m.newDefault("java/lang/Thread").astore(0);
+  m.aload(0).invokevirtual("java/lang/Thread", "start", "()V");
+  m.bind(from);
+  m.aload(0).invokevirtual("java/lang/Thread", "start", "()V");
+  m.bind(to).iconst(0).ireturn();
+  m.bind(handler).pop().iconst(1).ireturn();
+  m.handler(from, to, handler, "java/lang/IllegalStateException");
+  app->define(cb.build());
+  Value r = call("th/Twice", "f", "()I", {});
+  EXPECT_TRUE(last_error.empty()) << last_error;
+  EXPECT_EQ(r.asInt(), 1);
+}
+
+TEST_F(ThreadFixture, SleepIsInterruptible) {
+  // sleeper() sleeps "forever"; interruptAfter() interrupts it; the sleeper
+  // catches InterruptedException and records it.
+  {
+    ClassBuilder cb("th/Sleeper");
+    cb.addInterface("java/lang/Runnable");
+    cb.field("woke", "I", ACC_PUBLIC | ACC_STATIC);
+    auto& run = cb.method("run", "()V");
+    Label from = run.newLabel(), to = run.newLabel(), handler = run.newLabel();
+    run.bind(from);
+    run.lconst(600000).invokestatic("java/lang/Thread", "sleep", "(J)V");
+    run.bind(to).ret();
+    run.bind(handler).pop();
+    run.iconst(1).putstatic("th/Sleeper", "woke", "I");
+    run.ret();
+    run.handler(from, to, handler, "java/lang/InterruptedException");
+    app->define(cb.build());
+  }
+  {
+    ClassBuilder cb("th/Main2");
+    auto& m = cb.method("f", "()I", ACC_PUBLIC | ACC_STATIC);
+    m.newObject("java/lang/Thread").dup();
+    m.newDefault("th/Sleeper");
+    m.invokespecial("java/lang/Thread", "<init>", "(Ljava/lang/Runnable;)V");
+    m.astore(0);
+    m.aload(0).invokevirtual("java/lang/Thread", "start", "()V");
+    // give it a moment to park, then interrupt and join
+    m.lconst(50).invokestatic("java/lang/Thread", "sleep", "(J)V");
+    m.aload(0).invokevirtual("java/lang/Thread", "interrupt", "()V");
+    m.aload(0).invokevirtual("java/lang/Thread", "join", "()V");
+    m.getstatic("th/Sleeper", "woke", "I").ireturn();
+    app->define(cb.build());
+  }
+  Value r = call("th/Main2", "f", "()I", {});
+  EXPECT_TRUE(last_error.empty()) << last_error;
+  EXPECT_EQ(r.asInt(), 1);
+}
+
+TEST_F(ThreadFixture, WaitNotifyHandoff) {
+  // A producer notifies a consumer waiting on a shared lock object.
+  {
+    ClassBuilder cb("th/Box");
+    cb.field("lock", "Ljava/lang/Object;", ACC_PUBLIC | ACC_STATIC);
+    cb.field("value", "I", ACC_PUBLIC | ACC_STATIC);
+    auto& clinit = cb.method("<clinit>", "()V", ACC_STATIC);
+    clinit.newDefault("java/lang/Object").putstatic("th/Box", "lock",
+                                                    "Ljava/lang/Object;");
+    clinit.ret();
+    app->define(cb.build());
+  }
+  {
+    ClassBuilder cb("th/Waiter");
+    cb.addInterface("java/lang/Runnable");
+    auto& run = cb.method("run", "()V");
+    Label from = run.newLabel(), to = run.newLabel(), handler = run.newLabel();
+    Label loop = run.newLabel(), got = run.newLabel();
+    run.getstatic("th/Box", "lock", "Ljava/lang/Object;").astore(1);
+    run.aload(1).monitorenter();
+    run.bind(from);
+    run.bind(loop);
+    run.getstatic("th/Box", "value", "I").ifne(got);
+    run.aload(1).invokevirtual("java/lang/Object", "wait", "()V");
+    run.gotoLabel(loop);
+    run.bind(got);
+    run.getstatic("th/Box", "value", "I").iconst(100).iadd();
+    run.putstatic("th/Box", "value", "I");
+    run.bind(to);
+    run.aload(1).monitorexit();
+    run.ret();
+    run.bind(handler).pop().aload(1).monitorexit().ret();
+    run.handler(from, to, handler, "java/lang/InterruptedException");
+    app->define(cb.build());
+  }
+  {
+    ClassBuilder cb("th/Main3");
+    auto& m = cb.method("f", "()I", ACC_PUBLIC | ACC_STATIC);
+    m.newObject("java/lang/Thread").dup();
+    m.newDefault("th/Waiter");
+    m.invokespecial("java/lang/Thread", "<init>", "(Ljava/lang/Runnable;)V");
+    m.astore(0);
+    m.aload(0).invokevirtual("java/lang/Thread", "start", "()V");
+    m.lconst(50).invokestatic("java/lang/Thread", "sleep", "(J)V");
+    // producer: set value, notify
+    m.getstatic("th/Box", "lock", "Ljava/lang/Object;").astore(1);
+    m.aload(1).monitorenter();
+    m.iconst(7).putstatic("th/Box", "value", "I");
+    m.aload(1).invokevirtual("java/lang/Object", "notifyAll", "()V");
+    m.aload(1).monitorexit();
+    m.aload(0).invokevirtual("java/lang/Thread", "join", "()V");
+    m.getstatic("th/Box", "value", "I").ireturn();
+    app->define(cb.build());
+  }
+  Value r = call("th/Main3", "f", "()I", {});
+  EXPECT_TRUE(last_error.empty()) << last_error;
+  EXPECT_EQ(r.asInt(), 107);  // 7 set by producer + 100 added by waiter
+}
+
+TEST_F(ThreadFixture, WaitWithoutMonitorThrows) {
+  ClassBuilder cb("th/BadWait");
+  auto& m = cb.method("f", "()I", ACC_PUBLIC | ACC_STATIC);
+  Label from = m.newLabel(), to = m.newLabel(), handler = m.newLabel();
+  m.bind(from);
+  m.newDefault("java/lang/Object");
+  m.invokevirtual("java/lang/Object", "wait", "()V");
+  m.bind(to).iconst(0).ireturn();
+  m.bind(handler).pop().iconst(1).ireturn();
+  m.handler(from, to, handler, "java/lang/IllegalMonitorStateException");
+  app->define(cb.build());
+  Value r = call("th/BadWait", "f", "()I", {});
+  EXPECT_TRUE(last_error.empty()) << last_error;
+  EXPECT_EQ(r.asInt(), 1);
+}
+
+TEST_F(ThreadFixture, CurrentThreadIsStable) {
+  ClassBuilder cb("th/Cur");
+  auto& m = cb.method("f", "()I", ACC_PUBLIC | ACC_STATIC);
+  Label same = m.newLabel();
+  m.invokestatic("java/lang/Thread", "currentThread", "()Ljava/lang/Thread;");
+  m.invokestatic("java/lang/Thread", "currentThread", "()Ljava/lang/Thread;");
+  m.ifAcmpEq(same);
+  m.iconst(0).ireturn();
+  m.bind(same).iconst(1).ireturn();
+  app->define(cb.build());
+  Value r = call("th/Cur", "f", "()I", {});
+  EXPECT_EQ(r.asInt(), 1);
+}
+
+TEST_F(ThreadFixture, SleepingThreadCountedInCurrentIsolate) {
+  {
+    ClassBuilder cb("th/Napper");
+    cb.addInterface("java/lang/Runnable");
+    auto& run = cb.method("run", "()V");
+    Label from = run.newLabel(), to = run.newLabel(), handler = run.newLabel();
+    run.bind(from);
+    run.lconst(600000).invokestatic("java/lang/Thread", "sleep", "(J)V");
+    run.bind(to).ret();
+    run.bind(handler).pop().ret();
+    run.handler(from, to, handler, "java/lang/InterruptedException");
+    app->define(cb.build());
+  }
+  {
+    ClassBuilder cb("th/Main4");
+    auto& m = cb.method("f", "()Ljava/lang/Thread;", ACC_PUBLIC | ACC_STATIC);
+    m.newObject("java/lang/Thread").dup();
+    m.newDefault("th/Napper");
+    m.invokespecial("java/lang/Thread", "<init>", "(Ljava/lang/Runnable;)V");
+    m.dup().invokevirtual("java/lang/Thread", "start", "()V");
+    m.areturn();
+    app->define(cb.build());
+  }
+  Value th = call("th/Main4", "f", "()Ljava/lang/Thread;", {});
+  ASSERT_TRUE(last_error.empty()) << last_error;
+  // A7 detection input: the sleeping thread shows up in the isolate stats.
+  for (int i = 0; i < 2000 && iso->stats.sleeping_threads.load() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(iso->stats.sleeping_threads.load(), 1);
+  // Interrupt via the guest API and confirm it unparks.
+  JThread* t = vm->mainThread();
+  vm->callVirtual(t, th.asRef(), "interrupt", "()V", {});
+  vm->callVirtual(t, th.asRef(), "join", "()V", {});
+  EXPECT_EQ(iso->stats.sleeping_threads.load(), 0);
+}
+
+}  // namespace
+}  // namespace ijvm

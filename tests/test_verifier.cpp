@@ -1,0 +1,203 @@
+// Bytecode verifier: the type-safety gate isolation rests on (paper 3.1).
+#include <gtest/gtest.h>
+
+#include "bytecode/builder.h"
+#include "classes/class_loader.h"
+#include "verifier/verifier.h"
+
+namespace ijvm {
+namespace {
+
+struct VerifierFixture : ::testing::Test {
+  void SetUp() override {
+    registry = std::make_unique<ClassRegistry>();
+    // A minimal Object so classes can link.
+    ClassBuilder obj("java/lang/Object", "");
+    obj.method("<init>", "()V").ret();
+    registry->systemLoader()->define(obj.build());
+    loader = registry->newLoader("app");
+  }
+
+  // Defines a single-method class and verifies it; returns the VerifyError
+  // message, or "" if verification passed.
+  std::string verify(const std::string& desc,
+                     const std::function<void(MethodBuilder&)>& body,
+                     u16 flags = ACC_PUBLIC | ACC_STATIC) {
+    ClassBuilder cb("v/C" + std::to_string(counter++));
+    auto& m = cb.method("f", desc, flags);
+    body(m);
+    ClassDef def = cb.build();
+    JClass* cls = loader->define(std::move(def));
+    try {
+      verifyClass(*cls);
+      return "";
+    } catch (const VerifyError& e) {
+      return e.what();
+    }
+  }
+
+  std::unique_ptr<ClassRegistry> registry;
+  ClassLoader* loader = nullptr;
+  int counter = 0;
+};
+
+TEST_F(VerifierFixture, AcceptsStraightLineCode) {
+  EXPECT_EQ(verify("(II)I", [](MethodBuilder& m) {
+    m.iload(0).iload(1).iadd().ireturn();
+  }), "");
+}
+
+TEST_F(VerifierFixture, RejectsStackUnderflow) {
+  EXPECT_NE(verify("()I", [](MethodBuilder& m) {
+    m.iadd();  // nothing on the stack
+    m.ireturn();
+  }), "");
+}
+
+TEST_F(VerifierFixture, RejectsTypeMismatchOnAdd) {
+  EXPECT_NE(verify("(ID)I", [](MethodBuilder& m) {
+    m.iload(0).dload(1).iadd().ireturn();
+  }), "");
+}
+
+TEST_F(VerifierFixture, RejectsWrongReturnKind) {
+  EXPECT_NE(verify("()I", [](MethodBuilder& m) {
+    m.dconst(1.0).dreturn();
+  }), "");
+}
+
+TEST_F(VerifierFixture, RejectsReturnFromVoidWithValue) {
+  EXPECT_NE(verify("()V", [](MethodBuilder& m) {
+    m.iconst(1).ireturn();
+  }), "");
+}
+
+TEST_F(VerifierFixture, RejectsFallingOffTheEnd) {
+  EXPECT_NE(verify("()I", [](MethodBuilder& m) {
+    m.iconst(1);  // no return
+  }), "");
+}
+
+TEST_F(VerifierFixture, RejectsUseBeforeDefinitionOfLocal) {
+  EXPECT_NE(verify("()I", [](MethodBuilder& m) {
+    m.maxLocals(2);
+    m.iload(1).ireturn();  // local 1 never stored
+  }), "");
+}
+
+TEST_F(VerifierFixture, RejectsLocalTypeConflictAtMerge) {
+  // One path stores an int in slot 1, the other a ref; the join makes the
+  // local unusable -- loading it must be rejected.
+  EXPECT_NE(verify("(I)I", [](MethodBuilder& m) {
+    Label else_lbl = m.newLabel(), join = m.newLabel();
+    m.iload(0).ifeq(else_lbl);
+    m.iconst(1).istore(1).gotoLabel(join);
+    m.bind(else_lbl).aconstNull().astore(1);
+    m.bind(join).iload(1).ireturn();
+  }), "");
+}
+
+TEST_F(VerifierFixture, AcceptsConflictingLocalIfNeverUsed) {
+  EXPECT_EQ(verify("(I)I", [](MethodBuilder& m) {
+    Label else_lbl = m.newLabel(), join = m.newLabel();
+    m.iload(0).ifeq(else_lbl);
+    m.iconst(1).istore(1).gotoLabel(join);
+    m.bind(else_lbl).aconstNull().astore(1);
+    m.bind(join).iconst(7).ireturn();  // slot 1 dead at the join
+  }), "");
+}
+
+TEST_F(VerifierFixture, RejectsStackDepthMismatchAtJoin) {
+  EXPECT_NE(verify("(I)I", [](MethodBuilder& m) {
+    Label join = m.newLabel();
+    m.iload(0).ifeq(join);  // branch with empty stack
+    m.iconst(1);            // fallthrough with depth 1
+    m.bind(join).iconst(2).ireturn();
+  }), "");
+}
+
+TEST_F(VerifierFixture, RejectsBranchOutOfRange) {
+  EXPECT_NE(verify("()V", [](MethodBuilder& m) {
+    m.emit(Op::GOTO, 1000);
+    m.ret();
+  }), "");
+}
+
+TEST_F(VerifierFixture, RejectsLocalSlotOutOfRange) {
+  EXPECT_NE(verify("()V", [](MethodBuilder& m) {
+    m.emit(Op::ILOAD, 250);
+    m.ret();
+  }), "");
+}
+
+TEST_F(VerifierFixture, RejectsBadPoolIndex) {
+  EXPECT_NE(verify("()V", [](MethodBuilder& m) {
+    m.emit(Op::LDC, 99);
+    m.pop().ret();
+  }), "");
+}
+
+TEST_F(VerifierFixture, RejectsMonitorOnNonRef) {
+  EXPECT_NE(verify("()V", [](MethodBuilder& m) {
+    m.iconst(1).monitorenter();
+    m.ret();
+  }), "");
+}
+
+TEST_F(VerifierFixture, AcceptsLoopWithConsistentState) {
+  EXPECT_EQ(verify("(I)I", [](MethodBuilder& m) {
+    Label head = m.newLabel(), done = m.newLabel();
+    m.iconst(0).istore(1);
+    m.bind(head).iload(0).ifle(done);
+    m.iload(1).iload(0).iadd().istore(1);
+    m.iinc(0, -1).gotoLabel(head);
+    m.bind(done).iload(1).ireturn();
+  }), "");
+}
+
+TEST_F(VerifierFixture, VerifiesHandlerWithRefOnStack) {
+  EXPECT_EQ(verify("()I", [](MethodBuilder& m) {
+    Label from = m.newLabel(), to = m.newLabel(), handler = m.newLabel();
+    m.bind(from).iconst(1).iconst(0).idiv().ireturn();
+    m.bind(to);
+    m.bind(handler).pop().iconst(-1).ireturn();
+    m.handler(from, to, handler);
+  }), "");
+}
+
+TEST_F(VerifierFixture, RejectsHandlerThatMisusesTheExceptionSlot) {
+  EXPECT_NE(verify("()I", [](MethodBuilder& m) {
+    Label from = m.newLabel(), to = m.newLabel(), handler = m.newLabel();
+    m.bind(from).iconst(1).iconst(0).idiv().ireturn();
+    m.bind(to);
+    m.bind(handler).iadd().ireturn();  // exc ref treated as int operand
+    m.handler(from, to, handler);
+  }), "");
+}
+
+TEST_F(VerifierFixture, RejectsCallWithWrongArgumentKind) {
+  // Helper class with a known signature to call.
+  {
+    ClassBuilder cb("v/Target");
+    auto& g = cb.method("g", "(I)I", ACC_PUBLIC | ACC_STATIC);
+    g.iload(0).ireturn();
+    loader->define(cb.build());
+  }
+  EXPECT_NE(verify("()I", [](MethodBuilder& m) {
+    m.dconst(1.0).invokestatic("v/Target", "g", "(I)I").ireturn();
+  }), "");
+}
+
+TEST_F(VerifierFixture, RejectsEmptyCode) {
+  EXPECT_NE(verify("()V", [](MethodBuilder&) {}), "");
+}
+
+TEST_F(VerifierFixture, RejectsSwapOnSingleValue) {
+  EXPECT_NE(verify("()V", [](MethodBuilder& m) {
+    m.iconst(1).swap();
+    m.pop().pop().ret();
+  }), "");
+}
+
+}  // namespace
+}  // namespace ijvm
