@@ -11,6 +11,7 @@
 
 #include "osgi/framework.h"
 #include "stdlib/system_library.h"
+#include "support/strf.h"
 #include "workloads/bundles.h"
 
 namespace ijvm::bench {
@@ -48,8 +49,10 @@ struct BenchPlatform {
   std::unique_ptr<Framework> fw;
 };
 
-inline std::unique_ptr<BenchPlatform> bootPlatform(bool isolated) {
+inline std::unique_ptr<BenchPlatform> bootPlatform(
+    bool isolated, ExecEngine engine = ExecEngine::Quickened) {
   VmOptions opts = isolated ? VmOptions::isolated() : VmOptions::shared();
+  opts.exec_engine = engine;
   opts.gc_threshold = 32u << 20;  // keep GC out of the timed paths
   opts.heap_limit = 512u << 20;
   return std::make_unique<BenchPlatform>(opts);
@@ -64,5 +67,36 @@ inline void printHeader(const char* title) {
   std::printf("%s\n", title);
   std::printf("================================================================\n");
 }
+
+// Minimal machine-readable result emitter (BENCH_*.json): a flat JSON
+// array of objects with one string "name" plus numeric fields.
+class BenchJson {
+ public:
+  void add(const std::string& name,
+           std::vector<std::pair<std::string, double>> fields) {
+    std::string row = strf("  {\"name\": \"%s\"", name.c_str());
+    for (const auto& [key, value] : fields) {
+      row += strf(", \"%s\": %.4f", key.c_str(), value);
+    }
+    row += "}";
+    rows_.push_back(std::move(row));
+  }
+
+  bool write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fputs("[\n", f);
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      std::fputs(rows_[i].c_str(), f);
+      std::fputs(i + 1 < rows_.size() ? ",\n" : "\n", f);
+    }
+    std::fputs("]\n", f);
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  std::vector<std::string> rows_;
+};
 
 }  // namespace ijvm::bench

@@ -19,8 +19,8 @@ struct MicroSetup {
   std::unique_ptr<CommHarness> comm;
   Bundle* micro = nullptr;
 
-  explicit MicroSetup(bool isolated) {
-    platform = bootPlatform(isolated);
+  explicit MicroSetup(bool isolated, ExecEngine engine = ExecEngine::Quickened) {
+    platform = bootPlatform(isolated, engine);
     comm = std::make_unique<CommHarness>(*platform->fw);
     micro = platform->fw->install(makeMicroBundle("micro"));
     platform->fw->start(micro);
@@ -95,5 +95,64 @@ int main() {
   std::printf("\nshape: overheads small and positive; static access pays the TCM\n"
               "indirection + init check; allocation pays accounting/limit checks;\n"
               "the pure-arithmetic control stays near zero.\n");
+
+  // ---- execution engines side by side (quickened vs classic) ----
+  // Same bytecode, same isolated-mode VM; only options.exec_engine differs.
+  // The interpreter-bound loops (arithmetic, statics, calls) are where the
+  // direct-threaded dispatch + quickening + inline caches pay off.
+  // Fresh platforms for both sides so heap state from the Figure-1 runs
+  // above does not skew the comparison.
+  MicroSetup classic(true, ExecEngine::Classic);
+  MicroSetup quickened(true, ExecEngine::Quickened);
+
+  struct EngineRow {
+    const char* name;
+    i64 classic_ns;
+    i64 quick_ns;
+    i64 ops;
+  };
+  std::vector<EngineRow> erows;
+  erows.push_back({"pure arithmetic loop",
+                   bestOf(kReps, [&] { classic.run("spinFor", kCalls); }),
+                   bestOf(kReps, [&] { quickened.run("spinFor", kCalls); }),
+                   kCalls});
+  erows.push_back({"static variable access",
+                   bestOf(kReps, [&] { classic.run("staticMany", kStatics); }),
+                   bestOf(kReps, [&] { quickened.run("staticMany", kStatics); }),
+                   kStatics});
+  erows.push_back({"object allocation",
+                   bestOf(kReps, [&] { classic.run("allocMany", kAllocs); }),
+                   bestOf(kReps, [&] { quickened.run("allocMany", kAllocs); }),
+                   kAllocs});
+  erows.push_back({"intra-isolate call",
+                   bestOf(kReps, [&] { classic.comm->runLocal(kCalls); }),
+                   bestOf(kReps, [&] { quickened.comm->runLocal(kCalls); }),
+                   kCalls});
+  erows.push_back({"inter-isolate call",
+                   bestOf(kReps, [&] { classic.comm->runIJvm(kCalls); }),
+                   bestOf(kReps, [&] { quickened.comm->runIJvm(kCalls); }),
+                   kCalls});
+
+  printHeader("Execution engines: quickened (direct-threaded + ICs) vs classic");
+  std::printf("%-28s %12s %12s %10s\n", "micro-benchmark", "classic ns/op",
+              "quick ns/op", "speedup");
+  BenchJson json;
+  for (const EngineRow& r : erows) {
+    const double classic_ns = static_cast<double>(r.classic_ns) / static_cast<double>(r.ops);
+    const double quick_ns = static_cast<double>(r.quick_ns) / static_cast<double>(r.ops);
+    const double speedup = quick_ns > 0 ? classic_ns / quick_ns : 0.0;
+    std::printf("%-28s %12.1f %12.1f %9.2fx\n", r.name, classic_ns, quick_ns,
+                speedup);
+    json.add(r.name, {{"classic_ns_per_op", classic_ns},
+                      {"quickened_ns_per_op", quick_ns},
+                      {"speedup", speedup},
+                      {"ops", static_cast<double>(r.ops)}});
+  }
+  const char* out_path = "BENCH_exec.json";
+  if (json.write(out_path)) {
+    std::printf("\nwrote %s\n", out_path);
+  } else {
+    std::printf("\nfailed to write %s\n", out_path);
+  }
   return 0;
 }

@@ -43,6 +43,25 @@ bool opUsesPool(Op op) {
     case Op::ANEWARRAY:
     case Op::CHECKCAST:
     case Op::INSTANCEOF:
+    // Quickened forms (seen when disassembling a method's rewritten
+    // instruction stream, exec::disasmQuickened) keep the original pool
+    // index in `a`, so they render with the same symbolic operand.
+    case Op::LDC_INT_Q:
+    case Op::LDC_LONG_Q:
+    case Op::LDC_DOUBLE_Q:
+    case Op::LDC_STR_Q:
+    case Op::GETSTATIC_Q:
+    case Op::PUTSTATIC_Q:
+    case Op::GETFIELD_Q:
+    case Op::PUTFIELD_Q:
+    case Op::INVOKEVIRTUAL_Q:
+    case Op::INVOKESPECIAL_Q:
+    case Op::INVOKESTATIC_Q:
+    case Op::INVOKEINTERFACE_Q:
+    case Op::NEW_Q:
+    case Op::ANEWARRAY_Q:
+    case Op::CHECKCAST_Q:
+    case Op::INSTANCEOF_Q:
       return true;
     default:
       return false;

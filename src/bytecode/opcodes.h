@@ -129,7 +129,29 @@ namespace ijvm {
   OP(MONITORENTER, 1, 0, "")                                            \
   OP(MONITOREXIT, 1, 0, "")                                             \
   /* ---- exceptions ---- */                                            \
-  OP(ATHROW, 1, 0, "")
+  OP(ATHROW, 1, 0, "")                                                  \
+  /* ---- quickened forms (src/exec) ----                               \
+     Produced by the quickening engine rewriting the internal            \
+     instruction stream on first execution; never valid in a class       \
+     file (the verifier rejects them). `a` keeps the original operand    \
+     (pool index) for disassembly; the resolved payload lives in the     \
+     QInsn side fields. */                                              \
+  OP(LDC_INT_Q, 0, 1, "imm=int constant (quickened LDC)")               \
+  OP(LDC_LONG_Q, 0, 1, "imm=long constant (quickened LDC)")             \
+  OP(LDC_DOUBLE_Q, 0, 1, "dimm=double constant (quickened LDC)")        \
+  OP(LDC_STR_Q, 0, 1, "ptr=CpEntry of the string (quickened LDC)")      \
+  OP(GETSTATIC_Q, 0, 1, "ptr=JField, isolate-keyed mirror cache")       \
+  OP(PUTSTATIC_Q, 1, 0, "ptr=JField, isolate-keyed mirror cache")       \
+  OP(GETFIELD_Q, 1, 1, "ptr=JField")                                    \
+  OP(PUTFIELD_Q, 2, 0, "ptr=JField")                                    \
+  OP(INVOKEVIRTUAL_Q, -1, -1, "ptr=JMethod, receiver-class inline cache") \
+  OP(INVOKESPECIAL_Q, -1, -1, "ptr=JMethod (direct)")                   \
+  OP(INVOKESTATIC_Q, -1, -1, "ptr=JMethod (direct)")                    \
+  OP(INVOKEINTERFACE_Q, -1, -1, "ptr=JMethod, receiver-class inline cache") \
+  OP(NEW_Q, 0, 1, "ptr=JClass")                                         \
+  OP(ANEWARRAY_Q, 1, 1, "ptr=array JClass")                             \
+  OP(CHECKCAST_Q, 1, 1, "ptr=JClass")                                   \
+  OP(INSTANCEOF_Q, 1, 1, "ptr=JClass")
 
 enum class Op : u8 {
 #define IJVM_OP_ENUM(name, pops, pushes, doc) name,
@@ -147,5 +169,12 @@ const char* opName(Op op);
 
 // True for conditional and unconditional branches (operand a is a target).
 bool opIsBranch(Op op);
+
+// True for the quickened (engine-internal) opcode forms. Quickened opcodes
+// only ever appear in the exec engine's rewritten instruction stream; the
+// verifier rejects them in defined classes.
+inline bool opIsQuickened(Op op) {
+  return static_cast<u8>(op) >= static_cast<u8>(Op::LDC_INT_Q);
+}
 
 }  // namespace ijvm

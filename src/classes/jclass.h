@@ -72,6 +72,14 @@ struct JMethod {
   // This models I-JVM's patching of JIT-compiled method entry points.
   std::atomic<bool> poisoned{false};
 
+  // Quickening engine state (src/exec): the rewritten instruction stream
+  // (an exec::QCode, owned by the VM's engine state -- opaque here to keep
+  // the class model independent of the engine) and the per-method profile
+  // counters future compilation tiers key their heuristics on.
+  std::atomic<void*> qcode{nullptr};
+  std::atomic<u64> profile_invocations{0};
+  std::atomic<u64> profile_loop_edges{0};
+
   bool isStatic() const { return (flags & ACC_STATIC) != 0; }
   bool isNative() const { return (flags & ACC_NATIVE) != 0; }
   bool isAbstract() const { return (flags & ACC_ABSTRACT) != 0; }

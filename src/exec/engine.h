@@ -1,0 +1,28 @@
+// Public entry points of the quickening execution engine.
+#pragma once
+
+#include <string>
+
+#include "bytecode/value.h"
+
+namespace ijvm {
+class VM;
+class JThread;
+struct Frame;
+struct JMethod;
+}  // namespace ijvm
+
+namespace ijvm::exec {
+
+// Executes `frame` with the direct-threaded quickened engine. Same contract
+// as VM::interpretClassic: returns the method result, or a null Value with
+// t->pending_exception set when unwinding.
+Value interpretQuickened(VM& vm, JThread* t, Frame& frame);
+
+// Disassembles the method's *current* quickened instruction stream --
+// generic opcodes for instructions that never executed, quickened forms
+// for the ones that did. Returns "" when the method has not been
+// quickened yet.
+std::string disasmQuickened(VM& vm, JMethod* m);
+
+}  // namespace ijvm::exec

@@ -1,0 +1,186 @@
+// Helpers shared by the two execution engines: the classic single-switch
+// interpreter (runtime/interpreter.cpp) and the quickening engine
+// (exec/engine.cpp). Both must implement identical guest-visible
+// semantics -- arithmetic edge cases, lazy constant-pool resolution with
+// its exception behaviour, and the termination-aware exception dispatch
+// of paper section 3.3 -- so the definitions live here exactly once.
+#pragma once
+
+#include <cmath>
+#include <limits>
+
+#include "heap/object.h"
+#include "runtime/vm.h"
+#include "support/strf.h"
+
+namespace ijvm::interp {
+
+// Sentinel kill_isolate meaning "skip handlers everywhere" (VM shutdown).
+constexpr i32 kKillAll = -2;
+
+inline void setStoppedTarget(Object* exc, i32 target) {
+  if (exc == nullptr || exc->cls == nullptr) return;
+  if (JField* f = exc->cls->findField("target"); f != nullptr && !f->isStatic()) {
+    exc->fields()[f->slot] = Value::ofInt(target);
+  }
+}
+
+// Raises StoppedIsolateException targeted at isolate `target` on t.
+inline void throwStopped(VM& vm, JThread* t, i32 target) {
+  vm.throwGuest(t, kStoppedIsolateException, "isolate terminated");
+  setStoppedTarget(t->pending_exception, target);
+}
+
+// Returns the target isolate id if exc is a StoppedIsolateException,
+// otherwise -3 ("not a termination exception").
+inline i32 stoppedTargetOf(Object* exc) {
+  if (exc == nullptr || exc->cls == nullptr) return -3;
+  bool is_sie = false;
+  for (const JClass* c = exc->cls; c != nullptr; c = c->super) {
+    if (c->name == kStoppedIsolateException) {
+      is_sie = true;
+      break;
+    }
+  }
+  if (!is_sie) return -3;
+  if (JField* f = exc->cls->findField("target"); f != nullptr && !f->isStatic()) {
+    return exc->fields()[f->slot].asInt();
+  }
+  return -3;
+}
+
+// ---- arithmetic edge cases (identical across engines) ----
+
+inline i32 wrapShift32(i32 v) { return v & 31; }
+inline i32 wrapShift64(i32 v) { return v & 63; }
+
+inline i32 idivSafe(i32 a, i32 b) {
+  if (a == std::numeric_limits<i32>::min() && b == -1) return a;
+  return a / b;
+}
+inline i32 iremSafe(i32 a, i32 b) {
+  if (a == std::numeric_limits<i32>::min() && b == -1) return 0;
+  return a % b;
+}
+inline i64 ldivSafe(i64 a, i64 b) {
+  if (a == std::numeric_limits<i64>::min() && b == -1) return a;
+  return a / b;
+}
+inline i64 lremSafe(i64 a, i64 b) {
+  if (a == std::numeric_limits<i64>::min() && b == -1) return 0;
+  return a % b;
+}
+
+inline i32 d2iSat(double d) {
+  if (std::isnan(d)) return 0;
+  if (d >= 2147483647.0) return std::numeric_limits<i32>::max();
+  if (d <= -2147483648.0) return std::numeric_limits<i32>::min();
+  return static_cast<i32>(d);
+}
+inline i64 d2lSat(double d) {
+  if (std::isnan(d)) return 0;
+  if (d >= 9223372036854775807.0) return std::numeric_limits<i64>::max();
+  if (d <= -9223372036854775808.0) return std::numeric_limits<i64>::min();
+  return static_cast<i64>(d);
+}
+
+// ---- lazy constant-pool resolution ----
+// The resolution result is cached in the pool entry; caches are
+// isolate-independent because classes are shared (only static *state* is
+// per-isolate, via the TCM). Resolution failure throws on `t` at the
+// *executing* instruction -- both engines resolve lazily so a reference
+// that is never executed never throws.
+
+inline JClass* resolveClassRef(VM& vm, JThread* t, JClass* ctx, CpEntry& e) {
+  if (void* r = e.resolved.load(std::memory_order_acquire)) {
+    return static_cast<JClass*>(r);
+  }
+  JClass* cls = vm.registry().resolve(ctx->loader, e.text);
+  if (cls == nullptr) {
+    vm.throwGuest(t, "java/lang/NoClassDefFoundError", e.text);
+    return nullptr;
+  }
+  e.resolved.store(cls, std::memory_order_release);
+  return cls;
+}
+
+inline JField* resolveFieldRef(VM& vm, JThread* t, JClass* ctx, CpEntry& e,
+                               bool want_static) {
+  if (void* r = e.resolved.load(std::memory_order_acquire)) {
+    return static_cast<JField*>(r);
+  }
+  JClass* owner = vm.registry().resolve(ctx->loader, e.owner);
+  if (owner == nullptr) {
+    vm.throwGuest(t, "java/lang/NoClassDefFoundError", e.owner);
+    return nullptr;
+  }
+  JField* f = owner->findField(e.name);
+  if (f == nullptr || f->isStatic() != want_static) {
+    vm.throwGuest(t, "java/lang/NoSuchFieldError",
+                  strf("%s.%s", e.owner.c_str(), e.name.c_str()));
+    return nullptr;
+  }
+  e.resolved.store(f, std::memory_order_release);
+  return f;
+}
+
+inline JMethod* resolveMethodRef(VM& vm, JThread* t, JClass* ctx, CpEntry& e) {
+  if (void* r = e.resolved.load(std::memory_order_acquire)) {
+    return static_cast<JMethod*>(r);
+  }
+  JClass* owner = vm.registry().resolve(ctx->loader, e.owner);
+  if (owner == nullptr) {
+    vm.throwGuest(t, "java/lang/NoClassDefFoundError", e.owner);
+    return nullptr;
+  }
+  JMethod* m = owner->findMethod(e.name, e.descriptor);
+  if (m == nullptr) {
+    vm.throwGuest(t, "java/lang/NoSuchMethodError",
+                  strf("%s.%s%s", e.owner.c_str(), e.name.c_str(),
+                       e.descriptor.c_str()));
+    return nullptr;
+  }
+  e.resolved.store(m, std::memory_order_release);
+  return m;
+}
+
+// ---- termination-aware exception dispatch (paper section 3.3) ----
+// Tries to find a handler for the pending exception in `frame`. Returns
+// true when handled: frame.pc moved to the handler, the exception consumed
+// and pushed as the sole operand-stack entry. Handlers of a terminating
+// isolate's frames are skipped entirely: the dying isolate "cannot catch
+// this exception ... I-JVM will ignore it".
+inline bool dispatchExceptionInFrame(VM& vm, JThread* t, Frame& frame) {
+  Object* exc = t->pending_exception;
+  IJVM_CHECK(exc != nullptr, "dispatch without pending exception");
+  if (frame.isolate != nullptr && !frame.isolate->isActive()) return false;
+  const i32 sie_target = stoppedTargetOf(exc);
+  if (sie_target == kKillAll) return false;
+  if (sie_target >= 0 && frame.isolate != nullptr &&
+      frame.isolate->id == sie_target) {
+    return false;
+  }
+  JMethod* method = frame.method;
+  JClass* owner = method->owner;
+  for (const ExHandler& h : method->code.handlers) {
+    if (frame.pc < h.start || frame.pc >= h.end) continue;
+    if (h.catch_type_pool >= 0) {
+      JClass* catch_cls =
+          resolveClassRef(vm, t, owner, owner->pool.at(h.catch_type_pool));
+      if (catch_cls == nullptr) {
+        // Catch type missing: treat as non-matching; keep original exception.
+        t->pending_exception = exc;
+        continue;
+      }
+      if (!exc->cls->isAssignableTo(catch_cls)) continue;
+    }
+    frame.stack.clear();
+    frame.stack.push_back(Value::ofRef(exc));
+    t->pending_exception = nullptr;
+    frame.pc = h.handler;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace ijvm::interp

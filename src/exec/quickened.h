@@ -1,0 +1,91 @@
+// The quickened instruction stream and its inline caches.
+//
+// The quickening engine rewrites a method's pre-decoded bytecode, on first
+// execution, into a widened internal form (QInsn): constant-pool references
+// are resolved to direct JClass*/JField*/JMethod* pointers and the opcode
+// is replaced by its quickened variant (GETFIELD -> GETFIELD_Q, ...).
+// Rewriting is *lazy per instruction* -- resolution happens when the
+// instruction first executes, exactly like the classic interpreter, so
+// resolution errors surface at the same program points in both engines.
+//
+// Publication protocol: QInsn payload fields (c/ptr/imm/dimm) are written
+// under the engine mutex, then the opcode is release-stored; the dispatch
+// loop acquire-loads the opcode, so a quickened opcode implies a visible
+// payload. Inline-cache slots hold pointers to immutable (or monotonic)
+// entries that are only retired, never freed, while the VM lives.
+#pragma once
+
+#include <atomic>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "bytecode/instruction.h"
+
+namespace ijvm {
+struct JClass;
+struct JMethod;
+struct TaskClassMirror;
+}  // namespace ijvm
+
+namespace ijvm::exec {
+
+// Monomorphic receiver-class cache for invokevirtual/invokeinterface.
+// Entries are immutable apart from the miss counter, which is carried
+// across replacements; a megamorphic site (kMegamorphicMisses total
+// misses) is pinned to an entry with a null receiver class, which never
+// matches and stops further allocation.
+struct VCallIC {
+  JClass* receiver_cls = nullptr;
+  JMethod* target = nullptr;
+  std::atomic<u32> misses{0};
+};
+
+inline constexpr u32 kMegamorphicMisses = 8;
+
+// Isolate-aware cache for static (task-class-mirror) access: slot i -- the
+// TCM index of the executing isolate -- holds that isolate's *initialized*
+// mirror, or null. Slots are monotonic (null -> mirror, never changed
+// after), because the TCM of a (class, isolate) pair is a stable pointer;
+// keying on the isolate is what makes the cache sound under the paper's
+// isolation model, where every bundle has its own copy of statics.
+struct StaticIC {
+  explicit StaticIC(size_t n) : slots(n) {}
+  std::vector<std::atomic<TaskClassMirror*>> slots;
+};
+
+struct QInsn {
+  std::atomic<Op> op{Op::NOP};
+  i32 a = 0;  // original operand (pool index / slot / target / immediate)
+  i32 b = 0;  // original secondary operand (IINC delta)
+  i32 c = 0;  // quickened payload: field slot / argument slot count
+  void* ptr = nullptr;        // quickened payload: JClass*/JField*/JMethod*/CpEntry*
+  i64 imm = 0;                // quickened payload: int/long constant
+  double dimm = 0.0;          // quickened payload: double constant
+  std::atomic<void*> ic{nullptr};  // VCallIC* or StaticIC*
+};
+
+struct ExecState;
+
+// A method's rewritten instruction stream; 1:1 with code.insns (same
+// indices, same branch targets, same exception-handler ranges).
+struct QCode {
+  JMethod* method = nullptr;
+  ExecState* state = nullptr;  // owning engine state (IC arena, mutex)
+  std::vector<QInsn> insns;
+};
+
+// Per-VM engine state, owned by the VM through its extension table (key
+// exec::kStateKey). Everything the engine allocates lives here until the
+// VM dies, so concurrent readers of retired IC entries stay valid.
+struct ExecState {
+  std::mutex mutex;  // guards quickening rewrites and IC installation
+  std::deque<std::unique_ptr<QCode>> codes;
+  std::deque<std::unique_ptr<VCallIC>> vcall_ics;
+  std::deque<std::unique_ptr<StaticIC>> static_ics;
+};
+
+inline constexpr const char* kStateKey = "exec.state";
+
+}  // namespace ijvm::exec

@@ -16,83 +16,20 @@
 #include <cmath>
 #include <limits>
 
+#include "exec/engine.h"
+#include "exec/interp_support.h"
 #include "heap/object.h"
 #include "runtime/vm.h"
 #include "support/strf.h"
 
 namespace ijvm {
 
+using namespace interp;
+
 namespace {
 
 // Guest stacks map onto C++ recursion; keep a conservative bound.
 constexpr size_t kMaxStackDepth = 768;
-
-// Sentinel kill_isolate meaning "skip handlers everywhere" (VM shutdown).
-constexpr i32 kKillAll = -2;
-
-void setStoppedTarget(Object* exc, i32 target) {
-  if (exc == nullptr || exc->cls == nullptr) return;
-  if (JField* f = exc->cls->findField("target"); f != nullptr && !f->isStatic()) {
-    exc->fields()[f->slot] = Value::ofInt(target);
-  }
-}
-
-// Raises StoppedIsolateException targeted at isolate `target` on t.
-void throwStopped(VM& vm, JThread* t, i32 target) {
-  vm.throwGuest(t, kStoppedIsolateException, "isolate terminated");
-  setStoppedTarget(t->pending_exception, target);
-}
-
-// Returns the target isolate id if exc is a StoppedIsolateException,
-// otherwise -3 ("not a termination exception").
-i32 stoppedTargetOf(Object* exc) {
-  if (exc == nullptr || exc->cls == nullptr) return -3;
-  bool is_sie = false;
-  for (const JClass* c = exc->cls; c != nullptr; c = c->super) {
-    if (c->name == kStoppedIsolateException) {
-      is_sie = true;
-      break;
-    }
-  }
-  if (!is_sie) return -3;
-  if (JField* f = exc->cls->findField("target"); f != nullptr && !f->isStatic()) {
-    return exc->fields()[f->slot].asInt();
-  }
-  return -3;
-}
-
-i32 wrapShift32(i32 v) { return v & 31; }
-i32 wrapShift64(i32 v) { return v & 63; }
-
-i32 idivSafe(i32 a, i32 b) {
-  if (a == std::numeric_limits<i32>::min() && b == -1) return a;
-  return a / b;
-}
-i32 iremSafe(i32 a, i32 b) {
-  if (a == std::numeric_limits<i32>::min() && b == -1) return 0;
-  return a % b;
-}
-i64 ldivSafe(i64 a, i64 b) {
-  if (a == std::numeric_limits<i64>::min() && b == -1) return a;
-  return a / b;
-}
-i64 lremSafe(i64 a, i64 b) {
-  if (a == std::numeric_limits<i64>::min() && b == -1) return 0;
-  return a % b;
-}
-
-i32 d2iSat(double d) {
-  if (std::isnan(d)) return 0;
-  if (d >= 2147483647.0) return std::numeric_limits<i32>::max();
-  if (d <= -2147483648.0) return std::numeric_limits<i32>::min();
-  return static_cast<i32>(d);
-}
-i64 d2lSat(double d) {
-  if (std::isnan(d)) return 0;
-  if (d >= 9223372036854775807.0) return std::numeric_limits<i64>::max();
-  if (d <= -9223372036854775808.0) return std::numeric_limits<i64>::min();
-  return static_cast<i64>(d);
-}
 
 }  // namespace
 
@@ -287,67 +224,14 @@ Value VM::callVirtual(JThread* t, Object* receiver, const std::string& method,
 
 // ------------------------------------------------------------ interpreter
 
-namespace {
-
-// Pool-resolution helpers. The resolution result is cached in the pool
-// entry; caches are isolate-independent because classes are shared (only
-// static *state* is per-isolate, via the TCM).
-JClass* resolveClassRef(VM& vm, JThread* t, JClass* ctx, CpEntry& e) {
-  if (void* r = e.resolved.load(std::memory_order_acquire)) {
-    return static_cast<JClass*>(r);
-  }
-  JClass* cls = vm.registry().resolve(ctx->loader, e.text);
-  if (cls == nullptr) {
-    vm.throwGuest(t, "java/lang/NoClassDefFoundError", e.text);
-    return nullptr;
-  }
-  e.resolved.store(cls, std::memory_order_release);
-  return cls;
-}
-
-JField* resolveFieldRef(VM& vm, JThread* t, JClass* ctx, CpEntry& e,
-                        bool want_static) {
-  if (void* r = e.resolved.load(std::memory_order_acquire)) {
-    return static_cast<JField*>(r);
-  }
-  JClass* owner = vm.registry().resolve(ctx->loader, e.owner);
-  if (owner == nullptr) {
-    vm.throwGuest(t, "java/lang/NoClassDefFoundError", e.owner);
-    return nullptr;
-  }
-  JField* f = owner->findField(e.name);
-  if (f == nullptr || f->isStatic() != want_static) {
-    vm.throwGuest(t, "java/lang/NoSuchFieldError",
-                  strf("%s.%s", e.owner.c_str(), e.name.c_str()));
-    return nullptr;
-  }
-  e.resolved.store(f, std::memory_order_release);
-  return f;
-}
-
-JMethod* resolveMethodRef(VM& vm, JThread* t, JClass* ctx, CpEntry& e) {
-  if (void* r = e.resolved.load(std::memory_order_acquire)) {
-    return static_cast<JMethod*>(r);
-  }
-  JClass* owner = vm.registry().resolve(ctx->loader, e.owner);
-  if (owner == nullptr) {
-    vm.throwGuest(t, "java/lang/NoClassDefFoundError", e.owner);
-    return nullptr;
-  }
-  JMethod* m = owner->findMethod(e.name, e.descriptor);
-  if (m == nullptr) {
-    vm.throwGuest(t, "java/lang/NoSuchMethodError",
-                  strf("%s.%s%s", e.owner.c_str(), e.name.c_str(),
-                       e.descriptor.c_str()));
-    return nullptr;
-  }
-  e.resolved.store(m, std::memory_order_release);
-  return m;
-}
-
-}  // namespace
-
 Value VM::interpret(JThread* t, Frame& frame) {
+  if (options_.exec_engine == ExecEngine::Quickened) {
+    return exec::interpretQuickened(*this, t, frame);
+  }
+  return interpretClassic(t, frame);
+}
+
+Value VM::interpretClassic(JThread* t, Frame& frame) {
   JMethod* method = frame.method;
   JClass* owner = method->owner;
   const std::vector<Instruction>& code = method->code.insns;
@@ -369,36 +253,7 @@ Value VM::interpret(JThread* t, Frame& frame) {
   // Tries to find a handler for the pending exception in this frame.
   // Returns true when handled (pc updated, exception consumed).
   auto dispatchException = [&]() -> bool {
-    Object* exc = t->pending_exception;
-    IJVM_CHECK(exc != nullptr, "dispatch without pending exception");
-    // Handlers of a terminating isolate's frames are skipped entirely: the
-    // dying isolate "cannot catch this exception ... I-JVM will ignore it".
-    if (frame.isolate != nullptr && !frame.isolate->isActive()) return false;
-    const i32 sie_target = stoppedTargetOf(exc);
-    if (sie_target == kKillAll) return false;
-    if (sie_target >= 0 && frame.isolate != nullptr &&
-        frame.isolate->id == sie_target) {
-      return false;
-    }
-    for (const ExHandler& h : method->code.handlers) {
-      if (frame.pc < h.start || frame.pc >= h.end) continue;
-      if (h.catch_type_pool >= 0) {
-        JClass* catch_cls =
-            resolveClassRef(*this, t, owner, owner->pool.at(h.catch_type_pool));
-        if (catch_cls == nullptr) {
-          // Catch type missing: treat as non-matching; keep original exception.
-          t->pending_exception = exc;
-          continue;
-        }
-        if (!exc->cls->isAssignableTo(catch_cls)) continue;
-      }
-      stack.clear();
-      push(Value::ofRef(exc));
-      t->pending_exception = nullptr;
-      frame.pc = h.handler;
-      return true;
-    }
-    return false;
+    return dispatchExceptionInFrame(*this, t, frame);
   };
 
   for (;;) {
@@ -978,6 +833,11 @@ Value VM::interpret(JThread* t, Frame& frame) {
         t->pending_exception = exc;
         break;
       }
+
+      default:
+        // Quickened opcodes exist only in the exec engine's rewritten
+        // instruction stream; the verifier keeps them out of class files.
+        IJVM_UNREACHABLE("quickened opcode reached the classic interpreter");
     }
 
     if (t->pending_exception == nullptr) frame.pc = next;

@@ -55,6 +55,13 @@ struct ResourceStats {
 
   // Calls that migrated a thread *into* this isolate.
   std::atomic<u64> calls_in{0};
+
+  // Execution-profile counters fed by the quickening engine (src/exec):
+  // guest method invocations and loop back-edges executed while a thread
+  // ran in this isolate. Consumed by the governor's hot-bundle heuristics
+  // and by future compilation tiers; zero under the classic interpreter.
+  std::atomic<u64> method_invocations{0};
+  std::atomic<u64> loop_back_edges{0};
 };
 
 enum class IsolateState : u8 { Active, Terminating, Dead };

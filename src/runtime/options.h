@@ -12,6 +12,14 @@
 
 namespace ijvm {
 
+// Which execution engine runs guest bytecode (see src/exec/).
+//  Classic   -- the original single-switch interpreter (interpreter.cpp);
+//               retained for differential testing.
+//  Quickened -- direct-threaded dispatch over a rewritten instruction
+//               stream with resolved operands and isolate-aware inline
+//               caches (exec/engine.cpp).
+enum class ExecEngine : u8 { Classic, Quickened };
+
 struct VmOptions {
   // Per-isolate statics / strings / Class objects + thread migration.
   bool isolation = true;
@@ -23,6 +31,9 @@ struct VmOptions {
   AccountingPolicy accounting_policy = AccountingPolicy::FirstReference;
   // Run the bytecode verifier when classes are defined.
   bool verify = true;
+  // Bytecode execution engine. Quickened is the default; Classic is kept
+  // for differential testing (tests/test_exec_equivalence.cpp).
+  ExecEngine exec_engine = ExecEngine::Quickened;
 
   // Bytes allocated since the previous collection that trigger a GC.
   size_t gc_threshold = 8u << 20;

@@ -746,6 +746,8 @@ IsolateReport VM::reportFor(Isolate* iso) {
   r.io_bytes_read = s.io_bytes_read.load(std::memory_order_relaxed);
   r.io_bytes_written = s.io_bytes_written.load(std::memory_order_relaxed);
   r.calls_in = s.calls_in.load(std::memory_order_relaxed);
+  r.method_invocations = s.method_invocations.load(std::memory_order_relaxed);
+  r.loop_back_edges = s.loop_back_edges.load(std::memory_order_relaxed);
   return r;
 }
 

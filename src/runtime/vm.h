@@ -61,6 +61,8 @@ struct IsolateReport {
   u64 io_bytes_read = 0;
   u64 io_bytes_written = 0;
   u64 calls_in = 0;
+  u64 method_invocations = 0;
+  u64 loop_back_edges = 0;
 };
 
 class VM {
@@ -185,7 +187,11 @@ class VM {
   std::shared_ptr<void> getExtension(const std::string& key);
 
   // ---- interpreter entry (internal; used by invoke) ----
+  // Dispatches to the engine selected by options().exec_engine.
   Value interpret(JThread* t, Frame& frame);
+  // The original single-switch interpreter (kept for differential testing
+  // against the quickening engine in src/exec/).
+  Value interpretClassic(JThread* t, Frame& frame);
 
   // Statistics for benchmarks.
   u64 interIsolateCalls() const { return inter_isolate_calls_.load(std::memory_order_relaxed); }

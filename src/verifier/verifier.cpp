@@ -141,6 +141,9 @@ class MethodVerifier {
     const i32 n = static_cast<i32>(code.insns.size());
     for (i32 pc = 0; pc < n; ++pc) {
       const Instruction& insn = code.insns[static_cast<size_t>(pc)];
+      // Quickened forms are engine-internal rewrites (src/exec); a class
+      // file that contains one is malformed.
+      if (opIsQuickened(insn.op)) failAt(pc, "quickened opcode in class file");
       if (opIsBranch(insn.op)) {
         if (insn.a < 0 || insn.a >= n) failAt(pc, "branch target out of range");
       }

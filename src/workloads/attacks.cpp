@@ -79,8 +79,9 @@ struct PendingCall {
 
 // One self-contained attack platform.
 struct Platform {
-  explicit Platform(bool isolated) : isolated_mode(isolated) {
+  explicit Platform(bool isolated, ExecEngine engine) : isolated_mode(isolated) {
     VmOptions opts = isolated ? VmOptions::isolated() : VmOptions::shared();
+    opts.exec_engine = engine;
     opts.gc_threshold = 512u << 10;
     opts.heap_limit = 32u << 20;
     opts.host_thread_cap = 48;
@@ -760,8 +761,8 @@ AttackOutcome attackA8(Platform& p) {
 
 }  // namespace
 
-AttackOutcome runAttack(AttackId id, bool isolated_mode) {
-  Platform p(isolated_mode);
+AttackOutcome runAttack(AttackId id, bool isolated_mode, ExecEngine engine) {
+  Platform p(isolated_mode, engine);
   AttackOutcome out;
   switch (id) {
     case AttackId::A1_StaticMutation:
@@ -794,10 +795,10 @@ AttackOutcome runAttack(AttackId id, bool isolated_mode) {
   return out;
 }
 
-std::vector<AttackOutcome> runAllAttacks(bool isolated_mode) {
+std::vector<AttackOutcome> runAllAttacks(bool isolated_mode, ExecEngine engine) {
   std::vector<AttackOutcome> out;
   for (int i = 0; i < 8; ++i) {
-    out.push_back(runAttack(static_cast<AttackId>(i), isolated_mode));
+    out.push_back(runAttack(static_cast<AttackId>(i), isolated_mode, engine));
   }
   return out;
 }

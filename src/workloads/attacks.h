@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "runtime/options.h"
 #include "support/common.h"
 
 namespace ijvm {
@@ -57,10 +58,13 @@ struct AttackOutcome {
 };
 
 // Runs one attack in the given mode. Self-contained (builds and tears down
-// its own VM); safe to call repeatedly.
-AttackOutcome runAttack(AttackId id, bool isolated_mode);
+// its own VM); safe to call repeatedly. `engine` selects the execution
+// engine (the differential test runs attacks under both).
+AttackOutcome runAttack(AttackId id, bool isolated_mode,
+                        ExecEngine engine = ExecEngine::Quickened);
 
 // All eight, in order.
-std::vector<AttackOutcome> runAllAttacks(bool isolated_mode);
+std::vector<AttackOutcome> runAllAttacks(
+    bool isolated_mode, ExecEngine engine = ExecEngine::Quickened);
 
 }  // namespace ijvm

@@ -1,0 +1,401 @@
+// Differential test: the quickening engine (src/exec) must be observably
+// equivalent to the classic interpreter -- identical results, identical
+// thrown exceptions (at both the first, quickening, execution and the
+// subsequent fast-path executions), identical per-isolate accounting
+// charges, and identical attack outcomes.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "bytecode/builder.h"
+#include "exec/engine.h"
+#include "exec/quickened.h"
+#include "heap/object.h"
+#include "runtime/vm.h"
+#include "stdlib/system_library.h"
+#include "workloads/attacks.h"
+#include "workloads/spec.h"
+
+namespace ijvm {
+namespace {
+
+constexpr ExecEngine kEngines[] = {ExecEngine::Classic, ExecEngine::Quickened};
+
+const char* engineName(ExecEngine e) {
+  return e == ExecEngine::Classic ? "classic" : "quickened";
+}
+
+// ---- spec workloads: checksums + per-isolate charges ----
+
+struct SpecRun {
+  i32 checksum = 0;
+  u64 bytes_charged = 0;
+  u64 objects_charged = 0;
+  u64 objects_allocated = 0;
+  u64 calls_in = 0;
+};
+
+SpecRun runSpec(const SpecWorkload& wl, ExecEngine engine, i32 size) {
+  VmOptions opts = VmOptions::isolated();
+  opts.exec_engine = engine;
+  VM vm(opts);
+  installSystemLibrary(vm);
+  ClassLoader* app = vm.registry().newLoader("spec");
+  Isolate* iso = vm.createIsolate(app, "spec");
+  SpecRun r;
+  r.checksum = runSpecWorkload(vm, vm.mainThread(), app, wl, size);
+  // Charges are reachability-based; compare them after a full collection.
+  vm.collectGarbage(vm.mainThread(), nullptr);
+  r.bytes_charged = iso->stats.bytes_charged.load();
+  r.objects_charged = iso->stats.objects_charged.load();
+  r.objects_allocated = iso->stats.objects_allocated.load();
+  r.calls_in = iso->stats.calls_in.load();
+  return r;
+}
+
+class SpecEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpecEquivalence, EnginesAgreeOnChecksumAndCharges) {
+  SpecWorkload wl = specWorkloads()[static_cast<size_t>(GetParam())];
+  const i32 size = std::max(1, wl.default_size / 8);
+  SpecRun classic = runSpec(wl, ExecEngine::Classic, size);
+  SpecRun quick = runSpec(wl, ExecEngine::Quickened, size);
+  EXPECT_EQ(classic.checksum, quick.checksum) << wl.name;
+  EXPECT_EQ(classic.calls_in, quick.calls_in) << wl.name;
+  // mtrt is two-threaded: totals identical, but thread interleaving makes
+  // this the one workload where we do not pin allocation-order-dependent
+  // counters; the reachability-based charges must still match.
+  EXPECT_EQ(classic.bytes_charged, quick.bytes_charged) << wl.name;
+  EXPECT_EQ(classic.objects_charged, quick.objects_charged) << wl.name;
+  if (wl.name != "mtrt") {
+    EXPECT_EQ(classic.objects_allocated, quick.objects_allocated) << wl.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, SpecEquivalence, ::testing::Range(0, 7),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return specWorkloads()[static_cast<size_t>(info.param)]
+                               .name;
+                         });
+
+// ---- exception behaviour, first (quickening) and repeat executions ----
+
+struct EvalResult {
+  i32 value = 0;
+  std::string error;  // "" when no guest exception
+};
+
+// Runs `body` twice in one VM -- the first execution quickens, the second
+// takes the rewritten fast path -- and asserts both report the same thing.
+EvalResult evalTwice(ExecEngine engine,
+                     const std::function<void(ClassBuilder&)>& define,
+                     bool verify = true) {
+  VmOptions opts = VmOptions::isolated();
+  opts.exec_engine = engine;
+  opts.verify = verify;
+  VM vm(opts);
+  installSystemLibrary(vm);
+  ClassLoader* app = vm.registry().newLoader("app");
+  vm.createIsolate(app, "app");
+  ClassBuilder cb("app/T");
+  define(cb);
+  app->define(cb.build());
+  JThread* t = vm.mainThread();
+  EvalResult first;
+  Value v = vm.callStaticIn(t, app, "app/T", "f", "()I", {});
+  first.value = v.asInt();
+  if (t->pending_exception != nullptr) first.error = vm.pendingMessage(t);
+  vm.clearPending(t);
+  EvalResult second;
+  v = vm.callStaticIn(t, app, "app/T", "f", "()I", {});
+  second.value = v.asInt();
+  if (t->pending_exception != nullptr) second.error = vm.pendingMessage(t);
+  vm.clearPending(t);
+  EXPECT_EQ(first.value, second.value);
+  EXPECT_EQ(first.error, second.error);
+  return first;
+}
+
+void expectEnginesAgree(const std::function<void(ClassBuilder&)>& define) {
+  EvalResult classic = evalTwice(ExecEngine::Classic, define);
+  EvalResult quick = evalTwice(ExecEngine::Quickened, define);
+  EXPECT_EQ(classic.value, quick.value);
+  EXPECT_EQ(classic.error, quick.error);
+}
+
+TEST(ExceptionEquivalence, DivisionByZeroCaught) {
+  expectEnginesAgree([](ClassBuilder& cb) {
+    auto& m = cb.method("f", "()I", ACC_PUBLIC | ACC_STATIC);
+    Label from = m.newLabel(), to = m.newLabel(), handler = m.newLabel();
+    m.bind(from).iconst(1).iconst(0).idiv().ireturn();
+    m.bind(to);
+    m.bind(handler).pop().iconst(-7).ireturn();
+    m.handler(from, to, handler, "java/lang/ArithmeticException");
+  });
+}
+
+TEST(ExceptionEquivalence, DivisionByZeroUncaught) {
+  expectEnginesAgree([](ClassBuilder& cb) {
+    auto& m = cb.method("f", "()I", ACC_PUBLIC | ACC_STATIC);
+    m.iconst(1).iconst(0).irem().ireturn();
+  });
+}
+
+TEST(ExceptionEquivalence, NullFieldAccess) {
+  expectEnginesAgree([](ClassBuilder& cb) {
+    cb.field("x", "I", ACC_PUBLIC);
+    auto& m = cb.method("f", "()I", ACC_PUBLIC | ACC_STATIC);
+    m.aconstNull().getfield("app/T", "x", "I").ireturn();
+  });
+}
+
+TEST(ExceptionEquivalence, UnresolvableFieldThrowsLazilyEveryTime) {
+  // Resolution failure must surface at the executing instruction on the
+  // first *and* every later execution (the quickener must not rewrite an
+  // instruction whose resolution failed).
+  expectEnginesAgree([](ClassBuilder& cb) {
+    auto& m = cb.method("f", "()I", ACC_PUBLIC | ACC_STATIC);
+    m.getstatic("app/Missing", "nope", "I").ireturn();
+  });
+}
+
+TEST(ExceptionEquivalence, UnresolvableMethodThrowsLazilyEveryTime) {
+  expectEnginesAgree([](ClassBuilder& cb) {
+    auto& m = cb.method("f", "()I", ACC_PUBLIC | ACC_STATIC);
+    m.invokestatic("app/T", "missing", "()I").ireturn();
+  });
+}
+
+TEST(ExceptionEquivalence, CheckcastFailure) {
+  expectEnginesAgree([](ClassBuilder& cb) {
+    auto& m = cb.method("f", "()I", ACC_PUBLIC | ACC_STATIC);
+    m.newDefault("java/lang/Object");
+    m.checkcast("java/lang/String");
+    m.pop().iconst(0).ireturn();
+  });
+}
+
+TEST(ExceptionEquivalence, ArrayBoundsCaught) {
+  expectEnginesAgree([](ClassBuilder& cb) {
+    auto& m = cb.method("f", "()I", ACC_PUBLIC | ACC_STATIC);
+    Label from = m.newLabel(), to = m.newLabel(), handler = m.newLabel();
+    m.bind(from).iconst(3).newarray(Kind::Int).iconst(5).iaload().ireturn();
+    m.bind(to);
+    m.bind(handler).pop().iconst(-1).ireturn();
+    m.handler(from, to, handler, "");
+  });
+}
+
+// ---- isolate-aware statics: the cache must key on the executing isolate ----
+
+// A framework-style shared class whose <clinit> and accessors run in the
+// *accessing* isolate (MVM semantics): each bundle must observe its own
+// copy of the static under both engines, even though the same rewritten
+// instruction executes under several isolates.
+TEST(IsolateStatics, PerIsolateCopiesSurviveQuickening) {
+  for (ExecEngine engine : kEngines) {
+    SCOPED_TRACE(engineName(engine));
+    VmOptions opts = VmOptions::isolated();
+    opts.exec_engine = engine;
+    VM vm(opts);
+    installSystemLibrary(vm);
+
+    ClassLoader* shared = vm.registry().newLoader("shared");
+    {
+      ClassBuilder cb("lib/Counter");
+      cb.field("count", "I", ACC_PUBLIC | ACC_STATIC);
+      auto& clinit = cb.method("<clinit>", "()V", ACC_STATIC);
+      clinit.iconst(100).putstatic("lib/Counter", "count", "I").ret();
+      shared->define(cb.build());
+    }
+    Isolate* iso0 = vm.createIsolate(shared, "platform");
+    (void)iso0;
+
+    auto makeBundle = [&](const std::string& pkg) {
+      ClassLoader* l = vm.registry().newLoader(pkg, shared);
+      ClassBuilder cb(pkg + "/Main");
+      auto& bump = cb.method("bump", "(I)I", ACC_PUBLIC | ACC_STATIC);
+      // lib/Counter.count += n; return lib/Counter.count
+      bump.getstatic("lib/Counter", "count", "I").iload(0).iadd();
+      bump.putstatic("lib/Counter", "count", "I");
+      bump.getstatic("lib/Counter", "count", "I").ireturn();
+      l->define(cb.build());
+      vm.createIsolate(l, pkg);
+      return l;
+    };
+    ClassLoader* a = makeBundle("ba");
+    ClassLoader* b = makeBundle("bb");
+
+    JThread* t = vm.mainThread();
+    auto bump = [&](ClassLoader* l, const std::string& pkg, i32 n) {
+      Value r = vm.callStaticIn(t, l, pkg + "/Main", "bump", "(I)I",
+                                {Value::ofInt(n)});
+      EXPECT_EQ(t->pending_exception, nullptr) << vm.pendingMessage(t);
+      return r.asInt();
+    };
+
+    // Interleave so each quickened site executes under both isolates:
+    // every isolate starts from its own <clinit>-initialized copy (100).
+    EXPECT_EQ(bump(a, "ba", 1), 101);
+    EXPECT_EQ(bump(b, "bb", 5), 105);
+    EXPECT_EQ(bump(a, "ba", 1), 102);
+    EXPECT_EQ(bump(b, "bb", 5), 110);
+    for (int i = 0; i < 100; ++i) {
+      EXPECT_EQ(bump(a, "ba", 1), 103 + i);
+    }
+    EXPECT_EQ(bump(b, "bb", 5), 115);
+  }
+}
+
+// ---- polymorphic + megamorphic virtual dispatch through the inline cache ----
+
+TEST(InlineCaches, PolymorphicReceiversDispatchCorrectly) {
+  for (ExecEngine engine : kEngines) {
+    SCOPED_TRACE(engineName(engine));
+    VmOptions opts = VmOptions::isolated();
+    opts.exec_engine = engine;
+    VM vm(opts);
+    installSystemLibrary(vm);
+    ClassLoader* app = vm.registry().newLoader("app");
+
+    {
+      ClassBuilder base("app/Base");
+      auto& m = base.method("tag", "()I", ACC_PUBLIC);
+      m.iconst(0).ireturn();
+      app->define(base.build());
+    }
+    for (int k = 1; k <= 12; ++k) {
+      ClassBuilder sub("app/Sub" + std::to_string(k), "app/Base");
+      auto& m = sub.method("tag", "()I", ACC_PUBLIC);
+      m.iconst(k).ireturn();
+      app->define(sub.build());
+    }
+    {
+      ClassBuilder cb("app/Drive");
+      auto& m = cb.method("call", "(Lapp/Base;)I", ACC_PUBLIC | ACC_STATIC);
+      m.aload(0).invokevirtual("app/Base", "tag", "()I").ireturn();
+      app->define(cb.build());
+    }
+    vm.createIsolate(app, "app");
+    JThread* t = vm.mainThread();
+
+    // Cycle receivers through one call site: monomorphic hit, miss,
+    // re-install, and finally the megamorphic pin -- dispatch must stay
+    // exact throughout.
+    for (int round = 0; round < 4; ++round) {
+      for (int k = 1; k <= 12; ++k) {
+        JClass* cls = vm.registry().resolve(app, "app/Sub" + std::to_string(k));
+        ASSERT_NE(cls, nullptr);
+        Object* obj = vm.allocObject(t, cls);
+        ASSERT_NE(obj, nullptr);
+        Value r = vm.callStaticIn(t, app, "app/Drive", "call", "(Lapp/Base;)I",
+                                  {Value::ofRef(obj)});
+        ASSERT_EQ(t->pending_exception, nullptr) << vm.pendingMessage(t);
+        EXPECT_EQ(r.asInt(), k);
+      }
+    }
+
+    // The megamorphic pin must bound cache allocation: 48 polymorphic
+    // misses at one site may not allocate 48 entries.
+    if (engine == ExecEngine::Quickened) {
+      auto st = std::static_pointer_cast<exec::ExecState>(
+          vm.getExtension(exec::kStateKey));
+      ASSERT_NE(st, nullptr);
+      EXPECT_LE(st->vcall_ics.size(), exec::kMegamorphicMisses + 2);
+    }
+  }
+}
+
+// ---- attacks: the paper's robustness outcomes must be engine-independent ----
+
+class AttackEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(AttackEquivalence, OutcomeMatchesClassicEngine) {
+  const AttackId id = static_cast<AttackId>(GetParam());
+  AttackOutcome classic = runAttack(id, /*isolated=*/true, ExecEngine::Classic);
+  AttackOutcome quick = runAttack(id, /*isolated=*/true, ExecEngine::Quickened);
+  EXPECT_EQ(classic.victim_unaffected, quick.victim_unaffected)
+      << classic.detail << " vs " << quick.detail;
+  EXPECT_EQ(classic.attacker_identified, quick.attacker_identified)
+      << classic.detail << " vs " << quick.detail;
+  EXPECT_EQ(classic.attacker_stopped, quick.attacker_stopped)
+      << classic.detail << " vs " << quick.detail;
+  EXPECT_TRUE(quick.protectedOutcome()) << quick.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAttacks, AttackEquivalence, ::testing::Range(0, 8),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return std::string(
+                               attackName(static_cast<AttackId>(info.param)));
+                         });
+
+// ---- the quickened stream itself: rewrites + disassembly ----
+
+TEST(Quickening, DisassemblyShowsQuickenedForms) {
+  VmOptions opts = VmOptions::isolated();
+  opts.exec_engine = ExecEngine::Quickened;
+  VM vm(opts);
+  installSystemLibrary(vm);
+  ClassLoader* app = vm.registry().newLoader("app");
+  ClassBuilder cb("app/T");
+  cb.field("s", "I", ACC_PUBLIC | ACC_STATIC);
+  auto& m = cb.method("f", "()I", ACC_PUBLIC | ACC_STATIC);
+  m.getstatic("app/T", "s", "I").iconst(1).iadd();
+  m.putstatic("app/T", "s", "I");
+  m.getstatic("app/T", "s", "I").ireturn();
+  app->define(cb.build());
+  vm.createIsolate(app, "app");
+
+  JClass* cls = vm.registry().resolve(app, "app/T");
+  ASSERT_NE(cls, nullptr);
+  JMethod* method = cls->findMethod("f", "()I");
+  ASSERT_NE(method, nullptr);
+  EXPECT_EQ(exec::disasmQuickened(vm, method), "");  // not yet executed
+
+  Value r = vm.callStaticIn(vm.mainThread(), app, "app/T", "f", "()I", {});
+  ASSERT_EQ(vm.mainThread()->pending_exception, nullptr);
+  EXPECT_EQ(r.asInt(), 1);
+
+  std::string dis = exec::disasmQuickened(vm, method);
+  EXPECT_NE(dis.find("GETSTATIC_Q"), std::string::npos) << dis;
+  EXPECT_NE(dis.find("PUTSTATIC_Q"), std::string::npos) << dis;
+  EXPECT_NE(dis.find("app/T.s:I"), std::string::npos) << dis;
+
+  // Profile counters moved (engine seam for the governor / future tiers).
+  EXPECT_EQ(method->profile_invocations.load(), 1u);
+  Isolate* iso = vm.isolateById(0);
+  ASSERT_NE(iso, nullptr);
+  EXPECT_GE(iso->stats.method_invocations.load(), 1u);
+}
+
+TEST(Quickening, LoopEdgeCountersAccumulate) {
+  VmOptions opts = VmOptions::isolated();
+  opts.exec_engine = ExecEngine::Quickened;
+  VM vm(opts);
+  installSystemLibrary(vm);
+  ClassLoader* app = vm.registry().newLoader("app");
+  ClassBuilder cb("app/Loop");
+  auto& m = cb.method("f", "(I)I", ACC_PUBLIC | ACC_STATIC);
+  Label head = m.newLabel(), done = m.newLabel();
+  m.iconst(0).istore(1);
+  m.bind(head).iload(1).iload(0).ifIcmpGe(done);
+  m.iinc(1, 1).gotoLabel(head);
+  m.bind(done).iload(1).ireturn();
+  app->define(cb.build());
+  vm.createIsolate(app, "app");
+
+  Value r = vm.callStaticIn(vm.mainThread(), app, "app/Loop", "f", "(I)I",
+                            {Value::ofInt(1000)});
+  ASSERT_EQ(vm.mainThread()->pending_exception, nullptr);
+  EXPECT_EQ(r.asInt(), 1000);
+
+  JMethod* method =
+      vm.registry().resolve(app, "app/Loop")->findMethod("f", "(I)I");
+  ASSERT_NE(method, nullptr);
+  EXPECT_GE(method->profile_loop_edges.load(), 1000u);
+  Isolate* iso = vm.isolateById(0);
+  EXPECT_GE(iso->stats.loop_back_edges.load(), 1000u);
+}
+
+}  // namespace
+}  // namespace ijvm
