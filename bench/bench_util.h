@@ -50,11 +50,13 @@ struct BenchPlatform {
 };
 
 inline std::unique_ptr<BenchPlatform> bootPlatform(
-    bool isolated, ExecEngine engine = ExecEngine::Quickened) {
+    bool isolated, ExecEngine engine = ExecEngine::Quickened,
+    const std::function<void(VmOptions&)>& tweak = {}) {
   VmOptions opts = isolated ? VmOptions::isolated() : VmOptions::shared();
   opts.exec_engine = engine;
   opts.gc_threshold = 32u << 20;  // keep GC out of the timed paths
   opts.heap_limit = 512u << 20;
+  if (tweak) tweak(opts);
   return std::make_unique<BenchPlatform>(opts);
 }
 

@@ -19,8 +19,9 @@ struct MicroSetup {
   std::unique_ptr<CommHarness> comm;
   Bundle* micro = nullptr;
 
-  explicit MicroSetup(bool isolated, ExecEngine engine = ExecEngine::Quickened) {
-    platform = bootPlatform(isolated, engine);
+  explicit MicroSetup(bool isolated, ExecEngine engine = ExecEngine::Quickened,
+                      const std::function<void(VmOptions&)>& tweak = {}) {
+    platform = bootPlatform(isolated, engine, tweak);
     comm = std::make_unique<CommHarness>(*platform->fw);
     micro = platform->fw->install(makeMicroBundle("micro"));
     platform->fw->start(micro);
@@ -96,56 +97,83 @@ int main() {
               "indirection + init check; allocation pays accounting/limit checks;\n"
               "the pure-arithmetic control stays near zero.\n");
 
-  // ---- execution engines side by side (quickened vs classic) ----
-  // Same bytecode, same isolated-mode VM; only options.exec_engine differs.
-  // The interpreter-bound loops (arithmetic, statics, calls) are where the
-  // direct-threaded dispatch + quickening + inline caches pay off.
-  // Fresh platforms for both sides so heap state from the Figure-1 runs
+  // ---- execution tiers side by side (classic / quickened / fused) ----
+  // Same bytecode, same isolated-mode VM; only the engine options differ:
+  // classic single-switch interpreter, the quickened engine with the
+  // fusion tier disabled, and the quickened engine with fusion forced on
+  // (threshold 0). The interpreter-bound loops (arithmetic, statics,
+  // calls) are where threaded dispatch + ICs pay off, and the tight loops
+  // are where superinstruction fusion cuts the remaining dispatches.
+  // Fresh platforms for all sides so heap state from the Figure-1 runs
   // above does not skew the comparison.
   MicroSetup classic(true, ExecEngine::Classic);
-  MicroSetup quickened(true, ExecEngine::Quickened);
+  MicroSetup quickened(true, ExecEngine::Quickened,
+                       [](VmOptions& o) { o.fusion = false; });
+  MicroSetup fused(true, ExecEngine::Quickened,
+                   [](VmOptions& o) { o.fusion_threshold = 0; });
 
   struct EngineRow {
     const char* name;
     i64 classic_ns;
     i64 quick_ns;
+    i64 fused_ns;
     i64 ops;
   };
   std::vector<EngineRow> erows;
   erows.push_back({"pure arithmetic loop",
                    bestOf(kReps, [&] { classic.run("spinFor", kCalls); }),
                    bestOf(kReps, [&] { quickened.run("spinFor", kCalls); }),
+                   bestOf(kReps, [&] { fused.run("spinFor", kCalls); }),
                    kCalls});
   erows.push_back({"static variable access",
                    bestOf(kReps, [&] { classic.run("staticMany", kStatics); }),
                    bestOf(kReps, [&] { quickened.run("staticMany", kStatics); }),
+                   bestOf(kReps, [&] { fused.run("staticMany", kStatics); }),
                    kStatics});
   erows.push_back({"object allocation",
                    bestOf(kReps, [&] { classic.run("allocMany", kAllocs); }),
                    bestOf(kReps, [&] { quickened.run("allocMany", kAllocs); }),
+                   bestOf(kReps, [&] { fused.run("allocMany", kAllocs); }),
                    kAllocs});
   erows.push_back({"intra-isolate call",
                    bestOf(kReps, [&] { classic.comm->runLocal(kCalls); }),
                    bestOf(kReps, [&] { quickened.comm->runLocal(kCalls); }),
-                   kCalls});
+                   bestOf(kReps, [&] { fused.comm->runLocal(kCalls); }), kCalls});
   erows.push_back({"inter-isolate call",
                    bestOf(kReps, [&] { classic.comm->runIJvm(kCalls); }),
                    bestOf(kReps, [&] { quickened.comm->runIJvm(kCalls); }),
-                   kCalls});
+                   bestOf(kReps, [&] { fused.comm->runIJvm(kCalls); }), kCalls});
 
-  printHeader("Execution engines: quickened (direct-threaded + ICs) vs classic");
-  std::printf("%-28s %12s %12s %10s\n", "micro-benchmark", "classic ns/op",
-              "quick ns/op", "speedup");
+  printHeader(
+      "Execution tiers: classic / quickened (no fusion) / quickened+fusion");
+#ifdef IJVM_DISABLE_FUSION
+  std::printf("note: built with IJVM_DISABLE_FUSION -- the 'fused' column "
+              "runs the unfused quickened engine\n");
+  const double fusion_available = 0.0;
+#else
+  const double fusion_available = 1.0;
+#endif
+  std::printf("%-26s %11s %11s %11s %8s %8s\n", "micro-benchmark",
+              "classic ns", "quick ns", "fused ns", "f/quick", "f/classic");
   BenchJson json;
   for (const EngineRow& r : erows) {
-    const double classic_ns = static_cast<double>(r.classic_ns) / static_cast<double>(r.ops);
-    const double quick_ns = static_cast<double>(r.quick_ns) / static_cast<double>(r.ops);
-    const double speedup = quick_ns > 0 ? classic_ns / quick_ns : 0.0;
-    std::printf("%-28s %12.1f %12.1f %9.2fx\n", r.name, classic_ns, quick_ns,
-                speedup);
+    const double ops = static_cast<double>(r.ops);
+    const double classic_ns = static_cast<double>(r.classic_ns) / ops;
+    const double quick_ns = static_cast<double>(r.quick_ns) / ops;
+    const double fused_ns = static_cast<double>(r.fused_ns) / ops;
+    const double quick_speedup = quick_ns > 0 ? classic_ns / quick_ns : 0.0;
+    const double fused_vs_quick = fused_ns > 0 ? quick_ns / fused_ns : 0.0;
+    const double fused_vs_classic = fused_ns > 0 ? classic_ns / fused_ns : 0.0;
+    std::printf("%-26s %11.1f %11.1f %11.1f %7.2fx %7.2fx\n", r.name,
+                classic_ns, quick_ns, fused_ns, fused_vs_quick,
+                fused_vs_classic);
     json.add(r.name, {{"classic_ns_per_op", classic_ns},
                       {"quickened_ns_per_op", quick_ns},
-                      {"speedup", speedup},
+                      {"fused_ns_per_op", fused_ns},
+                      {"speedup", quick_speedup},
+                      {"fused_speedup_vs_quickened", fused_vs_quick},
+                      {"fused_speedup_vs_classic", fused_vs_classic},
+                      {"fusion_available", fusion_available},
                       {"ops", static_cast<double>(r.ops)}});
   }
   const char* out_path = "BENCH_exec.json";

@@ -18,6 +18,8 @@ const char* signalName(Signal s) {
     case Signal::AllocBytesRate: return "alloc-bytes-rate";
     case Signal::IoRate: return "io-rate";
     case Signal::ThreadSpawnRate: return "thread-spawn-rate";
+    case Signal::MethodInvocationRate: return "method-invocation-rate";
+    case Signal::LoopBackEdgeRate: return "loop-back-edge-rate";
   }
   return "?";
 }
@@ -53,6 +55,14 @@ GovernorPolicy GovernorPolicy::standard(u64 memory_budget_bytes,
   // count. Three strikes so a slow-but-returning service call passes.
   p.rules.push_back({Signal::HungCallers, 0.5, 3, GovernorAction::Kill,
                      "A7-hang"});
+  // Hot-bundle flag (warn only): sustained execution-profile rates mark a
+  // bundle as interpreter-bound and hot -- a compilation-tier candidate,
+  // and corroboration for an A6 CpuShare kill (a bundle can pin the CPU
+  // without loop back-edges only by hanging in a native call, which A7
+  // covers). ~400k back-edges/tick assumes ~50 ms ticks; an honest bursty
+  // service stays well below for the 3 consecutive strikes required.
+  p.rules.push_back({Signal::LoopBackEdgeRate, 400000.0, 3,
+                     GovernorAction::Warn, "hot-loop"});
   return p;
 }
 
@@ -116,6 +126,10 @@ double ResourceGovernor::evaluate(const GovernorRule& rule,
              delta(&IsolateReport::io_bytes_written);
     case Signal::ThreadSpawnRate:
       return delta(&IsolateReport::threads_created);
+    case Signal::MethodInvocationRate:
+      return delta(&IsolateReport::method_invocations);
+    case Signal::LoopBackEdgeRate:
+      return delta(&IsolateReport::loop_back_edges);
   }
   return 0.0;
 }

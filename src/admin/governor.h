@@ -49,6 +49,13 @@ enum class Signal : u8 {
   AllocBytesRate,    // bytes allocated per tick
   IoRate,            // I/O bytes (read+write) per tick
   ThreadSpawnRate,   // threads created per tick
+  // Execution-profile rates fed by the quickening engine (src/exec).
+  // Zero under the classic interpreter (which does not profile). They
+  // flag *hot* bundles -- compilation-tier candidates and CpuShare
+  // corroboration -- from the same per-method counters the engine's
+  // fusion tier promotes on (docs/execution-tiers.md).
+  MethodInvocationRate,  // guest method invocations per tick
+  LoopBackEdgeRate,      // loop back-edges executed per tick
 };
 
 const char* signalName(Signal s);

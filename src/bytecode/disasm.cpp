@@ -87,6 +87,41 @@ std::string disasmInsn(const ConstantPool& pool, const Instruction& insn, i32 in
   return s;
 }
 
+std::string disasmFusedInsn(Op op, i32 index, i32 a, i32 b, i32 c, i64 imm,
+                            const std::string& field_sym) {
+  std::string s = strf("%4d: %-14s", index, opName(op));
+  switch (op) {
+    case Op::ILOAD_ILOAD_IADD_F:
+    case Op::ILOAD_ILOAD_ISUB_F:
+    case Op::ILOAD_ILOAD_IMUL_F:
+    case Op::ILOAD_ILOAD_IAND_F:
+    case Op::ILOAD_ILOAD_IOR_F:
+    case Op::ILOAD_ILOAD_IXOR_F:
+      s += strf(" slots=[%d %d]", a, c);
+      break;
+    case Op::ILOAD_ILOAD_IF_ICMPEQ_F:
+    case Op::ILOAD_ILOAD_IF_ICMPNE_F:
+    case Op::ILOAD_ILOAD_IF_ICMPLT_F:
+    case Op::ILOAD_ILOAD_IF_ICMPGE_F:
+    case Op::ILOAD_ILOAD_IF_ICMPGT_F:
+    case Op::ILOAD_ILOAD_IF_ICMPLE_F:
+      s += strf(" slots=[%d %d] -> %d", a, c, static_cast<i32>(imm));
+      break;
+    case Op::ICONST_IADD_F:
+      s += strf(" imm=%d", a);
+      break;
+    case Op::ALOAD_GETFIELD_F:
+      s += strf(" slot=%d %s", a, field_sym.c_str());
+      break;
+    case Op::IINC_GOTO_F:
+      s += strf(" slot=%d delta=%d -> %d", a, b, c);
+      break;
+    default:
+      break;
+  }
+  return s;
+}
+
 std::string disasmMethod(const ConstantPool& pool, const MethodDef& method) {
   std::string out = strf("%s%s  (flags=0x%x, max_locals=%u)\n", method.name.c_str(),
                          method.descriptor.c_str(), method.flags,

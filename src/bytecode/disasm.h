@@ -10,6 +10,14 @@ namespace ijvm {
 // One instruction, e.g. "  12: INVOKEVIRTUAL demo/Shape.draw(II)V".
 std::string disasmInsn(const ConstantPool& pool, const Instruction& insn, i32 index);
 
+// One fused superinstruction (quickened streams only, see
+// exec::disasmQuickened): the operands lifted from the group's inner
+// instructions live in the QInsn payload, which Instruction cannot carry,
+// so they are passed explicitly. `field_sym` is the resolved-field symbol
+// for ALOAD_GETFIELD_F ("" for every other fused opcode).
+std::string disasmFusedInsn(Op op, i32 index, i32 a, i32 b, i32 c, i64 imm,
+                            const std::string& field_sym);
+
 // Whole method body including the exception table.
 std::string disasmMethod(const ConstantPool& pool, const MethodDef& method);
 

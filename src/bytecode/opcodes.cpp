@@ -13,6 +13,30 @@ const char* opName(Op op) {
   return idx < static_cast<unsigned>(kOpCount) ? names[idx] : "<bad-op>";
 }
 
+i32 opFusedLength(Op op) {
+  switch (op) {
+    case Op::ILOAD_ILOAD_IADD_F:
+    case Op::ILOAD_ILOAD_ISUB_F:
+    case Op::ILOAD_ILOAD_IMUL_F:
+    case Op::ILOAD_ILOAD_IAND_F:
+    case Op::ILOAD_ILOAD_IOR_F:
+    case Op::ILOAD_ILOAD_IXOR_F:
+    case Op::ILOAD_ILOAD_IF_ICMPEQ_F:
+    case Op::ILOAD_ILOAD_IF_ICMPNE_F:
+    case Op::ILOAD_ILOAD_IF_ICMPLT_F:
+    case Op::ILOAD_ILOAD_IF_ICMPGE_F:
+    case Op::ILOAD_ILOAD_IF_ICMPGT_F:
+    case Op::ILOAD_ILOAD_IF_ICMPLE_F:
+      return 3;
+    case Op::ICONST_IADD_F:
+    case Op::ALOAD_GETFIELD_F:
+    case Op::IINC_GOTO_F:
+      return 2;
+    default:
+      return 1;
+  }
+}
+
 bool opIsBranch(Op op) {
   switch (op) {
     case Op::IFEQ:

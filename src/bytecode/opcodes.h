@@ -151,7 +151,32 @@ namespace ijvm {
   OP(NEW_Q, 0, 1, "ptr=JClass")                                         \
   OP(ANEWARRAY_Q, 1, 1, "ptr=array JClass")                             \
   OP(CHECKCAST_Q, 1, 1, "ptr=JClass")                                   \
-  OP(INSTANCEOF_Q, 1, 1, "ptr=JClass")
+  OP(INSTANCEOF_Q, 1, 1, "ptr=JClass")                                  \
+  /* ---- fused superinstructions (src/exec/fuse.cpp) ----              \
+     Produced by the second, fusion rewrite of a hot method's quickened  \
+     stream: the head instruction of an adjacent pair/triple is replaced \
+     by a fused opcode executing the whole group in one dispatch; the    \
+     inner instructions keep their original opcodes (control flow may    \
+     still jump *to* a group head, never into its middle -- the fuse     \
+     pass refuses groups containing branch targets or handler entries).  \
+     `a`/`b` keep the head's original operands; the operands lifted from \
+     the inner instructions live in the QInsn payload (c/imm/ptr).       \
+     Like the _Q forms these never appear in a class file. */            \
+  OP(ILOAD_ILOAD_IADD_F, 0, 1, "a=slot1 c=slot2 (fused triple)")        \
+  OP(ILOAD_ILOAD_ISUB_F, 0, 1, "a=slot1 c=slot2 (fused triple)")        \
+  OP(ILOAD_ILOAD_IMUL_F, 0, 1, "a=slot1 c=slot2 (fused triple)")        \
+  OP(ILOAD_ILOAD_IAND_F, 0, 1, "a=slot1 c=slot2 (fused triple)")        \
+  OP(ILOAD_ILOAD_IOR_F, 0, 1, "a=slot1 c=slot2 (fused triple)")         \
+  OP(ILOAD_ILOAD_IXOR_F, 0, 1, "a=slot1 c=slot2 (fused triple)")        \
+  OP(ILOAD_ILOAD_IF_ICMPEQ_F, 0, 0, "a=slot1 c=slot2 imm=target")       \
+  OP(ILOAD_ILOAD_IF_ICMPNE_F, 0, 0, "a=slot1 c=slot2 imm=target")       \
+  OP(ILOAD_ILOAD_IF_ICMPLT_F, 0, 0, "a=slot1 c=slot2 imm=target")       \
+  OP(ILOAD_ILOAD_IF_ICMPGE_F, 0, 0, "a=slot1 c=slot2 imm=target")       \
+  OP(ILOAD_ILOAD_IF_ICMPGT_F, 0, 0, "a=slot1 c=slot2 imm=target")       \
+  OP(ILOAD_ILOAD_IF_ICMPLE_F, 0, 0, "a=slot1 c=slot2 imm=target")       \
+  OP(ICONST_IADD_F, 1, 1, "a=imm32 (fused iconst+iadd)")                \
+  OP(ALOAD_GETFIELD_F, 0, 1, "a=slot c=field slot ptr=JField")          \
+  OP(IINC_GOTO_F, 0, 0, "a=slot b=delta c=target")
 
 enum class Op : u8 {
 #define IJVM_OP_ENUM(name, pops, pushes, doc) name,
@@ -176,5 +201,16 @@ bool opIsBranch(Op op);
 inline bool opIsQuickened(Op op) {
   return static_cast<u8>(op) >= static_cast<u8>(Op::LDC_INT_Q);
 }
+
+// True for fused superinstructions (a subset of the quickened forms):
+// heads of adjacent pairs/triples rewritten by the fusion tier
+// (src/exec/fuse.cpp) of a hot method's quickened stream.
+inline bool opIsFused(Op op) {
+  return static_cast<u8>(op) >= static_cast<u8>(Op::ILOAD_ILOAD_IADD_F);
+}
+
+// Number of original instructions a fused superinstruction covers (its
+// dispatch advances the pc by this much); 1 for non-fused opcodes.
+i32 opFusedLength(Op op);
 
 }  // namespace ijvm

@@ -29,6 +29,7 @@
 #include "exec/engine.h"
 
 #include "bytecode/disasm.h"
+#include "exec/fuse.h"
 #include "exec/interp_support.h"
 #include "exec/quickened.h"
 #include "heap/object.h"
@@ -126,25 +127,35 @@ void installStaticIC(ExecState& st, QInsn& q, i32 idx, TaskClassMirror* mirror) 
   st.static_ics.push_back(std::move(grown));
 }
 
-// Monomorphic call-site cache update. The miss count is carried across
-// replacement entries; after kMegamorphicMisses total misses the site is
-// pinned megamorphic (null receiver class never matches, and the pin is
-// never replaced) so a polymorphic site stops allocating new entries.
+// Polymorphic call-site cache update (mono -> 2-entry poly -> megamorphic;
+// see VCallIC in quickened.h). The miss count is carried across replacement
+// entries; after kMegamorphicMisses total misses the site is pinned
+// megamorphic (all-null ways never match, and the pin is never replaced)
+// so a polymorphic site stops allocating new entries. Below the pin, the
+// missing receiver takes way 0 and the previous way-0 pair is demoted to
+// way 1 (evicting the old way 1): the two most recent receiver classes
+// stay cached, which a strict alternation between two receivers turns
+// into permanent hits.
 void installVCallIC(ExecState& st, QInsn& q, JClass* cls, JMethod* target,
                     VCallIC* missed) {
   u32 misses = 0;
   if (missed != nullptr) {
-    if (missed->receiver_cls == nullptr) return;  // pinned megamorphic
+    if (missed->megamorphic) return;  // pinned
     misses = missed->misses.load(std::memory_order_relaxed) + 1;
-    if (misses >= kMegamorphicMisses) {
-      cls = nullptr;
-      target = nullptr;
-    }
   }
   std::lock_guard<std::mutex> lock(st.mutex);
   auto entry = std::make_unique<VCallIC>();
-  entry->receiver_cls = cls;
-  entry->target = target;
+  if (missed != nullptr && misses >= kMegamorphicMisses) {
+    entry->megamorphic = true;
+  } else {
+    entry->receiver_cls[0] = cls;
+    entry->target[0] = target;
+    if (missed != nullptr && missed->receiver_cls[0] != nullptr &&
+        missed->receiver_cls[0] != cls) {
+      entry->receiver_cls[1] = missed->receiver_cls[0];
+      entry->target[1] = missed->target[0];
+    }
+  }
   entry->misses.store(misses, std::memory_order_relaxed);
   q.ic.store(entry.get(), std::memory_order_release);
   st.vcall_ics.push_back(std::move(entry));
@@ -205,6 +216,43 @@ Value interpretQuickened(VM& vm, JThread* t, Frame& frame) {
   if (accounting && frame.isolate != nullptr) {
     frame.isolate->stats.method_invocations.fetch_add(1, std::memory_order_relaxed);
   }
+
+#ifndef IJVM_DISABLE_FUSION
+  const bool fusion_on = vm.options().fusion;
+  // Promotion to the fusion tier (docs/execution-tiers.md): once hot,
+  // rewrite the quickened stream a second time into superinstructions.
+  // A pass is *complete* only after a prior execution finished (the whole
+  // stream has quickened); a method that gets hot inside its very first
+  // invocation (the back-edge batch flush below) gets a partial pass over
+  // the loop it is spinning, and the complete pass -- which alone retires
+  // the method from these checks -- runs at its next entry.
+  auto maybeFuse = [&]() {
+    if (!fusion_on || qc->fusion_done.load(std::memory_order_relaxed)) return;
+    const u64 hot =
+        method->profile_invocations.load(std::memory_order_relaxed) +
+        method->profile_loop_edges.load(std::memory_order_relaxed);
+    if (hot > vm.options().fusion_threshold) {
+      // Complete only once an execution ran to a normal return (see
+      // QCode::warmed): a recursive method's nested entry, or a first
+      // call that unwound mid-body, must not pass a still-quickening
+      // stream off as fully warmed.
+      fuseQCode(*qc, qc->warmed.load(std::memory_order_relaxed));
+    }
+  };
+  // Runs at normal returns; steady state is one relaxed load.
+  auto markWarm = [&]() {
+    if (fusion_on && !qc->warmed.load(std::memory_order_relaxed)) {
+      qc->warmed.store(true, std::memory_order_relaxed);
+    }
+  };
+  // A warmed stream can take the complete pass at entry. (Cold methods
+  // wait; in-first-execution hot loops are promoted partially at the
+  // back-edge batch flush below.)
+  if (qc->warmed.load(std::memory_order_relaxed)) maybeFuse();
+#else
+  auto maybeFuse = [] {};
+  auto markWarm = [] {};
+#endif
 
   auto push = [&stack](Value v) { stack.push_back(v); };
   auto pop = [&stack]() {
@@ -279,12 +327,18 @@ Value interpretQuickened(VM& vm, JThread* t, Frame& frame) {
 
 // Taken branches: count + poll at back-edges only. frame.pc moves to the
 // branch target *before* the poll so a stop exception raised here
-// dispatches at the target, as it does in the classic engine.
+// dispatches at the target, as it does in the classic engine. The batch
+// flush doubles as the fusion-promotion point for methods that get hot
+// inside one invocation (a single call spinning a loop): by the time
+// 4096 edges accumulated, the loop body has long quickened.
 #define TAKE_BRANCH(tgt)                                                       \
   do {                                                                         \
     next = (tgt);                                                              \
     if (next <= pc) {                                                          \
-      if ((++pending_edges & 0xFFF) == 0) flushProfile();                      \
+      if ((++pending_edges & 0xFFF) == 0) {                                    \
+        flushProfile();                                                        \
+        maybeFuse();                                                           \
+      }                                                                        \
       frame.pc = next;                                                         \
       poll();                                                                  \
     }                                                                          \
@@ -600,13 +654,78 @@ L_dispatch:
     NEXT();
   }
 
+  // ---- fused superinstructions (fusion tier, exec/fuse.cpp) ----
+  // One dispatch per group; `next` advances past the whole group. Locals
+  // are read directly instead of bouncing through the operand stack -- the
+  // net stack effect is identical to the unfused sequence, and nothing in
+  // a fused group can fault mid-way with a partial stack observable by a
+  // handler (handlers clear the stack on entry anyway).
+#define IJVM_FUSED_ARITH(OPNAME, EXPR)                                         \
+  CASE(OPNAME) {                                                               \
+    const i32 a = locals[static_cast<size_t>(ip->a)].asInt();                  \
+    const i32 b = locals[static_cast<size_t>(ip->c)].asInt();                  \
+    push(Value::ofInt(EXPR));                                                  \
+    next = pc + 3;                                                             \
+    NEXT();                                                                    \
+  }
+  IJVM_FUSED_ARITH(ILOAD_ILOAD_IADD_F,
+                   static_cast<i32>(static_cast<u32>(a) + static_cast<u32>(b)))
+  IJVM_FUSED_ARITH(ILOAD_ILOAD_ISUB_F,
+                   static_cast<i32>(static_cast<u32>(a) - static_cast<u32>(b)))
+  IJVM_FUSED_ARITH(ILOAD_ILOAD_IMUL_F,
+                   static_cast<i32>(static_cast<u32>(a) * static_cast<u32>(b)))
+  IJVM_FUSED_ARITH(ILOAD_ILOAD_IAND_F, a & b)
+  IJVM_FUSED_ARITH(ILOAD_ILOAD_IOR_F, a | b)
+  IJVM_FUSED_ARITH(ILOAD_ILOAD_IXOR_F, a ^ b)
+#undef IJVM_FUSED_ARITH
+#define IJVM_FUSED_CMP(OPNAME, CMP)                                            \
+  CASE(OPNAME) {                                                               \
+    const i32 a = locals[static_cast<size_t>(ip->a)].asInt();                  \
+    const i32 b = locals[static_cast<size_t>(ip->c)].asInt();                  \
+    next = pc + 3;                                                             \
+    if (a CMP b) TAKE_BRANCH(static_cast<i32>(ip->imm));                       \
+    NEXT();                                                                    \
+  }
+  IJVM_FUSED_CMP(ILOAD_ILOAD_IF_ICMPEQ_F, ==)
+  IJVM_FUSED_CMP(ILOAD_ILOAD_IF_ICMPNE_F, !=)
+  IJVM_FUSED_CMP(ILOAD_ILOAD_IF_ICMPLT_F, <)
+  IJVM_FUSED_CMP(ILOAD_ILOAD_IF_ICMPGE_F, >=)
+  IJVM_FUSED_CMP(ILOAD_ILOAD_IF_ICMPGT_F, >)
+  IJVM_FUSED_CMP(ILOAD_ILOAD_IF_ICMPLE_F, <=)
+#undef IJVM_FUSED_CMP
+  CASE(ICONST_IADD_F) {
+    const i32 a = pop().asInt();
+    push(Value::ofInt(static_cast<i32>(static_cast<u32>(a) +
+                                       static_cast<u32>(ip->a))));
+    next = pc + 2;
+    NEXT();
+  }
+  CASE(ALOAD_GETFIELD_F) {
+    Object* obj = locals[static_cast<size_t>(ip->a)].asRef();
+    if (obj == nullptr) {
+      throwNPE(static_cast<JField*>(ip->ptr)->name.c_str());
+      NEXT();
+    }
+    push(obj->fields()[ip->c]);
+    next = pc + 2;
+    NEXT();
+  }
+  CASE(IINC_GOTO_F) {
+    Value& v = locals[static_cast<size_t>(ip->a)];
+    v = Value::ofInt(v.asInt() + ip->b);
+    TAKE_BRANCH(ip->c);
+    NEXT();
+  }
+
   // ---- returns ----
   CASE(RETURN) {
     flushProfile();
+    markWarm();
     return {};
   }
   CASE(IRETURN) CASE(LRETURN) CASE(DRETURN) CASE(ARETURN) {
     flushProfile();
+    markWarm();
     return pop();
   }
 
@@ -787,8 +906,10 @@ L_invoke: {
       NEXT();
     }
     auto* cache = static_cast<VCallIC*>(ip->ic.load(std::memory_order_acquire));
-    if (cache != nullptr && cache->receiver_cls == recv->cls) {
-      callee = cache->target;
+    if (cache != nullptr && cache->receiver_cls[0] == recv->cls) {
+      callee = cache->target[0];
+    } else if (cache != nullptr && cache->receiver_cls[1] == recv->cls) {
+      callee = cache->target[1];
     } else {
       if (inv_kind == Op::INVOKEVIRTUAL && inv_resolved->vtable_index >= 0 &&
           static_cast<size_t>(inv_resolved->vtable_index) <
@@ -1041,7 +1162,8 @@ L_exception:
     next = frame.pc;
     NEXT();
   }
-  return {};  // unwind to caller
+  return {};  // unwind to caller (an aborted execution does not warm the
+              // stream -- see QCode::warmed)
 
 #undef CASE
 #undef NEXT
@@ -1052,14 +1174,45 @@ std::string disasmQuickened(VM& vm, JMethod* m) {
   (void)vm;
   auto* qc = static_cast<QCode*>(m->qcode.load(std::memory_order_acquire));
   if (qc == nullptr) return "";
-  std::string out = strf("%s  (quickened, %zu insns)\n", m->fullName().c_str(),
-                         qc->insns.size());
+  const bool fused = qc->fusion_partial.load(std::memory_order_acquire);
+  std::string out =
+      fused ? strf("%s  (quickened+fused, %zu insns, %u fused groups)\n",
+                   m->fullName().c_str(), qc->insns.size(),
+                   qc->fused_groups.load(std::memory_order_relaxed))
+            : strf("%s  (quickened, %zu insns)\n", m->fullName().c_str(),
+                   qc->insns.size());
   for (size_t i = 0; i < qc->insns.size(); ++i) {
+    const QInsn& q = qc->insns[i];
+    const Op op = q.op.load(std::memory_order_acquire);
+    if (opIsFused(op)) {
+      // Fused heads carry lifted operands in the payload fields; the
+      // covered inner instructions follow, marked as such (they keep
+      // their original opcodes but are skipped by fall-through).
+      std::string field_sym;
+      if (op == Op::ALOAD_GETFIELD_F) {
+        const auto* f = static_cast<const JField*>(q.ptr);
+        field_sym = strf("%s.%s", f->owner->name.c_str(), f->name.c_str());
+      }
+      out += "  " + disasmFusedInsn(op, static_cast<i32>(i), q.a, q.b, q.c,
+                                    q.imm, field_sym) +
+             "\n";
+      continue;
+    }
     Instruction insn;
-    insn.op = qc->insns[i].op.load(std::memory_order_acquire);
-    insn.a = qc->insns[i].a;
-    insn.b = qc->insns[i].b;
-    out += "  " + disasmInsn(m->owner->pool, insn, static_cast<i32>(i)) + "\n";
+    insn.op = op;
+    insn.a = q.a;
+    insn.b = q.b;
+    std::string line = disasmInsn(m->owner->pool, insn, static_cast<i32>(i));
+    // Annotate instructions swallowed by a preceding fused head.
+    for (i32 back = 1; back <= 2 && static_cast<i32>(i) - back >= 0; ++back) {
+      const Op head =
+          qc->insns[i - static_cast<size_t>(back)].op.load(std::memory_order_acquire);
+      if (opIsFused(head) && opFusedLength(head) > back) {
+        line += "   ; in fused group";
+        break;
+      }
+    }
+    out += "  " + line + "\n";
   }
   return out;
 }

@@ -1,0 +1,175 @@
+// The superinstruction fusion pass.
+//
+// Eligibility rules (all checked per group, head at index h, length L):
+//
+//  * Opcode shape: the group matches one of the patterns below. Patterns
+//    whose inner instructions carry a quickened payload (ALOAD+GETFIELD_Q)
+//    require that payload to exist already -- fusion runs after the stream
+//    has quickened, so a pattern that never executed simply is not hot and
+//    is left alone.
+//  * Entry points: no instruction h+1..h+L-1 is a branch target or an
+//    exception-handler entry. Jumping *to* a head is fine (the whole group
+//    executes); jumping into a middle still works because middles keep
+//    their original opcodes -- they are just never reached by fall-through
+//    once the head is fused.
+//  * Handler coverage: every exception-table range covers either all of
+//    the group or none of it. The fused handler reports faults at the head
+//    pc, so a range starting or ending inside the group would catch
+//    differently than the unfused stream and break the differential
+//    equivalence with the classic engine.
+//
+// Publication: fused heads are ILOAD/ICONST/ALOAD/IINC -- opcodes whose
+// unfused handlers only read the original operands a/b, which fusion never
+// touches. The lifted payload (second slot, branch target, field pointer)
+// is written to the head's c/imm/ptr fields first, then the fused opcode is
+// release-stored; the dispatch loop acquire-loads opcodes, so a thread
+// either sees the old opcode (and reads only a/b) or the fused opcode with
+// its payload visible. Threads already inside a group mid-publication keep
+// executing the untouched original middles -- same semantics, one pass of
+// unfused dispatch.
+#include "exec/fuse.h"
+
+#include "classes/jclass.h"
+#include "exec/quickened.h"
+
+namespace ijvm::exec {
+
+namespace {
+
+// ILOAD a; ILOAD b; <int-arith> -> one triple.
+Op arithFusion(Op third) {
+  switch (third) {
+    case Op::IADD: return Op::ILOAD_ILOAD_IADD_F;
+    case Op::ISUB: return Op::ILOAD_ILOAD_ISUB_F;
+    case Op::IMUL: return Op::ILOAD_ILOAD_IMUL_F;
+    case Op::IAND: return Op::ILOAD_ILOAD_IAND_F;
+    case Op::IOR: return Op::ILOAD_ILOAD_IOR_F;
+    case Op::IXOR: return Op::ILOAD_ILOAD_IXOR_F;
+    default: return Op::NOP;
+  }
+}
+
+// ILOAD a; ILOAD b; IF_ICMPxx -> one triple (typical loop head).
+Op cmpFusion(Op third) {
+  switch (third) {
+    case Op::IF_ICMPEQ: return Op::ILOAD_ILOAD_IF_ICMPEQ_F;
+    case Op::IF_ICMPNE: return Op::ILOAD_ILOAD_IF_ICMPNE_F;
+    case Op::IF_ICMPLT: return Op::ILOAD_ILOAD_IF_ICMPLT_F;
+    case Op::IF_ICMPGE: return Op::ILOAD_ILOAD_IF_ICMPGE_F;
+    case Op::IF_ICMPGT: return Op::ILOAD_ILOAD_IF_ICMPGT_F;
+    case Op::IF_ICMPLE: return Op::ILOAD_ILOAD_IF_ICMPLE_F;
+    default: return Op::NOP;
+  }
+}
+
+}  // namespace
+
+u32 fuseQCode(QCode& qc, bool complete) {
+  ExecState& st = *qc.state;
+  std::lock_guard<std::mutex> lock(st.mutex);
+  if (qc.fusion_done.load(std::memory_order_relaxed)) return 0;
+  if (!complete && qc.fusion_partial.load(std::memory_order_relaxed)) return 0;
+
+  JMethod* m = qc.method;
+  const std::vector<Instruction>& insns = m->code.insns;
+  const i32 n = static_cast<i32>(qc.insns.size());
+
+  // Instruction indices control flow can enter other than by falling
+  // through: branch targets and handler entries. Computed from the
+  // original (immutable) stream -- branches are never rewritten.
+  std::vector<u8> entry(static_cast<size_t>(n), 0);
+  for (const Instruction& insn : insns) {
+    if (opIsBranch(insn.op) && insn.a >= 0 && insn.a < n) {
+      entry[static_cast<size_t>(insn.a)] = 1;
+    }
+  }
+  for (const ExHandler& h : m->code.handlers) {
+    if (h.handler >= 0 && h.handler < n) {
+      entry[static_cast<size_t>(h.handler)] = 1;
+    }
+  }
+
+  auto coverageUniform = [&](i32 head, i32 len) {
+    for (const ExHandler& h : m->code.handlers) {
+      const bool head_in = head >= h.start && head < h.end;
+      for (i32 k = 1; k < len; ++k) {
+        const bool k_in = head + k >= h.start && head + k < h.end;
+        if (k_in != head_in) return false;
+      }
+    }
+    return true;
+  };
+  auto groupOk = [&](i32 head, i32 len) {
+    if (head + len > n) return false;
+    for (i32 k = 1; k < len; ++k) {
+      if (entry[static_cast<size_t>(head + k)] != 0) return false;
+    }
+    return coverageUniform(head, len);
+  };
+  auto opAt = [&](i32 i) {
+    return qc.insns[static_cast<size_t>(i)].op.load(std::memory_order_relaxed);
+  };
+
+  u32 groups = 0;
+  i32 i = 0;
+  while (i < n) {
+    QInsn& q = qc.insns[static_cast<size_t>(i)];
+    const Op op = opAt(i);
+    if (opIsFused(op)) {  // fused by an earlier (partial) pass
+      i += opFusedLength(op);
+      continue;
+    }
+    Op fused = Op::NOP;
+    if (op == Op::ILOAD && groupOk(i, 3) && opAt(i + 1) == Op::ILOAD) {
+      if (Op f = arithFusion(opAt(i + 2)); f != Op::NOP) {
+        fused = f;
+      } else if (Op f2 = cmpFusion(opAt(i + 2)); f2 != Op::NOP) {
+        fused = f2;
+      }
+    } else if (op == Op::ICONST && groupOk(i, 2) && opAt(i + 1) == Op::IADD) {
+      fused = Op::ICONST_IADD_F;
+    } else if (op == Op::ALOAD && groupOk(i, 2) &&
+               opAt(i + 1) == Op::GETFIELD_Q) {
+      fused = Op::ALOAD_GETFIELD_F;
+    } else if (op == Op::IINC && groupOk(i, 2) && opAt(i + 1) == Op::GOTO) {
+      fused = Op::IINC_GOTO_F;
+    }
+    if (fused == Op::NOP) {
+      ++i;
+      continue;
+    }
+    // Single source of truth for group sizes: the opFusedLength table is
+    // what the dispatch handlers and disassembler advance by.
+    const i32 len = opFusedLength(fused);
+    // Lift the inner operands into the head's payload, then publish the
+    // fused opcode (release; see the publication rules above).
+    const QInsn& mid = qc.insns[static_cast<size_t>(i + 1)];
+    switch (fused) {
+      case Op::ICONST_IADD_F:
+        break;  // the head's own a is the immediate
+      case Op::ALOAD_GETFIELD_F:
+        q.c = mid.c;      // field slot
+        q.ptr = mid.ptr;  // JField (for the NPE message)
+        break;
+      case Op::IINC_GOTO_F:
+        q.c = mid.a;  // goto target
+        break;
+      default:  // ILOAD_ILOAD_*: second slot, plus branch target for cmps
+        q.c = mid.a;
+        if (len == 3) q.imm = qc.insns[static_cast<size_t>(i + 2)].a;
+        break;
+    }
+    q.op.store(fused, std::memory_order_release);
+    ++groups;
+    i += len;
+  }
+
+  // Count before the release stores so an acquire of fusion_partial /
+  // fusion_done observes this pass's groups.
+  qc.fused_groups.fetch_add(groups, std::memory_order_relaxed);
+  qc.fusion_partial.store(true, std::memory_order_release);
+  if (complete) qc.fusion_done.store(true, std::memory_order_release);
+  return groups;
+}
+
+}  // namespace ijvm::exec

@@ -31,15 +31,30 @@ struct TaskClassMirror;
 
 namespace ijvm::exec {
 
-// Monomorphic receiver-class cache for invokevirtual/invokeinterface.
+// Polymorphic receiver-class cache for invokevirtual/invokeinterface.
+// State machine (docs/execution-tiers.md): monomorphic (one pair) ->
+// 2-entry polymorphic (most-recent miss in way 0) -> megamorphic pin.
 // Entries are immutable apart from the miss counter, which is carried
 // across replacements; a megamorphic site (kMegamorphicMisses total
-// misses) is pinned to an entry with a null receiver class, which never
-// matches and stops further allocation.
+// misses) is pinned to an entry whose ways are all null -- it never
+// matches again and stops further allocation, so a ripping-hot
+// megamorphic site costs one vtable load per call, not one IC entry.
+// Receiver classes are shared across isolates (only static *state* is
+// per-isolate, via the TCM), so class-keyed ways are isolate-sound: the
+// same invariant that makes the static cache need isolate keying makes
+// this one not need it.
 struct VCallIC {
-  JClass* receiver_cls = nullptr;
-  JMethod* target = nullptr;
+  static constexpr int kWays = 2;
+  JClass* receiver_cls[kWays] = {nullptr, nullptr};
+  JMethod* target[kWays] = {nullptr, nullptr};
   std::atomic<u32> misses{0};
+  bool megamorphic = false;
+
+  // Cache state for tests/introspection: 0 = empty pin, 1 = monomorphic,
+  // 2 = polymorphic (megamorphic pins report 0 ways).
+  int ways() const {
+    return receiver_cls[1] != nullptr ? 2 : (receiver_cls[0] != nullptr ? 1 : 0);
+  }
 };
 
 inline constexpr u32 kMegamorphicMisses = 8;
@@ -69,11 +84,35 @@ struct QInsn {
 struct ExecState;
 
 // A method's rewritten instruction stream; 1:1 with code.insns (same
-// indices, same branch targets, same exception-handler ranges).
+// indices, same branch targets, same exception-handler ranges). A hot
+// method's stream is rewritten a second time by the fusion pass
+// (fuse.cpp), which replaces group heads with fused superinstructions;
+// the 1:1 index mapping is preserved (inner group instructions keep
+// their original opcodes and stay valid jump targets).
 struct QCode {
   JMethod* method = nullptr;
   ExecState* state = nullptr;  // owning engine state (IC arena, mutex)
   std::vector<QInsn> insns;
+
+  // Fusion-tier state (written by fuseQCode under the engine mutex;
+  // published with release so a relaxed fast-path check in the dispatch
+  // loop is cheap). A method promoted *inside* its first invocation (a
+  // single call spinning a hot loop) gets a partial pass -- instructions
+  // after the loop have not executed, so payload-carrying pairs there
+  // cannot fuse yet; fusion_done is only set by a complete pass, which
+  // runs at the next entry once a full execution has quickened the
+  // stream. The scan skips already-fused heads, so the two passes
+  // compose.
+  std::atomic<bool> fusion_done{false};     // complete pass ran
+  std::atomic<bool> fusion_partial{false};  // in-first-execution pass ran
+  // Set by the first execution that runs to a *normal* return. This --
+  // not the entry-incremented invocation counter -- gates the complete
+  // pass: a recursive method's nested entry bumps invocations while the
+  // outer execution (and the stream's quickening) is still in flight,
+  // and an execution aborted by unwinding proves nothing about the
+  // instructions past its throw point.
+  std::atomic<bool> warmed{false};
+  std::atomic<u32> fused_groups{0};  // total groups fused, for reporting
 };
 
 // Per-VM engine state, owned by the VM through its extension table (key

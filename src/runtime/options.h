@@ -34,6 +34,16 @@ struct VmOptions {
   // Bytecode execution engine. Quickened is the default; Classic is kept
   // for differential testing (tests/test_exec_equivalence.cpp).
   ExecEngine exec_engine = ExecEngine::Quickened;
+  // Superinstruction fusion tier on top of the quickened engine
+  // (src/exec/fuse.cpp, docs/execution-tiers.md): rewrite a hot method's
+  // quickened stream a second time, collapsing hot adjacent pairs/triples
+  // into fused opcodes. Ignored by the classic engine; compile the tier
+  // out entirely with -DIJVM_DISABLE_FUSION.
+  bool fusion = true;
+  // Hotness (profile invocations + loop back-edges) a method must exceed
+  // before its stream is fused. 0 fuses as soon as a completed first
+  // execution has quickened the stream (tests force the tier on this way).
+  u64 fusion_threshold = 256;
 
   // Bytes allocated since the previous collection that trigger a GC.
   size_t gc_threshold = 8u << 20;

@@ -79,7 +79,8 @@ struct PendingCall {
 
 // One self-contained attack platform.
 struct Platform {
-  explicit Platform(bool isolated, ExecEngine engine) : isolated_mode(isolated) {
+  Platform(bool isolated, ExecEngine engine, const VmOptionsTweak& tweak)
+      : isolated_mode(isolated) {
     VmOptions opts = isolated ? VmOptions::isolated() : VmOptions::shared();
     opts.exec_engine = engine;
     opts.gc_threshold = 512u << 10;
@@ -90,6 +91,7 @@ struct Platform {
       opts.isolate_thread_limit = 8;
       opts.sampler_period_us = 500;
     }
+    if (tweak) tweak(opts);
     vm = std::make_unique<VM>(opts);
     installSystemLibrary(*vm);
     FrameworkOptions fopts;
@@ -761,8 +763,9 @@ AttackOutcome attackA8(Platform& p) {
 
 }  // namespace
 
-AttackOutcome runAttack(AttackId id, bool isolated_mode, ExecEngine engine) {
-  Platform p(isolated_mode, engine);
+AttackOutcome runAttack(AttackId id, bool isolated_mode, ExecEngine engine,
+                        const VmOptionsTweak& tweak) {
+  Platform p(isolated_mode, engine, tweak);
   AttackOutcome out;
   switch (id) {
     case AttackId::A1_StaticMutation:
@@ -795,10 +798,12 @@ AttackOutcome runAttack(AttackId id, bool isolated_mode, ExecEngine engine) {
   return out;
 }
 
-std::vector<AttackOutcome> runAllAttacks(bool isolated_mode, ExecEngine engine) {
+std::vector<AttackOutcome> runAllAttacks(bool isolated_mode, ExecEngine engine,
+                                         const VmOptionsTweak& tweak) {
   std::vector<AttackOutcome> out;
   for (int i = 0; i < 8; ++i) {
-    out.push_back(runAttack(static_cast<AttackId>(i), isolated_mode, engine));
+    out.push_back(
+        runAttack(static_cast<AttackId>(i), isolated_mode, engine, tweak));
   }
   return out;
 }

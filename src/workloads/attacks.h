@@ -16,6 +16,7 @@
 //   A8  lack of termination support
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -57,14 +58,20 @@ struct AttackOutcome {
   }
 };
 
+// Applied to the attack platform's VmOptions after the defaults are set;
+// the differential tests use it to force the fusion tier on/off.
+using VmOptionsTweak = std::function<void(VmOptions&)>;
+
 // Runs one attack in the given mode. Self-contained (builds and tears down
 // its own VM); safe to call repeatedly. `engine` selects the execution
 // engine (the differential test runs attacks under both).
 AttackOutcome runAttack(AttackId id, bool isolated_mode,
-                        ExecEngine engine = ExecEngine::Quickened);
+                        ExecEngine engine = ExecEngine::Quickened,
+                        const VmOptionsTweak& tweak = {});
 
 // All eight, in order.
 std::vector<AttackOutcome> runAllAttacks(
-    bool isolated_mode, ExecEngine engine = ExecEngine::Quickened);
+    bool isolated_mode, ExecEngine engine = ExecEngine::Quickened,
+    const VmOptionsTweak& tweak = {});
 
 }  // namespace ijvm

@@ -2,7 +2,9 @@
 // equivalent to the classic interpreter -- identical results, identical
 // thrown exceptions (at both the first, quickening, execution and the
 // subsequent fast-path executions), identical per-isolate accounting
-// charges, and identical attack outcomes.
+// charges, and identical attack outcomes. The fusion tier is part of the
+// contract: every workload runs with fusion forced on (threshold 0) and
+// forced off, and both must match the classic engine.
 #include <gtest/gtest.h>
 
 #include <functional>
@@ -25,6 +27,14 @@ const char* engineName(ExecEngine e) {
   return e == ExecEngine::Classic ? "classic" : "quickened";
 }
 
+// Fusion-tier variants of the quickened engine under differential test.
+enum class Fusion { Off, ForcedOn };
+
+void applyFusion(VmOptions& opts, Fusion f) {
+  opts.fusion = f == Fusion::ForcedOn;
+  opts.fusion_threshold = 0;
+}
+
 // ---- spec workloads: checksums + per-isolate charges ----
 
 struct SpecRun {
@@ -35,9 +45,11 @@ struct SpecRun {
   u64 calls_in = 0;
 };
 
-SpecRun runSpec(const SpecWorkload& wl, ExecEngine engine, i32 size) {
+SpecRun runSpec(const SpecWorkload& wl, ExecEngine engine, i32 size,
+                Fusion fusion = Fusion::Off) {
   VmOptions opts = VmOptions::isolated();
   opts.exec_engine = engine;
+  applyFusion(opts, fusion);
   VM vm(opts);
   installSystemLibrary(vm);
   ClassLoader* app = vm.registry().newLoader("spec");
@@ -59,16 +71,21 @@ TEST_P(SpecEquivalence, EnginesAgreeOnChecksumAndCharges) {
   SpecWorkload wl = specWorkloads()[static_cast<size_t>(GetParam())];
   const i32 size = std::max(1, wl.default_size / 8);
   SpecRun classic = runSpec(wl, ExecEngine::Classic, size);
-  SpecRun quick = runSpec(wl, ExecEngine::Quickened, size);
-  EXPECT_EQ(classic.checksum, quick.checksum) << wl.name;
-  EXPECT_EQ(classic.calls_in, quick.calls_in) << wl.name;
-  // mtrt is two-threaded: totals identical, but thread interleaving makes
-  // this the one workload where we do not pin allocation-order-dependent
-  // counters; the reachability-based charges must still match.
-  EXPECT_EQ(classic.bytes_charged, quick.bytes_charged) << wl.name;
-  EXPECT_EQ(classic.objects_charged, quick.objects_charged) << wl.name;
-  if (wl.name != "mtrt") {
-    EXPECT_EQ(classic.objects_allocated, quick.objects_allocated) << wl.name;
+  // The quickened engine must match with the fusion tier forced off *and*
+  // forced on (threshold 0: every method fuses as soon as it quickens).
+  for (Fusion fusion : {Fusion::Off, Fusion::ForcedOn}) {
+    SCOPED_TRACE(fusion == Fusion::Off ? "fusion-off" : "fusion-on");
+    SpecRun quick = runSpec(wl, ExecEngine::Quickened, size, fusion);
+    EXPECT_EQ(classic.checksum, quick.checksum) << wl.name;
+    EXPECT_EQ(classic.calls_in, quick.calls_in) << wl.name;
+    // mtrt is two-threaded: totals identical, but thread interleaving makes
+    // this the one workload where we do not pin allocation-order-dependent
+    // counters; the reachability-based charges must still match.
+    EXPECT_EQ(classic.bytes_charged, quick.bytes_charged) << wl.name;
+    EXPECT_EQ(classic.objects_charged, quick.objects_charged) << wl.name;
+    if (wl.name != "mtrt") {
+      EXPECT_EQ(classic.objects_allocated, quick.objects_allocated) << wl.name;
+    }
   }
 }
 
@@ -89,10 +106,11 @@ struct EvalResult {
 // takes the rewritten fast path -- and asserts both report the same thing.
 EvalResult evalTwice(ExecEngine engine,
                      const std::function<void(ClassBuilder&)>& define,
-                     bool verify = true) {
+                     Fusion fusion = Fusion::Off, bool verify = true) {
   VmOptions opts = VmOptions::isolated();
   opts.exec_engine = engine;
   opts.verify = verify;
+  applyFusion(opts, fusion);
   VM vm(opts);
   installSystemLibrary(vm);
   ClassLoader* app = vm.registry().newLoader("app");
@@ -118,9 +136,14 @@ EvalResult evalTwice(ExecEngine engine,
 
 void expectEnginesAgree(const std::function<void(ClassBuilder&)>& define) {
   EvalResult classic = evalTwice(ExecEngine::Classic, define);
-  EvalResult quick = evalTwice(ExecEngine::Quickened, define);
-  EXPECT_EQ(classic.value, quick.value);
-  EXPECT_EQ(classic.error, quick.error);
+  for (Fusion fusion : {Fusion::Off, Fusion::ForcedOn}) {
+    SCOPED_TRACE(fusion == Fusion::Off ? "fusion-off" : "fusion-on");
+    // With fusion forced on, the second execution inside evalTwice runs
+    // the fused stream (threshold 0 promotes at its entry).
+    EvalResult quick = evalTwice(ExecEngine::Quickened, define, fusion);
+    EXPECT_EQ(classic.value, quick.value);
+    EXPECT_EQ(classic.error, quick.error);
+  }
 }
 
 TEST(ExceptionEquivalence, DivisionByZeroCaught) {
@@ -313,14 +336,19 @@ class AttackEquivalence : public ::testing::TestWithParam<int> {};
 TEST_P(AttackEquivalence, OutcomeMatchesClassicEngine) {
   const AttackId id = static_cast<AttackId>(GetParam());
   AttackOutcome classic = runAttack(id, /*isolated=*/true, ExecEngine::Classic);
-  AttackOutcome quick = runAttack(id, /*isolated=*/true, ExecEngine::Quickened);
-  EXPECT_EQ(classic.victim_unaffected, quick.victim_unaffected)
-      << classic.detail << " vs " << quick.detail;
-  EXPECT_EQ(classic.attacker_identified, quick.attacker_identified)
-      << classic.detail << " vs " << quick.detail;
-  EXPECT_EQ(classic.attacker_stopped, quick.attacker_stopped)
-      << classic.detail << " vs " << quick.detail;
-  EXPECT_TRUE(quick.protectedOutcome()) << quick.detail;
+  for (Fusion fusion : {Fusion::Off, Fusion::ForcedOn}) {
+    SCOPED_TRACE(fusion == Fusion::Off ? "fusion-off" : "fusion-on");
+    AttackOutcome quick =
+        runAttack(id, /*isolated=*/true, ExecEngine::Quickened,
+                  [fusion](VmOptions& o) { applyFusion(o, fusion); });
+    EXPECT_EQ(classic.victim_unaffected, quick.victim_unaffected)
+        << classic.detail << " vs " << quick.detail;
+    EXPECT_EQ(classic.attacker_identified, quick.attacker_identified)
+        << classic.detail << " vs " << quick.detail;
+    EXPECT_EQ(classic.attacker_stopped, quick.attacker_stopped)
+        << classic.detail << " vs " << quick.detail;
+    EXPECT_TRUE(quick.protectedOutcome()) << quick.detail;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(AllAttacks, AttackEquivalence, ::testing::Range(0, 8),

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Docs lint: fail on broken relative links in README.md and docs/*.md.
+
+Checks every markdown inline link ([text](target)) whose target is not an
+external URL or a pure fragment. Relative targets are resolved against the
+linking file's directory; an optional #fragment is stripped before the
+existence check (fragments themselves are not validated). Exits non-zero
+listing every broken link.
+"""
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def lint(repo_root: Path) -> int:
+    files = [repo_root / "README.md"] + sorted((repo_root / "docs").glob("*.md"))
+    broken = []
+    checked = 0
+    for md in files:
+        if not md.exists():
+            continue
+        for lineno, line in enumerate(md.read_text().splitlines(), 1):
+            for target in LINK_RE.findall(line):
+                if target.startswith(EXTERNAL) or target.startswith("#"):
+                    continue
+                checked += 1
+                path = target.split("#", 1)[0]
+                resolved = (md.parent / path).resolve()
+                if not resolved.exists():
+                    broken.append(
+                        f"{md.relative_to(repo_root)}:{lineno}: broken link "
+                        f"-> {target}"
+                    )
+    for b in broken:
+        print(b, file=sys.stderr)
+    print(f"docs-lint: {checked} relative links checked, {len(broken)} broken")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(__file__).parent.parent
+    sys.exit(lint(root.resolve()))
