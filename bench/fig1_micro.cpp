@@ -97,26 +97,36 @@ int main() {
               "indirection + init check; allocation pays accounting/limit checks;\n"
               "the pure-arithmetic control stays near zero.\n");
 
-  // ---- execution tiers side by side (classic / quickened / fused) ----
+  // ---- execution tiers side by side (classic/quickened/fused/jit) ----
   // Same bytecode, same isolated-mode VM; only the engine options differ:
   // classic single-switch interpreter, the quickened engine with the
-  // fusion tier disabled, and the quickened engine with fusion forced on
-  // (threshold 0). The interpreter-bound loops (arithmetic, statics,
-  // calls) are where threaded dispatch + ICs pay off, and the tight loops
-  // are where superinstruction fusion cuts the remaining dispatches.
-  // Fresh platforms for all sides so heap state from the Figure-1 runs
-  // above does not skew the comparison.
+  // fusion tier disabled, the quickened engine with fusion forced on
+  // (threshold 0), and the full ladder with the call-threaded JIT forced
+  // on. The interpreter-bound loops (arithmetic, statics, calls) are
+  // where threaded dispatch + ICs pay off, the tight loops are where
+  // fusion cuts the remaining dispatches, and the JIT removes the
+  // dispatch machinery itself. Fresh platforms for all sides so heap
+  // state from the Figure-1 runs above does not skew the comparison.
   MicroSetup classic(true, ExecEngine::Classic);
   MicroSetup quickened(true, ExecEngine::Quickened,
                        [](VmOptions& o) { o.fusion = false; });
   MicroSetup fused(true, ExecEngine::Quickened,
                    [](VmOptions& o) { o.fusion_threshold = 0; });
+  // jit_threshold = 1: promote as soon as possible but keep the
+  // production loop heuristic (loop-free trampolines stay at the fused
+  // tier; 0 would force-compile them too, which only the differential
+  // tests want).
+  MicroSetup jit(true, ExecEngine::Jit, [](VmOptions& o) {
+    o.fusion_threshold = 0;
+    o.jit_threshold = 1;
+  });
 
   struct EngineRow {
     const char* name;
     i64 classic_ns;
     i64 quick_ns;
     i64 fused_ns;
+    i64 jit_ns;
     i64 ops;
   };
   std::vector<EngineRow> erows;
@@ -124,28 +134,32 @@ int main() {
                    bestOf(kReps, [&] { classic.run("spinFor", kCalls); }),
                    bestOf(kReps, [&] { quickened.run("spinFor", kCalls); }),
                    bestOf(kReps, [&] { fused.run("spinFor", kCalls); }),
-                   kCalls});
+                   bestOf(kReps, [&] { jit.run("spinFor", kCalls); }), kCalls});
   erows.push_back({"static variable access",
                    bestOf(kReps, [&] { classic.run("staticMany", kStatics); }),
                    bestOf(kReps, [&] { quickened.run("staticMany", kStatics); }),
                    bestOf(kReps, [&] { fused.run("staticMany", kStatics); }),
+                   bestOf(kReps, [&] { jit.run("staticMany", kStatics); }),
                    kStatics});
   erows.push_back({"object allocation",
                    bestOf(kReps, [&] { classic.run("allocMany", kAllocs); }),
                    bestOf(kReps, [&] { quickened.run("allocMany", kAllocs); }),
                    bestOf(kReps, [&] { fused.run("allocMany", kAllocs); }),
+                   bestOf(kReps, [&] { jit.run("allocMany", kAllocs); }),
                    kAllocs});
   erows.push_back({"intra-isolate call",
                    bestOf(kReps, [&] { classic.comm->runLocal(kCalls); }),
                    bestOf(kReps, [&] { quickened.comm->runLocal(kCalls); }),
-                   bestOf(kReps, [&] { fused.comm->runLocal(kCalls); }), kCalls});
+                   bestOf(kReps, [&] { fused.comm->runLocal(kCalls); }),
+                   bestOf(kReps, [&] { jit.comm->runLocal(kCalls); }), kCalls});
   erows.push_back({"inter-isolate call",
                    bestOf(kReps, [&] { classic.comm->runIJvm(kCalls); }),
                    bestOf(kReps, [&] { quickened.comm->runIJvm(kCalls); }),
-                   bestOf(kReps, [&] { fused.comm->runIJvm(kCalls); }), kCalls});
+                   bestOf(kReps, [&] { fused.comm->runIJvm(kCalls); }),
+                   bestOf(kReps, [&] { jit.comm->runIJvm(kCalls); }), kCalls});
 
   printHeader(
-      "Execution tiers: classic / quickened (no fusion) / quickened+fusion");
+      "Execution tiers: classic / quickened / quickened+fusion / jit");
 #ifdef IJVM_DISABLE_FUSION
   std::printf("note: built with IJVM_DISABLE_FUSION -- the 'fused' column "
               "runs the unfused quickened engine\n");
@@ -153,27 +167,42 @@ int main() {
 #else
   const double fusion_available = 1.0;
 #endif
-  std::printf("%-26s %11s %11s %11s %8s %8s\n", "micro-benchmark",
-              "classic ns", "quick ns", "fused ns", "f/quick", "f/classic");
+#ifdef IJVM_DISABLE_JIT
+  std::printf("note: built with IJVM_DISABLE_JIT -- the 'jit' column runs "
+              "the fused interpreter\n");
+  const double jit_available = 0.0;
+#else
+  const double jit_available = 1.0;
+#endif
+  std::printf("%-26s %10s %10s %10s %10s %8s %9s\n", "micro-benchmark",
+              "classic ns", "quick ns", "fused ns", "jit ns", "j/fused",
+              "j/classic");
   BenchJson json;
   for (const EngineRow& r : erows) {
     const double ops = static_cast<double>(r.ops);
     const double classic_ns = static_cast<double>(r.classic_ns) / ops;
     const double quick_ns = static_cast<double>(r.quick_ns) / ops;
     const double fused_ns = static_cast<double>(r.fused_ns) / ops;
+    const double jit_ns = static_cast<double>(r.jit_ns) / ops;
     const double quick_speedup = quick_ns > 0 ? classic_ns / quick_ns : 0.0;
     const double fused_vs_quick = fused_ns > 0 ? quick_ns / fused_ns : 0.0;
     const double fused_vs_classic = fused_ns > 0 ? classic_ns / fused_ns : 0.0;
-    std::printf("%-26s %11.1f %11.1f %11.1f %7.2fx %7.2fx\n", r.name,
-                classic_ns, quick_ns, fused_ns, fused_vs_quick,
-                fused_vs_classic);
+    const double jit_vs_fused = jit_ns > 0 ? fused_ns / jit_ns : 0.0;
+    const double jit_vs_classic = jit_ns > 0 ? classic_ns / jit_ns : 0.0;
+    std::printf("%-26s %10.1f %10.1f %10.1f %10.1f %7.2fx %8.2fx\n", r.name,
+                classic_ns, quick_ns, fused_ns, jit_ns, jit_vs_fused,
+                jit_vs_classic);
     json.add(r.name, {{"classic_ns_per_op", classic_ns},
                       {"quickened_ns_per_op", quick_ns},
                       {"fused_ns_per_op", fused_ns},
+                      {"jit_ns_per_op", jit_ns},
                       {"speedup", quick_speedup},
                       {"fused_speedup_vs_quickened", fused_vs_quick},
                       {"fused_speedup_vs_classic", fused_vs_classic},
+                      {"jit_speedup_vs_fused", jit_vs_fused},
+                      {"jit_speedup_vs_classic", jit_vs_classic},
                       {"fusion_available", fusion_available},
+                      {"jit_available", jit_available},
                       {"ops", static_cast<double>(r.ops)}});
   }
   const char* out_path = "BENCH_exec.json";

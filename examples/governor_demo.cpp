@@ -57,11 +57,11 @@ int main() {
   std::printf("\nwarnings/strikes recorded along the way:\n");
   for (const GovernorEvent& ev : gov.history()) {
     if (ev.acted) continue;  // final actions were printed live
-    std::printf("  tick %3llu  %-16s %-12s observed %10.2f (threshold %.2f, "
-                "strike %d)\n",
+    std::printf("  tick %3llu  %-16s %-12s [%s] observed %10.2f "
+                "(threshold %.2f, strike %d)\n",
                 static_cast<unsigned long long>(ev.tick),
-                ev.bundle_name.c_str(), ev.rule_label.c_str(), ev.observed,
-                ev.threshold, ev.strikes);
+                ev.bundle_name.c_str(), ev.rule_label.c_str(),
+                actionName(ev.action), ev.observed, ev.threshold, ev.strikes);
   }
 
   std::printf("\nfinal bundle states:\n");

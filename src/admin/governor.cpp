@@ -3,7 +3,18 @@
 #include <algorithm>
 #include <chrono>
 
+#include "exec/jit.h"
+
 namespace ijvm {
+
+const char* actionName(GovernorAction a) {
+  switch (a) {
+    case GovernorAction::Warn: return "warn";
+    case GovernorAction::Kill: return "kill";
+    case GovernorAction::PromoteJit: return "promote-jit";
+  }
+  return "?";
+}
 
 const char* signalName(Signal s) {
   switch (s) {
@@ -55,14 +66,17 @@ GovernorPolicy GovernorPolicy::standard(u64 memory_budget_bytes,
   // count. Three strikes so a slow-but-returning service call passes.
   p.rules.push_back({Signal::HungCallers, 0.5, 3, GovernorAction::Kill,
                      "A7-hang"});
-  // Hot-bundle flag (warn only): sustained execution-profile rates mark a
-  // bundle as interpreter-bound and hot -- a compilation-tier candidate,
-  // and corroboration for an A6 CpuShare kill (a bundle can pin the CPU
-  // without loop back-edges only by hanging in a native call, which A7
-  // covers). ~400k back-edges/tick assumes ~50 ms ticks; an honest bursty
-  // service stays well below for the 3 consecutive strikes required.
+  // Hot-bundle rule: sustained execution-profile rates mark a bundle as
+  // interpreter-bound and hot -- and the action is now to *compile* it:
+  // PromoteJit pushes the bundle's hot methods onto the promote-to-JIT
+  // queue (tier 3, docs/jit.md), the answer for a bundle that is hot but
+  // not hostile. The rate doubles as corroboration for an A6 CpuShare
+  // kill (a bundle can pin the CPU without loop back-edges only by
+  // hanging in a native call, which A7 covers). ~400k back-edges/tick
+  // assumes ~50 ms ticks; an honest bursty service stays well below for
+  // the 3 consecutive strikes required.
   p.rules.push_back({Signal::LoopBackEdgeRate, 400000.0, 3,
-                     GovernorAction::Warn, "hot-loop"});
+                     GovernorAction::PromoteJit, "hot-loop"});
   return p;
 }
 
@@ -165,6 +179,7 @@ std::vector<GovernorEvent> ResourceGovernor::tick() {
   };
   std::vector<GovernorEvent> out;
   std::vector<PendingKill> kills;
+  std::vector<Bundle*> promotes;
 
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -231,6 +246,8 @@ std::vector<GovernorEvent> ResourceGovernor::tick() {
         if (ev.acted && rule.action == GovernorAction::Kill && !kill_queued) {
           kill_queued = true;
           kills.push_back({b, ev});
+        } else if (ev.acted && rule.action == GovernorAction::PromoteJit) {
+          promotes.push_back(b);
         }
         out.push_back(ev);
         history_.push_back(ev);
@@ -238,6 +255,14 @@ std::vector<GovernorEvent> ResourceGovernor::tick() {
       track.last = now;
       track.has_last = true;
     }
+  }
+
+  // Promote outside the governor lock (the enqueue takes the engine
+  // mutex). The methods compile at their next entry, when the engine's
+  // dispatch loop drains the queue.
+  for (Bundle* b : promotes) {
+    exec::enqueueLoaderForJit(fw_.vm(), b->loader(),
+                              policy_.jit_promote_min_hotness);
   }
 
   // Kill outside the governor lock: killBundle stops the world and

@@ -61,9 +61,16 @@ enum class Signal : u8 {
 const char* signalName(Signal s);
 
 enum class GovernorAction : u8 {
-  Warn,  // record a violation only
-  Kill,  // record and killBundle()
+  Warn,        // record a violation only
+  Kill,        // record and killBundle()
+  PromoteJit,  // record and push the bundle's hot methods onto the
+               // execution engine's promote-to-JIT queue (exec/jit.h).
+               // No-op (a recorded warning) unless the VM runs
+               // ExecEngine::Jit. The paper's "hot bundle" answer when
+               // hot is not hostile: compile it instead of killing it.
 };
+
+const char* actionName(GovernorAction a);
 
 // One threshold rule. The rule fires when `signal` exceeds `threshold` for
 // `strikes_to_act` *consecutive* ticks (hysteresis; strikes reset on the
@@ -86,6 +93,10 @@ struct GovernorPolicy {
   // Rules are only evaluated once a bundle has been observed for at least
   // this many ticks (lets <clinit>/startup spikes pass).
   int warmup_ticks = 1;
+  // PromoteJit enqueues only methods whose own profile counters
+  // (invocations + loop back-edges) exceed this -- the bundle is hot, but
+  // only its actually-hot methods are worth compiling.
+  u64 jit_promote_min_hotness = 1024;
 
   // The default policy covers the paper's five DoS attacks:
   //   A3 memory exhaustion      -> RetainedEstimate level

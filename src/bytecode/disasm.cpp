@@ -122,6 +122,13 @@ std::string disasmFusedInsn(Op op, i32 index, i32 a, i32 b, i32 c, i64 imm,
   return s;
 }
 
+std::string disasmCompiledThunk(i32 slot, i32 pc, const char* handler,
+                                const std::string& operands) {
+  std::string s = strf("  t%-3d pc %-3d %-24s", slot, pc, handler);
+  if (!operands.empty()) s += " " + operands;
+  return s;
+}
+
 std::string disasmMethod(const ConstantPool& pool, const MethodDef& method) {
   std::string out = strf("%s%s  (flags=0x%x, max_locals=%u)\n", method.name.c_str(),
                          method.descriptor.c_str(), method.flags,

@@ -18,6 +18,15 @@ std::string disasmInsn(const ConstantPool& pool, const Instruction& insn, i32 in
 std::string disasmFusedInsn(Op op, i32 index, i32 a, i32 b, i32 c, i64 imm,
                             const std::string& field_sym);
 
+// One call-threaded thunk of a tier-3 compiled method (exec::disasmJit):
+// `slot` is the thunk's index in the compiled array, `pc` the original
+// instruction index of the group head it was compiled from, `handler` the
+// bound handler's display name, `operands` the pre-bound payload already
+// rendered by the caller (branch targets appear as "-> tN (pc M)" because
+// compiled code links thunks, not pcs -- see docs/jit.md).
+std::string disasmCompiledThunk(i32 slot, i32 pc, const char* handler,
+                                const std::string& operands);
+
 // Whole method body including the exception table.
 std::string disasmMethod(const ConstantPool& pool, const MethodDef& method);
 

@@ -77,6 +77,11 @@ struct JMethod {
   // the class model independent of the engine) and the per-method profile
   // counters future compilation tiers key their heuristics on.
   std::atomic<void*> qcode{nullptr};
+  // Tier-3 compiled code (an exec::JitCode, arena-owned like qcode).
+  // Null until the baseline JIT compiles the method; reset to null when a
+  // deopt invalidates the compiled code (docs/jit.md). The JitCode itself
+  // carries the patchable entry point isolate termination swaps out.
+  std::atomic<void*> jitcode{nullptr};
   std::atomic<u64> profile_invocations{0};
   std::atomic<u64> profile_loop_edges{0};
 

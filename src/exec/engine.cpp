@@ -31,6 +31,7 @@
 #include "bytecode/disasm.h"
 #include "exec/fuse.h"
 #include "exec/interp_support.h"
+#include "exec/jit.h"
 #include "exec/quickened.h"
 #include "heap/object.h"
 #include "runtime/vm.h"
@@ -48,9 +49,7 @@ namespace ijvm::exec {
 
 using namespace interp;
 
-namespace {
-
-ExecState& stateOf(VM& vm) {
+ExecState& engineState(VM& vm) {
   auto sp = std::static_pointer_cast<ExecState>(vm.getExtension(kStateKey));
   if (sp != nullptr) return *sp;
   static std::mutex create_mutex;
@@ -63,10 +62,12 @@ ExecState& stateOf(VM& vm) {
   return *sp;
 }
 
+namespace {
+
 // Builds the QCode mirror of a method's instruction stream (generic opcodes,
 // original operands); instructions quicken themselves as they execute.
 QCode* quicken(VM& vm, JMethod* m) {
-  ExecState& st = stateOf(vm);
+  ExecState& st = engineState(vm);
   std::lock_guard<std::mutex> lock(st.mutex);
   if (void* p = m->qcode.load(std::memory_order_relaxed)) {
     return static_cast<QCode*>(p);
@@ -126,6 +127,8 @@ void installStaticIC(ExecState& st, QInsn& q, i32 idx, TaskClassMirror* mirror) 
   q.ic.store(grown.get(), std::memory_order_release);
   st.static_ics.push_back(std::move(grown));
 }
+
+}  // namespace
 
 // Polymorphic call-site cache update (mono -> 2-entry poly -> megamorphic;
 // see VCallIC in quickened.h). The miss count is carried across replacement
@@ -197,8 +200,6 @@ TaskClassMirror* staticMirrorSlow(VM& vm, JThread* t, ExecState& st, QInsn& q,
   return mirror;
 }
 
-}  // namespace
-
 Value interpretQuickened(VM& vm, JThread* t, Frame& frame) {
   JMethod* const method = frame.method;
   JClass* const owner = method->owner;
@@ -239,9 +240,11 @@ Value interpretQuickened(VM& vm, JThread* t, Frame& frame) {
       fuseQCode(*qc, qc->warmed.load(std::memory_order_relaxed));
     }
   };
-  // Runs at normal returns; steady state is one relaxed load.
+  // Runs at normal returns; steady state is one relaxed load. Maintained
+  // regardless of the fusion switch: warmed also gates tier-3 promotion,
+  // which must keep working with fusion=false.
   auto markWarm = [&]() {
-    if (fusion_on && !qc->warmed.load(std::memory_order_relaxed)) {
+    if (!qc->warmed.load(std::memory_order_relaxed)) {
       qc->warmed.store(true, std::memory_order_relaxed);
     }
   };
@@ -251,7 +254,52 @@ Value interpretQuickened(VM& vm, JThread* t, Frame& frame) {
   if (qc->warmed.load(std::memory_order_relaxed)) maybeFuse();
 #else
   auto maybeFuse = [] {};
-  auto markWarm = [] {};
+  // QCode::warmed also gates tier-3 promotion, so it is maintained even
+  // with the fusion tier compiled out.
+  auto markWarm = [&]() {
+    if (!qc->warmed.load(std::memory_order_relaxed)) {
+      qc->warmed.store(true, std::memory_order_relaxed);
+    }
+  };
+#endif
+
+#ifndef IJVM_DISABLE_JIT
+  // Tier-3 promotion (docs/jit.md): once a warmed method is hot past
+  // VmOptions::jit_threshold -- and settled at the fusion tier, so the
+  // compiler sees the final stream -- it is pushed through the
+  // promote-to-JIT queue and compiled to call-threaded code. Promotion
+  // takes effect at method entry only (no on-stack replacement): a call
+  // that arrives here with compiled code runs it and returns without ever
+  // touching the dispatch loop below; a Deopt exit falls through into the
+  // interpreter at frame.pc with the compiled code invalidated.
+  if (vm.options().exec_engine == ExecEngine::Jit) {
+    if (st.jit_pending.load(std::memory_order_relaxed)) drainJitQueue(vm);
+    void* jcp = method->jitcode.load(std::memory_order_acquire);
+    if (jcp == nullptr && qc->warmed.load(std::memory_order_relaxed) &&
+        !qc->jit_ineligible.load(std::memory_order_relaxed)) {
+      const u64 hot =
+          method->profile_invocations.load(std::memory_order_relaxed) +
+          method->profile_loop_edges.load(std::memory_order_relaxed);
+      const bool fusion_settled =
+#ifndef IJVM_DISABLE_FUSION
+          !fusion_on || qc->fusion_done.load(std::memory_order_relaxed);
+#else
+          true;
+#endif
+      if (hot > vm.options().jit_threshold && fusion_settled) {
+        enqueueForJit(vm, method);
+        drainJitQueue(vm);
+        jcp = method->jitcode.load(std::memory_order_acquire);
+      }
+    }
+    if (jcp != nullptr) {
+      JitResult r = runJit(vm, t, frame, *static_cast<JitCode*>(jcp));
+      if (r.exit != JitExit::Deopt) return r.value;
+      // Deopt: the cold site quickens below and the method re-promotes at
+      // a later entry with a compiled form covering strictly more of the
+      // stream (bounded by kMaxJitDeopts).
+    }
+  }
 #endif
 
   auto push = [&stack](Value v) { stack.push_back(v); };

@@ -1,0 +1,82 @@
+// Tier 3: the baseline JIT -- a call-threaded method compiler.
+//
+// Hot methods (promoted past VmOptions::jit_threshold, or pushed by the
+// governor's PromoteJit action) are compiled from their quickened/fused
+// stream into *call-threaded* code: a flat array of pre-bound handler
+// thunks with resolved operands, branch targets pre-linked as array
+// pointers, and a patchable per-method entry point. Executing a compiled
+// method is one indirect call per thunk -- no opcode loads, no operand
+// decode, no bounds checks, and a raw operand-stack pointer instead of
+// vector push/pop.
+//
+// The compiled-code contract -- entry-point patching for isolate
+// termination, inline-cache sharing with the interpreter tiers,
+// safepoint/termination polling, and the deopt-to-fused rules -- is
+// written down in docs/jit.md. Compile the whole tier out with
+// -DIJVM_DISABLE_JIT; select it per VM with
+// VmOptions::exec_engine = ExecEngine::Jit.
+#pragma once
+
+#include <string>
+
+#include "bytecode/value.h"
+
+namespace ijvm {
+class VM;
+class JThread;
+class ClassLoader;
+struct Frame;
+struct JMethod;
+}  // namespace ijvm
+
+namespace ijvm::exec {
+
+struct JitCode;  // opaque; owned by the VM's ExecState arena
+
+// How a compiled execution left the method.
+//  Returned -- normal completion; value carries the result.
+//  Unwound  -- a guest exception escaped (t->pending_exception set).
+//  Deopt    -- the execution hit a site the compiler could not bind (an
+//              instruction that had not quickened at compile time). The
+//              frame is handed back ready for the threaded interpreter:
+//              frame.pc at the deopt site, the operand stack resized to
+//              its logical depth -- and the compiled code has been
+//              invalidated (docs/jit.md, "Deoptimization").
+enum class JitExit : u8 { Returned, Unwound, Deopt };
+
+struct JitResult {
+  JitExit exit = JitExit::Returned;
+  Value value;
+};
+
+// The method's current compiled code, or null (never compiled, or
+// invalidated by a deopt). Acquire-loads JMethod::jitcode.
+JitCode* jitCodeOf(JMethod* m);
+
+// Executes `frame` (entered at pc 0, empty operand stack) on compiled
+// code. Same contract as interpretQuickened for Returned/Unwound.
+JitResult runJit(VM& vm, JThread* t, Frame& frame, JitCode& jc);
+
+// ---- the promote-to-JIT queue ----
+// Enqueues one method (no-op unless the VM runs ExecEngine::Jit, the
+// method has a quickened stream and is not already compiled/ineligible).
+void enqueueForJit(VM& vm, JMethod* m);
+// Governor action (docs/governor.md): enqueues every method defined by
+// `loader` whose profile counters exceed `min_hotness`.
+void enqueueLoaderForJit(VM& vm, ClassLoader* loader, u64 min_hotness);
+// Compiles everything queued; returns the number of methods compiled.
+// Called by the engine at method entry when the queue is non-empty.
+u32 drainJitQueue(VM& vm);
+
+// Isolate termination (paper section 3.3): patches the compiled entry
+// point of `m` to a thunk that raises StoppedIsolateException -- the
+// direct analog of I-JVM patching native entry points of JIT-compiled
+// methods. Called under stop-the-world from VM::terminateIsolate; no-op
+// for uncompiled methods.
+void poisonCompiledEntry(JMethod* m);
+
+// Renders the call-threaded compiled form ("" when not compiled). See
+// docs/disasm-example.md for an annotated example.
+std::string disasmJit(VM& vm, JMethod* m);
+
+}  // namespace ijvm::exec

@@ -24,12 +24,17 @@
 #include "bytecode/instruction.h"
 
 namespace ijvm {
+class VM;
+class JThread;
 struct JClass;
+struct JField;
 struct JMethod;
 struct TaskClassMirror;
 }  // namespace ijvm
 
 namespace ijvm::exec {
+
+struct JitCode;  // exec/jit.cpp: tier-3 call-threaded compiled code
 
 // Polymorphic receiver-class cache for invokevirtual/invokeinterface.
 // State machine (docs/execution-tiers.md): monomorphic (one pair) ->
@@ -113,18 +118,56 @@ struct QCode {
   // instructions past its throw point.
   std::atomic<bool> warmed{false};
   std::atomic<u32> fused_groups{0};  // total groups fused, for reporting
+
+  // Tier-3 (baseline JIT, exec/jit.cpp) bookkeeping. A method sits in the
+  // promote-to-JIT queue at most once (jit_queued); every deopt bumps
+  // jit_deopts, and past kMaxJitDeopts the method is pinned ineligible and
+  // stays at the fused tier forever -- each recompile covers strictly more
+  // quickened instructions than the last, so an eligible method converges
+  // well before the cap (docs/jit.md).
+  std::atomic<bool> jit_queued{false};
+  std::atomic<bool> jit_ineligible{false};
+  std::atomic<u32> jit_deopts{0};
 };
+
+inline constexpr u32 kMaxJitDeopts = 8;
 
 // Per-VM engine state, owned by the VM through its extension table (key
 // exec::kStateKey). Everything the engine allocates lives here until the
 // VM dies, so concurrent readers of retired IC entries stay valid.
 struct ExecState {
+  // Out-of-line (jit.cpp) so the jit_codes arena can hold the opaque
+  // JitCode type.
+  ExecState();
+  ~ExecState();
+
   std::mutex mutex;  // guards quickening rewrites and IC installation
   std::deque<std::unique_ptr<QCode>> codes;
   std::deque<std::unique_ptr<VCallIC>> vcall_ics;
   std::deque<std::unique_ptr<StaticIC>> static_ics;
+
+  // Promote-to-JIT queue (guarded by mutex; jit_pending is the lock-free
+  // "anything to do?" flag the dispatch loop checks at method entry). Fed
+  // by the engine's own hotness check and by the governor's PromoteJit
+  // action; drained by exec::drainJitQueue. Compiled code is arena-owned
+  // like everything else here: invalidated JitCodes are never freed, so a
+  // thread still executing one stays valid.
+  std::deque<JMethod*> jit_queue;
+  std::atomic<bool> jit_pending{false};
+  std::deque<std::unique_ptr<JitCode>> jit_codes;
 };
 
 inline constexpr const char* kStateKey = "exec.state";
+
+// The VM's engine state (created on first use; engine.cpp).
+ExecState& engineState(VM& vm);
+
+// Slow paths shared between the threaded interpreter (engine.cpp) and the
+// tier-3 compiled code (jit.cpp), so both tiers drive one IC state machine
+// through the same QInsn::ic slots (the IC-sharing rule of docs/jit.md).
+void installVCallIC(ExecState& st, QInsn& q, JClass* cls, JMethod* target,
+                    VCallIC* missed);
+TaskClassMirror* staticMirrorSlow(VM& vm, JThread* t, ExecState& st, QInsn& q,
+                                  JField* f);
 
 }  // namespace ijvm::exec

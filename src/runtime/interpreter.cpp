@@ -225,7 +225,9 @@ Value VM::callVirtual(JThread* t, Object* receiver, const std::string& method,
 // ------------------------------------------------------------ interpreter
 
 Value VM::interpret(JThread* t, Frame& frame) {
-  if (options_.exec_engine == ExecEngine::Quickened) {
+  // Quickened and Jit both enter through the quickening engine; the JIT
+  // tier hands off to compiled code from inside interpretQuickened.
+  if (options_.exec_engine != ExecEngine::Classic) {
     return exec::interpretQuickened(*this, t, frame);
   }
   return interpretClassic(t, frame);

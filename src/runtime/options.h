@@ -17,8 +17,13 @@ namespace ijvm {
 //               retained for differential testing.
 //  Quickened -- direct-threaded dispatch over a rewritten instruction
 //               stream with resolved operands and isolate-aware inline
-//               caches (exec/engine.cpp).
-enum class ExecEngine : u8 { Classic, Quickened };
+//               caches (exec/engine.cpp), plus the superinstruction
+//               fusion tier; never compiles.
+//  Jit       -- everything Quickened does, plus tier 3: hot methods are
+//               compiled to call-threaded code (exec/jit.cpp,
+//               docs/jit.md). Compile the tier out with
+//               -DIJVM_DISABLE_JIT (Jit then behaves as Quickened).
+enum class ExecEngine : u8 { Classic, Quickened, Jit };
 
 struct VmOptions {
   // Per-isolate statics / strings / Class objects + thread migration.
@@ -31,9 +36,10 @@ struct VmOptions {
   AccountingPolicy accounting_policy = AccountingPolicy::FirstReference;
   // Run the bytecode verifier when classes are defined.
   bool verify = true;
-  // Bytecode execution engine. Quickened is the default; Classic is kept
-  // for differential testing (tests/test_exec_equivalence.cpp).
-  ExecEngine exec_engine = ExecEngine::Quickened;
+  // Bytecode execution engine. Jit (the full tier ladder, see
+  // docs/execution-tiers.md) is the default; Classic is kept for
+  // differential testing (tests/test_exec_equivalence.cpp).
+  ExecEngine exec_engine = ExecEngine::Jit;
   // Superinstruction fusion tier on top of the quickened engine
   // (src/exec/fuse.cpp, docs/execution-tiers.md): rewrite a hot method's
   // quickened stream a second time, collapsing hot adjacent pairs/triples
@@ -44,6 +50,12 @@ struct VmOptions {
   // before its stream is fused. 0 fuses as soon as a completed first
   // execution has quickened the stream (tests force the tier on this way).
   u64 fusion_threshold = 256;
+  // Hotness a method must exceed before it is compiled to call-threaded
+  // code (tier 3, exec/jit.cpp; only with exec_engine == ExecEngine::Jit).
+  // Promotion takes effect at the method's next entry -- there is no
+  // on-stack replacement (docs/jit.md). 0 compiles as soon as a method is
+  // warmed and fused (the differential tests force the tier on this way).
+  u64 jit_threshold = 2048;
 
   // Bytes allocated since the previous collection that trigger a GC.
   size_t gc_threshold = 8u << 20;

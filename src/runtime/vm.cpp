@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "exec/jit.h"
 #include "heap/object.h"
 #include "support/strf.h"
 #include "verifier/verifier.h"
@@ -648,10 +649,14 @@ bool VM::terminateIsolate(JThread* requester, Isolate* target) {
   target->state.store(IsolateState::Terminating, std::memory_order_release);
 
   // (i)+(ii) of section 3.3: prevent any further entry into the isolate's
-  // code -- models "not JIT compiling" + "patching compiled entry points".
+  // code. Poisoning bars the shared invoke path ("refusing to JIT"), and
+  // the tier-3 entry patch swaps each compiled method's entry point for a
+  // thunk that raises StoppedIsolateException ("patching compiled entry
+  // points") -- see docs/jit.md.
   for (JClass* cls : target->loader->definedClasses()) {
     for (JMethod& m : cls->methods) {
       m.poisoned.store(true, std::memory_order_release);
+      exec::poisonCompiledEntry(&m);
     }
   }
 

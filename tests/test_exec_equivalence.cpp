@@ -2,9 +2,11 @@
 // equivalent to the classic interpreter -- identical results, identical
 // thrown exceptions (at both the first, quickening, execution and the
 // subsequent fast-path executions), identical per-isolate accounting
-// charges, and identical attack outcomes. The fusion tier is part of the
-// contract: every workload runs with fusion forced on (threshold 0) and
-// forced off, and both must match the classic engine.
+// charges, and identical attack outcomes. The fusion and JIT tiers are
+// part of the contract: every workload runs with fusion forced off,
+// fusion forced on, and the full ladder up to the call-threaded JIT
+// forced on (all thresholds 0), and every variant must match the classic
+// engine.
 #include <gtest/gtest.h>
 
 #include <functional>
@@ -21,18 +23,40 @@
 namespace ijvm {
 namespace {
 
-constexpr ExecEngine kEngines[] = {ExecEngine::Classic, ExecEngine::Quickened};
+constexpr ExecEngine kEngines[] = {ExecEngine::Classic, ExecEngine::Quickened,
+                                   ExecEngine::Jit};
 
 const char* engineName(ExecEngine e) {
-  return e == ExecEngine::Classic ? "classic" : "quickened";
+  switch (e) {
+    case ExecEngine::Classic: return "classic";
+    case ExecEngine::Quickened: return "quickened";
+    case ExecEngine::Jit: return "jit";
+  }
+  return "?";
 }
 
-// Fusion-tier variants of the quickened engine under differential test.
-enum class Fusion { Off, ForcedOn };
+// Tier variants of the quickening engine under differential test: fusion
+// forced off, fusion forced on, and the full ladder with the
+// call-threaded JIT forced on (every threshold 0, so a method compiles at
+// its second entry).
+enum class Tier { FusionOff, FusionOn, JitOn };
+constexpr Tier kTiers[] = {Tier::FusionOff, Tier::FusionOn, Tier::JitOn};
 
-void applyFusion(VmOptions& opts, Fusion f) {
-  opts.fusion = f == Fusion::ForcedOn;
+const char* tierName(Tier t) {
+  switch (t) {
+    case Tier::FusionOff: return "fusion-off";
+    case Tier::FusionOn: return "fusion-on";
+    case Tier::JitOn: return "jit-on";
+  }
+  return "?";
+}
+
+void applyTier(VmOptions& opts, Tier t) {
+  opts.exec_engine =
+      t == Tier::JitOn ? ExecEngine::Jit : ExecEngine::Quickened;
+  opts.fusion = t != Tier::FusionOff;
   opts.fusion_threshold = 0;
+  opts.jit_threshold = 0;
 }
 
 // ---- spec workloads: checksums + per-isolate charges ----
@@ -46,10 +70,10 @@ struct SpecRun {
 };
 
 SpecRun runSpec(const SpecWorkload& wl, ExecEngine engine, i32 size,
-                Fusion fusion = Fusion::Off) {
+                Tier tier = Tier::FusionOff) {
   VmOptions opts = VmOptions::isolated();
   opts.exec_engine = engine;
-  applyFusion(opts, fusion);
+  if (engine != ExecEngine::Classic) applyTier(opts, tier);
   VM vm(opts);
   installSystemLibrary(vm);
   ClassLoader* app = vm.registry().newLoader("spec");
@@ -71,11 +95,12 @@ TEST_P(SpecEquivalence, EnginesAgreeOnChecksumAndCharges) {
   SpecWorkload wl = specWorkloads()[static_cast<size_t>(GetParam())];
   const i32 size = std::max(1, wl.default_size / 8);
   SpecRun classic = runSpec(wl, ExecEngine::Classic, size);
-  // The quickened engine must match with the fusion tier forced off *and*
-  // forced on (threshold 0: every method fuses as soon as it quickens).
-  for (Fusion fusion : {Fusion::Off, Fusion::ForcedOn}) {
-    SCOPED_TRACE(fusion == Fusion::Off ? "fusion-off" : "fusion-on");
-    SpecRun quick = runSpec(wl, ExecEngine::Quickened, size, fusion);
+  // The quickening engine must match with fusion forced off, fusion
+  // forced on, and the JIT forced on (thresholds 0: every method fuses as
+  // soon as it quickens and compiles at its second entry).
+  for (Tier tier : kTiers) {
+    SCOPED_TRACE(tierName(tier));
+    SpecRun quick = runSpec(wl, ExecEngine::Quickened, size, tier);
     EXPECT_EQ(classic.checksum, quick.checksum) << wl.name;
     EXPECT_EQ(classic.calls_in, quick.calls_in) << wl.name;
     // mtrt is two-threaded: totals identical, but thread interleaving makes
@@ -106,11 +131,11 @@ struct EvalResult {
 // takes the rewritten fast path -- and asserts both report the same thing.
 EvalResult evalTwice(ExecEngine engine,
                      const std::function<void(ClassBuilder&)>& define,
-                     Fusion fusion = Fusion::Off, bool verify = true) {
+                     Tier tier = Tier::FusionOff, bool verify = true) {
   VmOptions opts = VmOptions::isolated();
   opts.exec_engine = engine;
   opts.verify = verify;
-  applyFusion(opts, fusion);
+  if (engine != ExecEngine::Classic) applyTier(opts, tier);
   VM vm(opts);
   installSystemLibrary(vm);
   ClassLoader* app = vm.registry().newLoader("app");
@@ -136,11 +161,13 @@ EvalResult evalTwice(ExecEngine engine,
 
 void expectEnginesAgree(const std::function<void(ClassBuilder&)>& define) {
   EvalResult classic = evalTwice(ExecEngine::Classic, define);
-  for (Fusion fusion : {Fusion::Off, Fusion::ForcedOn}) {
-    SCOPED_TRACE(fusion == Fusion::Off ? "fusion-off" : "fusion-on");
-    // With fusion forced on, the second execution inside evalTwice runs
-    // the fused stream (threshold 0 promotes at its entry).
-    EvalResult quick = evalTwice(ExecEngine::Quickened, define, fusion);
+  for (Tier tier : kTiers) {
+    SCOPED_TRACE(tierName(tier));
+    // With the tier thresholds at 0, the second execution inside
+    // evalTwice runs the fused stream (fusion-on) or the compiled code
+    // (jit-on) -- including its deopt path for sites whose resolution
+    // fails and therefore never quicken.
+    EvalResult quick = evalTwice(ExecEngine::Quickened, define, tier);
     EXPECT_EQ(classic.value, quick.value);
     EXPECT_EQ(classic.error, quick.error);
   }
@@ -320,7 +347,7 @@ TEST(InlineCaches, PolymorphicReceiversDispatchCorrectly) {
 
     // The megamorphic pin must bound cache allocation: 48 polymorphic
     // misses at one site may not allocate 48 entries.
-    if (engine == ExecEngine::Quickened) {
+    if (engine != ExecEngine::Classic) {
       auto st = std::static_pointer_cast<exec::ExecState>(
           vm.getExtension(exec::kStateKey));
       ASSERT_NE(st, nullptr);
@@ -336,11 +363,12 @@ class AttackEquivalence : public ::testing::TestWithParam<int> {};
 TEST_P(AttackEquivalence, OutcomeMatchesClassicEngine) {
   const AttackId id = static_cast<AttackId>(GetParam());
   AttackOutcome classic = runAttack(id, /*isolated=*/true, ExecEngine::Classic);
-  for (Fusion fusion : {Fusion::Off, Fusion::ForcedOn}) {
-    SCOPED_TRACE(fusion == Fusion::Off ? "fusion-off" : "fusion-on");
+  for (Tier tier : kTiers) {
+    SCOPED_TRACE(tierName(tier));
     AttackOutcome quick =
-        runAttack(id, /*isolated=*/true, ExecEngine::Quickened,
-                  [fusion](VmOptions& o) { applyFusion(o, fusion); });
+        runAttack(id, /*isolated=*/true,
+                  tier == Tier::JitOn ? ExecEngine::Jit : ExecEngine::Quickened,
+                  [tier](VmOptions& o) { applyTier(o, tier); });
     EXPECT_EQ(classic.victim_unaffected, quick.victim_unaffected)
         << classic.detail << " vs " << quick.detail;
     EXPECT_EQ(classic.attacker_identified, quick.attacker_identified)
