@@ -205,6 +205,55 @@ int main() {
                       {"jit_available", jit_available},
                       {"ops", static_cast<double>(r.ops)}});
   }
+  // ---- single-invocation hot loop: jit-with-OSR vs jit-entry-only ----
+  // The A6-shaped workload on-stack replacement exists for: ONE call that
+  // crosses jit_threshold mid-invocation. With OSR the live frame
+  // transfers into compiled code at a back-edge batch flush and the bulk
+  // of the call runs as tier-3 thunks; entry-only promotion (osr=false)
+  // spends the entire invocation in the fused interpreter, because the
+  // compiled code installed mid-call is only reachable at the *next*
+  // entry -- which a single-call workload never performs. Default
+  // production thresholds; a fresh platform per rep so every measured
+  // call really is the method's first.
+  const i32 kSingleCall = 2000000;
+  auto singleHotCall = [&](bool osr_on) {
+    i64 best = -1;
+    for (int r = 0; r < kReps; ++r) {
+      MicroSetup fresh(true, ExecEngine::Jit,
+                       [osr_on](VmOptions& o) { o.osr = osr_on; });
+      i64 dt = fresh.run("spinFor", kSingleCall);
+      if (best < 0 || dt < best) best = dt;
+    }
+    return best;
+  };
+  const i64 osr_ns = singleHotCall(true);
+  const i64 entry_only_ns = singleHotCall(false);
+
+  printHeader("Single-invocation hot loop: jit-with-OSR vs jit-entry-only");
+#ifdef IJVM_DISABLE_OSR
+  std::printf("note: built with IJVM_DISABLE_OSR -- the 'osr' column runs "
+              "entry-only promotion\n");
+  const double osr_available = 0.0;
+#else
+  const double osr_available = jit_available;
+#endif
+  {
+    const double ops = static_cast<double>(kSingleCall);
+    const double osr_per_op = static_cast<double>(osr_ns) / ops;
+    const double entry_per_op = static_cast<double>(entry_only_ns) / ops;
+    const double speedup = osr_per_op > 0 ? entry_per_op / osr_per_op : 0.0;
+    std::printf("%-26s %10s %14s %9s\n", "micro-benchmark", "osr ns",
+                "entry-only ns", "osr gain");
+    std::printf("%-26s %10.1f %14.1f %8.2fx\n", "single-call hot loop",
+                osr_per_op, entry_per_op, speedup);
+    json.add("single-call hot loop",
+             {{"jit_osr_ns_per_op", osr_per_op},
+              {"jit_entry_only_ns_per_op", entry_per_op},
+              {"osr_speedup_vs_entry_only", speedup},
+              {"osr_available", osr_available},
+              {"ops", ops}});
+  }
+
   const char* out_path = "BENCH_exec.json";
   if (json.write(out_path)) {
     std::printf("\nwrote %s\n", out_path);

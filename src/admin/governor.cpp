@@ -258,8 +258,13 @@ std::vector<GovernorEvent> ResourceGovernor::tick() {
   }
 
   // Promote outside the governor lock (the enqueue takes the engine
-  // mutex). The methods compile at their next entry, when the engine's
-  // dispatch loop drains the queue.
+  // mutex). The methods compile when the engine's dispatch loop drains the
+  // queue: at their next entry, or -- for a bundle spinning inside one
+  // call, the A6 shape this rule exists for -- at the spinning thread's
+  // next back-edge batch flush, which then on-stack-replaces the live
+  // frame into the compiled code (docs/jit.md, "On-stack replacement").
+  // Requests are idempotent per method: re-firing every tick a bundle
+  // stays hot never rebuilds an existing JitCode.
   for (Bundle* b : promotes) {
     exec::enqueueLoaderForJit(fw_.vm(), b->loader(),
                               policy_.jit_promote_min_hotness);

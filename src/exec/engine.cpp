@@ -267,11 +267,13 @@ Value interpretQuickened(VM& vm, JThread* t, Frame& frame) {
   // Tier-3 promotion (docs/jit.md): once a warmed method is hot past
   // VmOptions::jit_threshold -- and settled at the fusion tier, so the
   // compiler sees the final stream -- it is pushed through the
-  // promote-to-JIT queue and compiled to call-threaded code. Promotion
-  // takes effect at method entry only (no on-stack replacement): a call
-  // that arrives here with compiled code runs it and returns without ever
+  // promote-to-JIT queue and compiled to call-threaded code. A call that
+  // arrives here with compiled code runs it and returns without ever
   // touching the dispatch loop below; a Deopt exit falls through into the
-  // interpreter at frame.pc with the compiled code invalidated.
+  // interpreter at frame.pc with the compiled code invalidated. A method
+  // that only gets hot *inside* an invocation is handled by on-stack
+  // replacement at the back-edge batch flush instead (IJVM_MAYBE_OSR
+  // below).
   if (vm.options().exec_engine == ExecEngine::Jit) {
     if (st.jit_pending.load(std::memory_order_relaxed)) drainJitQueue(vm);
     void* jcp = method->jitcode.load(std::memory_order_acquire);
@@ -316,6 +318,16 @@ Value interpretQuickened(VM& vm, JThread* t, Frame& frame) {
   // returns, call sites, exception dispatch and every 4096 edges): two
   // atomic RMWs per back-edge would dominate a tight guest loop.
   u64 pending_edges = 0;
+#if !defined(IJVM_DISABLE_JIT) && !defined(IJVM_DISABLE_OSR)
+  // On-stack replacement (docs/jit.md): at a back-edge batch flush a
+  // method hot past jit_threshold compiles and the live frame transfers
+  // into the compiled code without returning to the caller. osr_requested
+  // is the per-invocation promotion latch (promotion requests are
+  // idempotent per method -- see exec::tryOsr).
+  const bool osr_on =
+      vm.options().exec_engine == ExecEngine::Jit && vm.options().osr;
+  bool osr_requested = false;
+#endif
   auto flushProfile = [&]() {
     if (pending_edges == 0) return;
     method->profile_loop_edges.fetch_add(pending_edges, std::memory_order_relaxed);
@@ -373,12 +385,43 @@ Value interpretQuickened(VM& vm, JThread* t, Frame& frame) {
 #define NEXT() goto L_dispatch
 #endif
 
+// On-stack replacement at the back-edge batch flush (docs/jit.md): with
+// frame.pc moved to the branch target -- the loop header -- the live
+// frame transfers into tier-3 compiled code. Returned/Unwound finish the
+// whole invocation right here; Deopt hands the frame back ready for the
+// interpreter at frame.pc and interpretation simply continues there.
+#if !defined(IJVM_DISABLE_JIT) && !defined(IJVM_DISABLE_OSR)
+#define IJVM_MAYBE_OSR()                                                       \
+  do {                                                                         \
+    if (osr_on) {                                                              \
+      frame.pc = next;                                                         \
+      JitResult osr_result;                                                    \
+      if (tryOsr(vm, t, frame, *qc, osr_requested, &osr_result)) {             \
+        if (osr_result.exit == JitExit::Deopt) {                               \
+          next = frame.pc;                                                     \
+        } else if (osr_result.exit == JitExit::Unwound) {                      \
+          return {};                                                           \
+        } else {                                                               \
+          markWarm();                                                          \
+          return osr_result.value;                                             \
+        }                                                                      \
+      }                                                                        \
+    }                                                                          \
+  } while (0)
+#else
+#define IJVM_MAYBE_OSR() \
+  do {                   \
+  } while (0)
+#endif
+
 // Taken branches: count + poll at back-edges only. frame.pc moves to the
 // branch target *before* the poll so a stop exception raised here
 // dispatches at the target, as it does in the classic engine. The batch
-// flush doubles as the fusion-promotion point for methods that get hot
-// inside one invocation (a single call spinning a loop): by the time
-// 4096 edges accumulated, the loop body has long quickened.
+// flush doubles as the promotion point for methods that get hot inside
+// one invocation (a single call spinning a loop): by the time 4096 edges
+// accumulated, the loop body has long quickened -- fusion takes a partial
+// pass here, and the OSR hook above can compile and transfer the frame
+// into tier-3 code.
 #define TAKE_BRANCH(tgt)                                                       \
   do {                                                                         \
     next = (tgt);                                                              \
@@ -386,6 +429,7 @@ Value interpretQuickened(VM& vm, JThread* t, Frame& frame) {
       if ((++pending_edges & 0xFFF) == 0) {                                    \
         flushProfile();                                                        \
         maybeFuse();                                                           \
+        IJVM_MAYBE_OSR();                                                      \
       }                                                                        \
       frame.pc = next;                                                         \
       poll();                                                                  \
@@ -1216,6 +1260,7 @@ L_exception:
 #undef CASE
 #undef NEXT
 #undef TAKE_BRANCH
+#undef IJVM_MAYBE_OSR
 }
 
 std::string disasmQuickened(VM& vm, JMethod* m) {

@@ -23,8 +23,10 @@ struct QCode;
 // quickened the stream: only such a pass sets QCode::fusion_done and
 // retires the method from further promotion checks. A partial pass (hot
 // inside the very first invocation) fuses what is quickened so far and
-// leaves the method eligible for the complete pass at its next entry.
-// Returns the number of groups fused by this pass.
+// leaves the method eligible for the complete pass at its next entry; it
+// runs *before* the same flush's OSR check, so a mid-invocation tier-3
+// compile (docs/jit.md, "On-stack replacement") already sees the fused
+// loop. Returns the number of groups fused by this pass.
 u32 fuseQCode(QCode& qc, bool complete);
 
 }  // namespace ijvm::exec

@@ -32,6 +32,7 @@
 // retain garbage until the frame exits but can never dangle.
 #include "exec/jit.h"
 
+#include <deque>
 #include <vector>
 
 #include "bytecode/disasm.h"
@@ -78,12 +79,30 @@ struct MInsn {
   const char* name = "";  // display name for disasmJit
 };
 
+// One on-stack-replacement entry point (docs/jit.md, "On-stack
+// replacement"): for each loop header (back-edge target) the compiler
+// records the header's verified operand-stack depth and an entry thunk
+// that runs the method-entry poll, then falls into the header's body
+// thunk. `entry` is a patchable pointer exactly like JitCode::entry --
+// isolate termination swaps in the poisoned-OSR thunk, so a dying
+// bundle's spinning frame cannot transfer onto compiled code through a
+// loop-header side door.
+struct OsrEntry {
+  i32 pc = -1;    // loop-header pc in the original stream
+  i32 depth = 0;  // verified operand-stack depth at the header
+  MInsn thunk;    // fn = op_osr_enter; target = the header's body thunk
+  std::atomic<const MInsn*> entry{nullptr};
+};
+
 struct JitCode {
   JMethod* method = nullptr;
   QCode* qc = nullptr;
   std::vector<MInsn> code;      // slot 0 = pc 0; stable after build
   MInsn exn;                    // shared exception-dispatch thunk
   std::vector<i32> slot_of_pc;  // pc -> slot, -1 for group interiors
+  // OSR entries, one per compiled loop header (deque: OsrEntry holds an
+  // atomic and must never move once its thunk pointers are linked).
+  std::deque<OsrEntry> osr_entries;
   u32 max_stack = 0;
   // The patchable entry point (docs/jit.md): normally &code[0]; isolate
   // termination swaps in the poisoned-entry thunk under stop-the-world.
@@ -227,6 +246,30 @@ JH(op_entry_poisoned) {
 // Compiled placeholder for an instruction that had not quickened when the
 // method was compiled (a cold path inside a hot method).
 JH(op_deopt) { return deoptAt(cx, mi.pc); }
+
+// First thunk of an on-stack-replacement entry (docs/jit.md): the
+// method-entry poll, run at the loop header the live frame just
+// transferred onto. frame.pc is already at the header, so a stop raised
+// by the poll dispatches there -- the same rule compiled back-edges obey.
+JH(op_osr_enter) {
+  pollJit(cx);
+  if (cx.t->pending_exception != nullptr) {
+    cx.frame.pc = mi.pc;
+    return &cx.jc.exn;
+  }
+  return mi.target;
+}
+
+// Poisoned OSR entry installed by poisonCompiledEntry: the same
+// patched-entry mechanism as op_entry_poisoned, but frame.pc stays at the
+// loop header the transfer targeted (every handler of the dead isolate is
+// skipped by the dispatch thunk regardless).
+JH(op_osr_poisoned) {
+  (void)mi;
+  Isolate* iso = cx.frame.method->owner->loader->isolate();
+  throwStopped(cx.vm, cx.t, iso != nullptr ? iso->id : kKillAll);
+  return &cx.jc.exn;
+}
 
 // ---- constants / locals / stack ---------------------------------------
 
@@ -927,6 +970,15 @@ const MInsn kPoisonedEntry = [] {
   return mi;
 }();
 
+// Its OSR twin, swapped into every OsrEntry::entry by the same
+// stop-the-world pass.
+const MInsn kPoisonedOsrEntry = [] {
+  MInsn mi;
+  mi.fn = op_osr_poisoned;
+  mi.name = "POISONED_OSR_ENTRY";
+  return mi;
+}();
+
 // ---- stack-depth analysis --------------------------------------------
 // The compiled frame uses a raw operand-stack pointer over a region sized
 // by this bound, so the bound must be exact-or-over for every reachable
@@ -943,7 +995,12 @@ constexpr StackEffect kEffect[] = {
 #undef IJVM_FX
 };
 
-bool computeMaxStack(JMethod* m, QCode& qc, u32* out) {
+// `depths`, when non-null, receives the verified operand-stack depth at
+// every pc (-1 for statically unreachable ones) -- the OSR entry map is
+// built from it (a live frame may transfer onto a loop header only at
+// exactly this depth).
+bool computeMaxStack(JMethod* m, QCode& qc, u32* out,
+                     std::vector<i32>* depths = nullptr) {
   const std::vector<Instruction>& insns = m->code.insns;
   const i32 n = static_cast<i32>(insns.size());
   if (n == 0) return false;
@@ -1014,6 +1071,7 @@ bool computeMaxStack(JMethod* m, QCode& qc, u32* out) {
   }
   if (!consistent) return false;
   *out = static_cast<u32>(max_d) + 2;  // small slack; the bound is already safe
+  if (depths != nullptr) *depths = std::move(depth);
   return true;
 }
 
@@ -1201,7 +1259,8 @@ JitCode* compileMethod(VM& vm, JMethod* m) {
                              last == Op::ARETURN || last == Op::GOTO ||
                              last == Op::ATHROW;
   u32 max_stack = 0;
-  if (!last_terminal || !computeMaxStack(m, *qc, &max_stack)) {
+  std::vector<i32> depths;
+  if (!last_terminal || !computeMaxStack(m, *qc, &max_stack, &depths)) {
     qc->jit_ineligible.store(true, std::memory_order_relaxed);
     return nullptr;
   }
@@ -1310,6 +1369,33 @@ JitCode* compileMethod(VM& vm, JMethod* m) {
       }
     }
   }
+#ifndef IJVM_DISABLE_OSR
+  // Pass 3: OSR entry points, one per loop header (docs/jit.md, "On-stack
+  // replacement"). A back-edge target that heads a compiled thunk and has
+  // a verified stack depth gets an entry thunk the interpreter can
+  // transfer a live frame onto; headers that miss either condition simply
+  // get no OSR entry (the frame keeps interpreting -- never wrong, only
+  // slower).
+  for (const MInsn& mi : jc->code) {
+    if (mi.tpc < 0 || mi.tpc > mi.pc) continue;  // not a back-edge
+    const i32 header = mi.tpc;
+    bool seen = false;
+    for (const OsrEntry& e : jc->osr_entries) seen |= e.pc == header;
+    if (seen) continue;
+    const i32 slot = jc->slot_of_pc[static_cast<size_t>(header)];
+    const i32 depth = depths[static_cast<size_t>(header)];
+    if (slot < 0 || depth < 0) continue;
+    OsrEntry& e = jc->osr_entries.emplace_back();
+    e.pc = header;
+    e.depth = depth;
+    e.thunk.fn = op_osr_enter;
+    e.thunk.pc = header;
+    e.thunk.name = "OSR_ENTRY";
+    e.thunk.target = &jc->code[static_cast<size_t>(slot)];
+    e.entry.store(&e.thunk, std::memory_order_relaxed);
+  }
+#endif  // IJVM_DISABLE_OSR
+
   jc->entry.store(jc->code.data(), std::memory_order_release);
 
   ExecState& st = engineState(vm);
@@ -1351,6 +1437,97 @@ bool hasBackEdge(const JMethod* m) {
 }
 
 }  // namespace
+
+namespace {
+
+// Transfers a live interpreter frame onto the compiled code's OSR entry
+// for frame.pc (contract in jit.h, tryOsr). The locals vector is shared
+// with the interpreter as-is; the operand stack -- currently at the loop
+// header's logical depth -- becomes the low slice of the raw GC-scanned
+// region, exactly the state the deopt machinery produces in reverse.
+bool runJitOsr(VM& vm, JThread* t, Frame& frame, JitCode& jc, JitResult* out) {
+  const OsrEntry* osr = nullptr;
+  for (const OsrEntry& e : jc.osr_entries) {
+    if (e.pc == frame.pc) {
+      osr = &e;
+      break;
+    }
+  }
+  if (osr == nullptr) return false;
+  // Entry-map invariant (docs/jit.md): the live operand stack must be at
+  // the header's verified depth -- the depth the compiled code's raw
+  // stack pointer assumes when control reaches that thunk. A mismatch
+  // means the frame cannot be expressed in compiled form; refuse and keep
+  // interpreting.
+  if (static_cast<i32>(frame.stack.size()) != osr->depth) return false;
+
+  JitCtx cx{vm, t, frame, jc};
+  cx.accounting = vm.options().accounting;
+  cx.tcm_idx = vm.tcmIndex(t->current_isolate.load(std::memory_order_relaxed));
+  const size_t depth = frame.stack.size();
+  frame.stack.resize(jc.max_stack);
+  cx.base = frame.stack.data();
+  cx.sp = cx.base + depth;
+  cx.locals = frame.locals.data();
+  jc.qc->osr_entries_taken.fetch_add(1, std::memory_order_relaxed);
+
+  const MInsn* ip = osr->entry.load(std::memory_order_acquire);
+  while (ip != nullptr) ip = ip->fn(cx, *ip);
+  flushEdges(cx);
+  if (cx.exit != JitExit::Deopt) frame.stack.clear();
+  *out = {cx.exit, cx.result};
+  return true;
+}
+
+}  // namespace
+
+bool tryOsr(VM& vm, JThread* t, Frame& frame, QCode& qc, bool& requested,
+            JitResult* out) {
+#if defined(IJVM_DISABLE_JIT) || defined(IJVM_DISABLE_OSR)
+  (void)vm;
+  (void)t;
+  (void)frame;
+  (void)qc;
+  (void)requested;
+  (void)out;
+  return false;
+#else
+  if (vm.options().exec_engine != ExecEngine::Jit || !vm.options().osr) {
+    return false;
+  }
+  // Governor PromoteJit requests are serviced here too: a bundle spinning
+  // inside one call never crosses a method entry, so this batch flush is
+  // the only point where its promotion -- and the OSR it requests -- can
+  // take effect (docs/governor.md).
+  ExecState& st = *qc.state;
+  if (st.jit_pending.load(std::memory_order_relaxed)) drainJitQueue(vm);
+  JMethod* m = frame.method;
+  JitCode* jc = jitCodeOf(m);
+  if (jc == nullptr) {
+    // Self-promotion: hot past the threshold mid-invocation. Promotion
+    // requests are idempotent per method: the `requested` latch stays set
+    // across the rest of this invocation unless the request actually
+    // produced code, so a compile bailout is not re-attempted at every
+    // subsequent 4096-edge flush of the same spinning call.
+    if (requested || qc.jit_ineligible.load(std::memory_order_relaxed)) {
+      return false;
+    }
+    const u64 hot = m->profile_invocations.load(std::memory_order_relaxed) +
+                    m->profile_loop_edges.load(std::memory_order_relaxed);
+    if (hot <= vm.options().jit_threshold) return false;
+    requested = true;
+    enqueueForJit(vm, m);
+    drainJitQueue(vm);
+    jc = jitCodeOf(m);
+    if (jc == nullptr) return false;
+    // Produced code: clear the latch so a later deopt of *this* code may
+    // recompile (each recompile covers strictly more of the stream; the
+    // kMaxJitDeopts pin bounds the cycle -- docs/jit.md).
+    requested = false;
+  }
+  return runJitOsr(vm, t, frame, *jc, out);
+#endif  // IJVM_DISABLE_JIT || IJVM_DISABLE_OSR
+}
 
 JitResult runJit(VM& vm, JThread* t, Frame& frame, JitCode& jc) {
   JitCtx cx{vm, t, frame, jc};
@@ -1425,7 +1602,16 @@ u32 drainJitQueue(VM& vm) {
   }
   u32 compiled = 0;
   for (JMethod* m : todo) {
-    if (compileMethod(vm, m) != nullptr) ++compiled;
+    // Promotion requests are idempotent per method: the governor re-fires
+    // its hot-loop action on every tick a bundle stays hot, and a spinning
+    // bundle's OSR flush drains this queue thousands of times a second --
+    // a stale entry for a method that is already compiled (or was poisoned
+    // after it was queued) must not rebuild or resurrect its JitCode.
+    if (m->jitcode.load(std::memory_order_acquire) == nullptr &&
+        !m->poisoned.load(std::memory_order_acquire) &&
+        compileMethod(vm, m) != nullptr) {
+      ++compiled;
+    }
     if (auto* qc = static_cast<QCode*>(m->qcode.load(std::memory_order_acquire))) {
       qc->jit_queued.store(false, std::memory_order_release);
     }
@@ -1436,6 +1622,12 @@ u32 drainJitQueue(VM& vm) {
 void poisonCompiledEntry(JMethod* m) {
   if (auto* jc = static_cast<JitCode*>(m->jitcode.load(std::memory_order_acquire))) {
     jc->entry.store(&kPoisonedEntry, std::memory_order_release);
+    // OSR entries are method entries too: a terminated isolate's spinning
+    // frame must not be able to transfer onto compiled code through a
+    // loop-header side door (docs/jit.md, "On-stack replacement").
+    for (OsrEntry& e : jc->osr_entries) {
+      e.entry.store(&kPoisonedOsrEntry, std::memory_order_release);
+    }
   }
 }
 
@@ -1451,6 +1643,13 @@ std::string disasmJit(VM& vm, JMethod* m) {
   auto slot_of = [&](const MInsn* p) {
     return static_cast<i32>(p - jc->code.data());
   };
+  // OSR entry thunks, one per compiled loop header (docs/jit.md).
+  for (const OsrEntry& e : jc->osr_entries) {
+    const MInsn* osr_entry = e.entry.load(std::memory_order_acquire);
+    out += strf("  osr@pc%-4d depth=%d -> t%d  %s\n", e.pc, e.depth,
+                slot_of(e.thunk.target),
+                osr_entry == &kPoisonedOsrEntry ? "POISONED" : "OSR_ENTRY");
+  }
   for (size_t k = 0; k < jc->code.size(); ++k) {
     const MInsn& mi = jc->code[k];
     std::string operands;

@@ -32,6 +32,7 @@ struct JMethod;
 namespace ijvm::exec {
 
 struct JitCode;  // opaque; owned by the VM's ExecState arena
+struct QCode;    // quickened.h
 
 // How a compiled execution left the method.
 //  Returned -- normal completion; value carries the result.
@@ -57,6 +58,26 @@ JitCode* jitCodeOf(JMethod* m);
 // code. Same contract as interpretQuickened for Returned/Unwound.
 JitResult runJit(VM& vm, JThread* t, Frame& frame, JitCode& jc);
 
+// ---- on-stack replacement (docs/jit.md, "On-stack replacement") ----
+// Called by the threaded interpreter at a loop back-edge batch flush,
+// with frame.pc already moved to the branch target (the loop header) and
+// the operand stack at its logical depth. Services any pending governor
+// PromoteJit requests, compiles the method if it is hot past
+// VmOptions::jit_threshold (at most one self-request per invocation --
+// `requested` is the caller's per-invocation latch, the idempotence rule
+// of docs/jit.md "Promotion"), maps frame.pc onto the compiled loop
+// header's OSR entry thunk, transfers locals + operand stack into the
+// raw GC-scanned JIT stack, and resumes in compiled code.
+//
+// Returns false when OSR is not possible (no compiled code, no OSR entry
+// mapping this pc, or the entry-map depth invariant fails): the caller
+// keeps interpreting, nothing was changed. On true, the invocation
+// finished inside compiled code and *out carries the JitResult -- same
+// Returned/Unwound/Deopt contract as runJit (on Deopt the frame is ready
+// for the interpreter at frame.pc).
+bool tryOsr(VM& vm, JThread* t, Frame& frame, QCode& qc, bool& requested,
+            JitResult* out);
+
 // ---- the promote-to-JIT queue ----
 // Enqueues one method (no-op unless the VM runs ExecEngine::Jit, the
 // method has a quickened stream and is not already compiled/ineligible).
@@ -69,10 +90,10 @@ void enqueueLoaderForJit(VM& vm, ClassLoader* loader, u64 min_hotness);
 u32 drainJitQueue(VM& vm);
 
 // Isolate termination (paper section 3.3): patches the compiled entry
-// point of `m` to a thunk that raises StoppedIsolateException -- the
-// direct analog of I-JVM patching native entry points of JIT-compiled
-// methods. Called under stop-the-world from VM::terminateIsolate; no-op
-// for uncompiled methods.
+// point of `m` -- and every per-loop-header OSR entry point -- to a thunk
+// that raises StoppedIsolateException, the direct analog of I-JVM
+// patching native entry points of JIT-compiled methods. Called under
+// stop-the-world from VM::terminateIsolate; no-op for uncompiled methods.
 void poisonCompiledEntry(JMethod* m);
 
 // Renders the call-threaded compiled form ("" when not compiled). See

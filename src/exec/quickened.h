@@ -128,6 +128,10 @@ struct QCode {
   std::atomic<bool> jit_queued{false};
   std::atomic<bool> jit_ineligible{false};
   std::atomic<u32> jit_deopts{0};
+  // On-stack replacements taken into this method's compiled code (jit.cpp,
+  // runJitOsr): the observable "a single invocation transitioned fused ->
+  // compiled mid-call" counter, asserted by tests/test_osr.cpp.
+  std::atomic<u32> osr_entries_taken{0};
 };
 
 inline constexpr u32 kMaxJitDeopts = 8;

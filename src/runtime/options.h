@@ -52,10 +52,19 @@ struct VmOptions {
   u64 fusion_threshold = 256;
   // Hotness a method must exceed before it is compiled to call-threaded
   // code (tier 3, exec/jit.cpp; only with exec_engine == ExecEngine::Jit).
-  // Promotion takes effect at the method's next entry -- there is no
-  // on-stack replacement (docs/jit.md). 0 compiles as soon as a method is
-  // warmed and fused (the differential tests force the tier on this way).
+  // Promotion takes effect at the method's next entry, or -- with `osr`
+  // below -- mid-invocation at a loop back-edge (docs/jit.md). 0 compiles
+  // as soon as a method is warmed and fused (the differential tests force
+  // the tier on this way).
   u64 jit_threshold = 2048;
+  // On-stack replacement (docs/jit.md, "On-stack replacement"): a method
+  // that crosses jit_threshold *inside* one invocation -- the A6-style
+  // single-call hot loop -- is compiled at a back-edge batch flush and the
+  // running frame transfers into the compiled code without returning to
+  // the caller. Only meaningful with exec_engine == ExecEngine::Jit;
+  // compile the path out with -DIJVM_DISABLE_OSR (parity with the
+  // -DIJVM_DISABLE_JIT / -DIJVM_DISABLE_FUSION tier switches).
+  bool osr = true;
 
   // Bytes allocated since the previous collection that trigger a GC.
   size_t gc_threshold = 8u << 20;

@@ -2,14 +2,18 @@
 // equivalent to the classic interpreter -- identical results, identical
 // thrown exceptions (at both the first, quickening, execution and the
 // subsequent fast-path executions), identical per-isolate accounting
-// charges, and identical attack outcomes. The fusion and JIT tiers are
-// part of the contract: every workload runs with fusion forced off,
+// charges, and identical attack outcomes. The fusion, JIT and OSR tiers
+// are part of the contract: every workload runs with fusion forced off,
 // fusion forced on, and the full ladder up to the call-threaded JIT
 // forced on (all thresholds 0), and every variant must match the classic
-// engine.
+// engine. On top of the fixed matrix, a randomized harness (seeded,
+// reproducible) sweeps the 5-way tier space -- fusion on/off x jit on/off
+// x osr on/off x thresholds in {1, default, huge} -- across the SPEC
+// analogs and all eight attacks; the seed is printed on failure.
 #include <gtest/gtest.h>
 
 #include <functional>
+#include <map>
 
 #include "bytecode/builder.h"
 #include "exec/engine.h"
@@ -17,6 +21,8 @@
 #include "heap/object.h"
 #include "runtime/vm.h"
 #include "stdlib/system_library.h"
+#include "support/rng.h"
+#include "support/strf.h"
 #include "workloads/attacks.h"
 #include "workloads/spec.h"
 
@@ -69,11 +75,7 @@ struct SpecRun {
   u64 calls_in = 0;
 };
 
-SpecRun runSpec(const SpecWorkload& wl, ExecEngine engine, i32 size,
-                Tier tier = Tier::FusionOff) {
-  VmOptions opts = VmOptions::isolated();
-  opts.exec_engine = engine;
-  if (engine != ExecEngine::Classic) applyTier(opts, tier);
+SpecRun runSpecOpts(const SpecWorkload& wl, i32 size, const VmOptions& opts) {
   VM vm(opts);
   installSystemLibrary(vm);
   ClassLoader* app = vm.registry().newLoader("spec");
@@ -87,6 +89,14 @@ SpecRun runSpec(const SpecWorkload& wl, ExecEngine engine, i32 size,
   r.objects_allocated = iso->stats.objects_allocated.load();
   r.calls_in = iso->stats.calls_in.load();
   return r;
+}
+
+SpecRun runSpec(const SpecWorkload& wl, ExecEngine engine, i32 size,
+                Tier tier = Tier::FusionOff) {
+  VmOptions opts = VmOptions::isolated();
+  opts.exec_engine = engine;
+  if (engine != ExecEngine::Classic) applyTier(opts, tier);
+  return runSpecOpts(wl, size, opts);
 }
 
 class SpecEquivalence : public ::testing::TestWithParam<int> {};
@@ -384,6 +394,138 @@ INSTANTIATE_TEST_SUITE_P(AllAttacks, AttackEquivalence, ::testing::Range(0, 8),
                            return std::string(
                                attackName(static_cast<AttackId>(info.param)));
                          });
+
+// ---- randomized cross-tier differential harness ----
+// The fixed matrix above forces each tier on/off with thresholds at 0; the
+// harness below sweeps the full 5-way configuration space the tier ladder
+// actually ships -- fusion on/off x jit on/off x osr on/off x
+// fusion/jit thresholds in {1, default, huge} -- under a seeded generator,
+// so promotion can happen at entry, mid-invocation via OSR, partially, or
+// not at all, in randomized combinations. Every config must be observably
+// identical to the classic interpreter. Reproduce a failure by feeding the
+// printed seed to configFromSeed().
+
+struct RandomTierConfig {
+  bool fusion = true;
+  bool jit = true;
+  bool osr = true;
+  u64 fusion_threshold = 0;
+  u64 jit_threshold = 0;
+
+  std::string describe() const {
+    auto th = [](u64 v) {
+      return v == ~0ull ? std::string("huge") : strf("%llu", (unsigned long long)v);
+    };
+    return strf("fusion=%d jit=%d osr=%d fusion_threshold=%s jit_threshold=%s",
+                fusion ? 1 : 0, jit ? 1 : 0, osr ? 1 : 0,
+                th(fusion_threshold).c_str(), th(jit_threshold).c_str());
+  }
+};
+
+RandomTierConfig configFromSeed(u64 seed) {
+  Rng rng(seed);
+  constexpr u64 kFusionThresholds[] = {1, 256, ~0ull};   // {1, default, huge}
+  constexpr u64 kJitThresholds[] = {1, 2048, ~0ull};
+  RandomTierConfig c;
+  c.fusion = rng.nextBounded(2) == 1;
+  c.jit = rng.nextBounded(2) == 1;
+  c.osr = rng.nextBounded(2) == 1;
+  c.fusion_threshold = kFusionThresholds[rng.nextBounded(3)];
+  c.jit_threshold = kJitThresholds[rng.nextBounded(3)];
+  return c;
+}
+
+void applyConfig(VmOptions& opts, const RandomTierConfig& c) {
+  opts.exec_engine = c.jit ? ExecEngine::Jit : ExecEngine::Quickened;
+  opts.fusion = c.fusion;
+  opts.osr = c.osr;
+  opts.fusion_threshold = c.fusion_threshold;
+  opts.jit_threshold = c.jit_threshold;
+}
+
+// CI requirement: at least 200 seeded configurations pass.
+constexpr int kRandomConfigs = 200;
+constexpr u64 kSeedBase = 0xD1FFC0DE0000ull;
+
+// Classic-engine baselines, computed once per workload and shared by all
+// random configs (the classic interpreter has no tiers to randomize).
+const SpecRun& classicSpecBaseline(int wl_index, i32 size) {
+  static std::map<int, SpecRun> cache;
+  auto it = cache.find(wl_index);
+  if (it == cache.end()) {
+    const SpecWorkload wl = specWorkloads()[static_cast<size_t>(wl_index)];
+    it = cache.emplace(wl_index, runSpec(wl, ExecEngine::Classic, size)).first;
+  }
+  return it->second;
+}
+
+const AttackOutcome& classicAttackBaseline(int attack_index) {
+  static std::map<int, AttackOutcome> cache;
+  auto it = cache.find(attack_index);
+  if (it == cache.end()) {
+    it = cache
+             .emplace(attack_index,
+                      runAttack(static_cast<AttackId>(attack_index),
+                                /*isolated=*/true, ExecEngine::Classic))
+             .first;
+  }
+  return it->second;
+}
+
+class RandomTierDifferential : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomTierDifferential, MatchesClassicUnderRandomTierConfig) {
+  const int index = GetParam();
+  const u64 seed = kSeedBase + static_cast<u64>(index);
+  const RandomTierConfig cfg = configFromSeed(seed);
+  SCOPED_TRACE(strf("seed=0x%llx (%s)", (unsigned long long)seed,
+                    cfg.describe().c_str()));
+
+  // Workloads cycle deterministically so the 200 configs spread across all
+  // seven SPEC analogs and all eight attacks.
+  const int kSpecCount = 7, kAttackCount = 8;
+  const int pick = index % (kSpecCount + kAttackCount);
+  if (pick < kSpecCount) {
+    const SpecWorkload wl = specWorkloads()[static_cast<size_t>(pick)];
+    SCOPED_TRACE(strf("workload=%s", wl.name.c_str()));
+    const i32 size = std::max(1, wl.default_size / 8);
+    const SpecRun& classic = classicSpecBaseline(pick, size);
+    VmOptions opts = VmOptions::isolated();
+    applyConfig(opts, cfg);
+    SpecRun run = runSpecOpts(wl, size, opts);
+    // Identical results and identical reachability-based charges.
+    EXPECT_EQ(classic.checksum, run.checksum);
+    EXPECT_EQ(classic.calls_in, run.calls_in);
+    EXPECT_EQ(classic.bytes_charged, run.bytes_charged);
+    EXPECT_EQ(classic.objects_charged, run.objects_charged);
+    if (wl.name != "mtrt") {  // thread interleaving (see SpecEquivalence)
+      EXPECT_EQ(classic.objects_allocated, run.objects_allocated);
+    }
+    // ResourceStats invariants that must hold under every tier config.
+    EXPECT_LE(run.objects_charged, run.objects_allocated);
+    if (run.bytes_charged == 0) {
+      EXPECT_EQ(run.objects_charged, 0u);
+    }
+  } else {
+    const int attack = pick - kSpecCount;
+    SCOPED_TRACE(strf("attack=%s", attackName(static_cast<AttackId>(attack))));
+    const AttackOutcome& classic = classicAttackBaseline(attack);
+    AttackOutcome run =
+        runAttack(static_cast<AttackId>(attack), /*isolated=*/true,
+                  cfg.jit ? ExecEngine::Jit : ExecEngine::Quickened,
+                  [&cfg](VmOptions& o) { applyConfig(o, cfg); });
+    EXPECT_EQ(classic.victim_unaffected, run.victim_unaffected)
+        << classic.detail << " vs " << run.detail;
+    EXPECT_EQ(classic.attacker_identified, run.attacker_identified)
+        << classic.detail << " vs " << run.detail;
+    EXPECT_EQ(classic.attacker_stopped, run.attacker_stopped)
+        << classic.detail << " vs " << run.detail;
+    EXPECT_TRUE(run.protectedOutcome()) << run.detail;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SeededConfigs, RandomTierDifferential,
+                         ::testing::Range(0, kRandomConfigs));
 
 // ---- the quickened stream itself: rewrites + disassembly ----
 
