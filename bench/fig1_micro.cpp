@@ -8,6 +8,7 @@
 // the TCM indirection, allocation pays the accounting + limit checks.
 #include "bench_util.h"
 #include "comm/comm.h"
+#include "workloads/spec.h"
 
 using namespace ijvm;
 using namespace ijvm::bench;
@@ -141,6 +142,12 @@ int main() {
                    bestOf(kReps, [&] { fused.run("staticMany", kStatics); }),
                    bestOf(kReps, [&] { jit.run("staticMany", kStatics); }),
                    kStatics});
+  erows.push_back({"instance field arithmetic",
+                   bestOf(kReps, [&] { classic.run("fieldSum", kStatics); }),
+                   bestOf(kReps, [&] { quickened.run("fieldSum", kStatics); }),
+                   bestOf(kReps, [&] { fused.run("fieldSum", kStatics); }),
+                   bestOf(kReps, [&] { jit.run("fieldSum", kStatics); }),
+                   kStatics});
   erows.push_back({"object allocation",
                    bestOf(kReps, [&] { classic.run("allocMany", kAllocs); }),
                    bestOf(kReps, [&] { quickened.run("allocMany", kAllocs); }),
@@ -252,6 +259,49 @@ int main() {
               {"osr_speedup_vs_entry_only", speedup},
               {"osr_available", osr_available},
               {"ops", ops}});
+  }
+
+  // ---- fig2 SPEC analogs: fused tier vs the full jit ladder ----
+  // Records what the jit tier (including its peepholes -- most recently
+  // the GETFIELD_Q+arith pair) buys on the paper's Figure-2 SPEC JVM98
+  // analog suite, not just on micro-loops. Reduced size + min-of-3 keeps
+  // the bench fast; the jit column uses production thresholds scaled to
+  // promote early (the same configuration as the micro rows above).
+  printHeader("Figure-2 SPEC analogs: fused tier vs jit ladder");
+  std::printf("%-12s %12s %12s %9s\n", "benchmark", "fused ms", "jit ms",
+              "jit gain");
+  for (const SpecWorkload& wl : specWorkloads()) {
+    const i32 size = std::max(1, wl.default_size / 4);
+    auto timeIt = [&](ExecEngine engine) {
+      VmOptions o = VmOptions::isolated();
+      o.exec_engine = engine;
+      o.fusion_threshold = 0;
+      o.jit_threshold = 1;
+      o.gc_threshold = 64u << 20;
+      o.heap_limit = 512u << 20;
+      VM vm(o);
+      installSystemLibrary(vm);
+      ClassLoader* app = vm.registry().newLoader("spec");
+      vm.createIsolate(app, "spec");
+      // Warm-up resolves pool entries, initializes classes and promotes.
+      runSpecWorkload(vm, vm.mainThread(), app, wl, std::max(1, size / 8));
+      return bestOf(3, [&] {
+        runSpecWorkload(vm, vm.mainThread(), app, wl, size);
+      });
+    };
+    const i64 fused_ns = timeIt(ExecEngine::Quickened);
+    const i64 jit_ns = timeIt(ExecEngine::Jit);
+    const double gain =
+        jit_ns > 0 ? static_cast<double>(fused_ns) / static_cast<double>(jit_ns)
+                   : 0.0;
+    std::printf("%-12s %12.2f %12.2f %8.2fx\n", wl.name.c_str(),
+                fused_ns / 1e6, jit_ns / 1e6, gain);
+    json.add("spec:" + wl.name,
+             {{"fused_ms", fused_ns / 1e6},
+              {"jit_ms", jit_ns / 1e6},
+              {"jit_speedup_vs_fused", gain},
+              {"jit_available", jit_available},
+              {"size", static_cast<double>(size)}});
   }
 
   const char* out_path = "BENCH_exec.json";

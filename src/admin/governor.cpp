@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "exec/code_cache.h"
 #include "exec/jit.h"
 
 namespace ijvm {
@@ -12,6 +13,7 @@ const char* actionName(GovernorAction a) {
     case GovernorAction::Warn: return "warn";
     case GovernorAction::Kill: return "kill";
     case GovernorAction::PromoteJit: return "promote-jit";
+    case GovernorAction::DemoteJit: return "demote-jit";
   }
   return "?";
 }
@@ -180,6 +182,7 @@ std::vector<GovernorEvent> ResourceGovernor::tick() {
   std::vector<GovernorEvent> out;
   std::vector<PendingKill> kills;
   std::vector<Bundle*> promotes;
+  std::vector<Bundle*> demotes;
 
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -226,7 +229,9 @@ std::vector<GovernorEvent> ResourceGovernor::tick() {
         double hung_here = hung_it == hung.end() ? 0.0 : hung_it->second;
         double observed = evaluate(rule, now, track, total_cpu_delta, hung_here);
         int& strikes = track.strikes[i];
-        if (observed > rule.threshold) {
+        const bool tripped = rule.fire_below ? observed <= rule.threshold
+                                             : observed > rule.threshold;
+        if (tripped) {
           strikes++;
         } else {
           strikes = 0;
@@ -248,6 +253,8 @@ std::vector<GovernorEvent> ResourceGovernor::tick() {
           kills.push_back({b, ev});
         } else if (ev.acted && rule.action == GovernorAction::PromoteJit) {
           promotes.push_back(b);
+        } else if (ev.acted && rule.action == GovernorAction::DemoteJit) {
+          demotes.push_back(b);
         }
         out.push_back(ev);
         history_.push_back(ev);
@@ -268,6 +275,16 @@ std::vector<GovernorEvent> ResourceGovernor::tick() {
   for (Bundle* b : promotes) {
     exec::enqueueLoaderForJit(fw_.vm(), b->loader(),
                               policy_.jit_promote_min_hotness);
+  }
+
+  // Demote outside the governor lock too (the demotion takes the code
+  // cache's lock). Un-patching is idempotent and poison-free: a cooled
+  // bundle's compiled methods fall back to the fused tier, their code is
+  // reclaimed once no frame runs it, and the raised re-heat floor
+  // (docs/jit.md, "Code lifecycle") keeps the PromoteJit rule from
+  // compiling them right back until they earn fresh heat.
+  for (Bundle* b : demotes) {
+    exec::demoteLoaderJit(fw_.vm(), b->loader());
   }
 
   // Kill outside the governor lock: killBundle stops the world and

@@ -68,11 +68,20 @@ enum class GovernorAction : u8 {
                // No-op (a recorded warning) unless the VM runs
                // ExecEngine::Jit. The paper's "hot bundle" answer when
                // hot is not hostile: compile it instead of killing it.
+  DemoteJit,   // record and demote the bundle's compiled methods back to
+               // the fused tier (exec/code_cache.h): their entries are
+               // un-patched and the code is reclaimed once no frame runs
+               // it -- the same managed-code lever terminateIsolate pulls
+               // by poisoning, but poison-free. PromoteJit's inverse: pair
+               // it with a fire_below rule on an execution-profile rate so
+               // a bundle that *cooled off* stops holding code-cache
+               // budget (docs/governor.md).
 };
 
 const char* actionName(GovernorAction a);
 
-// One threshold rule. The rule fires when `signal` exceeds `threshold` for
+// One threshold rule. The rule fires when `signal` exceeds `threshold`
+// (or, with `fire_below`, stays at or under it -- cool-down rules) for
 // `strikes_to_act` *consecutive* ticks (hysteresis; strikes reset on the
 // first compliant tick).
 struct GovernorRule {
@@ -81,6 +90,10 @@ struct GovernorRule {
   int strikes_to_act = 2;
   GovernorAction action = GovernorAction::Kill;
   std::string label;  // for reports; defaults to signalName()
+  // Inverted comparison: the rule fires while the signal is at or below
+  // the threshold. Meant for cool-down actions (DemoteJit); a kill rule
+  // with fire_below would fire for every idle bundle.
+  bool fire_below = false;
 };
 
 struct GovernorPolicy {

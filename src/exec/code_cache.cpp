@@ -1,0 +1,285 @@
+// The bounded tier-3 code cache: install accounting, hotness-decayed
+// victim selection, demotion, and stop-the-world reclamation of retired
+// code. Contract in code_cache.h / docs/jit.md ("Code lifecycle").
+#include "exec/code_cache.h"
+
+#include <algorithm>
+
+#include "classes/class_loader.h"
+#include "exec/jit.h"
+#include "exec/jit_internal.h"
+#include "exec/quickened.h"
+#include "runtime/vm.h"
+
+namespace ijvm::exec {
+
+CodeCache::CodeCache() = default;
+CodeCache::~CodeCache() = default;
+
+void CodeCache::onInstall(JMethod* m, JitCode* jc, u64 seed_hotness) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  installed_.push_back({m, jc, jc->approx_bytes, seed_hotness});
+  installed_bytes_ += jc->approx_bytes;
+  ++compiles_;
+}
+
+void CodeCache::onRetire(JitCode* jc, bool deopt) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (size_t i = 0; i < installed_.size(); ++i) {
+    if (installed_[i].code == jc) {
+      installed_[i] = installed_.back();
+      installed_.pop_back();
+      break;
+    }
+  }
+  installed_bytes_ -= std::min<u64>(installed_bytes_, jc->approx_bytes);
+  retired_bytes_ += jc->approx_bytes;
+  if (deopt) {
+    ++deopt_invalidations_;
+  } else {
+    ++demotions_;
+  }
+}
+
+void CodeCache::onReclaim(JitCode* jc) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  retired_bytes_ -= std::min<u64>(retired_bytes_, jc->approx_bytes);
+  ++reclaimed_;
+}
+
+void CodeCache::noteBackgroundCompile() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++background_compiles_;
+}
+
+u64 CodeCache::retiredBytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return retired_bytes_;
+}
+
+CodeCacheStats CodeCache::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CodeCacheStats s;
+  s.installed_bytes = installed_bytes_;
+  s.retired_bytes = retired_bytes_;
+  s.installed_methods = static_cast<u32>(installed_.size());
+  s.compiles = compiles_;
+  s.background_compiles = background_compiles_;
+  s.demotions = demotions_;
+  s.deopt_invalidations = deopt_invalidations_;
+  s.reclaimed = reclaimed_;
+  return s;
+}
+
+void CodeCache::enforceBudget(VM& vm) {
+  const size_t budget = vm.options().code_cache_budget;
+  if (budget == 0) return;
+  // Methods whose demotion failed this pass (a concurrent retire beat us
+  // to the entry): skip them so the loop always makes progress.
+  std::vector<JMethod*> skip;
+  bool decayed = false;
+  for (;;) {
+    JMethod* victim = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (installed_bytes_ <= budget) return;
+      if (!decayed) {
+        // Age the scores once per enforcement pass: halve, then fold in
+        // the compiled entries taken since the last pass. A method that
+        // stopped executing decays toward zero within a few installs;
+        // a ripping-hot one keeps outbidding everyone.
+        for (Entry& e : installed_) {
+          const u64 aged = e.fresh ? e.hotness : e.hotness / 2;
+          e.hotness =
+              aged + e.code->uses.exchange(0, std::memory_order_relaxed);
+          e.fresh = false;
+        }
+        decayed = true;
+      }
+      u64 coldest = ~0ull;
+      for (const Entry& e : installed_) {
+        if (e.code->life.load(std::memory_order_acquire) !=
+            JitLife::Installed) {
+          continue;  // mid-retire by someone else
+        }
+        if (std::find(skip.begin(), skip.end(), e.method) != skip.end()) {
+          continue;
+        }
+        if (e.hotness < coldest) {
+          coldest = e.hotness;
+          victim = e.method;
+        }
+      }
+    }
+    if (victim == nullptr) return;  // nothing demotable; transient overshoot
+    if (!demoteCompiled(vm, victim)) skip.push_back(victim);
+  }
+}
+
+// ---- lifecycle transitions -------------------------------------------
+
+bool retireJitCode(JitCode& jc, bool deopt, bool raise_floor) {
+  JitLife expected = JitLife::Installed;
+  if (!jc.life.compare_exchange_strong(expected, JitLife::Retired,
+                                       std::memory_order_acq_rel)) {
+    return false;
+  }
+  JMethod* m = jc.method;
+  if (raise_floor) {
+    // Demotion's re-heat gate, stored after winning the race (a losing
+    // demote must not gate a concurrent deopt's recompile) but before
+    // the entry is un-patched (the demoted method's next invocation
+    // re-runs the promotion check and must already see the floor).
+    const u64 raw = m->profile_invocations.load(std::memory_order_relaxed) +
+                    m->profile_loop_edges.load(std::memory_order_relaxed);
+    jc.qc->jit_hotness_floor.store(raw, std::memory_order_relaxed);
+  }
+  // Un-patch the per-method entry: future invocations fall back to the
+  // fused interpreter tier. CAS so a newer install racing this retire is
+  // never clobbered (it cannot exist while m->jitcode still points here,
+  // but the guard is cheap).
+  void* expected_code = &jc;
+  static_cast<void>(m->jitcode.compare_exchange_strong(
+      expected_code, nullptr, std::memory_order_acq_rel));
+  jc.qc->state->code_cache->onRetire(&jc, deopt);
+  if (Isolate* iso = m->owner->loader->isolate()) {
+    iso->stats.jit_code_bytes.fetch_sub(
+        static_cast<i64>(jc.approx_bytes), std::memory_order_relaxed);
+  }
+  return true;
+}
+
+bool installJitCode(VM& vm, std::unique_ptr<JitCode> built) {
+  JitCode* jc = built.get();
+  JMethod* m = jc->method;
+  QCode* qc = jc->qc;
+  ExecState& st = engineState(vm);
+  const bool install = !m->poisoned.load(std::memory_order_acquire) &&
+                       m->jitcode.load(std::memory_order_acquire) == nullptr &&
+                       !qc->jit_ineligible.load(std::memory_order_relaxed);
+  if (!install) {
+    // Dropped: the method was poisoned or compiled by someone else while
+    // this build was in flight. Never published, so it is freed right
+    // here -- no frame can be inside it.
+    qc->jit_queued.store(false, std::memory_order_release);
+    return false;
+  }
+  jc->life.store(JitLife::Installed, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(st.mutex);
+    st.jit_codes.push_back(std::move(built));
+  }
+  // Cache entry and isolate accounting before the entry flip: a demote
+  // can only pick this method once m->jitcode is non-null, and by then
+  // the entry exists and the bytes are counted (a demote's fetch_sub must
+  // never run before this install's fetch_add).
+  st.code_cache->onInstall(m, jc, effectiveJitHotness(m));
+  if (Isolate* iso = m->owner->loader->isolate()) {
+    iso->stats.jit_methods_compiled.fetch_add(1, std::memory_order_relaxed);
+    iso->stats.jit_code_bytes.fetch_add(static_cast<i64>(jc->approx_bytes),
+                                        std::memory_order_relaxed);
+  }
+  m->jitcode.store(jc, std::memory_order_release);
+  qc->jit_queued.store(false, std::memory_order_release);
+  st.code_cache->enforceBudget(vm);
+  return true;
+}
+
+// ---- public API -------------------------------------------------------
+
+CodeCacheStats codeCacheStats(VM& vm) {
+  return engineState(vm).code_cache->snapshot();
+}
+
+bool demoteCompiled(VM& vm, JMethod* m) {
+  if (m == nullptr) return false;
+  // The whole demotion runs under the engine mutex. A demoter may be a
+  // thread that never parks at safepoints (the governor's DemoteJit
+  // path), so the stop-the-world argument that protects *executing*
+  // frames does not protect this code pointer -- but sweepRetiredJitCode
+  // frees only under the same mutex, so holding it pins every JitCode we
+  // might dereference. (The deopt-side retire needs no such pin: the
+  // deopting thread is inside the code, active > 0.)
+  ExecState& st = engineState(vm);
+  std::lock_guard<std::mutex> lock(st.mutex);
+  auto* jc = static_cast<JitCode*>(m->jitcode.load(std::memory_order_acquire));
+  if (jc == nullptr) return false;
+  if (!retireJitCode(*jc, /*deopt=*/false, /*raise_floor=*/true)) return false;
+  if (Isolate* iso = m->owner->loader->isolate()) {
+    iso->stats.jit_methods_demoted.fetch_add(1, std::memory_order_relaxed);
+  }
+  return true;
+}
+
+u32 demoteLoaderJit(VM& vm, ClassLoader* loader) {
+  if (loader == nullptr) return 0;
+  u32 demoted = 0;
+  for (JClass* cls : loader->definedClasses()) {
+    for (JMethod& m : cls->methods) {
+      if (demoteCompiled(vm, &m)) ++demoted;
+    }
+  }
+  return demoted;
+}
+
+u32 sweepRetiredJitCode(VM& vm) {
+  // Precondition: the caller stopped the world. Every mutator is parked
+  // at a poll -- inside compiled code only with a nonzero active count
+  // (there is no poll between loading JMethod::jitcode and bumping
+  // `active`, see runJit) -- so a retired code with active == 0 is
+  // unreachable and stays so until the world resumes.
+  auto sp = std::static_pointer_cast<ExecState>(vm.getExtension(kStateKey));
+  if (sp == nullptr) return 0;
+  ExecState& st = *sp;
+  u32 freed = 0;
+  std::lock_guard<std::mutex> lock(st.mutex);
+  // A killed isolate's compiled code is *poisoned*, not retired --
+  // terminateIsolate patches entries so in-flight frames die at their
+  // polls, and the patched entries stay observable (disasmJit) while the
+  // isolate winds down. Once a *previous* collection has declared the
+  // isolate Dead (no surviving objects -- the paper's end-of-life point;
+  // VM::collectGarbage runs this sweep before its own Dead-marking, so
+  // the kill's own GC never retires here), the code is garbage too:
+  // retire it so dead bundles stop holding code-cache budget and their
+  // code becomes freeable even with an unlimited budget on a kill-churn
+  // platform. (Budget pressure may of course demote poisoned code
+  // earlier, like any cold code.) The method-level poison barrier keeps
+  // refusing re-entry regardless.
+  for (auto& owned : st.jit_codes) {
+    JitCode* jc = owned.get();
+    if (jc->life.load(std::memory_order_acquire) != JitLife::Installed ||
+        !jc->method->poisoned.load(std::memory_order_acquire)) {
+      continue;
+    }
+    Isolate* iso = jc->method->owner->loader->isolate();
+    if (iso == nullptr ||
+        iso->state.load(std::memory_order_acquire) == IsolateState::Dead) {
+      retireJitCode(*jc, /*deopt=*/false);
+    }
+  }
+  for (auto it = st.jit_codes.begin(); it != st.jit_codes.end();) {
+    JitCode* jc = it->get();
+    if (jc->life.load(std::memory_order_acquire) == JitLife::Retired &&
+        jc->active.load(std::memory_order_acquire) == 0) {
+      st.code_cache->onReclaim(jc);
+      it = st.jit_codes.erase(it);
+      ++freed;
+    } else {
+      ++it;
+    }
+  }
+  return freed;
+}
+
+u32 reclaimJitCode(VM& vm) {
+  // getExtension first: a VM that never compiled has nothing to reclaim,
+  // and we must not stop the world just to find that out.
+  if (vm.getExtension(kStateKey) == nullptr) return 0;
+  SafepointController& sps = vm.safepoints();
+  sps.stopTheWorld(/*self_is_guest=*/false);
+  const u32 freed = sweepRetiredJitCode(vm);
+  sps.resumeTheWorld(/*self_is_guest=*/false);
+  return freed;
+}
+
+}  // namespace ijvm::exec

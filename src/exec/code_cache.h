@@ -1,0 +1,140 @@
+// The bounded tier-3 code cache (docs/jit.md, "Code lifecycle").
+//
+// Compiled code used to be a one-way promotion: once a method was
+// compiled, its JitCode sat in the ExecState arena until the VM died. On a
+// churny platform -- bundles starting, spiking hot, cooling off, being
+// killed -- that arena only grows. The CodeCache makes compiled code a
+// managed, revocable resource:
+//
+//  * every installed JitCode is tracked with a hotness-decayed usage
+//    score (seeded from the method's profile counters, refreshed from
+//    compiled-entry counts, halved on every enforcement pass);
+//  * when an install pushes the installed footprint past
+//    VmOptions::code_cache_budget, the coldest methods are *demoted*:
+//    JMethod::jitcode is un-patched back to null, the method falls back
+//    to the fused interpreter tier at its next entry, and
+//    QCode::jit_hotness_floor is raised so only fresh heat (another
+//    jit_threshold worth of invocations/back-edges) re-promotes it;
+//  * demoted and deopt-invalidated code is Retired, and reclaimed --
+//    actually freed -- by sweepRetiredJitCode under stop-the-world once no
+//    frame still executes it. Retirement is poison-free: unlike isolate
+//    termination, a demoted method's in-flight executions simply run to
+//    completion.
+//
+// The governor drives the same lever: GovernorAction::DemoteJit demotes a
+// cooled bundle's compiled methods the way terminateIsolate poisons a
+// hostile one's (docs/governor.md).
+#pragma once
+
+#include <mutex>
+#include <vector>
+
+#include "support/common.h"
+
+namespace ijvm {
+class VM;
+class ClassLoader;
+struct JMethod;
+}  // namespace ijvm
+
+namespace ijvm::exec {
+
+struct JitCode;  // jit_internal.h; opaque to everyone outside src/exec
+
+// Aggregate cache state for tests, benches and admin reporting. Bytes are
+// the build-time footprint estimates of jit_internal.h.
+struct CodeCacheStats {
+  u64 installed_bytes = 0;  // currently reachable through JMethod::jitcode
+  u64 retired_bytes = 0;    // demoted/invalidated, awaiting reclamation
+  u32 installed_methods = 0;
+  u64 compiles = 0;             // successful installs since VM start
+  u64 background_compiles = 0;  // subset built by the compiler thread
+  u64 demotions = 0;            // budget- or governor-driven
+  u64 deopt_invalidations = 0;
+  u64 reclaimed = 0;  // retired JitCodes actually freed
+};
+
+CodeCacheStats codeCacheStats(VM& vm);
+
+// Per-VM cache bookkeeping, owned by the engine's ExecState. Tracks every
+// installed JitCode with a hotness-decayed usage score and aggregate
+// bytes; JitCode ownership stays in ExecState::jit_codes (this class
+// holds raw pointers only). All methods are thread-safe; none is called
+// with the engine mutex held while taking the cache mutex in the other
+// order (lock order is engine mutex -> cache mutex).
+class CodeCache {
+ public:
+  CodeCache();
+  ~CodeCache();
+
+  CodeCache(const CodeCache&) = delete;
+  CodeCache& operator=(const CodeCache&) = delete;
+
+  // Accounts a freshly installed code; `seed_hotness` (the method's
+  // effective hotness at install) orders brand-new entries above
+  // long-cooled ones until real compiled-entry counts accumulate.
+  void onInstall(JMethod* m, JitCode* jc, u64 seed_hotness);
+  // Installed -> retired accounting; the caller won the JitCode::life
+  // compare-exchange. `deopt` picks the counter.
+  void onRetire(JitCode* jc, bool deopt);
+  // Retired -> freed accounting (sweepRetiredJitCode).
+  void onReclaim(JitCode* jc);
+  void noteBackgroundCompile();
+
+  // Demotes the coldest installed methods until installed bytes fit
+  // VmOptions::code_cache_budget. Runs after every install; each pass
+  // decays the usage scores (halve, then fold in fresh compiled-entry
+  // counts).
+  void enforceBudget(VM& vm);
+
+  u64 retiredBytes() const;
+  CodeCacheStats snapshot() const;
+
+ private:
+  struct Entry {
+    JMethod* method = nullptr;
+    JitCode* code = nullptr;
+    u64 bytes = 0;
+    u64 hotness = 0;
+    // Not yet aged: the first decay pass an entry sees only folds in its
+    // compiled-entry count, it does not halve the install seed --
+    // otherwise the install that triggers enforcement would halve its own
+    // method straight into victimhood.
+    bool fresh = true;
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<Entry> installed_;
+  u64 installed_bytes_ = 0;
+  u64 retired_bytes_ = 0;
+  u64 compiles_ = 0;
+  u64 background_compiles_ = 0;
+  u64 demotions_ = 0;
+  u64 deopt_invalidations_ = 0;
+  u64 reclaimed_ = 0;
+};
+
+// Demotes one method's compiled code (no-op without any): un-patches
+// JMethod::jitcode, raises the re-heat floor, retires the JitCode and
+// updates the owning isolate's ResourceStats. Poison-free -- frames
+// already executing the code run to completion. Returns true if code was
+// demoted.
+bool demoteCompiled(VM& vm, JMethod* m);
+
+// Governor seam (GovernorAction::DemoteJit): demotes every compiled
+// method defined by `loader`. Returns the number of methods demoted.
+u32 demoteLoaderJit(VM& vm, ClassLoader* loader);
+
+// Frees retired JitCodes whose active-execution count is zero. The caller
+// must have stopped the world (VM::collectGarbage calls this inside its
+// stop-the-world section). Returns the number of codes freed.
+u32 sweepRetiredJitCode(VM& vm);
+
+// Convenience for tests/admin paths and the compile manager's own
+// pressure response: stop the world, sweep, resume. Call from a thread
+// that is not currently counted as a Running guest (any C++ thread
+// between guest calls qualifies -- threads only count as Running inside
+// the interpreter).
+u32 reclaimJitCode(VM& vm);
+
+}  // namespace ijvm::exec

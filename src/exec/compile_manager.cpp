@@ -1,0 +1,146 @@
+// The background compile manager: a dedicated worker thread that drains
+// promote-to-JIT requests, builds call-threaded code off the mutator, and
+// parks it for mutator-side installation. Contract in compile_manager.h /
+// docs/jit.md ("Code lifecycle").
+#include "exec/compile_manager.h"
+
+#include <chrono>
+
+#include "classes/jclass.h"
+#include "exec/code_cache.h"
+#include "exec/jit_internal.h"
+#include "exec/quickened.h"
+#include "runtime/vm.h"
+
+namespace ijvm::exec {
+
+namespace {
+// Idle-tick cadence: the worker wakes this often even without requests to
+// run the retired-code pressure check.
+constexpr auto kIdleTick = std::chrono::milliseconds(50);
+}  // namespace
+
+CompileManager::CompileManager(VM& vm) : vm_(vm) {
+  worker_ = std::thread([this] { workerLoop(); });
+}
+
+CompileManager::~CompileManager() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+void CompileManager::enqueue(JMethod* m) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    pending_.push_back(m);
+  }
+  wake_.notify_one();
+}
+
+u32 CompileManager::installReady() {
+  std::deque<std::unique_ptr<JitCode>> ready;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ready.swap(ready_);
+  }
+  u32 installed = 0;
+  for (auto& jc : ready) {
+    if (installJitCode(vm_, std::move(jc))) {
+      ++installed;
+      engineState(vm_).code_cache->noteBackgroundCompile();
+    }
+  }
+  return installed;
+}
+
+bool CompileManager::busy() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return !pending_.empty() || building_ > 0 || !ready_.empty();
+}
+
+void CompileManager::workerLoop() {
+  for (;;) {
+    JMethod* m = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait_for(lock, kIdleTick,
+                     [this] { return stop_ || !pending_.empty(); });
+      if (stop_) return;
+      if (!pending_.empty()) {
+        m = pending_.front();
+        pending_.pop_front();
+        ++building_;
+      }
+    }
+    if (m == nullptr) {
+      // Idle tick: pressure-relief for retired code. Demotion and deopt
+      // only *retire*; somebody must stop the world and free. GC does it
+      // opportunistically (VM::collectGarbage); the manager does it when
+      // retired bytes pile up on a platform that churns code faster than
+      // it allocates garbage.
+      CodeCache& cache = *engineState(vm_).code_cache;
+      const u64 budget = vm_.options().code_cache_budget;
+      const u64 slack = budget > 0 ? budget / 4 : (1u << 20);
+      if (cache.retiredBytes() > slack) reclaimJitCode(vm_);
+      continue;
+    }
+    std::unique_ptr<JitCode> built = buildJitCode(vm_, m);
+    const bool ok = built != nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --building_;
+      if (ok) ready_.push_back(std::move(built));
+    }
+    if (ok) {
+      // Tell the mutators there is something to install: the same
+      // lock-free flag they already check at method entry and the
+      // back-edge batch flush.
+      engineState(vm_).jit_pending.store(true, std::memory_order_release);
+    } else {
+      // Build failed (ineligible, empty, inconsistent depths): release
+      // the request latch so a later request may retry if eligibility
+      // changes. buildJitCode pinned jit_ineligible where it never will.
+      if (auto* qc =
+              static_cast<QCode*>(m->qcode.load(std::memory_order_acquire))) {
+        qc->jit_queued.store(false, std::memory_order_release);
+      }
+    }
+  }
+}
+
+void shutdownCompileManager(VM& vm) {
+  auto sp = std::static_pointer_cast<ExecState>(vm.getExtension(kStateKey));
+  if (sp == nullptr) return;
+  std::unique_ptr<CompileManager> mgr;
+  {
+    std::lock_guard<std::mutex> lock(sp->mutex);
+    mgr = std::move(sp->compile_mgr);
+  }
+  // Destroyed (joined) outside the engine mutex: the worker may need it
+  // to finish an in-flight build.
+  mgr.reset();
+}
+
+bool waitCompileIdle(VM& vm, i64 timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    CompileManager* mgr = nullptr;
+    auto sp = std::static_pointer_cast<ExecState>(vm.getExtension(kStateKey));
+    if (sp != nullptr) {
+      std::lock_guard<std::mutex> lock(sp->mutex);
+      mgr = sp->compile_mgr.get();
+    }
+    if (mgr == nullptr) return true;
+    mgr->installReady();
+    if (!mgr->busy()) return true;
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+}  // namespace ijvm::exec

@@ -1,0 +1,95 @@
+// The background compile manager (docs/jit.md, "Code lifecycle").
+//
+// With VmOptions::background_compile every promote-to-JIT request --
+// entry promotion, OSR self-promotion at a back-edge batch flush, and the
+// governor's PromoteJit action alike -- is handed to a dedicated compiler
+// thread instead of being compiled on the mutator. The worker drains the
+// request queue, builds call-threaded code off-thread (from a snapshot of
+// the quickened stream taken under the engine mutex), and parks the
+// finished JitCode on a ready list. The *mutator* performs the install at
+// its next drain point (method entry or back-edge batch flush, via
+// drainJitQueue): it never blocks on a compile, it just keeps running the
+// fused tier until the entry flips.
+//
+// Mutator-side installation is what makes the entry flip
+// safepoint-coordinated: isolate termination poisons methods under
+// stop-the-world, when every mutator is parked, so an install can never
+// interleave with a poisoning pass -- a request for a method poisoned
+// mid-compile is simply dropped at install time. The worker itself is not
+// a guest thread (like the CPU sampler it never counts as Running), so a
+// long compile cannot stall a stop-the-world.
+//
+// The worker doubles as the cache's pressure-relief valve: when retired
+// (demoted/invalidated) code piles up past a fraction of the budget, it
+// stops the world and reclaims (code_cache.h).
+//
+// Compile the whole subsystem out with -DIJVM_DISABLE_BG_COMPILE;
+// background_compile=false keeps the synchronous drain (deterministic:
+// code is installed the moment the request is drained).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "support/common.h"
+
+namespace ijvm {
+class VM;
+struct JMethod;
+}  // namespace ijvm
+
+namespace ijvm::exec {
+
+struct JitCode;
+
+class CompileManager {
+ public:
+  explicit CompileManager(VM& vm);
+  ~CompileManager();  // signals the worker and joins it
+
+  CompileManager(const CompileManager&) = delete;
+  CompileManager& operator=(const CompileManager&) = delete;
+
+  // Hands a promote-to-JIT request to the worker (the caller holds the
+  // QCode::jit_queued latch; it is released when the finished code is
+  // installed or dropped).
+  void enqueue(JMethod* m);
+
+  // Mutator-side install point: publishes every finished JitCode parked on
+  // the ready list (dropping poisoned/superseded ones) and enforces the
+  // code-cache budget. Returns the number of methods installed. Called
+  // from drainJitQueue, i.e. at method entry and the back-edge batch
+  // flush.
+  u32 installReady();
+
+  // True while requests are queued, building, or awaiting install --
+  // deterministic tests combine this with installReady() polling.
+  bool busy() const;
+
+ private:
+  void workerLoop();
+
+  VM& vm_;
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<JMethod*> pending_;
+  std::deque<std::unique_ptr<JitCode>> ready_;
+  u32 building_ = 0;  // requests popped but not yet parked on ready_
+  bool stop_ = false;
+  std::thread worker_;
+};
+
+// Joins the VM's compile manager if one was ever started; safe to call
+// repeatedly (VM::~VM calls it before tearing anything else down).
+void shutdownCompileManager(VM& vm);
+
+// Test helper: waits until the manager (if any) has no queued, building or
+// uninstalled work, installing ready code on the caller's thread while it
+// waits. Returns false on timeout.
+bool waitCompileIdle(VM& vm, i64 timeout_ms);
+
+}  // namespace ijvm::exec

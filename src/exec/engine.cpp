@@ -279,9 +279,10 @@ Value interpretQuickened(VM& vm, JThread* t, Frame& frame) {
     void* jcp = method->jitcode.load(std::memory_order_acquire);
     if (jcp == nullptr && qc->warmed.load(std::memory_order_relaxed) &&
         !qc->jit_ineligible.load(std::memory_order_relaxed)) {
-      const u64 hot =
-          method->profile_invocations.load(std::memory_order_relaxed) +
-          method->profile_loop_edges.load(std::memory_order_relaxed);
+      // Hotness above the demotion re-heat floor (docs/jit.md, "Code
+      // lifecycle"): a freshly demoted method must earn jit_threshold of
+      // new heat before it recompiles.
+      const u64 hot = effectiveJitHotness(method);
       const bool fusion_settled =
 #ifndef IJVM_DISABLE_FUSION
           !fusion_on || qc->fusion_done.load(std::memory_order_relaxed);

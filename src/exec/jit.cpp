@@ -37,7 +37,10 @@
 
 #include "bytecode/disasm.h"
 #include "classes/class_loader.h"
+#include "exec/code_cache.h"
+#include "exec/compile_manager.h"
 #include "exec/interp_support.h"
+#include "exec/jit_internal.h"
 #include "exec/quickened.h"
 #include "heap/object.h"
 #include "runtime/vm.h"
@@ -48,67 +51,11 @@ namespace ijvm::exec {
 using namespace interp;
 
 // Out-of-line so ExecState's jit_codes arena can own the otherwise-opaque
-// JitCode (quickened.h forward-declares it).
-ExecState::ExecState() = default;
+// JitCode (quickened.h forward-declares it), and so its CodeCache /
+// CompileManager members see complete types. The CompileManager itself is
+// created lazily by the first background promote-to-JIT request.
+ExecState::ExecState() : code_cache(std::make_unique<CodeCache>()) {}
 ExecState::~ExecState() = default;
-
-struct MInsn;
-struct JitCtx;
-
-// A thunk returns its successor, or null to leave compiled code (the exit
-// reason is in JitCtx::exit).
-using JitHandler = const MInsn* (*)(JitCtx&, const MInsn&);
-
-// One call-threaded thunk: a pre-bound handler plus resolved operands.
-// `next` / `target` are the pre-linked successors; `pc` is the original
-// instruction index of the (group) head, used for exception dispatch and
-// deopt; `q` is the source quickened instruction, through which compiled
-// code shares inline-cache slots with the interpreter tiers.
-struct MInsn {
-  JitHandler fn = nullptr;
-  i32 a = 0, b = 0, c = 0;
-  i32 pc = 0;
-  i32 tpc = -1;  // branch target as an original pc (back-edge iff <= pc)
-  const MInsn* next = nullptr;
-  const MInsn* target = nullptr;
-  void* ptr = nullptr;
-  i64 imm = 0;
-  double dimm = 0.0;
-  QInsn* q = nullptr;
-  Op src_op = Op::NOP;    // opcode this thunk was compiled from
-  const char* name = "";  // display name for disasmJit
-};
-
-// One on-stack-replacement entry point (docs/jit.md, "On-stack
-// replacement"): for each loop header (back-edge target) the compiler
-// records the header's verified operand-stack depth and an entry thunk
-// that runs the method-entry poll, then falls into the header's body
-// thunk. `entry` is a patchable pointer exactly like JitCode::entry --
-// isolate termination swaps in the poisoned-OSR thunk, so a dying
-// bundle's spinning frame cannot transfer onto compiled code through a
-// loop-header side door.
-struct OsrEntry {
-  i32 pc = -1;    // loop-header pc in the original stream
-  i32 depth = 0;  // verified operand-stack depth at the header
-  MInsn thunk;    // fn = op_osr_enter; target = the header's body thunk
-  std::atomic<const MInsn*> entry{nullptr};
-};
-
-struct JitCode {
-  JMethod* method = nullptr;
-  QCode* qc = nullptr;
-  std::vector<MInsn> code;      // slot 0 = pc 0; stable after build
-  MInsn exn;                    // shared exception-dispatch thunk
-  std::vector<i32> slot_of_pc;  // pc -> slot, -1 for group interiors
-  // OSR entries, one per compiled loop header (deque: OsrEntry holds an
-  // atomic and must never move once its thunk pointers are linked).
-  std::deque<OsrEntry> osr_entries;
-  u32 max_stack = 0;
-  // The patchable entry point (docs/jit.md): normally &code[0]; isolate
-  // termination swaps in the poisoned-entry thunk under stop-the-world.
-  std::atomic<const MInsn*> entry{nullptr};
-  std::atomic<bool> invalidated{false};
-};
 
 struct JitCtx {
   JitCtx(VM& vm_in, JThread* t_in, Frame& frame_in, JitCode& jc_in)
@@ -173,8 +120,10 @@ inline const MInsn* throwHere(JitCtx& cx, const MInsn& mi) {
 void invalidate(JitCode& jc) {
   jc.invalidated.store(true, std::memory_order_release);
   jc.qc->jit_deopts.fetch_add(1, std::memory_order_relaxed);
-  // The arena keeps the JitCode alive for threads still inside it.
-  jc.method->jitcode.store(nullptr, std::memory_order_release);
+  // Un-patch the entry and retire the code into the cache's reclaim set
+  // (code_cache.cpp). The arena keeps the JitCode alive for threads still
+  // inside it; sweepRetiredJitCode frees it once none are.
+  retireJitCode(jc, /*deopt=*/true);
 }
 
 // Deoptimize: hand the frame to the threaded interpreter at `pc` with the
@@ -631,6 +580,39 @@ JH(op_iinc_goto) {
   return takeBranch(cx, mi);
 }
 
+// Jit-only peephole: instance-field load feeding an int arithmetic op in
+// one thunk. Two receiver sources share one body: `GETFIELD_Q f; <op>`
+// takes the receiver from the stack (stack [.., x, obj] -> [.., x op
+// obj.f], no intermediate push), the fused `ALOAD_GETFIELD_F; <op>` form
+// reads it straight from a local. On NPE the stack is exactly as the
+// interpreter leaves it (the stacked receiver was popped); handlers
+// clear the stack on entry, so the partial consumption is unobservable
+// (same rule as fused groups).
+#define JIT_FIELD_ARITH(NAME, OBJ_EXPR, EXPR)                                  \
+  JH(NAME) {                                                                   \
+    Object* obj = (OBJ_EXPR).asRef();                                          \
+    if (obj == nullptr) {                                                      \
+      cx.vm.throwGuest(cx.t, "java/lang/NullPointerException",                 \
+                       static_cast<JField*>(mi.ptr)->name);                    \
+      return throwHere(cx, mi);                                                \
+    }                                                                          \
+    const i32 b = obj->fields()[mi.c].asInt();                                 \
+    const i32 a = cx.sp[-1].asInt();                                           \
+    cx.sp[-1] = Value::ofInt(EXPR);                                            \
+    return mi.next;                                                            \
+  }
+#define JIT_FIELD_ARITH_PAIR(OP, EXPR)                                         \
+  JIT_FIELD_ARITH(op_gf_##OP, jpop(cx), EXPR)                                  \
+  JIT_FIELD_ARITH(op_lgf_##OP, cx.locals[mi.a], EXPR)
+JIT_FIELD_ARITH_PAIR(iadd, static_cast<i32>(static_cast<u32>(a) + static_cast<u32>(b)))
+JIT_FIELD_ARITH_PAIR(isub, static_cast<i32>(static_cast<u32>(a) - static_cast<u32>(b)))
+JIT_FIELD_ARITH_PAIR(imul, static_cast<i32>(static_cast<u32>(a) * static_cast<u32>(b)))
+JIT_FIELD_ARITH_PAIR(iand, a & b)
+JIT_FIELD_ARITH_PAIR(ior, a | b)
+JIT_FIELD_ARITH_PAIR(ixor, a ^ b)
+#undef JIT_FIELD_ARITH_PAIR
+#undef JIT_FIELD_ARITH
+
 // ---- returns ----------------------------------------------------------
 
 JH(op_return) {
@@ -995,11 +977,27 @@ constexpr StackEffect kEffect[] = {
 #undef IJVM_FX
 };
 
+// A consistent copy of one quickened instruction, taken under the engine
+// mutex before the compiler reads any of it. The compiler must not read
+// QInsn payload fields directly: quickening and fusion write them under
+// the mutex and publish with a release-store of the opcode, which orders
+// payload reads only for the thread that later acquires that opcode --
+// the background compiler reads whole streams at once, so it snapshots
+// them under the same mutex the writers hold (docs/jit.md, "Code
+// lifecycle").
+struct SnapInsn {
+  Op op = Op::NOP;
+  i32 a = 0, b = 0, c = 0;
+  void* ptr = nullptr;
+  i64 imm = 0;
+  double dimm = 0.0;
+};
+
 // `depths`, when non-null, receives the verified operand-stack depth at
 // every pc (-1 for statically unreachable ones) -- the OSR entry map is
 // built from it (a live frame may transfer onto a loop header only at
 // exactly this depth).
-bool computeMaxStack(JMethod* m, QCode& qc, u32* out,
+bool computeMaxStack(JMethod* m, const std::vector<SnapInsn>& snap, u32* out,
                      std::vector<i32>* depths = nullptr) {
   const std::vector<Instruction>& insns = m->code.insns;
   const i32 n = static_cast<i32>(insns.size());
@@ -1036,9 +1034,8 @@ bool computeMaxStack(JMethod* m, QCode& qc, u32* out,
       // thunk, so compiled execution never flows past it -- treat it as
       // terminal here (its successors stay deopt-or-unreachable until a
       // recompile, by which time the site has quickened).
-      const QInsn& q = qc.insns[static_cast<size_t>(pc)];
-      const Op qop = q.op.load(std::memory_order_acquire);
-      if (opIsQuickened(qop) && q.ptr != nullptr) {
+      const SnapInsn& q = snap[static_cast<size_t>(pc)];
+      if (opIsQuickened(q.op) && q.ptr != nullptr) {
         JMethod* callee = static_cast<JMethod*>(q.ptr);
         pops = q.c;
         pushes = callee->sig.ret.kind != Kind::Void ? 1 : 0;
@@ -1233,9 +1230,27 @@ JitHandler arithStoreVariant(Op fused) {
   }
 }
 
-// Compiles `m` from its current quickened/fused stream. Returns null (and
+// Jit-only peephole (ROADMAP "GETFIELD_Q+arith pairs"): the int arithmetic
+// opcode an instance-field load feeds, for the plain-quickened and the
+// fused-receiver variant of the pair.
+JitHandler getfieldArithVariant(Op arith, bool receiver_in_local) {
+  switch (arith) {
+    case Op::IADD: return receiver_in_local ? op_lgf_iadd : op_gf_iadd;
+    case Op::ISUB: return receiver_in_local ? op_lgf_isub : op_gf_isub;
+    case Op::IMUL: return receiver_in_local ? op_lgf_imul : op_gf_imul;
+    case Op::IAND: return receiver_in_local ? op_lgf_iand : op_gf_iand;
+    case Op::IOR: return receiver_in_local ? op_lgf_ior : op_gf_ior;
+    case Op::IXOR: return receiver_in_local ? op_lgf_ixor : op_gf_ixor;
+    default: return nullptr;
+  }
+}
+
+}  // namespace
+
+// Builds `m`'s call-threaded code from a snapshot of its current
+// quickened/fused stream; contract in jit_internal.h. Returns null (and
 // possibly pins the method ineligible) when the method cannot be compiled.
-JitCode* compileMethod(VM& vm, JMethod* m) {
+std::unique_ptr<JitCode> buildJitCode(VM& vm, JMethod* m) {
 #ifdef IJVM_DISABLE_JIT
   (void)vm;
   (void)m;
@@ -1258,9 +1273,32 @@ JitCode* compileMethod(VM& vm, JMethod* m) {
                              last == Op::LRETURN || last == Op::DRETURN ||
                              last == Op::ARETURN || last == Op::GOTO ||
                              last == Op::ATHROW;
+
+  // Snapshot the stream under the engine mutex (see SnapInsn): from here
+  // on the build reads only the snapshot, so it is safe off-thread while
+  // mutators keep quickening and fusing the live stream. A site that
+  // quickens after the snapshot simply compiles as a deopt thunk, exactly
+  // as if it had still been cold -- the recompile after that deopt sees
+  // it.
+  std::vector<SnapInsn> snap(static_cast<size_t>(n));
+  {
+    std::lock_guard<std::mutex> lock(qc->state->mutex);
+    for (i32 i = 0; i < n; ++i) {
+      const QInsn& q = qc->insns[static_cast<size_t>(i)];
+      SnapInsn& s = snap[static_cast<size_t>(i)];
+      s.op = q.op.load(std::memory_order_relaxed);
+      s.a = q.a;
+      s.b = q.b;
+      s.c = q.c;
+      s.ptr = q.ptr;
+      s.imm = q.imm;
+      s.dimm = q.dimm;
+    }
+  }
+
   u32 max_stack = 0;
   std::vector<i32> depths;
-  if (!last_terminal || !computeMaxStack(m, *qc, &max_stack, &depths)) {
+  if (!last_terminal || !computeMaxStack(m, snap, &max_stack, &depths)) {
     qc->jit_ineligible.store(true, std::memory_order_relaxed);
     return nullptr;
   }
@@ -1295,10 +1333,12 @@ JitCode* compileMethod(VM& vm, JMethod* m) {
   jc->exn.fn = op_exception;
   jc->exn.name = "EXCEPTION_DISPATCH";
 
-  // Pass 1: one thunk per (group) head, operands pre-bound.
+  // Pass 1: one thunk per (group) head, operands pre-bound from the
+  // snapshot (mi.q still points into the live stream: that is how
+  // compiled thunks share IC slots with the interpreter tiers).
   for (i32 i = 0; i < n;) {
-    QInsn& q = qc->insns[static_cast<size_t>(i)];
-    const Op op = q.op.load(std::memory_order_acquire);
+    const SnapInsn& q = snap[static_cast<size_t>(i)];
+    const Op op = q.op;
     MInsn mi;
     mi.pc = i;
     mi.a = q.a;
@@ -1307,7 +1347,7 @@ JitCode* compileMethod(VM& vm, JMethod* m) {
     mi.ptr = q.ptr;
     mi.imm = q.imm;
     mi.dimm = q.dimm;
-    mi.q = &q;
+    mi.q = &qc->insns[static_cast<size_t>(i)];
     bindThunk(mi, op);
     i32 len = opIsFused(op) ? opFusedLength(op) : 1;
     if (op == Op::NEWARRAY) {
@@ -1318,11 +1358,10 @@ JitCode* compileMethod(VM& vm, JMethod* m) {
     // Peephole: fused arith triple + ISTORE -> one thunk.
     if (JitHandler st_fn = arithStoreVariant(op);
         st_fn != nullptr && i + 3 < n &&
-        qc->insns[static_cast<size_t>(i + 3)].op.load(std::memory_order_acquire) ==
-            Op::ISTORE &&
+        snap[static_cast<size_t>(i + 3)].op == Op::ISTORE &&
         entry[static_cast<size_t>(i + 3)] == 0 && coverageUniform(i, 4)) {
       mi.fn = st_fn;
-      mi.b = qc->insns[static_cast<size_t>(i + 3)].a;  // destination slot
+      mi.b = snap[static_cast<size_t>(i + 3)].a;  // destination slot
       mi.name = "ILOAD_ILOAD_ARITH_ISTORE_J";
       len = 4;
     }
@@ -1332,19 +1371,40 @@ JitCode* compileMethod(VM& vm, JMethod* m) {
         entry[static_cast<size_t>(i + 1)] == 0 &&
         entry[static_cast<size_t>(i + 2)] == 0 &&
         entry[static_cast<size_t>(i + 3)] == 0 && coverageUniform(i, 4)) {
-      const QInsn& q1 = qc->insns[static_cast<size_t>(i + 1)];
-      const QInsn& q3 = qc->insns[static_cast<size_t>(i + 3)];
-      const Op op1 = q1.op.load(std::memory_order_acquire);
-      const Op op2 =
-          qc->insns[static_cast<size_t>(i + 2)].op.load(std::memory_order_acquire);
+      const SnapInsn& q1 = snap[static_cast<size_t>(i + 1)];
+      const SnapInsn& q3 = snap[static_cast<size_t>(i + 3)];
+      const Op op2 = snap[static_cast<size_t>(i + 2)].op;
       const bool add_imm =
-          op1 == Op::ICONST_IADD_F || (op1 == Op::ICONST && op2 == Op::IADD);
-      if (add_imm && q3.op.load(std::memory_order_acquire) == Op::PUTSTATIC_Q &&
-          q3.ptr == q.ptr && q3.c == q.c) {
+          q1.op == Op::ICONST_IADD_F || (q1.op == Op::ICONST && op2 == Op::IADD);
+      if (add_imm && q3.op == Op::PUTSTATIC_Q && q3.ptr == q.ptr &&
+          q3.c == q.c) {
         mi.fn = op_static_iadd;
         mi.a = q1.a;  // the immediate
         mi.name = "GETSTATIC_IADD_PUTSTATIC_J";
         len = 4;
+      }
+    }
+    // Peephole (ROADMAP): instance-field load feeding int arithmetic.
+    // `GETFIELD_Q f; <arith>` -- the receiver is on the stack -- and the
+    // fused-receiver form `ALOAD_GETFIELD_F; <arith>`.
+    if (op == Op::GETFIELD_Q && i + 1 < n &&
+        entry[static_cast<size_t>(i + 1)] == 0 && coverageUniform(i, 2)) {
+      if (JitHandler gf_fn = getfieldArithVariant(
+              snap[static_cast<size_t>(i + 1)].op, /*receiver_in_local=*/false);
+          gf_fn != nullptr) {
+        mi.fn = gf_fn;
+        mi.name = "GETFIELD_ARITH_J";
+        len = 2;
+      }
+    }
+    if (op == Op::ALOAD_GETFIELD_F && i + 2 < n &&
+        entry[static_cast<size_t>(i + 2)] == 0 && coverageUniform(i, 3)) {
+      if (JitHandler gf_fn = getfieldArithVariant(
+              snap[static_cast<size_t>(i + 2)].op, /*receiver_in_local=*/true);
+          gf_fn != nullptr) {
+        mi.fn = gf_fn;
+        mi.name = "ALOAD_GETFIELD_ARITH_J";
+        len = 3;
       }
     }
     jc->slot_of_pc[static_cast<size_t>(i)] = static_cast<i32>(jc->code.size());
@@ -1397,19 +1457,18 @@ JitCode* compileMethod(VM& vm, JMethod* m) {
 #endif  // IJVM_DISABLE_OSR
 
   jc->entry.store(jc->code.data(), std::memory_order_release);
-
-  ExecState& st = engineState(vm);
-  JitCode* raw = jc.get();
-  {
-    std::lock_guard<std::mutex> lock(st.mutex);
-    st.jit_codes.push_back(std::move(jc));
-  }
-  m->jitcode.store(raw, std::memory_order_release);
-  return raw;
+  jc->approx_bytes = jitCodeFootprint(*jc);
+  // Built, not installed: publication is the cache's job (installJitCode,
+  // code_cache.cpp) so the entry flips only at a mutator drain point.
+  return jc;
 #endif  // IJVM_DISABLE_JIT
 }
 
-}  // namespace
+size_t jitCodeFootprint(const JitCode& jc) {
+  return sizeof(JitCode) + jc.code.capacity() * sizeof(MInsn) +
+         jc.slot_of_pc.capacity() * sizeof(i32) +
+         jc.osr_entries.size() * sizeof(OsrEntry);
+}
 
 // ---- public API -------------------------------------------------------
 
@@ -1446,6 +1505,18 @@ namespace {
 // header's logical depth -- becomes the low slice of the raw GC-scanned
 // region, exactly the state the deopt machinery produces in reverse.
 bool runJitOsr(VM& vm, JThread* t, Frame& frame, JitCode& jc, JitResult* out) {
+  // A refused transfer (compiled code exists, but the live frame cannot
+  // enter it here) is the observability tail the ROADMAP called out:
+  // count it per method and per isolate (ResourceStats) instead of
+  // silently interpreting on.
+  auto refuse = [&]() {
+    jc.qc->osr_refused_transfers.fetch_add(1, std::memory_order_relaxed);
+    if (frame.isolate != nullptr) {
+      frame.isolate->stats.osr_refused_transfers.fetch_add(
+          1, std::memory_order_relaxed);
+    }
+    return false;
+  };
   const OsrEntry* osr = nullptr;
   for (const OsrEntry& e : jc.osr_entries) {
     if (e.pc == frame.pc) {
@@ -1453,13 +1524,24 @@ bool runJitOsr(VM& vm, JThread* t, Frame& frame, JitCode& jc, JitResult* out) {
       break;
     }
   }
-  if (osr == nullptr) return false;
+  // No entry mapping this loop header: the header was statically
+  // unreachable (or uncompiled) when the code was built -- e.g. it sits
+  // behind a call site that was still cold at compile time.
+  if (osr == nullptr) return refuse();
   // Entry-map invariant (docs/jit.md): the live operand stack must be at
   // the header's verified depth -- the depth the compiled code's raw
   // stack pointer assumes when control reaches that thunk. A mismatch
   // means the frame cannot be expressed in compiled form; refuse and keep
   // interpreting.
-  if (static_cast<i32>(frame.stack.size()) != osr->depth) return false;
+  if (static_cast<i32>(frame.stack.size()) != osr->depth) return refuse();
+
+  // Active-execution bracket (docs/jit.md, "Code lifecycle"): between the
+  // caller's JMethod::jitcode load and this increment there is no
+  // safepoint poll, so a stopped world -- the only place retired code is
+  // freed -- can never catch a frame about to enter code whose count it
+  // reads as zero.
+  jc.active.fetch_add(1, std::memory_order_acq_rel);
+  jc.uses.fetch_add(1, std::memory_order_relaxed);
 
   JitCtx cx{vm, t, frame, jc};
   cx.accounting = vm.options().accounting;
@@ -1476,6 +1558,7 @@ bool runJitOsr(VM& vm, JThread* t, Frame& frame, JitCode& jc, JitResult* out) {
   flushEdges(cx);
   if (cx.exit != JitExit::Deopt) frame.stack.clear();
   *out = {cx.exit, cx.result};
+  jc.active.fetch_sub(1, std::memory_order_acq_rel);
   return true;
 }
 
@@ -1512,24 +1595,35 @@ bool tryOsr(VM& vm, JThread* t, Frame& frame, QCode& qc, bool& requested,
     if (requested || qc.jit_ineligible.load(std::memory_order_relaxed)) {
       return false;
     }
-    const u64 hot = m->profile_invocations.load(std::memory_order_relaxed) +
-                    m->profile_loop_edges.load(std::memory_order_relaxed);
-    if (hot <= vm.options().jit_threshold) return false;
+    if (effectiveJitHotness(m) <= vm.options().jit_threshold) return false;
     requested = true;
     enqueueForJit(vm, m);
     drainJitQueue(vm);
     jc = jitCodeOf(m);
+    // With background compilation the request is now in flight: the
+    // worker builds off-thread and a later flush of this same spinning
+    // frame installs the result and transfers onto it. The latch keeps
+    // the in-between flushes from re-requesting.
     if (jc == nullptr) return false;
-    // Produced code: clear the latch so a later deopt of *this* code may
-    // recompile (each recompile covers strictly more of the stream; the
-    // kMaxJitDeopts pin bounds the cycle -- docs/jit.md).
-    requested = false;
   }
+  // Code exists -- produced synchronously just now, installed at an
+  // earlier drain of this flush loop from a background build this
+  // invocation requested, or compiled before the call began. Clear the
+  // latch so a later deopt of *this* code may recompile (each recompile
+  // covers strictly more of the stream; the kMaxJitDeopts pin bounds the
+  // cycle -- docs/jit.md).
+  requested = false;
   return runJitOsr(vm, t, frame, *jc, out);
 #endif  // IJVM_DISABLE_JIT || IJVM_DISABLE_OSR
 }
 
 JitResult runJit(VM& vm, JThread* t, Frame& frame, JitCode& jc) {
+  // Active-execution bracket: see runJitOsr. The increment must precede
+  // the first poll inside this call (pollJit below), so a stopped world
+  // observes either no entry at all or a nonzero count.
+  jc.active.fetch_add(1, std::memory_order_acq_rel);
+  jc.uses.fetch_add(1, std::memory_order_relaxed);
+
   JitCtx cx{vm, t, frame, jc};
   cx.accounting = vm.options().accounting;
   cx.tcm_idx =
@@ -1556,7 +1650,17 @@ JitResult runJit(VM& vm, JThread* t, Frame& frame, JitCode& jc) {
     // Drop the scratch region so the pooled frame is left clean.
     frame.stack.clear();
   }
+  jc.active.fetch_sub(1, std::memory_order_acq_rel);
   return {cx.exit, cx.result};
+}
+
+u64 effectiveJitHotness(JMethod* m) {
+  const u64 raw = m->profile_invocations.load(std::memory_order_relaxed) +
+                  m->profile_loop_edges.load(std::memory_order_relaxed);
+  auto* qc = static_cast<QCode*>(m->qcode.load(std::memory_order_acquire));
+  if (qc == nullptr) return raw;
+  const u64 floor = qc->jit_hotness_floor.load(std::memory_order_relaxed);
+  return raw > floor ? raw - floor : 0;
 }
 
 void enqueueForJit(VM& vm, JMethod* m) {
@@ -1574,7 +1678,33 @@ void enqueueForJit(VM& vm, JMethod* m) {
     return;
   }
   if (qc->jit_queued.exchange(true, std::memory_order_acq_rel)) return;
+  // Post-deopt re-request observability (ResourceStats): this method
+  // already deopted at least once, so the request we just latched is part
+  // of the deopt -> requicken -> recompile cycle.
+  if (qc->jit_deopts.load(std::memory_order_relaxed) > 0) {
+    qc->jit_recompile_requests.fetch_add(1, std::memory_order_relaxed);
+    if (Isolate* iso = m->owner->loader->isolate()) {
+      iso->stats.jit_recompile_requests.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
   ExecState& st = engineState(vm);
+#ifndef IJVM_DISABLE_BG_COMPILE
+  if (vm.options().background_compile) {
+    // Hand the request to the compiler thread (docs/jit.md, "Code
+    // lifecycle"): the mutator keeps running the fused tier and installs
+    // the finished code at a later drain point.
+    CompileManager* mgr;
+    {
+      std::lock_guard<std::mutex> lock(st.mutex);
+      if (st.compile_mgr == nullptr) {
+        st.compile_mgr = std::make_unique<CompileManager>(vm);
+      }
+      mgr = st.compile_mgr.get();
+    }
+    mgr->enqueue(m);
+    return;
+  }
+#endif  // IJVM_DISABLE_BG_COMPILE
   std::lock_guard<std::mutex> lock(st.mutex);
   st.jit_queue.push_back(m);
   st.jit_pending.store(true, std::memory_order_release);
@@ -1584,9 +1714,9 @@ void enqueueLoaderForJit(VM& vm, ClassLoader* loader, u64 min_hotness) {
   if (loader == nullptr || vm.options().exec_engine != ExecEngine::Jit) return;
   for (JClass* cls : loader->definedClasses()) {
     for (JMethod& m : cls->methods) {
-      const u64 hot = m.profile_invocations.load(std::memory_order_relaxed) +
-                      m.profile_loop_edges.load(std::memory_order_relaxed);
-      if (hot > min_hotness) enqueueForJit(vm, &m);
+      // Hotness above the demotion floor: a bundle the governor demoted
+      // must earn fresh heat before its PromoteJit rule re-compiles it.
+      if (effectiveJitHotness(&m) > min_hotness) enqueueForJit(vm, &m);
     }
   }
 }
@@ -1594,13 +1724,19 @@ void enqueueLoaderForJit(VM& vm, ClassLoader* loader, u64 min_hotness) {
 u32 drainJitQueue(VM& vm) {
   ExecState& st = engineState(vm);
   std::vector<JMethod*> todo;
+  CompileManager* mgr;
   {
     std::lock_guard<std::mutex> lock(st.mutex);
     todo.assign(st.jit_queue.begin(), st.jit_queue.end());
     st.jit_queue.clear();
     st.jit_pending.store(false, std::memory_order_release);
+    mgr = st.compile_mgr.get();
   }
   u32 compiled = 0;
+  // Install whatever the background compiler finished (this is the
+  // safepoint-coordinated install point: we are a mutator between polls,
+  // so a stop-the-world poisoning pass can never interleave).
+  if (mgr != nullptr) compiled += mgr->installReady();
   for (JMethod* m : todo) {
     // Promotion requests are idempotent per method: the governor re-fires
     // its hot-loop action on every tick a bundle stays hot, and a spinning
@@ -1608,9 +1744,11 @@ u32 drainJitQueue(VM& vm) {
     // a stale entry for a method that is already compiled (or was poisoned
     // after it was queued) must not rebuild or resurrect its JitCode.
     if (m->jitcode.load(std::memory_order_acquire) == nullptr &&
-        !m->poisoned.load(std::memory_order_acquire) &&
-        compileMethod(vm, m) != nullptr) {
-      ++compiled;
+        !m->poisoned.load(std::memory_order_acquire)) {
+      if (auto built = buildJitCode(vm, m);
+          built != nullptr && installJitCode(vm, std::move(built))) {
+        ++compiled;
+      }
     }
     if (auto* qc = static_cast<QCode*>(m->qcode.load(std::memory_order_acquire))) {
       qc->jit_queued.store(false, std::memory_order_release);
@@ -1667,6 +1805,11 @@ std::string disasmJit(VM& vm, JMethod* m) {
       const auto* f = static_cast<const JField*>(mi.ptr);
       operands = strf("%s.%s slot=%d imm=%d", f->owner->name.c_str(),
                       f->name.c_str(), mi.c, mi.a);
+    } else if (mi.name == std::string("GETFIELD_ARITH_J") ||
+               mi.name == std::string("ALOAD_GETFIELD_ARITH_J")) {
+      const auto* f = static_cast<const JField*>(mi.ptr);
+      operands = strf("%s.%s slot=%d", f->owner->name.c_str(),
+                      f->name.c_str(), mi.c);
     } else if (mi.fn == op_aload_getfield || mi.fn == op_getfield_q ||
                mi.fn == op_putfield_q || mi.fn == op_getstatic_q ||
                mi.fn == op_putstatic_q) {

@@ -81,7 +81,16 @@ bool tryOsr(VM& vm, JThread* t, Frame& frame, QCode& qc, bool& requested,
 // ---- the promote-to-JIT queue ----
 // Enqueues one method (no-op unless the VM runs ExecEngine::Jit, the
 // method has a quickened stream and is not already compiled/ineligible).
+// With VmOptions::background_compile the request goes to the dedicated
+// compiler thread (exec/compile_manager.h) and the finished code is
+// installed at a later drain point; otherwise drainJitQueue compiles it
+// synchronously.
 void enqueueForJit(VM& vm, JMethod* m);
+
+// The method's hotness (profile invocations + loop back-edges) above its
+// demotion re-heat floor (QCode::jit_hotness_floor; docs/jit.md, "Code
+// lifecycle") -- the quantity every promotion threshold compares against.
+u64 effectiveJitHotness(JMethod* m);
 // Governor action (docs/governor.md): enqueues every method defined by
 // `loader` whose profile counters exceed `min_hotness`.
 void enqueueLoaderForJit(VM& vm, ClassLoader* loader, u64 min_hotness);

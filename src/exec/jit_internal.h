@@ -1,0 +1,149 @@
+// Tier-3 internals shared by the compiler (jit.cpp), the bounded code
+// cache (code_cache.cpp) and the background compile manager
+// (compile_manager.cpp). Everything here is private to src/exec; the
+// public surface is jit.h / code_cache.h / compile_manager.h.
+//
+// Lifecycle (docs/jit.md, "Code lifecycle"): a JitCode is Built off to the
+// side (no publication), Installed by storing it into JMethod::jitcode at
+// a mutator drain point, and later *uninstalled* -- either demoted (budget
+// pressure or GovernorAction::DemoteJit; poison-free, the method falls
+// back to the fused tier and may recompile once re-heated past
+// QCode::jit_hotness_floor) or invalidated by a deopt. Uninstalled code is
+// Retired, not freed: frames may still be executing it. It is erased from
+// the ExecState arena by sweepRetiredJitCode, which runs under
+// stop-the-world and only frees entries whose active-execution count is
+// zero -- a thread between loading JMethod::jitcode and bumping `active`
+// crosses no safepoint poll, so a stopped world cannot park a thread
+// inside that window.
+#pragma once
+
+#include <atomic>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "bytecode/opcodes.h"
+#include "support/common.h"
+
+namespace ijvm {
+class VM;
+struct JMethod;
+}  // namespace ijvm
+
+namespace ijvm::exec {
+
+struct MInsn;
+struct JitCtx;
+struct QCode;
+struct QInsn;
+
+// A thunk returns its successor, or null to leave compiled code (the exit
+// reason is in JitCtx::exit).
+using JitHandler = const MInsn* (*)(JitCtx&, const MInsn&);
+
+// One call-threaded thunk: a pre-bound handler plus resolved operands.
+// `next` / `target` are the pre-linked successors; `pc` is the original
+// instruction index of the (group) head, used for exception dispatch and
+// deopt; `q` is the source quickened instruction, through which compiled
+// code shares inline-cache slots with the interpreter tiers.
+struct MInsn {
+  JitHandler fn = nullptr;
+  i32 a = 0, b = 0, c = 0;
+  i32 pc = 0;
+  i32 tpc = -1;  // branch target as an original pc (back-edge iff <= pc)
+  const MInsn* next = nullptr;
+  const MInsn* target = nullptr;
+  void* ptr = nullptr;
+  i64 imm = 0;
+  double dimm = 0.0;
+  QInsn* q = nullptr;
+  Op src_op = Op::NOP;    // opcode this thunk was compiled from
+  const char* name = "";  // display name for disasmJit
+};
+
+// One on-stack-replacement entry point (docs/jit.md, "On-stack
+// replacement"): for each loop header (back-edge target) the compiler
+// records the header's verified operand-stack depth and an entry thunk
+// that runs the method-entry poll, then falls into the header's body
+// thunk. `entry` is a patchable pointer exactly like JitCode::entry --
+// isolate termination swaps in the poisoned-OSR thunk, so a dying
+// bundle's spinning frame cannot transfer onto compiled code through a
+// loop-header side door.
+struct OsrEntry {
+  i32 pc = -1;    // loop-header pc in the original stream
+  i32 depth = 0;  // verified operand-stack depth at the header
+  MInsn thunk;    // fn = op_osr_enter; target = the header's body thunk
+  std::atomic<const MInsn*> entry{nullptr};
+};
+
+// Where a JitCode stands in the compile -> install -> retire -> reclaim
+// state machine. Transitions: Built -> Installed (installJitCode),
+// Installed -> Retired (demotion or deopt invalidation; exactly one
+// winner via compare-exchange). A build dropped at install (method
+// poisoned or already compiled) dies *as Built*: never published, it is
+// freed on the spot without a state transition. Retired entries are
+// erased by sweepRetiredJitCode once `active` is zero.
+enum class JitLife : u8 { Built, Installed, Retired };
+
+struct JitCode {
+  JMethod* method = nullptr;
+  QCode* qc = nullptr;
+  std::vector<MInsn> code;      // slot 0 = pc 0; stable after build
+  MInsn exn;                    // shared exception-dispatch thunk
+  std::vector<i32> slot_of_pc;  // pc -> slot, -1 for group interiors
+  // OSR entries, one per compiled loop header (deque: OsrEntry holds an
+  // atomic and must never move once its thunk pointers are linked).
+  std::deque<OsrEntry> osr_entries;
+  u32 max_stack = 0;
+  // The patchable entry point (docs/jit.md): normally &code[0]; isolate
+  // termination swaps in the poisoned-entry thunk under stop-the-world.
+  std::atomic<const MInsn*> entry{nullptr};
+  std::atomic<bool> invalidated{false};
+
+  // ---- code-cache bookkeeping (code_cache.cpp) ----
+  std::atomic<JitLife> life{JitLife::Built};
+  // Frames currently executing this code (runJit / runJitOsr bracket the
+  // dispatch loop). Guards reclamation: retired code is only freed when
+  // this is zero under stop-the-world.
+  std::atomic<u32> active{0};
+  // Compiled entries taken since the cache last drained it; feeds the
+  // hotness-decayed usage score that picks demotion victims.
+  std::atomic<u64> uses{0};
+  // Approximate resident footprint, fixed at build time.
+  size_t approx_bytes = 0;
+};
+
+// Byte estimate used for cache accounting (thunks + pc map + OSR entries
+// + the struct itself), computed once when the build finishes.
+size_t jitCodeFootprint(const JitCode& jc);
+
+// Compiles `m` from its current quickened/fused stream into an
+// *unpublished* JitCode (life == Built, JMethod::jitcode untouched).
+// Returns null -- and possibly pins the method jit-ineligible -- when the
+// method cannot be compiled. Safe to call from the background compiler
+// thread: the quickened stream is snapshotted under the engine mutex
+// before any of it is read.
+std::unique_ptr<JitCode> buildJitCode(VM& vm, JMethod* m);
+
+// Publishes a built JitCode: accounts it in the CodeCache, stores it into
+// JMethod::jitcode (release), clears the method's jit_queued latch and
+// enforces the code-cache budget (which may demote colder methods).
+// Returns false -- and frees the never-published code immediately -- when
+// the method was poisoned or compiled by someone else since the build
+// started. Must run on a mutator thread (or with the world to itself):
+// installation is what makes the entry flip safepoint-coordinated with
+// poisoning.
+bool installJitCode(VM& vm, std::unique_ptr<JitCode> built);
+
+// Installed -> Retired (exactly-once via the life compare-exchange):
+// un-patches JMethod::jitcode and moves the footprint from installed to
+// retired accounting. `deopt` distinguishes deopt invalidation from
+// demotion in the cache counters. With `raise_floor` (demotion), the
+// winner stores the method's re-heat floor *between* winning the race
+// and un-patching the entry, so the next invocation of the demoted
+// method always sees the floor -- and a demote that loses the race to a
+// concurrent deopt leaves the floor untouched (deopt recompiles must not
+// be gated). Returns false if someone else already retired it.
+bool retireJitCode(JitCode& jc, bool deopt, bool raise_floor = false);
+
+}  // namespace ijvm::exec

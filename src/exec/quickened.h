@@ -87,6 +87,8 @@ struct QInsn {
 };
 
 struct ExecState;
+class CodeCache;       // exec/code_cache.h: bounded compiled-code cache
+class CompileManager;  // exec/compile_manager.h: background compiler thread
 
 // A method's rewritten instruction stream; 1:1 with code.insns (same
 // indices, same branch targets, same exception-handler ranges). A hot
@@ -120,11 +122,13 @@ struct QCode {
   std::atomic<u32> fused_groups{0};  // total groups fused, for reporting
 
   // Tier-3 (baseline JIT, exec/jit.cpp) bookkeeping. A method sits in the
-  // promote-to-JIT queue at most once (jit_queued); every deopt bumps
-  // jit_deopts, and past kMaxJitDeopts the method is pinned ineligible and
-  // stays at the fused tier forever -- each recompile covers strictly more
-  // quickened instructions than the last, so an eligible method converges
-  // well before the cap (docs/jit.md).
+  // promote-to-JIT queue at most once (jit_queued; the latch holds while a
+  // background compile is in flight and clears when the finished code is
+  // installed or dropped); every deopt bumps jit_deopts, and past
+  // kMaxJitDeopts the method is pinned ineligible and stays at the fused
+  // tier forever -- each recompile covers strictly more quickened
+  // instructions than the last, so an eligible method converges well
+  // before the cap (docs/jit.md).
   std::atomic<bool> jit_queued{false};
   std::atomic<bool> jit_ineligible{false};
   std::atomic<u32> jit_deopts{0};
@@ -132,6 +136,20 @@ struct QCode {
   // runJitOsr): the observable "a single invocation transitioned fused ->
   // compiled mid-call" counter, asserted by tests/test_osr.cpp.
   std::atomic<u32> osr_entries_taken{0};
+  // Re-heat gate written by demotion (docs/jit.md, "Code lifecycle"): the
+  // method's raw hotness at the moment its compiled code was demoted.
+  // Promotion checks use hotness *above this floor*, so a demoted method
+  // must earn jit_threshold fresh invocations/back-edges before it
+  // recompiles instead of bouncing straight back into the cache it was
+  // just evicted from.
+  std::atomic<u64> jit_hotness_floor{0};
+  // OSR tail observability (mirrored per-isolate in ResourceStats):
+  // transfers refused while compiled code existed (no entry mapping the
+  // flushed loop header, or the live operand depth mismatched the entry
+  // map), and promotion requests re-fired after this method deopted at
+  // least once.
+  std::atomic<u32> osr_refused_transfers{0};
+  std::atomic<u32> jit_recompile_requests{0};
 };
 
 inline constexpr u32 kMaxJitDeopts = 8;
@@ -151,14 +169,27 @@ struct ExecState {
   std::deque<std::unique_ptr<StaticIC>> static_ics;
 
   // Promote-to-JIT queue (guarded by mutex; jit_pending is the lock-free
-  // "anything to do?" flag the dispatch loop checks at method entry). Fed
-  // by the engine's own hotness check and by the governor's PromoteJit
-  // action; drained by exec::drainJitQueue. Compiled code is arena-owned
-  // like everything else here: invalidated JitCodes are never freed, so a
-  // thread still executing one stays valid.
+  // "anything to do?" flag the dispatch loop checks at method entry and at
+  // the back-edge batch flush). Fed by the engine's own hotness check and
+  // by the governor's PromoteJit action; drained by exec::drainJitQueue.
+  // With background compilation the queue holds only synchronous-mode
+  // requests -- background requests go to the CompileManager, whose
+  // finished code raises jit_pending so the mutator installs it at its
+  // next drain point (docs/jit.md, "Code lifecycle").
   std::deque<JMethod*> jit_queue;
   std::atomic<bool> jit_pending{false};
+  // Compiled-code arena. Installed and retired JitCodes live here; unlike
+  // the IC arenas this one is *bounded*: the CodeCache moves demoted and
+  // deopt-invalidated entries to a retired set, and
+  // exec::sweepRetiredJitCode erases them -- under stop-the-world, once no
+  // frame still executes them -- so compiled code is a managed, revocable
+  // resource rather than a one-way promotion.
   std::deque<std::unique_ptr<JitCode>> jit_codes;
+
+  // Declared last so they are destroyed first: the CompileManager's worker
+  // joins while the rest of this state (mutex, arenas) is still alive.
+  std::unique_ptr<CodeCache> code_cache;
+  std::unique_ptr<CompileManager> compile_mgr;
 };
 
 inline constexpr const char* kStateKey = "exec.state";

@@ -62,6 +62,23 @@ struct ResourceStats {
   // and by future compilation tiers; zero under the classic interpreter.
   std::atomic<u64> method_invocations{0};
   std::atomic<u64> loop_back_edges{0};
+
+  // Tier-3 compiled-code lifecycle counters (docs/jit.md, "Code
+  // lifecycle"), charged to the isolate whose loader defines the method.
+  // jit_code_bytes is the non-monotonic current footprint of *installed*
+  // compiled code; it rises on install and falls on demotion or
+  // deopt-invalidation, so a bounded code cache shows up here as a
+  // bounded number even while compile/demote churn continues.
+  std::atomic<u64> jit_methods_compiled{0};
+  std::atomic<u64> jit_methods_demoted{0};
+  std::atomic<i64> jit_code_bytes{0};
+  // OSR tail observability (docs/jit.md, "On-stack replacement"): transfers
+  // refused with compiled code present (no entry mapped at the flushed
+  // loop header, or the live operand depth mismatched the entry map), and
+  // promote-to-JIT requests re-fired for a method that already deopted at
+  // least once (the post-deopt recompile cycle).
+  std::atomic<u64> osr_refused_transfers{0};
+  std::atomic<u64> jit_recompile_requests{0};
 };
 
 enum class IsolateState : u8 { Active, Terminating, Dead };

@@ -120,6 +120,11 @@ class JThread {
   // Temporary roots for C++ code holding guest references outside any
   // frame (see LocalRootScope). Scanned by the GC, charged to the current
   // isolate.
+  // Guarded by extra_roots_mutex: LocalRootScope mutates this from host
+  // C++ threads that are not Running guests -- a stop-the-world does not
+  // park them, so the GC's root scan must serialize with the scope's
+  // push/unwind through the lock rather than through safepoints.
+  std::mutex extra_roots_mutex;
   std::vector<Object*> extra_roots;
 
   std::atomic<bool> interrupted{false};

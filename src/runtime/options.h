@@ -65,6 +65,24 @@ struct VmOptions {
   // compile the path out with -DIJVM_DISABLE_OSR (parity with the
   // -DIJVM_DISABLE_JIT / -DIJVM_DISABLE_FUSION tier switches).
   bool osr = true;
+  // Background compilation (docs/jit.md, "Code lifecycle"): promote-to-JIT
+  // requests are drained by a dedicated compiler thread
+  // (exec/compile_manager.cpp) and finished code is installed by the
+  // mutator at its next safepoint-coordinated drain point (method entry or
+  // back-edge batch flush) -- the mutator never blocks on a compile, it
+  // keeps running the fused tier until the entry flips. false compiles
+  // synchronously at the drain point (deterministic: code is installed the
+  // moment the request is drained -- the configuration the tier tests
+  // pin). Compile the thread out entirely with -DIJVM_DISABLE_BG_COMPILE.
+  bool background_compile = true;
+  // Bound on installed tier-3 compiled-code bytes (docs/jit.md, "Code
+  // lifecycle"). When an install pushes the code cache past the budget,
+  // the coldest compiled methods are *demoted* -- entry un-patched, method
+  // back to the fused tier, code reclaimed once no frame executes it --
+  // until the cache fits. 0 = unlimited. The default is generous: demotion
+  // is for churny multi-bundle platforms whose compiled working set keeps
+  // drifting, not for steady-state services.
+  size_t code_cache_budget = 8u << 20;
 
   // Bytes allocated since the previous collection that trigger a GC.
   size_t gc_threshold = 8u << 20;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "exec/code_cache.h"
+#include "exec/compile_manager.h"
 #include "exec/jit.h"
 #include "heap/object.h"
 #include "support/strf.h"
@@ -43,12 +45,21 @@ bool JThread::awaitDone(JThread* waiter, i64 millis) {
 
 // --------------------------------------------------------------- NativeCtx
 
-LocalRootScope::LocalRootScope(JThread* t) : t_(t), base_(t->extra_roots.size()) {}
+LocalRootScope::LocalRootScope(JThread* t) : t_(t) {
+  std::lock_guard<std::mutex> lock(t_->extra_roots_mutex);
+  base_ = t_->extra_roots.size();
+}
 
-LocalRootScope::~LocalRootScope() { t_->extra_roots.resize(base_); }
+LocalRootScope::~LocalRootScope() {
+  std::lock_guard<std::mutex> lock(t_->extra_roots_mutex);
+  t_->extra_roots.resize(base_);
+}
 
 Object* LocalRootScope::add(Object* obj) {
-  if (obj != nullptr) t_->extra_roots.push_back(obj);
+  if (obj != nullptr) {
+    std::lock_guard<std::mutex> lock(t_->extra_roots_mutex);
+    t_->extra_roots.push_back(obj);
+  }
   return obj;
 }
 
@@ -73,6 +84,10 @@ VM::VM(VmOptions options)
 
 VM::~VM() {
   shutdownAllThreads();
+  // Stop the background compiler first: its worker references engine state
+  // and the class registry, both of which outlive the extension table that
+  // owns it, but joining here keeps teardown ordering obvious.
+  exec::shutdownCompileManager(*this);
   sampler_stop_.store(true, std::memory_order_release);
   if (sampler_.joinable()) sampler_.join();
   // Join spawned guest threads (they unwind via force_kill).
@@ -212,8 +227,15 @@ JThread* VM::spawnThread(JThread* caller, Object* thread_obj,
     creator->stats.live_threads.fetch_sub(1, std::memory_order_relaxed);
     live_spawned_threads_.fetch_sub(1, std::memory_order_relaxed);
     t->state.store(ThreadState::Dead, std::memory_order_release);
-    t->dropAllFrames();
-    t->thread_object = nullptr;
+    {
+      // The GC scans thread frames and root pointers under threads_mutex_
+      // (enumerateRoots), and a dying thread is not Running, so a
+      // stop-the-world does not wait for it -- serialize the teardown
+      // with the scan instead of racing it.
+      std::lock_guard<std::mutex> lock(threads_mutex_);
+      t->dropAllFrames();
+      t->thread_object = nullptr;
+    }
     t->markDone();
   });
   return t;
@@ -557,9 +579,14 @@ void VM::enumerateRoots(const RootSink& sink) {
       sink(t->pending_exception,
            t->current_isolate.load(std::memory_order_relaxed)->id);
     }
-    for (Object* o : t->extra_roots) {
-      if (o != nullptr) {
-        sink(o, t->current_isolate.load(std::memory_order_relaxed)->id);
+    {
+      // Host C++ threads mutate extra_roots without being parked by the
+      // stop-the-world (see JThread::extra_roots_mutex).
+      std::lock_guard<std::mutex> roots_lock(t->extra_roots_mutex);
+      for (Object* o : t->extra_roots) {
+        if (o != nullptr) {
+          sink(o, t->current_isolate.load(std::memory_order_relaxed)->id);
+        }
       }
     }
     for (size_t fi = 0; fi < t->frames_active; ++fi) {
@@ -601,6 +628,15 @@ GcStats VM::collectGarbage(JThread* requester, Isolate* trigger) {
   if (options_.accounting && trigger != nullptr) {
     trigger->stats.gc_activations.fetch_add(1, std::memory_order_relaxed);
   }
+
+  // The world is already stopped: reclaim retired tier-3 code (demoted or
+  // deopt-invalidated, and no frame still executing it) while the
+  // active-execution counts cannot change (docs/jit.md, "Code
+  // lifecycle"). Runs *before* this collection's Dead-marking below, so a
+  // killed isolate's poisoned code is retired only by the GC *after* the
+  // one that declared it Dead -- the patched entries of a just-killed
+  // bundle stay observable through the kill itself, deterministically.
+  exec::sweepRetiredJitCode(*this);
 
   // Terminating isolates become Dead once no object of their classes
   // survives (paper section 3.3 last paragraph).
@@ -753,6 +789,12 @@ IsolateReport VM::reportFor(Isolate* iso) {
   r.calls_in = s.calls_in.load(std::memory_order_relaxed);
   r.method_invocations = s.method_invocations.load(std::memory_order_relaxed);
   r.loop_back_edges = s.loop_back_edges.load(std::memory_order_relaxed);
+  r.jit_methods_compiled = s.jit_methods_compiled.load(std::memory_order_relaxed);
+  r.jit_methods_demoted = s.jit_methods_demoted.load(std::memory_order_relaxed);
+  r.jit_code_bytes = s.jit_code_bytes.load(std::memory_order_relaxed);
+  r.osr_refused_transfers = s.osr_refused_transfers.load(std::memory_order_relaxed);
+  r.jit_recompile_requests =
+      s.jit_recompile_requests.load(std::memory_order_relaxed);
   return r;
 }
 

@@ -63,6 +63,11 @@ struct IsolateReport {
   u64 calls_in = 0;
   u64 method_invocations = 0;
   u64 loop_back_edges = 0;
+  u64 jit_methods_compiled = 0;
+  u64 jit_methods_demoted = 0;
+  i64 jit_code_bytes = 0;
+  u64 osr_refused_transfers = 0;
+  u64 jit_recompile_requests = 0;
 };
 
 class VM {

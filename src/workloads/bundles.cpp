@@ -123,6 +123,7 @@ BundleDescriptor makeMicroBundle(const std::string& bundle_name) {
   desc.symbolic_name = bundle_name;
   ClassBuilder cb("micro/Bench");
   cb.field("counter", "I", ACC_PUBLIC | ACC_STATIC);
+  cb.field("val", "I", ACC_PUBLIC);
 
   {
     auto& m = cb.method("allocMany", "(I)I", ACC_PUBLIC | ACC_STATIC);
@@ -151,6 +152,22 @@ BundleDescriptor makeMicroBundle(const std::string& bundle_name) {
     m.bind(loop).iload(1).iload(0).ifIcmpGe(done);
     m.iload(2).iload(1).ixor().istore(2);
     m.iinc(1, 1).gotoLabel(loop);
+    m.bind(done).iload(2).ireturn();
+  }
+  {
+    // Instance-field read feeding arithmetic in the loop body
+    // (`s += o.val` as ILOAD s; ALOAD o; GETFIELD val; IADD; ISTORE s):
+    // the tier-2 ALOAD+GETFIELD fusion and the tier-3 field-load+arith
+    // peephole stack on this shape (bench/fig1_micro.cpp, docs/jit.md).
+    auto& m = cb.method("fieldSum", "(I)I", ACC_PUBLIC | ACC_STATIC);
+    Label loop = m.newLabel(), done = m.newLabel();
+    m.newDefault("micro/Bench").astore(1);
+    m.aload(1).iconst(3).putfield("micro/Bench", "val", "I");
+    m.iconst(0).istore(2);
+    m.iconst(0).istore(3);
+    m.bind(loop).iload(3).iload(0).ifIcmpGe(done);
+    m.iload(2).aload(1).getfield("micro/Bench", "val", "I").iadd().istore(2);
+    m.iinc(3, 1).gotoLabel(loop);
     m.bind(done).iload(2).ireturn();
   }
   desc.classes.push_back(cb.build());

@@ -63,6 +63,10 @@ void applyTier(VmOptions& opts, Tier t) {
   opts.fusion = t != Tier::FusionOff;
   opts.fusion_threshold = 0;
   opts.jit_threshold = 0;
+  // The fixed matrix pins deterministic tier transitions (compile at the
+  // second entry); the randomized harness below sweeps the background
+  // compiler and the code-cache budget on top.
+  opts.background_compile = false;
 }
 
 // ---- spec workloads: checksums + per-isolate charges ----
@@ -397,13 +401,16 @@ INSTANTIATE_TEST_SUITE_P(AllAttacks, AttackEquivalence, ::testing::Range(0, 8),
 
 // ---- randomized cross-tier differential harness ----
 // The fixed matrix above forces each tier on/off with thresholds at 0; the
-// harness below sweeps the full 5-way configuration space the tier ladder
-// actually ships -- fusion on/off x jit on/off x osr on/off x
-// fusion/jit thresholds in {1, default, huge} -- under a seeded generator,
-// so promotion can happen at entry, mid-invocation via OSR, partially, or
-// not at all, in randomized combinations. Every config must be observably
-// identical to the classic interpreter. Reproduce a failure by feeding the
-// printed seed to configFromSeed().
+// harness below sweeps the full configuration space the tier ladder
+// actually ships -- fusion on/off x jit on/off x osr on/off x fusion/jit
+// thresholds in {1, default, huge} x background compilation on/off x
+// code-cache budget in {tiny, unlimited} -- under a seeded generator, so
+// promotion can happen at entry, mid-invocation via OSR, asynchronously
+// from the compiler thread, partially, or not at all, and compiled code
+// can be demoted out from under a hot method at any install -- in
+// randomized combinations. Every config must be observably identical to
+// the classic interpreter. Reproduce a failure by feeding the printed
+// seed to configFromSeed().
 
 struct RandomTierConfig {
   bool fusion = true;
@@ -411,14 +418,19 @@ struct RandomTierConfig {
   bool osr = true;
   u64 fusion_threshold = 0;
   u64 jit_threshold = 0;
+  bool background = false;
+  size_t cache_budget = 0;  // 0 = unlimited
 
   std::string describe() const {
     auto th = [](u64 v) {
       return v == ~0ull ? std::string("huge") : strf("%llu", (unsigned long long)v);
     };
-    return strf("fusion=%d jit=%d osr=%d fusion_threshold=%s jit_threshold=%s",
-                fusion ? 1 : 0, jit ? 1 : 0, osr ? 1 : 0,
-                th(fusion_threshold).c_str(), th(jit_threshold).c_str());
+    return strf(
+        "fusion=%d jit=%d osr=%d fusion_threshold=%s jit_threshold=%s "
+        "background=%d cache_budget=%s",
+        fusion ? 1 : 0, jit ? 1 : 0, osr ? 1 : 0, th(fusion_threshold).c_str(),
+        th(jit_threshold).c_str(), background ? 1 : 0,
+        cache_budget == 0 ? "unlimited" : strf("%zu", cache_budget).c_str());
   }
 };
 
@@ -426,12 +438,18 @@ RandomTierConfig configFromSeed(u64 seed) {
   Rng rng(seed);
   constexpr u64 kFusionThresholds[] = {1, 256, ~0ull};   // {1, default, huge}
   constexpr u64 kJitThresholds[] = {1, 2048, ~0ull};
+  // Tiny = smaller than a single compiled method, so every install
+  // overflows and demotes (maximum compile/demote churn); unlimited
+  // exercises the steady state.
+  constexpr size_t kCacheBudgets[] = {1024, 0};
   RandomTierConfig c;
   c.fusion = rng.nextBounded(2) == 1;
   c.jit = rng.nextBounded(2) == 1;
   c.osr = rng.nextBounded(2) == 1;
   c.fusion_threshold = kFusionThresholds[rng.nextBounded(3)];
   c.jit_threshold = kJitThresholds[rng.nextBounded(3)];
+  c.background = rng.nextBounded(2) == 1;
+  c.cache_budget = kCacheBudgets[rng.nextBounded(2)];
   return c;
 }
 
@@ -441,6 +459,8 @@ void applyConfig(VmOptions& opts, const RandomTierConfig& c) {
   opts.osr = c.osr;
   opts.fusion_threshold = c.fusion_threshold;
   opts.jit_threshold = c.jit_threshold;
+  opts.background_compile = c.background;
+  opts.code_cache_budget = c.cache_budget;
 }
 
 // CI requirement: at least 200 seeded configurations pass.

@@ -36,6 +36,11 @@ VmOptions jitOptions() {
   opts.exec_engine = ExecEngine::Jit;
   opts.fusion_threshold = 0;
   opts.jit_threshold = 0;  // compile at the first warmed+fused entry
+  // Synchronous compiles (docs/jit.md, "Code lifecycle"): these tests pin
+  // *when* promotion takes effect, so the deterministic fallback is the
+  // configuration under test. The background path has its own suite
+  // (test_code_cache.cpp) and rides the randomized equivalence sweep.
+  opts.background_compile = false;
   return opts;
 }
 
@@ -265,6 +270,7 @@ TEST(Jit, GovernorPromoteJitQueueCompilesHotBundle) {
   IJVM_REQUIRE_JIT();
   VmOptions opts = VmOptions::isolated();
   opts.exec_engine = ExecEngine::Jit;
+  opts.background_compile = false;  // pin *when* the queue compiles
   // Engine's own hotness promotion effectively off: only the governor's
   // queue can get this method compiled.
   opts.jit_threshold = ~0ull;

@@ -50,6 +50,10 @@ VmOptions osrOptions() {
   // invocation (at a 4096-edge batch flush), not at entry.
   opts.fusion_threshold = 256;
   opts.jit_threshold = 2048;
+  // Synchronous compiles: this suite pins the exact flush at which the
+  // frame transfers, which the background path intentionally decouples
+  // (docs/jit.md, "Code lifecycle").
+  opts.background_compile = false;
   return opts;
 }
 
@@ -436,6 +440,76 @@ TEST(Osr, RuntimeSwitchOffStaysAtFusedTier) {
             goldenSum(n));
   EXPECT_NE(exec::jitCodeOf(m), nullptr);
 #endif
+}
+
+// Regression for the ResourceStats observability item (ROADMAP): a
+// refused OSR transfer -- compiled code exists, but the live frame cannot
+// enter it at the flushed loop header -- must be counted per method and
+// per isolate instead of silently interpreting on.
+//
+// The hand-crafted stream (the only known way to provoke a refusal): the
+// loop header is reachable at depth 0 on the fast path, but the executing
+// path parks an extra value on the operand stack across the whole loop.
+// The method is compiled *mid-invocation* by a native trigger while the
+// cold call after it has not quickened yet, so the depth analysis never
+// sees the deep path (the call is compile-terminal) and the entry map
+// records depth 0 -- every subsequent back-edge batch flush then offers a
+// depth-1 frame and is refused. The bytecode fails stack-height merging
+// (depth 0 vs 1 at the header), so the verifier is off: this shape cannot
+// come from verified code, which is exactly why the ROADMAP called it
+// "never observed outside hand-crafted streams".
+TEST(Osr, RefusedTransferIsCountedInResourceStats) {
+  IJVM_REQUIRE_OSR();
+  VmOptions opts = osrOptions();
+  opts.verify = false;
+  OsrVm f(opts);
+  {
+    ClassBuilder cb("app/T");
+    cb.nativeMethod("trigger", "()V", ACC_STATIC);
+    auto& cold = cb.method("coldPush", "()I", ACC_PUBLIC | ACC_STATIC);
+    cold.iconst(7).ireturn();
+    auto& m = cb.method("f", "(I)I", ACC_PUBLIC | ACC_STATIC);
+    Label fast = m.newLabel(), head = m.newLabel();
+    m.iload(0).ifeq(fast);                       // n == 0: enter at depth 0
+    m.invokestatic("app/T", "trigger", "()V");   // compiles f right here
+    m.invokestatic("app/T", "coldPush", "()I");  // cold at compile time
+    m.gotoLabel(head);                           // enter loop at depth 1
+    m.bind(fast);
+    m.bind(head);
+    m.iinc(1, 1);
+    m.iload(1).iload(0).ifIcmpLt(head);  // back-edge; flushes try OSR
+    m.iload(1).ireturn();                // parked value discarded with frame
+    f.app->define(cb.build());
+  }
+  f.boot();
+  JMethod* fm = f.method("app/T", "f", "(I)I");
+  JMethod* trig = f.method("app/T", "trigger", "()V");
+  ASSERT_NE(fm, nullptr);
+  ASSERT_NE(trig, nullptr);
+  trig->native = [fm](NativeCtx& ctx) -> Value {
+    exec::enqueueForJit(ctx.vm, fm);
+    exec::drainJitQueue(ctx.vm);  // synchronous: code exists on return
+    return {};
+  };
+
+  const i32 n = 3 * 4096 + 512;  // several batch flushes inside the loop
+  EXPECT_EQ(f.call("app/T", "f", "(I)I", {Value::ofInt(n)}).asInt(), n);
+
+  // Compiled at the trigger, never entered, never invalidated -- and every
+  // flush refused the transfer.
+  ASSERT_NE(exec::jitCodeOf(fm), nullptr);
+  exec::QCode* qc = qcodeOf(fm);
+  ASSERT_NE(qc, nullptr);
+  EXPECT_EQ(qc->osr_entries_taken.load(), 0u);
+  EXPECT_GE(qc->osr_refused_transfers.load(), 3u);
+  std::string dis = exec::disasmJit(f.vm, fm);
+  EXPECT_NE(dis.find("depth=0"), std::string::npos) << dis;
+
+  Isolate* iso = f.vm.isolateById(0);
+  ASSERT_NE(iso, nullptr);
+  EXPECT_GE(iso->stats.osr_refused_transfers.load(), 3u);
+  EXPECT_EQ(f.vm.reportFor(iso).osr_refused_transfers,
+            iso->stats.osr_refused_transfers.load());
 }
 
 }  // namespace
