@@ -17,6 +17,7 @@
 
 #include "admin/governor.h"
 #include "bench_util.h"
+#include "obs/report.h"
 
 using namespace ijvm;
 using namespace ijvm::bench;
@@ -102,9 +103,18 @@ Episode runEpisode(const char* name, BundleDescriptor attacker_desc,
   return ep;
 }
 
+// Latency columns go through the obs report formatter (obs/report.h) so
+// the bench reads like the platform report: humanized units, "-" for a
+// phase the episode never reached.
+std::string phaseMs(double ms) {
+  if (ms < 0) return "-";
+  return obs::humanNs(static_cast<u64>(ms * 1e6));
+}
+
 void printEpisode(const Episode& ep) {
-  std::printf("%-22s %-10s %10.1f ms %12.1f ms %12.1f ms   %s\n", ep.attack,
-              ep.rule, ep.detect_ms, ep.contain_ms, ep.unwound_ms,
+  std::printf("%-22s %-10s %13s %15s %15s   %s\n", ep.attack, ep.rule,
+              phaseMs(ep.detect_ms).c_str(), phaseMs(ep.contain_ms).c_str(),
+              phaseMs(ep.unwound_ms).c_str(),
               ep.control_survived ? "yes" : "NO");
 }
 

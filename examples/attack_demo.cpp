@@ -5,9 +5,17 @@
 // kills it, and the platform keeps running.
 //
 //   build/examples/attack_demo
+//
+// The run is traced end to end (src/obs): on exit it writes
+// attack_demo.trace.json -- load it in Perfetto / chrome://tracing to see
+// the compiles, OSR transfers, GC phases, safepoint drains and the kill
+// on a common timeline (docs/observability.md).
 #include <cstdio>
 
+#include "admin/governor.h"
 #include "bytecode/builder.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "osgi/framework.h"
 #include "stdlib/system_library.h"
 #include "workloads/bundles.h"
@@ -36,22 +44,30 @@ BundleDescriptor makeHog() {
   m.bind(to).gotoLabel(loop);
   m.bind(handler).pop().iload(0).ireturn();
   m.handler(from, to, handler, "java/lang/OutOfMemoryError");
+  // A hot-but-honest compute loop: long enough to cross the back-edge
+  // batch flush, so the trace shows the full tier-3 story (compile
+  // request/build/install and the on-stack replacement into it).
+  auto& w = cb.method("warm", "(I)I", ACC_PUBLIC | ACC_STATIC);
+  // A branch no warm-up call takes: its GETSTATIC is still unquickened
+  // when the method compiles, so the first negative-argument call runs
+  // compiled code into a cold site and deoptimizes -- the demo's way of
+  // getting a jit.deopt event into the trace.
+  Label skip_cold = w.newLabel();
+  w.iload(0).ifge(skip_cold);
+  w.getstatic("hog/Main", "sink", "Ljava/util/ArrayList;").pop();
+  w.bind(skip_cold);
+  w.iconst(0).istore(1);
+  Label wl = w.newLabel();
+  w.bind(wl);
+  w.iload(1).iconst(3).imul().iconst(1).iadd().istore(1);
+  w.iinc(0, -1).iload(0).ifgt(wl);
+  w.iload(1).ireturn();
   desc.classes.push_back(cb.build());
   return desc;
 }
 
 void printReports(VM& vm) {
-  std::printf("%-18s %-12s %12s %10s %8s\n", "isolate", "state", "bytes",
-              "objects", "gc");
-  for (const IsolateReport& rep : vm.reportAll()) {
-    const char* state = rep.state == IsolateState::Active       ? "ACTIVE"
-                        : rep.state == IsolateState::Terminating ? "TERMINATING"
-                                                                  : "DEAD";
-    std::printf("%-18s %-12s %12llu %10llu %8llu\n", rep.name.c_str(), state,
-                static_cast<unsigned long long>(rep.bytes_charged),
-                static_cast<unsigned long long>(rep.objects_charged),
-                static_cast<unsigned long long>(rep.gc_activations));
-  }
+  std::fputs(obs::isolateTable(vm.reportAll()).c_str(), stdout);
 }
 
 }  // namespace
@@ -60,10 +76,16 @@ int main() {
   VmOptions opts;                      // I-JVM mode
   opts.isolate_memory_limit = 8u << 20;  // 8 MiB per bundle
   opts.gc_threshold = 1u << 20;
+  opts.jit_threshold = 64;             // low bar: the demo should compile
+  opts.code_cache_budget = 16u << 10;  // tiny cache: force demotions too
   VM vm(opts);
   installSystemLibrary(vm);
   Framework fw(vm);
   defineCounterApi(fw);
+
+  // Automatic detection runs alongside the manual walkthrough; its ticks
+  // land in the trace as governor events.
+  ResourceGovernor gov(fw, GovernorPolicy::standard());
 
   // A well-behaved service bundle shares the platform with the hog.
   Bundle* good = fw.install(makeCounterProvider("goodsvc", "counter"));
@@ -74,9 +96,26 @@ int main() {
   std::printf("== before the attack ==\n");
   vm.collectGarbage(vm.mainThread(), nullptr);
   printReports(vm);
+  gov.tick();
+
+  // Warm the hog's compute loop until the JIT compiles it (and, on the
+  // first long run, on-stack-replaces into the compiled code).
+  JThread* t = vm.mainThread();
+  for (int i = 0; i < 4; ++i) {
+    vm.callStaticIn(t, hog->loader(), "hog/Main", "warm", "(I)I",
+                    {Value::ofInt(200000)});
+  }
+  // First negative call: compiled code reaches the cold branch -> deopt.
+  vm.callStaticIn(t, hog->loader(), "hog/Main", "warm", "(I)I",
+                  {Value::ofInt(-1)});
+  // Re-heat past the deopt so the method recompiles; the kill below then
+  // shows the demote/reclaim tail of the code lifecycle too.
+  for (int i = 0; i < 4; ++i) {
+    vm.callStaticIn(t, hog->loader(), "hog/Main", "warm", "(I)I",
+                    {Value::ofInt(200000)});
+  }
 
   // The hog allocates until it trips its isolate memory limit.
-  JThread* t = vm.mainThread();
   Value grabbed = vm.callStaticIn(t, hog->loader(), "hog/Main", "grab", "()I", {});
   std::printf("\nhog retained %d chunks before OutOfMemoryError "
               "(its isolate limit: 8 MiB)\n", grabbed.asInt());
@@ -84,6 +123,7 @@ int main() {
   std::printf("\n== during the attack (administrator's view) ==\n");
   vm.collectGarbage(t, nullptr);
   printReports(vm);
+  gov.tick();
 
   // The administrator picks the isolate with the largest footprint...
   Bundle* offender = nullptr;
@@ -103,6 +143,7 @@ int main() {
   std::printf("\n== after the kill ==\n");
   vm.collectGarbage(t, nullptr);
   printReports(vm);
+  gov.tick();
 
   // The good bundle still works.
   Object* svc = fw.getService("counter");
@@ -110,5 +151,13 @@ int main() {
   std::printf("\ngood bundle still serving: counter=%d\n", v.asInt());
   std::printf("(paper section 4.3, A3: \"the administrator kills the offending\n"
               " bundle and all other bundles continue to run\")\n");
+
+  std::printf("\n%s\n", gov.adminSnapshot().c_str());
+
+  const char* trace_path = "attack_demo.trace.json";
+  if (obs::dumpChromeTrace(trace_path)) {
+    std::printf("trace written to %s (open in Perfetto / chrome://tracing)\n",
+                trace_path);
+  }
   return 0;
 }

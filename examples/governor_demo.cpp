@@ -14,6 +14,7 @@
 #include <thread>
 
 #include "admin/governor.h"
+#include "obs/report.h"
 #include "osgi/framework.h"
 #include "stdlib/system_library.h"
 #include "workloads/bundles.h"
@@ -64,15 +65,8 @@ int main() {
                 actionName(ev.action), ev.observed, ev.threshold, ev.strikes);
   }
 
-  std::printf("\nfinal bundle states:\n");
-  for (Bundle* b : fw.bundles()) {
-    IsolateReport r = fw.reportFor(b);
-    std::printf("  %-16s %-12s cpu=%6llu allocs=%8llu threads=%lld\n",
-                b->symbolicName().c_str(), bundleStateName(b->state()),
-                static_cast<unsigned long long>(r.cpu_samples),
-                static_cast<unsigned long long>(r.objects_allocated),
-                static_cast<long long>(r.live_threads));
-  }
+  std::printf("\nfinal platform state (admin snapshot):\n%s",
+              gov.adminSnapshot().c_str());
 
   const bool healthy_ok = shop->state() == BundleState::Active &&
                           billing->state() == BundleState::Active;

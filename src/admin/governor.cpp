@@ -5,6 +5,9 @@
 
 #include "exec/code_cache.h"
 #include "exec/jit.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+#include "support/strf.h"
 
 namespace ijvm {
 
@@ -33,6 +36,7 @@ const char* signalName(Signal s) {
     case Signal::ThreadSpawnRate: return "thread-spawn-rate";
     case Signal::MethodInvocationRate: return "method-invocation-rate";
     case Signal::LoopBackEdgeRate: return "loop-back-edge-rate";
+    case Signal::JitChurnRate: return "jit-churn-rate";
   }
   return "?";
 }
@@ -79,6 +83,14 @@ GovernorPolicy GovernorPolicy::standard(u64 memory_budget_bytes,
   // the 3 consecutive strikes required.
   p.rules.push_back({Signal::LoopBackEdgeRate, 400000.0, 3,
                      GovernorAction::PromoteJit, "hot-loop"});
+  // Code-cache thrash: a bundle whose methods keep getting compiled and
+  // demoted (or deopt-recompiled) several times per tick is burning
+  // compile bandwidth and evicting stable tenants. DemoteJit raises its
+  // re-heat floor, so the bundle must earn a full jit_threshold of fresh
+  // heat before it competes for cache budget again -- the churn loop
+  // breaks without killing anyone.
+  p.rules.push_back({Signal::JitChurnRate, 8.0, 3, GovernorAction::DemoteJit,
+                     "jit-thrash"});
   return p;
 }
 
@@ -146,6 +158,9 @@ double ResourceGovernor::evaluate(const GovernorRule& rule,
       return delta(&IsolateReport::method_invocations);
     case Signal::LoopBackEdgeRate:
       return delta(&IsolateReport::loop_back_edges);
+    case Signal::JitChurnRate:
+      return delta(&IsolateReport::jit_methods_compiled) +
+             delta(&IsolateReport::jit_methods_demoted);
   }
   return 0.0;
 }
@@ -256,13 +271,23 @@ std::vector<GovernorEvent> ResourceGovernor::tick() {
         } else if (ev.acted && rule.action == GovernorAction::DemoteJit) {
           demotes.push_back(b);
         }
+        if (obs::traceEnabled()) {
+          obs::emit(ev.acted ? obs::Ev::GovernorAct : obs::Ev::GovernorWarn,
+                    obs::Ph::Instant, b->isolate()->id,
+                    obs::internTraceName(ev.rule_label));
+        }
         out.push_back(ev);
         history_.push_back(ev);
       }
+      track.last_jit_churn =
+          evaluate(GovernorRule{Signal::JitChurnRate, 0.0, 1,
+                                GovernorAction::Warn, "churn"},
+                   now, track, total_cpu_delta, 0.0);
       track.last = now;
       track.has_last = true;
     }
   }
+  obs::emit(obs::Ev::GovernorTick, obs::Ph::Instant, -1, tick_no, out.size());
 
   // Promote outside the governor lock (the enqueue takes the engine
   // mutex). The methods compile when the engine's dispatch loop drains the
@@ -308,6 +333,7 @@ void ResourceGovernor::start(i64 period_ms) {
   stop_requested_ = false;
   running_ = true;
   worker_ = std::thread([this, period_ms] {
+    obs::setTraceThreadName("governor");
     std::unique_lock<std::mutex> lock(wake_mutex_);
     while (!stop_requested_) {
       lock.unlock();
@@ -331,6 +357,23 @@ void ResourceGovernor::stop() {
     std::lock_guard<std::mutex> lock(wake_mutex_);
     running_ = false;
   }
+}
+
+std::string ResourceGovernor::adminSnapshot() {
+  std::string out = obs::platformReport(fw_.vm());
+  std::lock_guard<std::mutex> lock(mutex_);
+  out += strf("governor: %llu ticks, %zu events, %zu kills\n",
+              static_cast<unsigned long long>(
+                  tick_count_.load(std::memory_order_relaxed)),
+              history_.size(), killed_.size());
+  out += strf("  %3s  %-18s %14s\n", "id", "bundle", "jit-churn/tick");
+  for (Bundle* b : fw_.bundles()) {
+    auto it = tracks_.find(b->id());
+    if (it == tracks_.end()) continue;
+    out += strf("  %3d  %-18s %14.1f\n", b->id(), b->symbolicName().c_str(),
+                it->second.last_jit_churn);
+  }
+  return out;
 }
 
 std::vector<GovernorEvent> ResourceGovernor::history() {

@@ -56,6 +56,12 @@ enum class Signal : u8 {
   // fusion tier promotes on (docs/execution-tiers.md).
   MethodInvocationRate,  // guest method invocations per tick
   LoopBackEdgeRate,      // loop back-edges executed per tick
+  JitChurnRate,          // tier-3 compiles + demotions per tick: a bundle
+                         // bouncing in and out of the code cache wastes
+                         // compile bandwidth and evicts stable tenants --
+                         // pair with GovernorAction::DemoteJit, whose
+                         // raised re-heat floor is exactly what stops the
+                         // bouncing (docs/jit.md, "Code lifecycle")
 };
 
 const char* signalName(Signal s);
@@ -155,6 +161,11 @@ class ResourceGovernor {
   void start(i64 period_ms);
   void stop();
 
+  // Human-readable admin snapshot (obs/report.h formatting): the full
+  // platform report plus governor status and per-bundle compile/demote
+  // churn over the last tick.
+  std::string adminSnapshot();
+
   // All events so far (warnings and kills).
   std::vector<GovernorEvent> history();
   // Bundles killed by the governor (ids), in kill order.
@@ -169,6 +180,7 @@ class ResourceGovernor {
     IsolateReport last;       // previous snapshot (for rate deltas)
     bool has_last = false;
     int ticks_seen = 0;
+    double last_jit_churn = 0;  // compiles + demotions over the last tick
     std::unordered_map<size_t, int> strikes;  // rule index -> strike count
   };
 

@@ -9,9 +9,25 @@
 #include "exec/jit.h"
 #include "exec/jit_internal.h"
 #include "exec/quickened.h"
+#include "obs/trace.h"
 #include "runtime/vm.h"
 
 namespace ijvm::exec {
+
+namespace {
+
+// Trace payloads (obs/trace.h); cold paths only, interning takes a lock.
+u32 traceNameOfMethod(const JMethod* m) {
+  if (!obs::traceEnabled()) return 0;
+  return obs::internTraceName(m->owner->name + "." + m->name);
+}
+
+i32 traceIsolateOfMethod(const JMethod* m) {
+  Isolate* iso = m->owner->loader->isolate();
+  return iso != nullptr ? iso->id : -1;
+}
+
+}  // namespace
 
 CodeCache::CodeCache() = default;
 CodeCache::~CodeCache() = default;
@@ -181,6 +197,8 @@ bool installJitCode(VM& vm, std::unique_ptr<JitCode> built) {
   }
   m->jitcode.store(jc, std::memory_order_release);
   qc->jit_queued.store(false, std::memory_order_release);
+  obs::emit(obs::Ev::CompileInstall, obs::Ph::Instant, traceIsolateOfMethod(m),
+            traceNameOfMethod(m), jc->approx_bytes);
   st.code_cache->enforceBudget(vm);
   return true;
 }
@@ -208,6 +226,8 @@ bool demoteCompiled(VM& vm, JMethod* m) {
   if (Isolate* iso = m->owner->loader->isolate()) {
     iso->stats.jit_methods_demoted.fetch_add(1, std::memory_order_relaxed);
   }
+  obs::emit(obs::Ev::JitDemote, obs::Ph::Instant, traceIsolateOfMethod(m),
+            traceNameOfMethod(m));
   return true;
 }
 
@@ -254,7 +274,11 @@ u32 sweepRetiredJitCode(VM& vm) {
     Isolate* iso = jc->method->owner->loader->isolate();
     if (iso == nullptr ||
         iso->state.load(std::memory_order_acquire) == IsolateState::Dead) {
-      retireJitCode(*jc, /*deopt=*/false);
+      if (retireJitCode(*jc, /*deopt=*/false)) {
+        obs::emit(obs::Ev::JitDemote, obs::Ph::Instant,
+                  iso != nullptr ? iso->id : -1,
+                  traceNameOfMethod(jc->method));
+      }
     }
   }
   for (auto it = st.jit_codes.begin(); it != st.jit_codes.end();) {
@@ -267,6 +291,9 @@ u32 sweepRetiredJitCode(VM& vm) {
     } else {
       ++it;
     }
+  }
+  if (freed > 0) {
+    obs::emit(obs::Ev::JitReclaim, obs::Ph::Instant, /*isolate=*/-1, freed);
   }
   return freed;
 }

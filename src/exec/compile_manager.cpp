@@ -10,6 +10,7 @@
 #include "exec/code_cache.h"
 #include "exec/jit_internal.h"
 #include "exec/quickened.h"
+#include "obs/trace.h"
 #include "runtime/vm.h"
 
 namespace ijvm::exec {
@@ -62,7 +63,14 @@ bool CompileManager::busy() const {
   return !pending_.empty() || building_ > 0 || !ready_.empty();
 }
 
+u32 CompileManager::queueDepth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<u32>(pending_.size()) + building_ +
+         static_cast<u32>(ready_.size());
+}
+
 void CompileManager::workerLoop() {
+  obs::setTraceThreadName("compiler");
   for (;;) {
     JMethod* m = nullptr;
     {
@@ -123,6 +131,17 @@ void shutdownCompileManager(VM& vm) {
   // Destroyed (joined) outside the engine mutex: the worker may need it
   // to finish an in-flight build.
   mgr.reset();
+}
+
+u32 compileQueueDepth(VM& vm) {
+  auto sp = std::static_pointer_cast<ExecState>(vm.getExtension(kStateKey));
+  if (sp == nullptr) return 0;
+  CompileManager* mgr = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(sp->mutex);
+    mgr = sp->compile_mgr.get();
+  }
+  return mgr != nullptr ? mgr->queueDepth() : 0;
 }
 
 bool waitCompileIdle(VM& vm, i64 timeout_ms) {

@@ -70,6 +70,10 @@ class CompileManager {
   // deterministic tests combine this with installReady() polling.
   bool busy() const;
 
+  // Requests queued + building + built-but-not-installed. The admin
+  // report's "compile queue depth" (obs/report.h).
+  u32 queueDepth() const;
+
  private:
   void workerLoop();
 
@@ -91,5 +95,9 @@ void shutdownCompileManager(VM& vm);
 // uninstalled work, installing ready code on the caller's thread while it
 // waits. Returns false on timeout.
 bool waitCompileIdle(VM& vm, i64 timeout_ms);
+
+// Current compile-queue depth of the VM's manager; 0 when no background
+// manager ever started (synchronous compilation has no queue).
+u32 compileQueueDepth(VM& vm);
 
 }  // namespace ijvm::exec

@@ -43,12 +43,30 @@
 #include "exec/jit_internal.h"
 #include "exec/quickened.h"
 #include "heap/object.h"
+#include "obs/trace.h"
 #include "runtime/vm.h"
 #include "support/strf.h"
 
 namespace ijvm::exec {
 
 using namespace interp;
+
+namespace {
+
+// Trace payloads for compile-pipeline events (obs/trace.h): the method's
+// interned "Class.name" and its defining isolate. Cold paths only (the
+// interning takes a lock).
+u32 jitTraceName(const JMethod* m) {
+  if (!obs::traceEnabled()) return 0;
+  return obs::internTraceName(m->owner->name + "." + m->name);
+}
+
+i32 jitTraceIsolate(const JMethod* m) {
+  Isolate* iso = m->owner->loader->isolate();
+  return iso != nullptr ? iso->id : -1;
+}
+
+}  // namespace
 
 // Out-of-line so ExecState's jit_codes arena can own the otherwise-opaque
 // JitCode (quickened.h forward-declares it), and so its CodeCache /
@@ -120,6 +138,8 @@ inline const MInsn* throwHere(JitCtx& cx, const MInsn& mi) {
 void invalidate(JitCode& jc) {
   jc.invalidated.store(true, std::memory_order_release);
   jc.qc->jit_deopts.fetch_add(1, std::memory_order_relaxed);
+  obs::emit(obs::Ev::JitDeopt, obs::Ph::Instant, jitTraceIsolate(jc.method),
+            jitTraceName(jc.method));
   // Un-patch the entry and retire the code into the cache's reclaim set
   // (code_cache.cpp). The arena keeps the JitCode alive for threads still
   // inside it; sweepRetiredJitCode frees it once none are.
@@ -1263,6 +1283,18 @@ std::unique_ptr<JitCode> buildJitCode(VM& vm, JMethod* m) {
     qc->jit_ineligible.store(true, std::memory_order_relaxed);
     return nullptr;
   }
+  // Compile-latency split (obs/trace.h): enqueueForJit stamped the request
+  // when it latched jit_queued -- everything until here was queue wait,
+  // everything below is the build itself.
+  if (obs::traceEnabled()) {
+    const u64 req = qc->jit_request_ns.exchange(0, std::memory_order_acq_rel);
+    if (req != 0) {
+      const u64 now = obs::traceNowNs();
+      if (now > req) obs::recordLatency(obs::Lat::CompileQueueWait, now - req);
+    }
+  }
+  obs::TraceSpan build_span(obs::Ev::CompileBuild, jitTraceIsolate(m),
+                            jitTraceName(m), obs::Lat::CompileBuild);
   const std::vector<Instruction>& insns = m->code.insns;
   const i32 n = static_cast<i32>(insns.size());
   if (n == 0) return nullptr;
@@ -1515,6 +1547,9 @@ bool runJitOsr(VM& vm, JThread* t, Frame& frame, JitCode& jc, JitResult* out) {
       frame.isolate->stats.osr_refused_transfers.fetch_add(
           1, std::memory_order_relaxed);
     }
+    obs::emit(obs::Ev::OsrRefused, obs::Ph::Instant,
+              frame.isolate != nullptr ? frame.isolate->id : -1,
+              jitTraceName(jc.method));
     return false;
   };
   const OsrEntry* osr = nullptr;
@@ -1552,6 +1587,9 @@ bool runJitOsr(VM& vm, JThread* t, Frame& frame, JitCode& jc, JitResult* out) {
   cx.sp = cx.base + depth;
   cx.locals = frame.locals.data();
   jc.qc->osr_entries_taken.fetch_add(1, std::memory_order_relaxed);
+  obs::emit(obs::Ev::OsrTransfer, obs::Ph::Instant,
+            frame.isolate != nullptr ? frame.isolate->id : -1,
+            jitTraceName(jc.method));
 
   const MInsn* ip = osr->entry.load(std::memory_order_acquire);
   while (ip != nullptr) ip = ip->fn(cx, *ip);
@@ -1678,6 +1716,11 @@ void enqueueForJit(VM& vm, JMethod* m) {
     return;
   }
   if (qc->jit_queued.exchange(true, std::memory_order_acq_rel)) return;
+  if (obs::traceEnabled()) {
+    obs::emit(obs::Ev::CompileRequest, obs::Ph::Instant, jitTraceIsolate(m),
+              jitTraceName(m));
+    qc->jit_request_ns.store(obs::traceNowNs(), std::memory_order_release);
+  }
   // Post-deopt re-request observability (ResourceStats): this method
   // already deopted at least once, so the request we just latched is part
   // of the deopt -> requicken -> recompile cycle.

@@ -150,6 +150,10 @@ struct QCode {
   // least once.
   std::atomic<u32> osr_refused_transfers{0};
   std::atomic<u32> jit_recompile_requests{0};
+  // Trace timestamp (obs/trace.h) of the promote-to-JIT request that holds
+  // the jit_queued latch; buildJitCode consumes it into the compile
+  // queue-wait histogram. 0 = no timed request in flight.
+  std::atomic<u64> jit_request_ns{0};
 };
 
 inline constexpr u32 kMaxJitDeopts = 8;

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <deque>
 
+#include "obs/trace.h"
 #include "support/strf.h"
 
 namespace ijvm {
@@ -207,22 +208,26 @@ GcStats Heap::collect(const RootEnumerator& enumerate_roots,
     queue.push_back(o);
   };
 
-  enumerate_roots(mark_root);
+  {
+    obs::TraceSpan mark_span(obs::Ev::GcMark, -1);
+    enumerate_roots(mark_root);
 
-  while (!queue.empty()) {
-    Object* o = queue.front();
-    queue.pop_front();
-    const i32 iso = o->charged_isolate;
-    o->traceRefs([&](Object* child) {
-      if (child->gc_mark != 0) return;
-      child->gc_mark = 1;
-      child->charged_isolate = iso;  // inherits the discovering isolate
-      child->reach_mask = 0;
-      if (policy == AccountingPolicy::FirstReference) charge(child, iso);
-      queue.push_back(child);
-    });
+    while (!queue.empty()) {
+      Object* o = queue.front();
+      queue.pop_front();
+      const i32 iso = o->charged_isolate;
+      o->traceRefs([&](Object* child) {
+        if (child->gc_mark != 0) return;
+        child->gc_mark = 1;
+        child->charged_isolate = iso;  // inherits the discovering isolate
+        child->reach_mask = 0;
+        if (policy == AccountingPolicy::FirstReference) charge(child, iso);
+        queue.push_back(child);
+      });
+    }
   }
 
+  obs::emit(obs::Ev::GcAccounting, obs::Ph::Begin, -1);
   switch (policy) {
     case AccountingPolicy::FirstReference:
       break;  // charged during the mark above
@@ -277,8 +282,10 @@ GcStats Heap::collect(const RootEnumerator& enumerate_roots,
       break;
     }
   }
+  obs::emit(obs::Ev::GcAccounting, obs::Ph::End, -1);
 
   // ---- sweep ----
+  obs::TraceSpan sweep_span(obs::Ev::GcSweep, -1);
   Object** link = &all_objects_;
   size_t live_bytes = 0;
   size_t live_objects = 0;

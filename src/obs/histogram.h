@@ -1,0 +1,117 @@
+// Log-bucketed latency histograms (docs/observability.md).
+//
+// The pause-critical paths of the platform -- safepoint time-to-stop, GC
+// pause, compile latency, inter-isolate communication -- span five orders
+// of magnitude (tens of ns to tens of ms), so a fixed-width histogram is
+// useless and a reservoir sample needs locking. A power-of-two bucketed
+// histogram costs one bit-scan plus one relaxed atomic increment per
+// record, is wait-free for any number of concurrent recorders, and its
+// percentile error is bounded by the bucket ratio (a factor of 2 -- fine
+// for "did the p99 GC pause blow past a millisecond" questions; exact
+// maxima are tracked separately).
+#pragma once
+
+#include <atomic>
+#include <bit>
+
+#include "support/common.h"
+
+namespace ijvm::obs {
+
+// Percentiles reconstructed from one histogram (nanoseconds). A percentile
+// falls somewhere inside its bucket [2^i, 2^(i+1)); we report the bucket's
+// geometric midpoint, so a reported value is within ~1.5x of the truth.
+struct HistSnapshot {
+  u64 count = 0;
+  u64 sum_ns = 0;
+  u64 p50_ns = 0;
+  u64 p90_ns = 0;
+  u64 p99_ns = 0;
+  u64 max_ns = 0;
+
+  double mean_ns() const {
+    return count > 0 ? static_cast<double>(sum_ns) / static_cast<double>(count)
+                     : 0.0;
+  }
+};
+
+class LatencyHistogram {
+ public:
+  // Bucket i counts durations in [2^i, 2^(i+1)) ns; bucket 0 also takes 0.
+  // 40 buckets reach ~18 minutes -- nothing the VM does takes longer.
+  static constexpr int kBuckets = 40;
+
+  void record(u64 ns) {
+    const int b = bucketOf(ns);
+    buckets_[b].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(ns, std::memory_order_relaxed);
+    u64 seen = max_.load(std::memory_order_relaxed);
+    while (ns > seen &&
+           !max_.compare_exchange_weak(seen, ns, std::memory_order_relaxed)) {
+    }
+  }
+
+  u64 count() const { return count_.load(std::memory_order_relaxed); }
+
+  // Concurrent-safe point-in-time readout. Racing recorders may make the
+  // bucket sum lag `count_` by a few in-flight records; percentiles are
+  // computed over the bucket sum so the snapshot is always self-consistent.
+  HistSnapshot snapshot() const {
+    u64 buckets[kBuckets];
+    u64 total = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+      buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+      total += buckets[i];
+    }
+    HistSnapshot s;
+    s.count = total;
+    s.sum_ns = sum_.load(std::memory_order_relaxed);
+    s.max_ns = max_.load(std::memory_order_relaxed);
+    if (total == 0) return s;
+    s.p50_ns = percentile(buckets, total, 50.0);
+    s.p90_ns = percentile(buckets, total, 90.0);
+    s.p99_ns = percentile(buckets, total, 99.0);
+    return s;
+  }
+
+  void reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+  static int bucketOf(u64 ns) {
+    if (ns == 0) return 0;
+    const int b = 63 - std::countl_zero(ns);
+    return b < kBuckets ? b : kBuckets - 1;
+  }
+
+  // Geometric midpoint of bucket b, the value snapshot() reports for a
+  // percentile landing there (sqrt(2^b * 2^(b+1)) ~= 2^b * 1.41).
+  static u64 bucketMid(int b) {
+    const u64 lo = u64{1} << b;
+    return lo + lo / 2;
+  }
+
+ private:
+  static u64 percentile(const u64* buckets, u64 total, double pct) {
+    const double want = static_cast<double>(total) * pct / 100.0;
+    u64 seen = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+      seen += buckets[i];
+      if (static_cast<double>(seen) >= want && buckets[i] > 0) {
+        return bucketMid(i);
+      }
+    }
+    return bucketMid(kBuckets - 1);
+  }
+
+  std::atomic<u64> buckets_[kBuckets] = {};
+  std::atomic<u64> count_{0};
+  std::atomic<u64> sum_{0};
+  std::atomic<u64> max_{0};
+};
+
+}  // namespace ijvm::obs

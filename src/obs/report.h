@@ -1,0 +1,55 @@
+// Human-readable platform reports (docs/observability.md).
+//
+// The paper's administrator reads per-bundle counters to find a
+// misbehaving bundle (section 3.2); examples and benches used to print
+// those counters as bare numbers. This module is the one formatter they
+// all share, so every surface -- examples, benches, the governor's admin
+// snapshot -- prints the same self-describing tables: headers, units, and
+// the JIT/observability columns the ROADMAP called out (compile-queue
+// depth, osr_refused_transfers, jit_recompile_requests, per-isolate
+// jit_code_bytes).
+//
+// Everything here is a cold path: strings, allocation and printf-style
+// formatting are fine.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/common.h"
+
+namespace ijvm {
+class VM;
+struct IsolateReport;
+}  // namespace ijvm
+
+namespace ijvm::obs {
+
+// "1.5 KiB", "12.0 MiB"; bytes < 1 KiB stay exact ("812 B").
+std::string humanBytes(u64 bytes);
+// "412 ns", "1.3 us", "25.0 ms", "1.2 s".
+std::string humanNs(u64 ns);
+
+// Resource counter table, one row per isolate: state, cpu samples,
+// allocation counts/bytes, live threads, inter-isolate calls in.
+std::string isolateTable(const std::vector<IsolateReport>& reports);
+
+// JIT/code columns per isolate: methods compiled/demoted, resident
+// compiled-code bytes, OSR transfers refused, recompile requests.
+std::string jitTable(const std::vector<IsolateReport>& reports);
+
+// Aggregate code-cache + compile-pipeline state: installed/retired
+// footprint vs. budget, compile/demotion/deopt/reclaim counters and the
+// current compile-queue depth (pending + building + awaiting install).
+std::string codeCacheSection(VM& vm);
+
+// Latency histogram table (p50/p90/p99/max) for every pause-critical
+// path that has recorded at least one sample. Empty string when the
+// trace subsystem is compiled out or nothing was recorded.
+std::string latencySection();
+
+// The full platform report: isolate table, JIT table, code-cache section
+// and latency section.
+std::string platformReport(VM& vm);
+
+}  // namespace ijvm::obs

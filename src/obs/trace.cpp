@@ -1,0 +1,445 @@
+// Trace recording and export. Contract in trace.h / docs/observability.md.
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "support/strf.h"
+
+namespace ijvm::obs {
+
+const char* evName(Ev e) {
+  switch (e) {
+    case Ev::None: return "none";
+    case Ev::CompileRequest: return "compile.request";
+    case Ev::CompileBuild: return "compile.build";
+    case Ev::CompileInstall: return "compile.install";
+    case Ev::JitDemote: return "jit.demote";
+    case Ev::JitDeopt: return "jit.deopt";
+    case Ev::JitReclaim: return "jit.reclaim";
+    case Ev::OsrTransfer: return "osr.transfer";
+    case Ev::OsrRefused: return "osr.refused";
+    case Ev::GcPause: return "gc.pause";
+    case Ev::GcMark: return "gc.mark";
+    case Ev::GcAccounting: return "gc.accounting";
+    case Ev::GcSweep: return "gc.sweep";
+    case Ev::SafepointStop: return "safepoint.stop";
+    case Ev::IsolateStart: return "isolate.start";
+    case Ev::IsolateTerminate: return "isolate.terminate";
+    case Ev::GovernorTick: return "governor.tick";
+    case Ev::GovernorWarn: return "governor.warn";
+    case Ev::GovernorAct: return "governor.act";
+    case Ev::InterIsolateCall: return "call.inter-isolate";
+    case Ev::ChannelSend: return "channel.send";
+    case Ev::Count: break;
+  }
+  return "?";
+}
+
+const char* latName(Lat l) {
+  switch (l) {
+    case Lat::SafepointTimeToStop: return "safepoint time-to-stop";
+    case Lat::GcPause: return "gc pause";
+    case Lat::CompileQueueWait: return "compile queue-wait";
+    case Lat::CompileBuild: return "compile build";
+    case Lat::InterIsolateCall: return "inter-isolate call (sampled)";
+    case Lat::ChannelSend: return "channel send";
+    case Lat::Count: break;
+  }
+  return "?";
+}
+
+#ifndef IJVM_DISABLE_TRACE
+
+namespace {
+
+const char* evCategory(Ev e) {
+  switch (e) {
+    case Ev::CompileRequest:
+    case Ev::CompileBuild:
+    case Ev::CompileInstall:
+    case Ev::JitDemote:
+    case Ev::JitDeopt:
+    case Ev::JitReclaim:
+    case Ev::OsrTransfer:
+    case Ev::OsrRefused:
+      return "jit";
+    case Ev::GcPause:
+    case Ev::GcMark:
+    case Ev::GcAccounting:
+    case Ev::GcSweep:
+      return "gc";
+    case Ev::SafepointStop:
+      return "safepoint";
+    case Ev::IsolateStart:
+    case Ev::IsolateTerminate:
+      return "isolate";
+    case Ev::GovernorTick:
+    case Ev::GovernorWarn:
+    case Ev::GovernorAct:
+      return "governor";
+    case Ev::InterIsolateCall:
+    case Ev::ChannelSend:
+      return "comm";
+    default:
+      return "vm";
+  }
+}
+
+constexpr u32 kDefaultRingSlots = 8192;
+
+// One seqlock slot. The owning thread invalidates (seq = 0), fills the
+// payload with relaxed stores, then release-stores seq = index + 1; a
+// reader accepts the slot only when seq reads the same nonzero value on
+// both sides of the payload loads. Payload fields are relaxed atomics so
+// the reader/writer race is defined (and TSan-clean) -- on every target
+// we care about they cost the same as plain stores.
+struct Slot {
+  std::atomic<u64> seq{0};
+  std::atomic<u64> ts{0};
+  std::atomic<u64> a{0};
+  std::atomic<u64> b{0};
+  std::atomic<i32> isolate{-1};
+  std::atomic<u8> ev{0};
+  std::atomic<u8> ph{0};
+};
+
+// One thread's ring. Single writer (the owning thread); any number of
+// concurrent readers.
+struct Ring {
+  explicit Ring(u32 tid_, u32 cap) : tid(tid_), slots(cap) {}
+  const u32 tid;
+  std::string name;
+  std::vector<Slot> slots;
+  // Total events ever written by this thread; the write cursor is
+  // next % slots.size(). Monotonic, owner-written only.
+  std::atomic<u64> next{0};
+};
+
+struct TraceState {
+  std::mutex mu;
+  std::deque<std::unique_ptr<Ring>> rings;     // readable
+  std::deque<std::unique_ptr<Ring>> retired;   // kept alive after reset
+  std::unordered_map<std::string, u32> name_ids;
+  std::deque<std::string> names;  // id -> string (id 0 = "")
+  u32 next_tid = 1;
+  u32 ring_slots = kDefaultRingSlots;
+  std::atomic<u64> epoch{1};
+  std::atomic<bool> enabled{true};
+  LatencyHistogram hists[static_cast<size_t>(Lat::Count)];
+  std::chrono::steady_clock::time_point t0 = std::chrono::steady_clock::now();
+};
+
+TraceState& state() {
+  static TraceState* s = new TraceState();  // never destroyed: emitters may
+  return *s;                                // outlive static teardown order
+}
+
+struct ThreadRing {
+  Ring* ring = nullptr;
+  u64 epoch = 0;
+};
+thread_local ThreadRing tl_ring;
+
+Ring& myRing() {
+  TraceState& st = state();
+  const u64 epoch = st.epoch.load(std::memory_order_acquire);
+  if (tl_ring.ring == nullptr || tl_ring.epoch != epoch) {
+    std::lock_guard<std::mutex> lock(st.mu);
+    st.rings.push_back(
+        std::make_unique<Ring>(st.next_tid++, st.ring_slots));
+    tl_ring.ring = st.rings.back().get();
+    tl_ring.epoch = st.epoch.load(std::memory_order_relaxed);
+  }
+  return *tl_ring.ring;
+}
+
+void writeSlot(Ring& r, u64 ts, Ev ev, Ph ph, i32 isolate, u64 a, u64 b) {
+  const u64 idx = r.next.load(std::memory_order_relaxed);
+  Slot& s = r.slots[idx % r.slots.size()];
+  s.seq.store(0, std::memory_order_release);  // invalidate for readers
+  s.ts.store(ts, std::memory_order_relaxed);
+  s.a.store(a, std::memory_order_relaxed);
+  s.b.store(b, std::memory_order_relaxed);
+  s.isolate.store(isolate, std::memory_order_relaxed);
+  s.ev.store(static_cast<u8>(ev), std::memory_order_relaxed);
+  s.ph.store(static_cast<u8>(ph), std::memory_order_relaxed);
+  s.seq.store(idx + 1, std::memory_order_release);
+  r.next.store(idx + 1, std::memory_order_release);
+}
+
+// Collects every consistently-readable event of one ring.
+void readRing(const Ring& r, std::vector<TraceEvent>* out) {
+  const size_t cap = r.slots.size();
+  for (size_t i = 0; i < cap; ++i) {
+    const Slot& s = r.slots[i];
+    const u64 seq1 = s.seq.load(std::memory_order_acquire);
+    if (seq1 == 0) continue;  // empty or mid-write
+    TraceEvent e;
+    e.ts_ns = s.ts.load(std::memory_order_relaxed);
+    e.a = s.a.load(std::memory_order_relaxed);
+    e.b = s.b.load(std::memory_order_relaxed);
+    e.isolate = s.isolate.load(std::memory_order_relaxed);
+    e.ev = static_cast<Ev>(s.ev.load(std::memory_order_relaxed));
+    e.ph = static_cast<Ph>(s.ph.load(std::memory_order_relaxed));
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (s.seq.load(std::memory_order_relaxed) != seq1) continue;  // torn
+    if (e.ev == Ev::None || e.ev >= Ev::Count) continue;
+    e.tid = r.tid;
+    out->push_back(e);
+  }
+}
+
+}  // namespace
+
+u64 traceNowNs() {
+  return static_cast<u64>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              std::chrono::steady_clock::now() - state().t0)
+                              .count());
+}
+
+bool traceEnabled() {
+  return state().enabled.load(std::memory_order_relaxed);
+}
+
+void setTraceEnabled(bool on) {
+  state().enabled.store(on, std::memory_order_relaxed);
+}
+
+void emit(Ev ev, Ph ph, i32 isolate, u64 a, u64 b) {
+  if (!traceEnabled()) return;
+  writeSlot(myRing(), traceNowNs(), ev, ph, isolate, a, b);
+}
+
+void emitAt(u64 ts_ns, Ev ev, Ph ph, i32 isolate, u64 a, u64 b) {
+  if (!traceEnabled()) return;
+  writeSlot(myRing(), ts_ns, ev, ph, isolate, a, b);
+}
+
+void recordLatency(Lat l, u64 ns) {
+  if (l >= Lat::Count || !traceEnabled()) return;
+  state().hists[static_cast<size_t>(l)].record(ns);
+}
+
+HistSnapshot latencySnapshot(Lat l) {
+  if (l >= Lat::Count) return {};
+  return state().hists[static_cast<size_t>(l)].snapshot();
+}
+
+u32 internTraceName(const std::string& name) {
+  TraceState& st = state();
+  std::lock_guard<std::mutex> lock(st.mu);
+  auto it = st.name_ids.find(name);
+  if (it != st.name_ids.end()) return it->second;
+  if (st.names.empty()) st.names.push_back("");  // id 0 = unnamed
+  const u32 id = static_cast<u32>(st.names.size());
+  st.names.push_back(name);
+  st.name_ids.emplace(name, id);
+  return id;
+}
+
+std::string traceNameOf(u32 id) {
+  TraceState& st = state();
+  std::lock_guard<std::mutex> lock(st.mu);
+  if (id == 0 || id >= st.names.size()) return {};
+  return st.names[id];
+}
+
+void setTraceThreadName(const std::string& name) {
+  Ring& r = myRing();
+  TraceState& st = state();
+  std::lock_guard<std::mutex> lock(st.mu);
+  r.name = name;
+}
+
+void setTraceRingCapacity(u32 slots) {
+  TraceState& st = state();
+  std::lock_guard<std::mutex> lock(st.mu);
+  st.ring_slots = slots > 0 ? slots : 1;
+}
+
+std::vector<TraceEvent> snapshotTrace() {
+  TraceState& st = state();
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(st.mu);
+    for (const auto& r : st.rings) readRing(*r, &out);
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& x, const TraceEvent& y) {
+                     return x.ts_ns < y.ts_ns;
+                   });
+  return out;
+}
+
+void resetTrace() {
+  TraceState& st = state();
+  std::lock_guard<std::mutex> lock(st.mu);
+  // Rings move to the retired list (not freed: their owner threads may be
+  // mid-emit); owners re-acquire a fresh ring at their next event via the
+  // epoch check in myRing().
+  for (auto& r : st.rings) st.retired.push_back(std::move(r));
+  st.rings.clear();
+  st.name_ids.clear();
+  st.names.clear();
+  for (auto& h : st.hists) h.reset();
+  st.epoch.fetch_add(1, std::memory_order_acq_rel);
+  st.t0 = std::chrono::steady_clock::now();
+}
+
+// ---- Chrome trace-event export ----------------------------------------
+
+namespace {
+
+void appendJsonEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          *out += strf("\\u%04x", c);
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+// One trace-event JSON object. `ph` is the Chrome phase letter.
+std::string chromeEvent(const TraceEvent& e, char ph, u64 dur_ns) {
+  std::string row = strf(
+      "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%c\",\"ts\":%.3f,"
+      "\"pid\":1,\"tid\":%u",
+      evName(e.ev), evCategory(e.ev), ph,
+      static_cast<double>(e.ts_ns) / 1000.0, e.tid);
+  if (ph == 'X') row += strf(",\"dur\":%.3f", static_cast<double>(dur_ns) / 1000.0);
+  if (ph == 'i') row += ",\"s\":\"t\"";
+  row += strf(",\"args\":{\"isolate\":%d", e.isolate);
+  // Compile/OSR/governor payloads carry an interned name in `a`; for any
+  // other event `a` is a plain number (bytes, counts) and must not be
+  // resolved even if it happens to collide with a name id.
+  const bool a_is_name =
+      e.ev == Ev::CompileRequest || e.ev == Ev::CompileBuild ||
+      e.ev == Ev::CompileInstall || e.ev == Ev::JitDemote ||
+      e.ev == Ev::JitDeopt || e.ev == Ev::OsrTransfer ||
+      e.ev == Ev::OsrRefused || e.ev == Ev::GovernorWarn ||
+      e.ev == Ev::GovernorAct || e.ev == Ev::IsolateStart;
+  const std::string named =
+      a_is_name ? traceNameOf(static_cast<u32>(e.a)) : std::string();
+  if (!named.empty()) {
+    row += ",\"target\":\"";
+    appendJsonEscaped(&row, named);
+    row += "\"";
+  } else if (e.a != 0) {
+    row += strf(",\"a\":%llu", static_cast<unsigned long long>(e.a));
+  }
+  if (e.b != 0) row += strf(",\"b\":%llu", static_cast<unsigned long long>(e.b));
+  row += "}}";
+  return row;
+}
+
+}  // namespace
+
+bool dumpChromeTrace(const std::string& path) {
+  std::vector<TraceEvent> events = snapshotTrace();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fputs("{\"traceEvents\":[\n", f);
+  bool first = true;
+  auto put = [&](const std::string& row) {
+    if (!first) std::fputs(",\n", f);
+    first = false;
+    std::fputs(row.c_str(), f);
+  };
+
+  // Thread-name metadata so Perfetto labels the tracks.
+  {
+    TraceState& st = state();
+    std::lock_guard<std::mutex> lock(st.mu);
+    for (const auto& r : st.rings) {
+      std::string name = r->name.empty() ? strf("thread-%u", r->tid) : r->name;
+      std::string row =
+          strf("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%u,"
+               "\"args\":{\"name\":\"",
+               r->tid);
+      appendJsonEscaped(&row, name);
+      row += "\"}}";
+      put(row);
+    }
+  }
+
+  // Begin/End balancing per thread: a Begin whose End was overwritten by
+  // ring wrap (or never emitted -- e.g. an isolate terminated mid-span and
+  // the spanning thread unwound without reaching its end site) is closed
+  // at the trace's final timestamp; an End whose Begin wrapped away is
+  // dropped. Chrome/Perfetto reject unbalanced B/E pairs outright, so the
+  // exporter -- not the emitters -- owns this invariant.
+  u64 last_ts = 0;
+  for (const TraceEvent& e : events) last_ts = std::max(last_ts, e.ts_ns);
+  std::unordered_map<u32, std::vector<TraceEvent>> open;  // tid -> B stack
+  for (const TraceEvent& e : events) {
+    switch (e.ph) {
+      case Ph::Instant:
+        put(chromeEvent(e, 'i', 0));
+        break;
+      case Ph::Begin:
+        open[e.tid].push_back(e);
+        put(chromeEvent(e, 'B', 0));
+        break;
+      case Ph::End: {
+        auto& stack = open[e.tid];
+        // An End only matches a Begin of the same event type somewhere in
+        // this thread's open stack; otherwise its Begin was lost to wrap
+        // and the End must be dropped, not emitted against someone else's
+        // span.
+        bool has_begin = false;
+        for (const TraceEvent& b : stack) has_begin |= b.ev == e.ev;
+        if (!has_begin) break;
+        // Close any inner spans whose End was lost (wrap can eat an inner
+        // End while keeping the outer one).
+        while (stack.back().ev != e.ev) {
+          TraceEvent fix = stack.back();
+          stack.pop_back();
+          fix.ts_ns = e.ts_ns;
+          put(chromeEvent(fix, 'E', 0));
+        }
+        stack.pop_back();
+        put(chromeEvent(e, 'E', 0));
+        break;
+      }
+    }
+  }
+  for (auto& [tid, stack] : open) {
+    while (!stack.empty()) {
+      TraceEvent fix = stack.back();
+      stack.pop_back();
+      fix.ts_ns = last_ts;
+      put(chromeEvent(fix, 'E', 0));
+    }
+  }
+  std::fputs("\n],\"displayTimeUnit\":\"ms\"}\n", f);
+  std::fclose(f);
+  return true;
+}
+
+#else  // IJVM_DISABLE_TRACE
+
+bool dumpChromeTrace(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fputs("{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}\n", f);
+  std::fclose(f);
+  return true;
+}
+
+#endif  // IJVM_DISABLE_TRACE
+
+}  // namespace ijvm::obs

@@ -19,6 +19,7 @@
 #include "exec/engine.h"
 #include "exec/interp_support.h"
 #include "heap/object.h"
+#include "obs/trace.h"
 #include "runtime/vm.h"
 #include "support/strf.h"
 
@@ -61,6 +62,7 @@ Value VM::invoke(JThread* t, JMethod* m, std::vector<Value> args) {
 // the duration of the call.
 Value VM::invokeCore(JThread* t, JMethod* m, const Value* args, i32 nargs) {
   Value result;
+  u64 call_trace_t0 = 0;  // nonzero: this migrated call is being sampled
   do {
     if (t->pending_exception != nullptr) break;  // propagate, do not enter
 
@@ -91,6 +93,18 @@ Value VM::invokeCore(JThread* t, JMethod* m, const Value* args, i32 nargs) {
         target->stats.calls_in.fetch_add(1, std::memory_order_relaxed);
       }
       inter_isolate_calls_.fetch_add(1, std::memory_order_relaxed);
+      // Sampled span (1 in 256, obs/trace.h): the full migrated-call
+      // path runs in ~110 ns while a traced one costs ~450 ns (two clock
+      // reads, two ring publishes, a histogram record), so the sampling
+      // ratio is what holds the enabled overhead inside the 2% budget --
+      // 1/64 measured at ~6%. The counter gates first: a plain
+      // owner-thread increment, cheaper than traceEnabled()'s atomic
+      // load behind a function-static guard.
+      if ((t->trace_call_counter++ & 255) == 0 && obs::traceEnabled()) {
+        call_trace_t0 = obs::traceNowNs();
+        obs::emitAt(call_trace_t0, obs::Ev::InterIsolateCall, obs::Ph::Begin,
+                    target->id);
+      }
     }
 
     Frame& frame = t->pushFrame();
@@ -151,6 +165,11 @@ Value VM::invokeCore(JThread* t, JMethod* m, const Value* args, i32 nargs) {
     t->popFrame();
     if (migrated) {
       t->current_isolate.store(cur, std::memory_order_release);
+      if (call_trace_t0 != 0) {
+        const u64 t1 = obs::traceNowNs();
+        obs::emitAt(t1, obs::Ev::InterIsolateCall, obs::Ph::End, target->id);
+        obs::recordLatency(obs::Lat::InterIsolateCall, t1 - call_trace_t0);
+      }
     }
     // Return-pointer patch: returning (normally) into a frame of the dying
     // isolate raises StoppedIsolateException instead.

@@ -137,6 +137,11 @@ class JThread {
   // Hard cancellation (VM shutdown): blocking natives return early.
   std::atomic<bool> force_kill{false};
 
+  // Trace sampling counter for inter-isolate calls (obs/trace.h): the
+  // ~169 ns migrated-call path cannot afford two clock reads per call, so
+  // 1 in 256 calls is recorded. Owner-thread only, no atomicity needed.
+  u32 trace_call_counter = 0;
+
   std::atomic<ThreadState> state{ThreadState::Blocked};
 
   // ---- completion (Thread.join) ----

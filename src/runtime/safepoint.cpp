@@ -1,5 +1,6 @@
 #include "runtime/safepoint.h"
 
+#include "obs/trace.h"
 #include "runtime/jthread.h"
 
 namespace ijvm {
@@ -57,9 +58,17 @@ void SafepointController::stopTheWorld(bool self_is_guest) {
   // treated as parked is safe.
   if (self_is_guest) enterBlocked();
   op_mutex_.lock();
+  // Time-to-stop (obs/trace.h): the span opens when this stopper *owns*
+  // the operation -- queueing behind another stop-the-world is not this
+  // pause's fault -- and closes when the last mutator parks.
+  const u64 t0 = obs::traceNowNs();
+  obs::emitAt(t0, obs::Ev::SafepointStop, obs::Ph::Begin, -1);
   std::unique_lock<std::mutex> lock(m_);
   stop_flag_.store(true, std::memory_order_release);
   cv_stopped_.wait(lock, [this] { return running_ == 0; });
+  const u64 t1 = obs::traceNowNs();
+  obs::emitAt(t1, obs::Ev::SafepointStop, obs::Ph::End, -1);
+  obs::recordLatency(obs::Lat::SafepointTimeToStop, t1 - t0);
 }
 
 void SafepointController::resumeTheWorld(bool self_is_guest) {

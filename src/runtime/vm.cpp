@@ -7,6 +7,7 @@
 #include "exec/compile_manager.h"
 #include "exec/jit.h"
 #include "heap/object.h"
+#include "obs/trace.h"
 #include "support/strf.h"
 #include "verifier/verifier.h"
 
@@ -127,6 +128,10 @@ Isolate* VM::createIsolate(ClassLoader* loader, const std::string& name) {
     main_thread_ = newThreadLocked("main", raw);
     raw->stats.threads_created.fetch_add(1, std::memory_order_relaxed);
     raw->stats.live_threads.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (obs::traceEnabled()) {
+    obs::emit(obs::Ev::IsolateStart, obs::Ph::Instant, raw->id,
+              obs::internTraceName(name));
   }
   return raw;
 }
@@ -607,6 +612,12 @@ GcStats VM::collectGarbage(JThread* requester, Isolate* trigger) {
   const bool self_is_guest =
       requester != nullptr &&
       requester->state.load(std::memory_order_acquire) == ThreadState::Running;
+  // The GcPause span wraps the whole stop-the-world section, so the
+  // SafepointStop span (emitted by stopTheWorld) nests inside it along
+  // with the heap's mark/accounting/sweep spans.
+  obs::TraceSpan gc_span(obs::Ev::GcPause,
+                         trigger != nullptr ? trigger->id : -1,
+                         /*a=*/0, obs::Lat::GcPause);
   safepoints_.stopTheWorld(self_is_guest);
 
   GcStats stats = heap_.collect([this](const RootSink& sink) { enumerateRoots(sink); },
@@ -680,6 +691,7 @@ bool VM::terminateIsolate(JThread* requester, Isolate* target) {
 
   const bool self_is_guest =
       requester->state.load(std::memory_order_acquire) == ThreadState::Running;
+  obs::TraceSpan term_span(obs::Ev::IsolateTerminate, target->id);
   safepoints_.stopTheWorld(self_is_guest);
 
   target->state.store(IsolateState::Terminating, std::memory_order_release);

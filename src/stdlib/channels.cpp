@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "obs/trace.h"
+
 namespace ijvm {
 
 namespace {
@@ -63,7 +65,19 @@ std::shared_ptr<ByteChannel> ByteChannel::loopback() {
 }
 
 size_t ByteChannel::write(const u8* data, size_t n) {
-  out_->push(data, n);
+  // The send is a queue push (lock + copy + notify): time it as the
+  // channel-send latency and record the bytes moved. Channels are a cold
+  // path relative to the interpreter (syscall-like), so per-send clock
+  // reads are affordable -- unlike the migrated-call path, which samples.
+  if (obs::traceEnabled()) {
+    const u64 t0 = obs::traceNowNs();
+    out_->push(data, n);
+    const u64 t1 = obs::traceNowNs();
+    obs::emitAt(t1, obs::Ev::ChannelSend, obs::Ph::Instant, -1, n);
+    obs::recordLatency(obs::Lat::ChannelSend, t1 - t0);
+  } else {
+    out_->push(data, n);
+  }
   return n;
 }
 

@@ -337,5 +337,66 @@ TEST(GovernorTest, StandardPolicyCoversFiveDosSignals) {
   EXPECT_TRUE(mem && gc && threads && cpu && hang);
 }
 
+TEST(GovernorTest, StandardPolicyPairsJitChurnWithDemote) {
+  GovernorPolicy p = GovernorPolicy::standard();
+  bool found = false;
+  for (const GovernorRule& r : p.rules) {
+    if (r.signal != Signal::JitChurnRate) continue;
+    found = true;
+    // Churn means the method keeps re-heating: the remedy is DemoteJit's
+    // raised re-heat floor, never a kill (hot is not hostile).
+    EXPECT_EQ(r.action, GovernorAction::DemoteJit);
+    EXPECT_GE(r.strikes_to_act, 2);
+  }
+  EXPECT_TRUE(found);
+}
+
+// JitChurnRate is a pure counter-delta signal, so the test drives it
+// deterministically: bump the bundle's compile/demote counters between
+// ticks (exactly what installJitCode/demoteCompiled do) instead of racing
+// a real compile-demote cycle against the tick clock.
+TEST(GovernorTest, JitChurnRuleFiresAndDemotes) {
+  GovernorPlatform p;
+  Bundle* busy = p.installAndStart(makeWellBehavedBundle("busy"));
+
+  GovernorPolicy policy;
+  policy.rules.push_back(
+      {Signal::JitChurnRate, 3.0, 2, GovernorAction::DemoteJit, "thrash"});
+  policy.warmup_ticks = 0;
+  ResourceGovernor gov(*p.fw, policy);
+  gov.tick();  // baseline snapshot: no deltas yet
+
+  ResourceStats& stats = busy->isolate()->stats;
+  auto churn = [&stats](u64 compiles, u64 demotes) {
+    stats.jit_methods_compiled.fetch_add(compiles);
+    stats.jit_methods_demoted.fetch_add(demotes);
+  };
+
+  churn(3, 3);  // delta 6 > 3: strike 1
+  std::vector<GovernorEvent> ev1 = gov.tick();
+  ASSERT_EQ(ev1.size(), 1u);
+  EXPECT_EQ(ev1[0].bundle_id, busy->id());
+  EXPECT_EQ(ev1[0].signal, Signal::JitChurnRate);
+  EXPECT_DOUBLE_EQ(ev1[0].observed, 6.0);
+  EXPECT_FALSE(ev1[0].acted);
+
+  churn(2, 2);  // strike 2: the rule acts
+  std::vector<GovernorEvent> ev2 = gov.tick();
+  ASSERT_EQ(ev2.size(), 1u);
+  EXPECT_TRUE(ev2[0].acted);
+  EXPECT_EQ(ev2[0].action, GovernorAction::DemoteJit);
+  // DemoteJit never kills: the bundle is still running.
+  EXPECT_EQ(busy->state(), BundleState::Active);
+  EXPECT_TRUE(gov.killed().empty());
+
+  // A quiet tick resets the strikes (hysteresis), and the churn shows up
+  // in the admin snapshot's per-bundle table.
+  std::vector<GovernorEvent> ev3 = gov.tick();
+  EXPECT_TRUE(ev3.empty());
+  std::string snap = gov.adminSnapshot();
+  EXPECT_NE(snap.find("jit-churn"), std::string::npos);
+  EXPECT_NE(snap.find("busy"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace ijvm

@@ -1,0 +1,454 @@
+// The obs tracing subsystem (src/obs): per-thread seqlock rings, latency
+// histograms and the Chrome trace-event exporter.
+//
+// What is worth testing here and why:
+//   * wrap semantics -- the ring must lose the *oldest* events, never the
+//     newest (the newest are what an administrator wants after an incident);
+//   * concurrent emitters -- emission is lock-free by design; TSan runs
+//     this file in CI, so racy slot publishing would be caught here;
+//   * begin/end balancing -- a thread can unwind without reaching its End
+//     site (isolate terminated mid-span); the exporter owns the invariant
+//     that the JSON always balances, so that is asserted on real output
+//     through a real (minimal) JSON parser, not on internal state;
+//   * histogram bucketing -- percentile math over the log buckets is easy
+//     to get off-by-one-bucket wrong.
+//
+// Every test that records events starts from resetTrace(): the trace
+// registry is process-wide and gtest runs all cases in one process.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/histogram.h"
+#include "obs/trace.h"
+
+namespace ijvm {
+namespace {
+
+using obs::Ev;
+using obs::Lat;
+using obs::Ph;
+using obs::TraceEvent;
+
+// ---- minimal JSON parser (round-trip checks parse real exporter output) --
+
+struct JValue {
+  enum Kind { Null, Bool, Num, Str, Arr, Obj } kind = Null;
+  bool b = false;
+  double num = 0;
+  std::string str;
+  std::vector<JValue> arr;
+  std::map<std::string, JValue> obj;
+
+  const JValue* find(const std::string& key) const {
+    auto it = obj.find(key);
+    return it == obj.end() ? nullptr : &it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string text) : s_(std::move(text)) {}
+
+  bool parse(JValue* out) { return value(out) && (skipWs(), pos_ == s_.size()); }
+
+ private:
+  void skipWs() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool consume(char c) {
+    skipWs();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool string(std::string* out) {
+    if (!consume('"')) return false;
+    out->clear();
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= s_.size()) return false;
+        char e = s_[pos_++];
+        switch (e) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case 'n': out->push_back('\n'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) return false;
+            out->push_back('?');  // control chars: presence is enough
+            pos_ += 4;
+            break;
+          }
+          default: return false;
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return pos_ < s_.size() && s_[pos_++] == '"';
+  }
+  bool value(JValue* out) {
+    skipWs();
+    if (pos_ >= s_.size()) return false;
+    char c = s_[pos_];
+    if (c == '{') {
+      ++pos_;
+      out->kind = JValue::Obj;
+      skipWs();
+      if (consume('}')) return true;
+      for (;;) {
+        std::string key;
+        if (!string(&key) || !consume(':')) return false;
+        JValue v;
+        if (!value(&v)) return false;
+        out->obj.emplace(std::move(key), std::move(v));
+        if (consume(',')) continue;
+        return consume('}');
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      out->kind = JValue::Arr;
+      skipWs();
+      if (consume(']')) return true;
+      for (;;) {
+        JValue v;
+        if (!value(&v)) return false;
+        out->arr.push_back(std::move(v));
+        if (consume(',')) continue;
+        return consume(']');
+      }
+    }
+    if (c == '"') {
+      out->kind = JValue::Str;
+      return string(&out->str);
+    }
+    if (s_.compare(pos_, 4, "true") == 0) {
+      out->kind = JValue::Bool;
+      out->b = true;
+      pos_ += 4;
+      return true;
+    }
+    if (s_.compare(pos_, 5, "false") == 0) {
+      out->kind = JValue::Bool;
+      pos_ += 5;
+      return true;
+    }
+    if (s_.compare(pos_, 4, "null") == 0) {
+      out->kind = JValue::Null;
+      pos_ += 4;
+      return true;
+    }
+    // number
+    size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '-' ||
+            s_[pos_] == '+' || s_[pos_] == '.' || s_[pos_] == 'e' ||
+            s_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    out->kind = JValue::Num;
+    out->num = std::strtod(s_.substr(start, pos_ - start).c_str(), nullptr);
+    return true;
+  }
+
+  const std::string s_;
+  size_t pos_ = 0;
+};
+
+std::string readFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  if (f == nullptr) return {};
+  std::string out;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+JValue dumpAndParse(const std::string& path) {
+  EXPECT_TRUE(obs::dumpChromeTrace(path));
+  JValue root;
+  JsonParser p(readFile(path));
+  EXPECT_TRUE(p.parse(&root)) << "exporter wrote unparsable JSON";
+  std::remove(path.c_str());
+  return root;
+}
+
+// Events of the dump, metadata rows excluded. (Unused when the tracing
+// subsystem is compiled out and only the well-formedness test runs.)
+[[maybe_unused]] std::vector<const JValue*> dataEvents(const JValue& root) {
+  std::vector<const JValue*> out;
+  const JValue* evs = root.find("traceEvents");
+  EXPECT_NE(evs, nullptr);
+  if (evs == nullptr) return out;
+  for (const JValue& e : evs->arr) {
+    const JValue* ph = e.find("ph");
+    if (ph != nullptr && ph->str != "M") out.push_back(&e);
+  }
+  return out;
+}
+
+// In all builds: the exporter always produces a well-formed, loadable file.
+TEST(TraceExportTest, EmptyTraceIsWellFormed) {
+  obs::resetTrace();
+  JValue root = dumpAndParse("trace_empty.json");
+  ASSERT_EQ(root.kind, JValue::Obj);
+  const JValue* evs = root.find("traceEvents");
+  ASSERT_NE(evs, nullptr);
+  EXPECT_EQ(evs->kind, JValue::Arr);
+  const JValue* unit = root.find("displayTimeUnit");
+  ASSERT_NE(unit, nullptr);
+  EXPECT_EQ(unit->str, "ms");
+}
+
+#ifndef IJVM_DISABLE_TRACE
+
+TEST(TraceRingTest, WrapKeepsTheNewestEvents) {
+  obs::resetTrace();
+  obs::setTraceRingCapacity(64);
+  // The capacity applies to rings created after the call; the reset above
+  // retired this thread's old ring, so the first emit below creates a
+  // 64-slot one.
+  constexpr u64 kEmits = 500;
+  for (u64 i = 1; i <= kEmits; ++i) {
+    obs::emit(Ev::GovernorTick, Ph::Instant, -1, i);
+  }
+  std::vector<TraceEvent> got = obs::snapshotTrace();
+  obs::setTraceRingCapacity(8192);  // restore for later tests
+
+  ASSERT_LE(got.size(), 64u);
+  ASSERT_GE(got.size(), 1u);
+  u64 min_a = ~0ull, max_a = 0;
+  for (const TraceEvent& e : got) {
+    EXPECT_EQ(e.ev, Ev::GovernorTick);
+    min_a = std::min(min_a, e.a);
+    max_a = std::max(max_a, e.a);
+  }
+  // The newest event always survives; everything retained is from the
+  // final window of the stream.
+  EXPECT_EQ(max_a, kEmits);
+  EXPECT_GT(min_a, kEmits - 64);
+}
+
+TEST(TraceRingTest, ConcurrentEmittersProduceWellFormedMerge) {
+  obs::resetTrace();
+  constexpr int kThreads = 4;
+  constexpr u64 kPerThread = 5000;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&go, t] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      for (u64 i = 1; i <= kPerThread; ++i) {
+        obs::emit(Ev::ChannelSend, Ph::Instant, t, i);
+        obs::recordLatency(Lat::ChannelSend, i);
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  // Read concurrently with the writers: torn slots must be skipped, never
+  // surfaced as garbage (this is the TSan-sensitive path).
+  for (int i = 0; i < 20; ++i) {
+    for (const TraceEvent& e : obs::snapshotTrace()) {
+      ASSERT_LT(static_cast<u8>(e.ev), static_cast<u8>(Ev::Count));
+      ASSERT_NE(e.ev, Ev::None);
+    }
+  }
+  for (auto& th : threads) th.join();
+
+  std::vector<TraceEvent> got = obs::snapshotTrace();
+  // Merged snapshot is timestamp-sorted and every surviving event is
+  // intact (payload within the range some thread actually wrote).
+  u64 prev_ts = 0;
+  for (const TraceEvent& e : got) {
+    EXPECT_GE(e.ts_ns, prev_ts);
+    prev_ts = e.ts_ns;
+    EXPECT_EQ(e.ev, Ev::ChannelSend);
+    EXPECT_GE(e.a, 1u);
+    EXPECT_LE(e.a, kPerThread);
+    EXPECT_LT(e.isolate, kThreads);
+  }
+  EXPECT_EQ(obs::latencySnapshot(Lat::ChannelSend).count,
+            static_cast<u64>(kThreads) * kPerThread);
+}
+
+TEST(TraceHistogramTest, LogBucketsAndPercentiles) {
+  obs::LatencyHistogram h;
+  // 90 fast samples (~100 ns) + 10 slow ones (1 ms): p50/p90 must land in
+  // the fast bucket, p99 in the slow one, max is exact.
+  for (int i = 0; i < 90; ++i) h.record(100);
+  for (int i = 0; i < 10; ++i) h.record(1000000);
+  obs::HistSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_EQ(s.sum_ns, 90u * 100 + 10u * 1000000);
+  EXPECT_EQ(s.max_ns, 1000000u);
+  // 100 falls in bucket [64, 128): reported as its geometric midpoint.
+  EXPECT_GE(s.p50_ns, 64u);
+  EXPECT_LT(s.p50_ns, 128u);
+  EXPECT_GE(s.p90_ns, 64u);
+  EXPECT_LT(s.p90_ns, 128u);
+  // 1e6 falls in bucket [2^19, 2^20).
+  EXPECT_GE(s.p99_ns, 1u << 19);
+  EXPECT_LT(s.p99_ns, 1u << 20);
+
+  h.reset();
+  EXPECT_EQ(h.snapshot().count, 0u);
+}
+
+TEST(TraceHistogramTest, SpanFeedsHistogram) {
+  obs::resetTrace();
+  { obs::TraceSpan span(Ev::GcPause, 1, 0, Lat::GcPause); }
+  obs::HistSnapshot s = obs::latencySnapshot(Lat::GcPause);
+  EXPECT_EQ(s.count, 1u);
+}
+
+TEST(TraceExportTest, ChromeJsonRoundTrips) {
+  obs::resetTrace();
+  const u32 name = obs::internTraceName("hog/Main.grab");
+  obs::setTraceThreadName("test-main");
+  obs::emit(Ev::CompileRequest, Ph::Instant, 2, name);
+  {
+    obs::TraceSpan build(Ev::CompileBuild, 2, name, Lat::CompileBuild);
+  }
+  obs::emit(Ev::CompileInstall, Ph::Instant, 2, name, 4096);
+  obs::emit(Ev::JitReclaim, Ph::Instant, -1, 3);
+
+  JValue root = dumpAndParse("trace_roundtrip.json");
+  std::vector<const JValue*> evs = dataEvents(root);
+  ASSERT_EQ(evs.size(), 5u);  // request + B/E build + install + reclaim
+
+  bool saw_request = false, saw_build_b = false, saw_build_e = false,
+       saw_reclaim = false;
+  for (const JValue* e : evs) {
+    const JValue* nm = e->find("name");
+    const JValue* ph = e->find("ph");
+    const JValue* args = e->find("args");
+    ASSERT_NE(nm, nullptr);
+    ASSERT_NE(ph, nullptr);
+    ASSERT_NE(args, nullptr);
+    ASSERT_NE(e->find("ts"), nullptr);
+    ASSERT_NE(e->find("tid"), nullptr);
+    if (nm->str == "compile.request") {
+      saw_request = true;
+      // Interned payloads come back as the original string...
+      const JValue* target = args->find("target");
+      ASSERT_NE(target, nullptr);
+      EXPECT_EQ(target->str, "hog/Main.grab");
+      EXPECT_EQ(args->find("isolate")->num, 2);
+    }
+    if (nm->str == "compile.build" && ph->str == "B") saw_build_b = true;
+    if (nm->str == "compile.build" && ph->str == "E") saw_build_e = true;
+    if (nm->str == "jit.reclaim") {
+      saw_reclaim = true;
+      // ...while numeric payloads stay numbers even though `3` is also a
+      // plausible name id (the exporter resolves names per event type).
+      EXPECT_EQ(args->find("target"), nullptr);
+      ASSERT_NE(args->find("a"), nullptr);
+      EXPECT_EQ(args->find("a")->num, 3);
+    }
+  }
+  EXPECT_TRUE(saw_request);
+  EXPECT_TRUE(saw_build_b);
+  EXPECT_TRUE(saw_build_e);
+  EXPECT_TRUE(saw_reclaim);
+
+  // Thread-name metadata row made it out.
+  bool saw_meta = false;
+  for (const JValue& e : root.find("traceEvents")->arr) {
+    const JValue* ph = e.find("ph");
+    if (ph != nullptr && ph->str == "M" &&
+        e.find("args")->find("name")->str == "test-main") {
+      saw_meta = true;
+    }
+  }
+  EXPECT_TRUE(saw_meta);
+}
+
+// An isolate killed mid-span unwinds its spanning thread without reaching
+// the End site; a wrapped ring can also eat a Begin or an End. Whatever
+// the cause, the exported JSON must balance: Perfetto rejects unbalanced
+// B/E pairs outright.
+TEST(TraceExportTest, UnbalancedSpansAreClosedAtExport) {
+  obs::resetTrace();
+  obs::emit(Ev::IsolateTerminate, Ph::Begin, 3);
+  obs::emit(Ev::GcPause, Ph::Begin, 3);
+  // Thread "dies" here: neither span ever emits its End. And one orphan
+  // End whose Begin is long gone:
+  obs::emit(Ev::GcMark, Ph::End, 3);
+
+  JValue root = dumpAndParse("trace_balance.json");
+  std::map<double, int> depth;  // tid -> open spans
+  int begins = 0, ends = 0;
+  for (const JValue* e : dataEvents(root)) {
+    const std::string& ph = e->find("ph")->str;
+    const double tid = e->find("tid")->num;
+    if (ph == "B") {
+      ++begins;
+      ++depth[tid];
+    } else if (ph == "E") {
+      ++ends;
+      --depth[tid];
+      EXPECT_GE(depth[tid], 0) << "E with no open B";
+    }
+  }
+  EXPECT_EQ(begins, 2);
+  EXPECT_EQ(ends, 2);  // both synthesized; the orphan GcMark End dropped
+  for (const auto& [tid, d] : depth) EXPECT_EQ(d, 0) << "tid " << tid;
+}
+
+TEST(TraceControlTest, DisableStopsRecording) {
+  obs::resetTrace();
+  obs::setTraceEnabled(false);
+  obs::emit(Ev::GovernorTick, Ph::Instant, -1, 1);
+  obs::recordLatency(Lat::GcPause, 1000);
+  EXPECT_TRUE(obs::snapshotTrace().empty());
+  EXPECT_EQ(obs::latencySnapshot(Lat::GcPause).count, 0u);
+  obs::setTraceEnabled(true);
+  obs::emit(Ev::GovernorTick, Ph::Instant, -1, 2);
+  EXPECT_EQ(obs::snapshotTrace().size(), 1u);
+}
+
+TEST(TraceControlTest, ResetForgetsEventsNamesAndHistograms) {
+  obs::resetTrace();
+  const u32 id = obs::internTraceName("some/Method.name");
+  obs::emit(Ev::CompileRequest, Ph::Instant, 1, id);
+  obs::recordLatency(Lat::CompileBuild, 500);
+  ASSERT_FALSE(obs::snapshotTrace().empty());
+
+  obs::resetTrace();
+  EXPECT_TRUE(obs::snapshotTrace().empty());
+  EXPECT_EQ(obs::latencySnapshot(Lat::CompileBuild).count, 0u);
+  EXPECT_EQ(obs::traceNameOf(id), "");
+  // The retired ring's owner (this thread) keeps emitting safely and gets
+  // a fresh ring.
+  obs::emit(Ev::GovernorTick, Ph::Instant, -1, 7);
+  std::vector<TraceEvent> got = obs::snapshotTrace();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].a, 7u);
+}
+
+#endif  // IJVM_DISABLE_TRACE
+
+}  // namespace
+}  // namespace ijvm
