@@ -97,6 +97,10 @@ class BenchJson {
     return true;
   }
 
+  // For emitters that merge into a shared BENCH_*.json instead of owning
+  // the whole file (each row is one serialized object, no trailing comma).
+  const std::vector<std::string>& rows() const { return rows_; }
+
  private:
   std::vector<std::string> rows_;
 };

@@ -203,7 +203,10 @@ std::vector<GovernorEvent> ResourceGovernor::tick() {
     std::lock_guard<std::mutex> lock(mutex_);
 
     // Total CPU delta across *all* isolates (including Isolate0) for the
-    // share computation.
+    // share computation. reportAll sums the per-isolate atomic counters,
+    // which every mutator (pool workers included) bumps on its own -- the
+    // rate signals below therefore aggregate across threads by
+    // construction; nothing here reads a single thread's counters.
     u64 total_cpu = 0;
     for (const IsolateReport& r : fw_.reportAll()) total_cpu += r.cpu_samples;
     u64 total_cpu_delta =
@@ -215,7 +218,15 @@ std::vector<GovernorEvent> ResourceGovernor::tick() {
 
     // Hung callers per isolate: threads some *other* isolate created,
     // currently blocked while migrated into this one (racy atomic reads;
-    // the strike hysteresis absorbs the noise).
+    // the strike hysteresis absorbs the noise). Counter signals like this
+    // must aggregate over *every* thread's state -- a single-mutator
+    // shortcut (reading one thread) undercounts the moment the mutator
+    // pool schedules bundle work on several workers. Pool workers are
+    // creator-attributed to Isolate0, which would make any worker blocked
+    // inside the very bundle it is *scheduled for* look like a hung
+    // foreign caller and unjustly kill honest bundles under A7 -- the
+    // scheduled_isolate marker (runtime/mutator_pool.cpp) exempts exactly
+    // that thread while it runs that bundle's task.
     std::unordered_map<i32, double> hung;
     for (JThread* t : fw_.vm().threadsSnapshot()) {
       if (t->state.load(std::memory_order_acquire) != ThreadState::Blocked)
@@ -223,6 +234,7 @@ std::vector<GovernorEvent> ResourceGovernor::tick() {
       if (!t->hasFrames()) continue;  // attached thread idling in C++
       Isolate* cur = t->current_isolate.load(std::memory_order_acquire);
       if (cur == nullptr || cur == t->creator_isolate) continue;
+      if (cur == t->scheduled_isolate.load(std::memory_order_acquire)) continue;
       hung[cur->id] += 1.0;
     }
 

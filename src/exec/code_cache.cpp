@@ -1,6 +1,7 @@
 // The bounded tier-3 code cache: install accounting, hotness-decayed
-// victim selection, demotion, and stop-the-world reclamation of retired
-// code. Contract in code_cache.h / docs/jit.md ("Code lifecycle").
+// victim selection, demotion, and epoch-based reclamation of retired
+// code. Contract in code_cache.h / docs/jit.md ("Code lifecycle") /
+// docs/concurrency.md ("Era-based code reclamation").
 #include "exec/code_cache.h"
 
 #include <algorithm>
@@ -10,6 +11,7 @@
 #include "exec/jit_internal.h"
 #include "exec/quickened.h"
 #include "obs/trace.h"
+#include "runtime/safepoint.h"
 #include "runtime/vm.h"
 
 namespace ijvm::exec {
@@ -25,6 +27,38 @@ u32 traceNameOfMethod(const JMethod* m) {
 i32 traceIsolateOfMethod(const JMethod* m) {
   Isolate* iso = m->owner->loader->isolate();
   return iso != nullptr ? iso->id : -1;
+}
+
+// The poisoned->Dead retire scan shared by both reclamation paths (caller
+// holds ExecState::mutex). A killed isolate's compiled code is *poisoned*,
+// not retired -- terminateIsolate patches entries so in-flight frames die
+// at their polls, and the patched entries stay observable (disasmJit)
+// while the isolate winds down. Once a collection has declared the
+// isolate Dead (no surviving objects -- the paper's end-of-life point;
+// VM::collectGarbage runs its sweep before its own Dead-marking, so the
+// kill's own GC never retires here), the code is garbage too: retire it
+// so dead bundles stop holding code-cache budget and their code becomes
+// freeable even with an unlimited budget on a kill-churn platform.
+// (Budget pressure may of course demote poisoned code earlier, like any
+// cold code.) The method-level poison barrier keeps refusing re-entry
+// regardless.
+void retireDeadIsolateCodeLocked(ExecState& st) {
+  for (auto& owned : st.jit_codes) {
+    JitCode* jc = owned.get();
+    if (jc->life.load(std::memory_order_acquire) != JitLife::Installed ||
+        !jc->method->poisoned.load(std::memory_order_acquire)) {
+      continue;
+    }
+    Isolate* iso = jc->method->owner->loader->isolate();
+    if (iso == nullptr ||
+        iso->state.load(std::memory_order_acquire) == IsolateState::Dead) {
+      if (retireJitCode(*jc, /*deopt=*/false)) {
+        obs::emit(obs::Ev::JitDemote, obs::Ph::Instant,
+                  iso != nullptr ? iso->id : -1,
+                  traceNameOfMethod(jc->method));
+      }
+    }
+  }
 }
 
 }  // namespace
@@ -213,11 +247,12 @@ bool demoteCompiled(VM& vm, JMethod* m) {
   if (m == nullptr) return false;
   // The whole demotion runs under the engine mutex. A demoter may be a
   // thread that never parks at safepoints (the governor's DemoteJit
-  // path), so the stop-the-world argument that protects *executing*
-  // frames does not protect this code pointer -- but sweepRetiredJitCode
-  // frees only under the same mutex, so holding it pins every JitCode we
-  // might dereference. (The deopt-side retire needs no such pin: the
-  // deopting thread is inside the code, active > 0.)
+  // path), so neither the stopped world nor the era gate that protect
+  // *executing* frames protect this code pointer -- but both reclamation
+  // paths (sweepRetiredJitCode and reclaimJitCode) free only under the
+  // same mutex, so holding it pins every JitCode we might dereference.
+  // (The deopt-side retire needs no such pin: the deopting thread is
+  // inside the code, active > 0.)
   ExecState& st = engineState(vm);
   std::lock_guard<std::mutex> lock(st.mutex);
   auto* jc = static_cast<JitCode*>(m->jitcode.load(std::memory_order_acquire));
@@ -243,44 +278,19 @@ u32 demoteLoaderJit(VM& vm, ClassLoader* loader) {
 }
 
 u32 sweepRetiredJitCode(VM& vm) {
-  // Precondition: the caller stopped the world. Every mutator is parked
-  // at a poll -- inside compiled code only with a nonzero active count
-  // (there is no poll between loading JMethod::jitcode and bumping
-  // `active`, see runJit) -- so a retired code with active == 0 is
-  // unreachable and stays so until the world resumes.
+  // Precondition: the caller stopped the world (VM::collectGarbage). Every
+  // mutator is parked at a poll -- inside compiled code only with a
+  // nonzero active count (there is no poll between loading
+  // JMethod::jitcode and bumping `active`, see runJit) -- so the era gate
+  // of the concurrent path is trivially satisfied: a retired code with
+  // active == 0 is unreachable and stays so until the world resumes,
+  // whether or not it was ever armed with a reclaim era.
   auto sp = std::static_pointer_cast<ExecState>(vm.getExtension(kStateKey));
   if (sp == nullptr) return 0;
   ExecState& st = *sp;
   u32 freed = 0;
   std::lock_guard<std::mutex> lock(st.mutex);
-  // A killed isolate's compiled code is *poisoned*, not retired --
-  // terminateIsolate patches entries so in-flight frames die at their
-  // polls, and the patched entries stay observable (disasmJit) while the
-  // isolate winds down. Once a *previous* collection has declared the
-  // isolate Dead (no surviving objects -- the paper's end-of-life point;
-  // VM::collectGarbage runs this sweep before its own Dead-marking, so
-  // the kill's own GC never retires here), the code is garbage too:
-  // retire it so dead bundles stop holding code-cache budget and their
-  // code becomes freeable even with an unlimited budget on a kill-churn
-  // platform. (Budget pressure may of course demote poisoned code
-  // earlier, like any cold code.) The method-level poison barrier keeps
-  // refusing re-entry regardless.
-  for (auto& owned : st.jit_codes) {
-    JitCode* jc = owned.get();
-    if (jc->life.load(std::memory_order_acquire) != JitLife::Installed ||
-        !jc->method->poisoned.load(std::memory_order_acquire)) {
-      continue;
-    }
-    Isolate* iso = jc->method->owner->loader->isolate();
-    if (iso == nullptr ||
-        iso->state.load(std::memory_order_acquire) == IsolateState::Dead) {
-      if (retireJitCode(*jc, /*deopt=*/false)) {
-        obs::emit(obs::Ev::JitDemote, obs::Ph::Instant,
-                  iso != nullptr ? iso->id : -1,
-                  traceNameOfMethod(jc->method));
-      }
-    }
-  }
+  retireDeadIsolateCodeLocked(st);
   for (auto it = st.jit_codes.begin(); it != st.jit_codes.end();) {
     JitCode* jc = it->get();
     if (jc->life.load(std::memory_order_acquire) == JitLife::Retired &&
@@ -299,13 +309,78 @@ u32 sweepRetiredJitCode(VM& vm) {
 }
 
 u32 reclaimJitCode(VM& vm) {
-  // getExtension first: a VM that never compiled has nothing to reclaim,
-  // and we must not stop the world just to find that out.
-  if (vm.getExtension(kStateKey) == nullptr) return 0;
+  // Concurrent, era-gated reclamation -- no stop-the-world (the pre-pool
+  // implementation parked every mutator here, a pause that grew with
+  // thread count). Two phases under the engine mutex:
+  //
+  //   arm:  a Retired entry not yet armed is stamped with the *next*
+  //         safepoint era -- but only after verifying its entry really is
+  //         unlinked from JMethod::jitcode. The verify (acquire) reads
+  //         the retirer's un-patch CAS, so the un-patch happens-before
+  //         this thread's advanceEra (release RMW); a mutator that later
+  //         publishes an era >= the target therefore cannot re-load a
+  //         stale pointer to the armed code.
+  //   free: an armed entry is erased once (a) every counted -- i.e.
+  //         Running -- mutator has published an era >= its target, which
+  //         closes the poll-free window between the jitcode load and the
+  //         active increment, and (b) its active count is zero, which
+  //         covers frames parked *inside* the code (a thread blocked in a
+  //         native mid-method delays reclamation, it never corrupts it).
+  //         Blocked threads are quiescent for the era gate: they cannot
+  //         be in the window, and they republish the current era under
+  //         the safepoint mutex before running again.
+  auto sp = std::static_pointer_cast<ExecState>(vm.getExtension(kStateKey));
+  if (sp == nullptr) return 0;
+  ExecState& st = *sp;
   SafepointController& sps = vm.safepoints();
-  sps.stopTheWorld(/*self_is_guest=*/false);
-  const u32 freed = sweepRetiredJitCode(vm);
-  sps.resumeTheWorld(/*self_is_guest=*/false);
+  u32 freed = 0;
+  std::lock_guard<std::mutex> lock(st.mutex);
+  retireDeadIsolateCodeLocked(st);
+
+  // Arm phase.
+  std::vector<JitCode*> to_arm;
+  for (auto& owned : st.jit_codes) {
+    JitCode* jc = owned.get();
+    if (jc->life.load(std::memory_order_acquire) != JitLife::Retired) continue;
+    if (jc->reclaim_target.load(std::memory_order_relaxed) != 0) continue;
+    // Mid-retire (life flipped, entry not yet un-patched): arm next pass.
+    if (jc->method->jitcode.load(std::memory_order_acquire) == jc) continue;
+    to_arm.push_back(jc);
+  }
+  if (!to_arm.empty()) {
+    const u64 target = sps.advanceEra();
+    for (JitCode* jc : to_arm) {
+      jc->reclaim_target.store(target, std::memory_order_relaxed);
+    }
+    obs::emit(obs::Ev::EraAdvance, obs::Ph::Instant, /*isolate=*/-1, target,
+              to_arm.size());
+  }
+
+  // Free phase. minCountedEra is taken under the safepoint mutex, so a
+  // thread blocked during the scan republishes the (already advanced) era
+  // before it can run guest code again.
+  const u64 min_era = sps.minCountedEra(vm.threadsSnapshot());
+  const u64 now_era = sps.currentEra();
+  for (auto it = st.jit_codes.begin(); it != st.jit_codes.end();) {
+    JitCode* jc = it->get();
+    const u64 target = jc->reclaim_target.load(std::memory_order_relaxed);
+    if (jc->life.load(std::memory_order_acquire) == JitLife::Retired &&
+        target != 0 && target <= min_era &&
+        jc->active.load(std::memory_order_acquire) == 0) {
+      // Era lag: how many eras beyond the target elapsed before the code
+      // was actually freed (0 = freed at the first eligible pass). Fed to
+      // the ReclaimEraLag histogram in *eras*, not nanoseconds.
+      obs::recordLatency(obs::Lat::ReclaimEraLag, now_era - target);
+      st.code_cache->onReclaim(jc);
+      it = st.jit_codes.erase(it);
+      ++freed;
+    } else {
+      ++it;
+    }
+  }
+  if (freed > 0) {
+    obs::emit(obs::Ev::JitReclaim, obs::Ph::Instant, /*isolate=*/-1, freed);
+  }
   return freed;
 }
 

@@ -16,10 +16,11 @@
 //    QCode::jit_hotness_floor is raised so only fresh heat (another
 //    jit_threshold worth of invocations/back-edges) re-promotes it;
 //  * demoted and deopt-invalidated code is Retired, and reclaimed --
-//    actually freed -- by sweepRetiredJitCode under stop-the-world once no
-//    frame still executes it. Retirement is poison-free: unlike isolate
-//    termination, a demoted method's in-flight executions simply run to
-//    completion.
+//    actually freed -- once no frame still executes it: concurrently via
+//    the era-gated reclaimJitCode (no pause; docs/concurrency.md), or by
+//    sweepRetiredJitCode inside the GC's already-stopped world.
+//    Retirement is poison-free: unlike isolate termination, a demoted
+//    method's in-flight executions simply run to completion.
 //
 // The governor drives the same lever: GovernorAction::DemoteJit demotes a
 // cooled bundle's compiled methods the way terminateIsolate poisons a
@@ -127,14 +128,18 @@ u32 demoteLoaderJit(VM& vm, ClassLoader* loader);
 
 // Frees retired JitCodes whose active-execution count is zero. The caller
 // must have stopped the world (VM::collectGarbage calls this inside its
-// stop-the-world section). Returns the number of codes freed.
+// stop-the-world section, where the era gate below is trivially
+// satisfied). Returns the number of codes freed.
 u32 sweepRetiredJitCode(VM& vm);
 
-// Convenience for tests/admin paths and the compile manager's own
-// pressure response: stop the world, sweep, resume. Call from a thread
-// that is not currently counted as a Running guest (any C++ thread
-// between guest calls qualifies -- threads only count as Running inside
-// the interpreter).
+// Concurrent, era-gated reclamation (docs/concurrency.md): arms retired
+// entries with the next safepoint era, then frees every armed entry that
+// all counted mutators have passed and that no frame still executes. No
+// stop-the-world -- running mutators keep running; the pause of the old
+// implementation grew with thread count, this scan does not. Safe from
+// any thread (the compile manager's pressure valve calls it from worker
+// 0's idle tick). A freshly retired code typically takes two passes: one
+// to arm, one to free once every mutator has crossed a poll.
 u32 reclaimJitCode(VM& vm);
 
 }  // namespace ijvm::exec

@@ -1,9 +1,10 @@
-// The background compile manager: a dedicated worker thread that drains
-// promote-to-JIT requests, builds call-threaded code off the mutator, and
-// parks it for mutator-side installation. Contract in compile_manager.h /
+// The background compile manager: worker threads that drain
+// promote-to-JIT requests, build call-threaded code off the mutator, and
+// park it for mutator-side installation. Contract in compile_manager.h /
 // docs/jit.md ("Code lifecycle").
 #include "exec/compile_manager.h"
 
+#include <algorithm>
 #include <chrono>
 
 #include "classes/jclass.h"
@@ -12,6 +13,7 @@
 #include "exec/quickened.h"
 #include "obs/trace.h"
 #include "runtime/vm.h"
+#include "support/strf.h"
 
 namespace ijvm::exec {
 
@@ -22,7 +24,11 @@ constexpr auto kIdleTick = std::chrono::milliseconds(50);
 }  // namespace
 
 CompileManager::CompileManager(VM& vm) : vm_(vm) {
-  worker_ = std::thread([this] { workerLoop(); });
+  const u32 n = std::max<u32>(1, vm.options().compiler_threads);
+  workers_.reserve(n);
+  for (u32 i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { workerLoop(i); });
+  }
 }
 
 CompileManager::~CompileManager() {
@@ -31,7 +37,9 @@ CompileManager::~CompileManager() {
     stop_ = true;
   }
   wake_.notify_all();
-  if (worker_.joinable()) worker_.join();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
 }
 
 void CompileManager::enqueue(JMethod* m) {
@@ -69,8 +77,9 @@ u32 CompileManager::queueDepth() const {
          static_cast<u32>(ready_.size());
 }
 
-void CompileManager::workerLoop() {
-  obs::setTraceThreadName("compiler");
+void CompileManager::workerLoop(size_t index) {
+  obs::setTraceThreadName(index == 0 ? std::string("compiler")
+                                     : strf("compiler-%zu", index));
   for (;;) {
     JMethod* m = nullptr;
     {
@@ -86,10 +95,13 @@ void CompileManager::workerLoop() {
     }
     if (m == nullptr) {
       // Idle tick: pressure-relief for retired code. Demotion and deopt
-      // only *retire*; somebody must stop the world and free. GC does it
-      // opportunistically (VM::collectGarbage); the manager does it when
+      // only *retire*; somebody must free. GC does it opportunistically
+      // (VM::collectGarbage, world already stopped); worker 0 runs the
+      // era-gated concurrent pass (reclaimJitCode -- no pause) when
       // retired bytes pile up on a platform that churns code faster than
-      // it allocates garbage.
+      // it allocates garbage. One valve is enough: reclamation is a scan,
+      // not a build, and serializing it keeps era advances meaningful.
+      if (index != 0) continue;
       CodeCache& cache = *engineState(vm_).code_cache;
       const u64 budget = vm_.options().code_cache_budget;
       const u64 slack = budget > 0 ? budget / 4 : (1u << 20);

@@ -2,26 +2,29 @@
 //
 // With VmOptions::background_compile every promote-to-JIT request --
 // entry promotion, OSR self-promotion at a back-edge batch flush, and the
-// governor's PromoteJit action alike -- is handed to a dedicated compiler
-// thread instead of being compiled on the mutator. The worker drains the
-// request queue, builds call-threaded code off-thread (from a snapshot of
-// the quickened stream taken under the engine mutex), and parks the
-// finished JitCode on a ready list. The *mutator* performs the install at
-// its next drain point (method entry or back-edge batch flush, via
-// drainJitQueue): it never blocks on a compile, it just keeps running the
-// fused tier until the entry flips.
+// governor's PromoteJit action alike -- is handed to a pool of
+// VmOptions::compiler_threads worker threads instead of being compiled on
+// the mutator. Workers drain the request queue concurrently, build
+// call-threaded code off-thread (each from a snapshot of the quickened
+// stream taken under the engine mutex), and park the finished JitCode on
+// a shared ready list. The *mutator* performs the install at its next
+// drain point (method entry or back-edge batch flush, via drainJitQueue):
+// it never blocks on a compile, it just keeps running the fused tier
+// until the entry flips.
 //
 // Mutator-side installation is what makes the entry flip
 // safepoint-coordinated: isolate termination poisons methods under
 // stop-the-world, when every mutator is parked, so an install can never
 // interleave with a poisoning pass -- a request for a method poisoned
-// mid-compile is simply dropped at install time. The worker itself is not
-// a guest thread (like the CPU sampler it never counts as Running), so a
-// long compile cannot stall a stop-the-world.
+// mid-compile is simply dropped at install time. Adding compiler threads
+// does not touch this contract: only *builds* parallelize; installs stay
+// mutator-side. The workers themselves are not guest threads (like the
+// CPU sampler they never count as Running), so a long compile cannot
+// stall a stop-the-world.
 //
-// The worker doubles as the cache's pressure-relief valve: when retired
+// Worker 0 doubles as the cache's pressure-relief valve: when retired
 // (demoted/invalidated) code piles up past a fraction of the budget, it
-// stops the world and reclaims (code_cache.h).
+// runs an era-gated reclamation pass (code_cache.h; no stop-the-world).
 //
 // Compile the whole subsystem out with -DIJVM_DISABLE_BG_COMPILE;
 // background_compile=false keeps the synchronous drain (deterministic:
@@ -34,6 +37,7 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <vector>
 
 #include "support/common.h"
 
@@ -49,15 +53,17 @@ struct JitCode;
 class CompileManager {
  public:
   explicit CompileManager(VM& vm);
-  ~CompileManager();  // signals the worker and joins it
+  ~CompileManager();  // signals the workers and joins them
 
   CompileManager(const CompileManager&) = delete;
   CompileManager& operator=(const CompileManager&) = delete;
 
-  // Hands a promote-to-JIT request to the worker (the caller holds the
+  // Hands a promote-to-JIT request to the workers (the caller holds the
   // QCode::jit_queued latch; it is released when the finished code is
   // installed or dropped).
   void enqueue(JMethod* m);
+
+  size_t workerCount() const { return workers_.size(); }
 
   // Mutator-side install point: publishes every finished JitCode parked on
   // the ready list (dropping poisoned/superseded ones) and enforces the
@@ -75,7 +81,7 @@ class CompileManager {
   u32 queueDepth() const;
 
  private:
-  void workerLoop();
+  void workerLoop(size_t index);
 
   VM& vm_;
   mutable std::mutex mutex_;
@@ -84,7 +90,10 @@ class CompileManager {
   std::deque<std::unique_ptr<JitCode>> ready_;
   u32 building_ = 0;  // requests popped but not yet parked on ready_
   bool stop_ = false;
-  std::thread worker_;
+  // max(1, VmOptions::compiler_threads) workers sharing pending_/ready_;
+  // only worker 0 runs the idle-tick pressure valve (one reclaimer is
+  // enough, and it keeps the valve's cadence independent of the count).
+  std::vector<std::thread> workers_;
 };
 
 // Joins the VM's compile manager if one was ever started; safe to call

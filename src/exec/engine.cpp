@@ -343,6 +343,7 @@ Value interpretQuickened(VM& vm, JThread* t, Frame& frame) {
   // before every instruction).
   auto poll = [&]() {
     if (safepoints.stopRequested()) safepoints.poll();
+    t->publishEra(safepoints.currentEra());
     if (t->force_kill.load(std::memory_order_relaxed) &&
         t->pending_exception == nullptr) {
       throwStopped(vm, t, kKillAll);

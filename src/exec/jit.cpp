@@ -118,6 +118,7 @@ void pollJit(JitCtx& cx) {
   JThread* t = cx.t;
   SafepointController& sps = cx.vm.safepoints();
   if (sps.stopRequested()) sps.poll();
+  t->publishEra(sps.currentEra());
   if (t->force_kill.load(std::memory_order_relaxed) &&
       t->pending_exception == nullptr) {
     throwStopped(cx.vm, t, kKillAll);

@@ -9,12 +9,16 @@
 // pressure or GovernorAction::DemoteJit; poison-free, the method falls
 // back to the fused tier and may recompile once re-heated past
 // QCode::jit_hotness_floor) or invalidated by a deopt. Uninstalled code is
-// Retired, not freed: frames may still be executing it. It is erased from
-// the ExecState arena by sweepRetiredJitCode, which runs under
-// stop-the-world and only frees entries whose active-execution count is
-// zero -- a thread between loading JMethod::jitcode and bumping `active`
-// crosses no safepoint poll, so a stopped world cannot park a thread
-// inside that window.
+// Retired, not freed: frames may still be executing it. Freeing is
+// epoch-based (docs/concurrency.md): a retired entry is *armed* with the
+// next safepoint era (reclaim_target, stamped after verifying the entry
+// is unlinked from JMethod::jitcode), and erased from the ExecState arena
+// once every counted mutator has published an era >= that target AND the
+// active-execution count is zero. The era gate closes the no-poll window
+// between loading JMethod::jitcode and bumping `active`; the active count
+// covers frames parked inside the code (e.g. blocked in a native). The
+// GC's sweep runs with the world already stopped, where the era gate is
+// trivially satisfied.
 #pragma once
 
 #include <atomic>
@@ -82,7 +86,8 @@ struct OsrEntry {
 // winner via compare-exchange). A build dropped at install (method
 // poisoned or already compiled) dies *as Built*: never published, it is
 // freed on the spot without a state transition. Retired entries are
-// erased by sweepRetiredJitCode once `active` is zero.
+// erased by sweepRetiredJitCode once every counted mutator has passed
+// their reclaim era and `active` is zero.
 enum class JitLife : u8 { Built, Installed, Retired };
 
 struct JitCode {
@@ -104,8 +109,15 @@ struct JitCode {
   std::atomic<JitLife> life{JitLife::Built};
   // Frames currently executing this code (runJit / runJitOsr bracket the
   // dispatch loop). Guards reclamation: retired code is only freed when
-  // this is zero under stop-the-world.
+  // this is zero.
   std::atomic<u32> active{0};
+  // Epoch reclamation (docs/concurrency.md): the safepoint era every
+  // counted mutator must pass before this retired entry may be freed.
+  // 0 = not yet armed. Written under ExecState::mutex by the sweep's arm
+  // phase; the arm verifies the entry is unlinked *before* advancing the
+  // era, so a thread whose published era reaches the target can no longer
+  // load a stale JMethod::jitcode pointing here.
+  std::atomic<u64> reclaim_target{0};
   // Compiled entries taken since the cache last drained it; feeds the
   // hotness-decayed usage score that picks demotion victims.
   std::atomic<u64> uses{0};

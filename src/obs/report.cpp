@@ -3,6 +3,7 @@
 #include "exec/code_cache.h"
 #include "exec/compile_manager.h"
 #include "obs/trace.h"
+#include "runtime/mutator_pool.h"
 #include "runtime/vm.h"
 #include "support/strf.h"
 
@@ -113,10 +114,18 @@ std::string latencySection() {
       out += strf("  %-28s %8s %10s %10s %10s %10s\n", "path", "samples",
                   "p50", "p90", "p99", "max");
     }
+    // ReclaimEraLag counts *eras*, not nanoseconds (code_cache.cpp): a
+    // histogram fed in a different unit must not be rendered through
+    // humanNs.
+    auto fmt = [l](u64 v) {
+      return l == Lat::ReclaimEraLag
+                 ? strf("%llu", static_cast<unsigned long long>(v))
+                 : humanNs(v);
+    };
     out += strf("  %-28s %8llu %10s %10s %10s %10s\n", latName(l),
                 static_cast<unsigned long long>(s.count),
-                humanNs(s.p50_ns).c_str(), humanNs(s.p90_ns).c_str(),
-                humanNs(s.p99_ns).c_str(), humanNs(s.max_ns).c_str());
+                fmt(s.p50_ns).c_str(), fmt(s.p90_ns).c_str(),
+                fmt(s.p99_ns).c_str(), fmt(s.max_ns).c_str());
   }
   return out;
 }
@@ -131,6 +140,13 @@ std::string platformReport(VM& vm) {
   out += jitTable(reports);
   out += "code cache:\n";
   out += codeCacheSection(vm);
+  if (MutatorPool* pool = vm.mutatorPoolIfStarted()) {
+    out += "mutator pool:\n";
+    out += strf("  workers: %zu, tasks completed: %llu, steals: %llu\n",
+                pool->workerCount(),
+                static_cast<unsigned long long>(pool->tasksCompleted()),
+                static_cast<unsigned long long>(pool->steals()));
+  }
   const std::string lat = latencySection();
   if (!lat.empty()) {
     out += "latency histograms (log-bucketed; values are bucket midpoints):\n";

@@ -22,6 +22,7 @@ const char* evName(Ev e) {
     case Ev::JitDemote: return "jit.demote";
     case Ev::JitDeopt: return "jit.deopt";
     case Ev::JitReclaim: return "jit.reclaim";
+    case Ev::EraAdvance: return "jit.era-advance";
     case Ev::OsrTransfer: return "osr.transfer";
     case Ev::OsrRefused: return "osr.refused";
     case Ev::GcPause: return "gc.pause";
@@ -36,6 +37,7 @@ const char* evName(Ev e) {
     case Ev::GovernorAct: return "governor.act";
     case Ev::InterIsolateCall: return "call.inter-isolate";
     case Ev::ChannelSend: return "channel.send";
+    case Ev::MutatorTask: return "mutator.task";
     case Ev::Count: break;
   }
   return "?";
@@ -49,6 +51,7 @@ const char* latName(Lat l) {
     case Lat::CompileBuild: return "compile build";
     case Lat::InterIsolateCall: return "inter-isolate call (sampled)";
     case Lat::ChannelSend: return "channel send";
+    case Lat::ReclaimEraLag: return "reclaim era-lag (eras)";
     case Lat::Count: break;
   }
   return "?";
@@ -66,6 +69,7 @@ const char* evCategory(Ev e) {
     case Ev::JitDemote:
     case Ev::JitDeopt:
     case Ev::JitReclaim:
+    case Ev::EraAdvance:
     case Ev::OsrTransfer:
     case Ev::OsrRefused:
       return "jit";
@@ -86,6 +90,8 @@ const char* evCategory(Ev e) {
     case Ev::InterIsolateCall:
     case Ev::ChannelSend:
       return "comm";
+    case Ev::MutatorTask:
+      return "pool";
     default:
       return "vm";
   }

@@ -48,7 +48,8 @@ enum class Ev : u8 {
   CompileInstall,  // code published at a mutator drain point (b = bytes)
   JitDemote,       // installed -> retired, budget/governor (a = name id)
   JitDeopt,        // compiled execution hit an unbound site (a = name id)
-  JitReclaim,      // stop-the-world sweep freed retired code (a = count)
+  JitReclaim,      // a reclamation pass freed retired code (a = count)
+  EraAdvance,      // retired code armed with a new era (a = era, b = armed)
   OsrTransfer,     // live frame entered compiled code mid-call (a = name id)
   OsrRefused,      // transfer refused with code present (a = name id)
   // -- memory management (runtime/vm.cpp, heap/heap.cpp) --
@@ -68,6 +69,8 @@ enum class Ev : u8 {
   // -- communication (runtime/interpreter.cpp, stdlib/channels.cpp) --
   InterIsolateCall,  // span, sampled 1/256 (isolate = callee)
   ChannelSend,       // bytes pushed into a channel queue (a = bytes)
+  // -- mutator pool (runtime/mutator_pool.cpp) --
+  MutatorTask,  // span: one pool task (isolate = scheduled-for, a = worker)
   Count,
 };
 
@@ -82,6 +85,7 @@ enum class Lat : u8 {
   CompileBuild,         // buildJitCode wall time
   InterIsolateCall,     // migrated call, entry to return (sampled)
   ChannelSend,          // channel push wall time
+  ReclaimEraLag,        // eras (NOT ns) past target when code was freed
   Count,
 };
 

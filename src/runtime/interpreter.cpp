@@ -43,7 +43,7 @@ Value VM::invoke(JThread* t, JMethod* m, std::vector<Value> args) {
   // invocation flips the safepoint state.
   const bool outermost = !t->hasFrames();
   if (outermost) {
-    safepoints_.exitBlocked();
+    safepoints_.exitBlocked(t);
     t->state.store(ThreadState::Running, std::memory_order_release);
     t->pending_exception = nullptr;
   }
@@ -52,7 +52,7 @@ Value VM::invoke(JThread* t, JMethod* m, std::vector<Value> args) {
 
   if (outermost) {
     t->state.store(ThreadState::Blocked, std::memory_order_release);
-    safepoints_.enterBlocked();
+    safepoints_.enterBlocked(t);
   }
   return result;
 }
@@ -280,6 +280,7 @@ Value VM::interpretClassic(JThread* t, Frame& frame) {
   for (;;) {
     // ---- safepoint & thread-attention checks (per instruction) ----
     if (safepoints_.stopRequested()) safepoints_.poll();
+    t->publishEra(safepoints_.currentEra());
     if (t->force_kill.load(std::memory_order_relaxed) &&
         t->pending_exception == nullptr) {
       throwStopped(*this, t, kKillAll);

@@ -144,6 +144,30 @@ class JThread {
 
   std::atomic<ThreadState> state{ThreadState::Blocked};
 
+  // ---- safepoint-era publication (epoch-based code reclamation) ----
+  // The era this thread most recently observed at a safepoint poll site
+  // (exec/code_cache.cpp, docs/concurrency.md). Written by the owner at
+  // poll sites and on Blocked->Running transitions; read by the reclaim
+  // scan. The store-if-changed guard keeps the steady-state back-edge
+  // cost to two relaxed loads.
+  std::atomic<u64> safepoint_era{0};
+  void publishEra(u64 era) {
+    if (safepoint_era.load(std::memory_order_relaxed) != era) {
+      safepoint_era.store(era, std::memory_order_release);
+    }
+  }
+  // True while this thread is counted in SafepointController's running_
+  // tally. Guarded by SafepointController::m_ (NOT by `state`, which the
+  // owner flips outside that mutex): the era gate must only consult
+  // threads that can still be executing compiled code.
+  bool safepoint_counted = false;
+
+  // Isolate whose task this pool worker is currently running (nullptr for
+  // non-pool threads). Set by MutatorPool around each task; read by the
+  // governor's hung-caller scan so a worker blocked inside the bundle it
+  // is scheduled FOR is not mistaken for a hung foreign caller.
+  std::atomic<Isolate*> scheduled_isolate{nullptr};
+
   // ---- completion (Thread.join) ----
   void markDone();
   // Returns true when the thread finished, false on interrupt/cancel.

@@ -1,0 +1,128 @@
+// Mutator pool implementation. Contract in mutator_pool.h /
+// docs/concurrency.md.
+#include "runtime/mutator_pool.h"
+
+#include "obs/trace.h"
+#include "runtime/isolate.h"
+#include "runtime/jthread.h"
+#include "runtime/vm.h"
+#include "support/strf.h"
+
+namespace ijvm {
+
+MutatorPool::MutatorPool(VM& vm, u32 workers) : vm_(vm) {
+  if (workers == 0) {
+    workers = std::thread::hardware_concurrency();
+    if (workers == 0) workers = 1;
+  }
+  queues_.reserve(workers);
+  for (u32 i = 0; i < workers; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(workers);
+  for (u32 i = 0; i < workers; ++i) {
+    workers_.emplace_back([this, i] { workerLoop(i); });
+  }
+}
+
+MutatorPool::~MutatorPool() { shutdown(); }
+
+void MutatorPool::submit(Task task, Isolate* iso) {
+  const size_t n = queues_.size();
+  const size_t home = next_queue_.fetch_add(1, std::memory_order_relaxed) % n;
+  {
+    std::lock_guard<std::mutex> qlock(queues_[home]->m);
+    queues_[home]->dq.push_back(Slot{std::move(task), iso});
+  }
+  {
+    std::lock_guard<std::mutex> lock(idle_mutex_);
+    ++submitted_;
+  }
+  idle_cv_.notify_one();
+}
+
+bool MutatorPool::take(size_t index, Slot& out) {
+  const size_t n = queues_.size();
+  {
+    WorkerQueue& own = *queues_[index];
+    std::lock_guard<std::mutex> lock(own.m);
+    if (!own.dq.empty()) {
+      out = std::move(own.dq.front());
+      own.dq.pop_front();
+      return true;
+    }
+  }
+  // Steal the *coldest* queued task from a victim (back of its deque).
+  for (size_t k = 1; k < n; ++k) {
+    WorkerQueue& victim = *queues_[(index + k) % n];
+    std::lock_guard<std::mutex> lock(victim.m);
+    if (!victim.dq.empty()) {
+      out = std::move(victim.dq.back());
+      victim.dq.pop_back();
+      steals_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+void MutatorPool::workerLoop(size_t index) {
+  obs::setTraceThreadName(strf("mutator-%zu", index));
+  JThread* self =
+      vm_.attachThread(strf("pool-mutator-%zu", index), vm_.isolate0());
+  u64 taken_local = 0;  // tasks this worker ran (cheap per-worker telemetry)
+  for (;;) {
+    Slot slot;
+    if (!take(index, slot)) {
+      std::unique_lock<std::mutex> lock(idle_mutex_);
+      // Sleep only when no task is takeable: `completed_ + in-flight ==
+      // submitted_` is hard to count cheaply, so workers conservatively
+      // recheck the deques after every wakeup instead.
+      if (stop_) break;
+      idle_cv_.wait(lock);
+      continue;
+    }
+    ++taken_local;
+    const i32 iso_id = slot.iso != nullptr ? slot.iso->id : -1;
+    self->scheduled_isolate.store(slot.iso, std::memory_order_release);
+    {
+      obs::TraceSpan span(obs::Ev::MutatorTask, iso_id, /*a=*/index);
+      slot.task(self);
+    }
+    self->scheduled_isolate.store(nullptr, std::memory_order_release);
+    completed_.fetch_add(1, std::memory_order_release);
+    {
+      // Lock so a drain() that just read submitted_ cannot miss the wakeup.
+      std::lock_guard<std::mutex> lock(idle_mutex_);
+    }
+    drain_cv_.notify_all();
+    // More work may have been queued while we ran: poke one sibling so a
+    // burst submitted during a long task spreads without waiting for the
+    // next submit().
+    idle_cv_.notify_one();
+  }
+  (void)taken_local;
+  vm_.detachThread(self);
+}
+
+void MutatorPool::drain() {
+  std::unique_lock<std::mutex> lock(idle_mutex_);
+  const u64 target = submitted_;
+  drain_cv_.wait(lock, [&] {
+    return completed_.load(std::memory_order_acquire) >= target;
+  });
+}
+
+void MutatorPool::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(idle_mutex_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  idle_cv_.notify_all();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+}  // namespace ijvm

@@ -1,0 +1,103 @@
+// The mutator thread pool (docs/concurrency.md).
+//
+// The platform-side answer to "thousands of concurrent bundles, a handful
+// of cores": N host worker threads, each attached as a guest JThread, run
+// bundle tasks submitted by the embedder (service dispatch, bundle entry
+// points, the bench harness's simulated request streams). Tasks are plain
+// callables receiving the worker's JThread; everything downstream --
+// thread migration on inter-isolate calls, per-isolate charging, safepoint
+// participation, termination polling -- is exactly the single-thread
+// callStaticIn path, which is what keeps the thread-count axis of the
+// differential harness honest (tests/test_exec_equivalence.cpp).
+//
+// Scheduling is per-worker deques with work-stealing: submit() round-robins
+// tasks onto worker deques; a worker pops from the front of its own deque
+// and, when empty, steals from the *back* of a victim's, so stolen work is
+// the coldest queued task, not the one about to run. Idle workers park in
+// the Blocked state -- they cost nothing at safepoints and do not gate
+// era-based code reclamation.
+//
+// Lifecycle: created lazily by VM::mutatorPool() on first use (embedders
+// that only call in on their own thread never pay for it); torn down by
+// ~VM after guest threads are cancelled (force_kill makes in-flight guest
+// code unwind at its next poll) and before the compile manager stops.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "support/common.h"
+
+namespace ijvm {
+
+class VM;
+class JThread;
+struct Isolate;
+
+class MutatorPool {
+ public:
+  // A task runs on a pool worker's attached guest thread. The worker's
+  // current isolate is reset to Isolate0 between tasks; the task itself
+  // migrates by calling into bundle code.
+  using Task = std::function<void(JThread*)>;
+
+  MutatorPool(VM& vm, u32 workers);
+  ~MutatorPool();
+  MutatorPool(const MutatorPool&) = delete;
+  MutatorPool& operator=(const MutatorPool&) = delete;
+
+  // Enqueues a task scheduled *for* `iso` (may be nullptr for platform
+  // work). The marker is published on the worker's JThread while the task
+  // runs so the governor's hung-caller scan does not mistake a worker
+  // blocked inside the bundle it is scheduled for a hung foreign caller.
+  void submit(Task task, Isolate* iso = nullptr);
+
+  // Blocks until every task submitted so far has completed. Callable from
+  // any non-worker thread; typically a mutator drain point for the caller,
+  // so it brackets itself as Blocked via the VM's safepoints.
+  void drain();
+
+  size_t workerCount() const { return workers_.size(); }
+  u64 tasksCompleted() const { return completed_.load(std::memory_order_relaxed); }
+  u64 steals() const { return steals_.load(std::memory_order_relaxed); }
+
+  // Stops accepting work, wakes idle workers, joins them. Tasks already
+  // queued still run (guest code unwinds early if the VM set force_kill).
+  // Idempotent; called by ~MutatorPool.
+  void shutdown();
+
+ private:
+  struct Slot {
+    Task task;
+    Isolate* iso = nullptr;
+  };
+  struct WorkerQueue {
+    std::mutex m;
+    std::deque<Slot> dq;
+  };
+
+  void workerLoop(size_t index);
+  // Pops own-front or steals victim-back; false when nothing is runnable.
+  bool take(size_t index, Slot& out);
+
+  VM& vm_;
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+
+  // Sleep/wake + drain bookkeeping. submitted_/completed_ are monotonic;
+  // drain waits for them to meet.
+  std::mutex idle_mutex_;
+  std::condition_variable idle_cv_;    // workers park here when queues are empty
+  std::condition_variable drain_cv_;   // drain() waits here
+  bool stop_ = false;
+  u64 submitted_ = 0;                  // guarded by idle_mutex_
+  std::atomic<u64> completed_{0};
+  std::atomic<u64> steals_{0};
+  std::atomic<u64> next_queue_{0};
+};
+
+}  // namespace ijvm

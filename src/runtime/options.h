@@ -103,6 +103,18 @@ struct VmOptions {
   // reference of running threads).
   i32 sampler_period_us = 1000;
 
+  // Mutator thread pool (src/runtime/mutator_pool.h, docs/concurrency.md):
+  // the platform-side workers that run bundle entry points so thousands of
+  // concurrent bundles do not serialize on one host thread. 0 means
+  // hardware_concurrency. The pool is created lazily on first submit, so
+  // embedders that only ever call in on their own thread pay nothing.
+  u32 mutator_threads = 0;
+  // Compiler threads draining the promote-to-JIT queue concurrently (only
+  // with background_compile; exec/compile_manager.cpp). Builds parallelize;
+  // installs stay at the mutators' safepoint-coordinated drain points, so
+  // the entry-flip contract in docs/jit.md is unchanged.
+  u32 compiler_threads = 1;
+
   static VmOptions isolated() { return VmOptions{}; }
   static VmOptions shared() {
     VmOptions o;

@@ -10,11 +10,11 @@ BlockedScope::BlockedScope(SafepointController& sp, JThread* t) : sp_(sp), t_(t)
     was_running_ = t_->state.load(std::memory_order_acquire) == ThreadState::Running;
     if (was_running_) t_->state.store(ThreadState::Blocked, std::memory_order_release);
   }
-  sp_.enterBlocked();
+  sp_.enterBlocked(t_);
 }
 
 BlockedScope::~BlockedScope() {
-  sp_.exitBlocked();
+  sp_.exitBlocked(t_);
   if (t_ != nullptr && was_running_) {
     t_->state.store(ThreadState::Running, std::memory_order_release);
   }
@@ -37,26 +37,46 @@ void SafepointController::poll() {
   ++running_;
 }
 
-void SafepointController::enterBlocked() {
+void SafepointController::enterBlocked(JThread* t) {
   std::lock_guard<std::mutex> lock(m_);
   --running_;
+  if (t != nullptr) t->safepoint_counted = false;
   cv_stopped_.notify_all();
 }
 
-void SafepointController::exitBlocked() {
+void SafepointController::exitBlocked(JThread* t) {
   std::unique_lock<std::mutex> lock(m_);
   cv_resume_.wait(lock, [this] { return !stop_flag_.load(std::memory_order_relaxed); });
   ++running_;
+  if (t != nullptr) {
+    // Republish before the thread can re-enter compiled code: a reclaim
+    // scan that ran while we were blocked did not count us; any era it
+    // armed is visible here because its scan released m_ before we
+    // acquired it.
+    t->safepoint_counted = true;
+    t->publishEra(era_.load(std::memory_order_acquire));
+  }
 }
 
-void SafepointController::stopTheWorld(bool self_is_guest) {
+u64 SafepointController::minCountedEra(const std::vector<JThread*>& threads) {
+  std::lock_guard<std::mutex> lock(m_);
+  u64 min_era = ~0ull;
+  for (JThread* t : threads) {
+    if (!t->safepoint_counted) continue;  // blocked => quiescent for the gate
+    const u64 e = t->safepoint_era.load(std::memory_order_acquire);
+    if (e < min_era) min_era = e;
+  }
+  return min_era;
+}
+
+void SafepointController::stopTheWorld(JThread* self_guest) {
   // A guest requester must leave the Running count *before* contending for
   // the operation lock: if another stop-the-world is already in progress,
   // we would otherwise block on op_mutex_ while still counted as running,
   // and the current stopper would wait for us forever. Our guest frames
   // are stable here (we are between interpreter instructions), so being
   // treated as parked is safe.
-  if (self_is_guest) enterBlocked();
+  if (self_guest != nullptr) enterBlocked(self_guest);
   op_mutex_.lock();
   // Time-to-stop (obs/trace.h): the span opens when this stopper *owns*
   // the operation -- queueing behind another stop-the-world is not this
@@ -71,7 +91,7 @@ void SafepointController::stopTheWorld(bool self_is_guest) {
   obs::recordLatency(obs::Lat::SafepointTimeToStop, t1 - t0);
 }
 
-void SafepointController::resumeTheWorld(bool self_is_guest) {
+void SafepointController::resumeTheWorld(JThread* self_guest) {
   {
     std::lock_guard<std::mutex> lock(m_);
     stop_flag_.store(false, std::memory_order_release);
@@ -80,7 +100,7 @@ void SafepointController::resumeTheWorld(bool self_is_guest) {
   op_mutex_.unlock();
   // Re-enter the Running count (waits if the next operation already
   // started).
-  if (self_is_guest) exitBlocked();
+  if (self_guest != nullptr) exitBlocked(self_guest);
 }
 
 }  // namespace ijvm

@@ -7,10 +7,21 @@
 //   - threads inside blocking natives (monitors, sleep, I/O, join) are
 //     already "safe": they registered with enterBlocked() and their guest
 //     frames cannot move while blocked.
+//
+// The controller also owns the *safepoint era*, a monotonic counter that
+// epoch-based code reclamation (exec/code_cache.cpp, docs/concurrency.md)
+// advances when it retires compiled code. Each thread republishes the
+// current era into JThread::safepoint_era at poll sites and on
+// Blocked->Running transitions; once every counted (i.e. Running) thread
+// has published an era >= the retiring one, no thread can still be inside
+// the pre-retire instruction window, and the code may be freed without
+// stopping the world.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <mutex>
+#include <vector>
 
 #include "support/common.h"
 
@@ -32,20 +43,38 @@ class SafepointController {
   void poll();
 
   // Bracket blocking operations: while "blocked" a thread counts as stopped.
-  void enterBlocked();
-  void exitBlocked();
+  // Pass the calling JThread so its era publication stays coherent: a
+  // blocked thread is quiescent for the era gate (its safepoint_counted is
+  // cleared under m_), and on wake it republishes the current era before
+  // it can reach compiled code.
+  void enterBlocked(JThread* t = nullptr);
+  void exitBlocked(JThread* t = nullptr);
 
-  // Stop/resume the world. `self_is_guest` says whether the caller is a
-  // registered Running guest thread (it is excluded from the wait).
+  // Stop/resume the world. `self_guest` is the calling thread when it is a
+  // registered Running guest (it is excluded from the wait; its era
+  // bookkeeping is kept coherent across the park), nullptr otherwise.
   // Operations are serialized; nesting is not allowed.
-  void stopTheWorld(bool self_is_guest);
-  void resumeTheWorld(bool self_is_guest);
+  void stopTheWorld(JThread* self_guest);
+  void resumeTheWorld(JThread* self_guest);
+
+  // ---- safepoint era (epoch-based code reclamation) ----
+  u64 currentEra() const { return era_.load(std::memory_order_acquire); }
+  // Bumps the era and returns the *new* value (the reclaim target). The
+  // fetch_add's RMW chain is what publishes the retirer's prior writes
+  // (the entry un-patch) to every thread that later observes the new era.
+  u64 advanceEra() { return era_.fetch_add(1, std::memory_order_acq_rel) + 1; }
+  // Smallest era published by any *counted* (Running) thread among
+  // `threads`; returns ~0ull when none is counted. Taken under m_, so it
+  // cannot race a Blocked->Running transition: a thread that was blocked
+  // during the scan republishes the current era under m_ before running.
+  u64 minCountedEra(const std::vector<JThread*>& threads);
 
  private:
   std::mutex m_;
   std::condition_variable cv_resume_;     // parked threads wait here
   std::condition_variable cv_stopped_;    // the requester waits here
   std::atomic<bool> stop_flag_{false};
+  std::atomic<u64> era_{1};
   int running_ = 0;
   std::mutex op_mutex_;  // serializes stop-the-world operations
 };

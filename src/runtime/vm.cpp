@@ -8,6 +8,7 @@
 #include "exec/jit.h"
 #include "heap/object.h"
 #include "obs/trace.h"
+#include "runtime/mutator_pool.h"
 #include "support/strf.h"
 #include "verifier/verifier.h"
 
@@ -85,6 +86,13 @@ VM::VM(VmOptions options)
 
 VM::~VM() {
   shutdownAllThreads();
+  // Join the mutator pool before the compiler stops: in-flight pool tasks
+  // unwind via force_kill at their next poll, and a draining worker may
+  // still hit an install drain point that touches engine state.
+  {
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    mutator_pool_.reset();
+  }
   // Stop the background compiler first: its worker references engine state
   // and the class registry, both of which outlive the extension table that
   // owns it, but joining here keeps teardown ordering obvious.
@@ -244,6 +252,25 @@ JThread* VM::spawnThread(JThread* caller, Object* thread_obj,
     t->markDone();
   });
   return t;
+}
+
+MutatorPool& VM::mutatorPool() {
+  std::lock_guard<std::mutex> lock(pool_mutex_);
+  if (mutator_pool_ == nullptr) {
+    IJVM_CHECK(isolate0_ != nullptr,
+               "mutatorPool() needs an isolate to attach workers to");
+    mutator_pool_ = std::make_unique<MutatorPool>(*this, options_.mutator_threads);
+  }
+  return *mutator_pool_;
+}
+
+MutatorPool* VM::mutatorPoolIfStarted() {
+  std::lock_guard<std::mutex> lock(pool_mutex_);
+  return mutator_pool_.get();
+}
+
+u64 VM::minMutatorEra() {
+  return safepoints_.minCountedEra(threadsSnapshot());
 }
 
 void VM::shutdownAllThreads() {
@@ -618,7 +645,7 @@ GcStats VM::collectGarbage(JThread* requester, Isolate* trigger) {
   obs::TraceSpan gc_span(obs::Ev::GcPause,
                          trigger != nullptr ? trigger->id : -1,
                          /*a=*/0, obs::Lat::GcPause);
-  safepoints_.stopTheWorld(self_is_guest);
+  safepoints_.stopTheWorld(self_is_guest ? requester : nullptr);
 
   GcStats stats = heap_.collect([this](const RootSink& sink) { enumerateRoots(sink); },
                                 options_.accounting_policy);
@@ -663,7 +690,7 @@ GcStats VM::collectGarbage(JThread* requester, Isolate* trigger) {
     if (!has_objects) iso->state.store(IsolateState::Dead, std::memory_order_release);
   }
 
-  safepoints_.resumeTheWorld(self_is_guest);
+  safepoints_.resumeTheWorld(self_is_guest ? requester : nullptr);
   return stats;
 }
 
@@ -692,7 +719,7 @@ bool VM::terminateIsolate(JThread* requester, Isolate* target) {
   const bool self_is_guest =
       requester->state.load(std::memory_order_acquire) == ThreadState::Running;
   obs::TraceSpan term_span(obs::Ev::IsolateTerminate, target->id);
-  safepoints_.stopTheWorld(self_is_guest);
+  safepoints_.stopTheWorld(self_is_guest ? requester : nullptr);
 
   target->state.store(IsolateState::Terminating, std::memory_order_release);
 
@@ -750,7 +777,7 @@ bool VM::terminateIsolate(JThread* requester, Isolate* target) {
     }
   }
 
-  safepoints_.resumeTheWorld(self_is_guest);
+  safepoints_.resumeTheWorld(self_is_guest ? requester : nullptr);
   return true;
 }
 

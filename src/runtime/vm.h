@@ -33,6 +33,8 @@
 
 namespace ijvm {
 
+class MutatorPool;
+
 // A C++-held guest reference that keeps its object alive across GCs and
 // charges it to `isolate_id` during the accounting pass. Created via
 // VM::addGlobalRef, removed via VM::removeGlobalRef (or VM teardown).
@@ -106,6 +108,20 @@ class VM {
   // creator's thread limit (throws on the *calling* thread).
   JThread* spawnThread(JThread* caller, Object* thread_obj, const std::string& name);
   std::vector<JThread*> threadsSnapshot();
+
+  // ---- mutator pool (src/runtime/mutator_pool.h) ----
+  // The platform's worker pool for running bundle tasks concurrently
+  // (options().mutator_threads workers; 0 = hardware_concurrency). Created
+  // lazily on first use; torn down by ~VM after guest threads are
+  // cancelled. Never null once returned.
+  MutatorPool& mutatorPool();
+  // The pool if it was ever created, else nullptr (reporting).
+  MutatorPool* mutatorPoolIfStarted();
+
+  // ---- safepoint-era reclamation support (exec/code_cache.cpp) ----
+  // Smallest safepoint era published by any counted (Running) guest
+  // thread; ~0ull when every thread is blocked. See docs/concurrency.md.
+  u64 minMutatorEra();
 
   // ---- invocation (from C++) ----
   // On guest exception: returns a null-ref Value and leaves the exception in
@@ -242,6 +258,9 @@ class VM {
 
   std::thread sampler_;
   std::atomic<bool> sampler_stop_{false};
+
+  std::mutex pool_mutex_;  // guards lazy pool creation
+  std::unique_ptr<MutatorPool> mutator_pool_;
 };
 
 // Name of the exception used by isolate termination. Lives in java/lang so

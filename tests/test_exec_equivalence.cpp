@@ -9,16 +9,27 @@
 // engine. On top of the fixed matrix, a randomized harness (seeded,
 // reproducible) sweeps the 5-way tier space -- fusion on/off x jit on/off
 // x osr on/off x thresholds in {1, default, huge} -- across the SPEC
-// analogs and all eight attacks; the seed is printed on failure.
+// analogs and all eight attacks; the seed is printed on failure. The
+// harness also sweeps a thread-count axis (mutator x compiler workers in
+// {1, 2, 4}): with more than one mutator worker the workload runs as N
+// concurrent bundle copies on the mutator pool, and every copy must still
+// be observably identical, per isolate, to a serial classic run of the
+// same shape. Build with -DIJVM_TEST_MUTATOR_THREADS=4 to pin the mutator
+// axis for a CI matrix leg.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <functional>
 #include <map>
+#include <memory>
+#include <utility>
+#include <vector>
 
 #include "bytecode/builder.h"
 #include "exec/engine.h"
 #include "exec/quickened.h"
 #include "heap/object.h"
+#include "runtime/mutator_pool.h"
 #include "runtime/vm.h"
 #include "stdlib/system_library.h"
 #include "support/rng.h"
@@ -420,6 +431,11 @@ struct RandomTierConfig {
   u64 jit_threshold = 0;
   bool background = false;
   size_t cache_budget = 0;  // 0 = unlimited
+  // Thread-count axis: >1 mutator workers runs the workload as that many
+  // concurrent bundle copies on the mutator pool; compiler workers only
+  // matter with background=1 (the manager spawns max(1, N) builders).
+  u32 mutator_threads = 1;
+  u32 compiler_threads = 1;
 
   std::string describe() const {
     auto th = [](u64 v) {
@@ -427,10 +443,11 @@ struct RandomTierConfig {
     };
     return strf(
         "fusion=%d jit=%d osr=%d fusion_threshold=%s jit_threshold=%s "
-        "background=%d cache_budget=%s",
+        "background=%d cache_budget=%s mutators=%u compilers=%u",
         fusion ? 1 : 0, jit ? 1 : 0, osr ? 1 : 0, th(fusion_threshold).c_str(),
         th(jit_threshold).c_str(), background ? 1 : 0,
-        cache_budget == 0 ? "unlimited" : strf("%zu", cache_budget).c_str());
+        cache_budget == 0 ? "unlimited" : strf("%zu", cache_budget).c_str(),
+        mutator_threads, compiler_threads);
   }
 };
 
@@ -450,6 +467,16 @@ RandomTierConfig configFromSeed(u64 seed) {
   c.jit_threshold = kJitThresholds[rng.nextBounded(3)];
   c.background = rng.nextBounded(2) == 1;
   c.cache_budget = kCacheBudgets[rng.nextBounded(2)];
+  // Drawn last so seeds reproduce the same tier config they did before the
+  // thread axis existed.
+  constexpr u32 kThreadCounts[] = {1, 2, 4};
+  c.mutator_threads = kThreadCounts[rng.nextBounded(3)];
+  c.compiler_threads = kThreadCounts[rng.nextBounded(3)];
+#ifdef IJVM_TEST_MUTATOR_THREADS
+  // CI matrix leg: pin the mutator axis so the whole 200-seed sweep runs
+  // through the pool at a fixed worker count.
+  c.mutator_threads = IJVM_TEST_MUTATOR_THREADS;
+#endif
   return c;
 }
 
@@ -461,6 +488,63 @@ void applyConfig(VmOptions& opts, const RandomTierConfig& c) {
   opts.jit_threshold = c.jit_threshold;
   opts.background_compile = c.background;
   opts.code_cache_budget = c.cache_budget;
+  opts.mutator_threads = c.mutator_threads;
+  opts.compiler_threads = c.compiler_threads;
+}
+
+// Multi-threaded variant of runSpecOpts: `copies` identical bundles, one
+// pool task each, executed by the VM's mutator pool
+// (opts.mutator_threads workers). Returns one SpecRun per bundle. The
+// pool may interleave and steal bundles across workers however it likes,
+// but it must not change what any single bundle computes or is charged:
+// every copy's per-isolate report must match the same-shaped serial
+// classic run, element for element.
+std::vector<SpecRun> runSpecPooled(const SpecWorkload& wl, i32 size,
+                                   const VmOptions& opts, u32 copies) {
+  VM vm(opts);
+  installSystemLibrary(vm);
+  // A separate platform isolate0 keeps every copy a plain bundle: pool
+  // workers attach to isolate0 and *migrate* into the bundle they run, so
+  // calls-in counts the pool entry like any other inter-isolate call.
+  ClassLoader* platform = vm.registry().newLoader("platform");
+  vm.createIsolate(platform, "platform");
+  struct Copy {
+    ClassLoader* loader = nullptr;
+    Isolate* iso = nullptr;
+    std::atomic<i32> checksum{0};
+  };
+  std::vector<std::unique_ptr<Copy>> bundles;
+  for (u32 k = 0; k < copies; ++k) {
+    auto c = std::make_unique<Copy>();
+    const std::string name = strf("spec-%u", k);
+    c->loader = vm.registry().newLoader(name);
+    c->iso = vm.createIsolate(c->loader, name);
+    bundles.push_back(std::move(c));
+  }
+  MutatorPool& pool = vm.mutatorPool();
+  for (auto& b : bundles) {
+    Copy* copy = b.get();
+    pool.submit(
+        [&vm, &wl, copy, size](JThread* t) {
+          copy->checksum.store(runSpecWorkload(vm, t, copy->loader, wl, size),
+                               std::memory_order_release);
+        },
+        copy->iso);
+  }
+  pool.drain();
+  // Charges are reachability-based; compare them after a full collection.
+  vm.collectGarbage(vm.mainThread(), nullptr);
+  std::vector<SpecRun> out;
+  for (auto& b : bundles) {
+    SpecRun r;
+    r.checksum = b->checksum.load(std::memory_order_acquire);
+    r.bytes_charged = b->iso->stats.bytes_charged.load();
+    r.objects_charged = b->iso->stats.objects_charged.load();
+    r.objects_allocated = b->iso->stats.objects_allocated.load();
+    r.calls_in = b->iso->stats.calls_in.load();
+    out.push_back(r);
+  }
+  return out;
 }
 
 // CI requirement: at least 200 seeded configurations pass.
@@ -475,6 +559,25 @@ const SpecRun& classicSpecBaseline(int wl_index, i32 size) {
   if (it == cache.end()) {
     const SpecWorkload wl = specWorkloads()[static_cast<size_t>(wl_index)];
     it = cache.emplace(wl_index, runSpec(wl, ExecEngine::Classic, size)).first;
+  }
+  return it->second;
+}
+
+// Serial classic oracle for the pooled shape: the same platform + N-copy
+// bundle layout, run by a ONE-worker pool under the classic interpreter.
+// Per-isolate observables cannot legally depend on the worker count, so
+// every multi-threaded tiered run is compared copy-by-copy against this.
+const std::vector<SpecRun>& classicPooledBaseline(int wl_index, i32 size,
+                                                  u32 copies) {
+  static std::map<std::pair<int, u32>, std::vector<SpecRun>> cache;
+  const auto key = std::make_pair(wl_index, copies);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    const SpecWorkload wl = specWorkloads()[static_cast<size_t>(wl_index)];
+    VmOptions opts = VmOptions::isolated();
+    opts.exec_engine = ExecEngine::Classic;
+    opts.mutator_threads = 1;
+    it = cache.emplace(key, runSpecPooled(wl, size, opts, copies)).first;
   }
   return it->second;
 }
@@ -509,9 +612,30 @@ TEST_P(RandomTierDifferential, MatchesClassicUnderRandomTierConfig) {
     const SpecWorkload wl = specWorkloads()[static_cast<size_t>(pick)];
     SCOPED_TRACE(strf("workload=%s", wl.name.c_str()));
     const i32 size = std::max(1, wl.default_size / 8);
-    const SpecRun& classic = classicSpecBaseline(pick, size);
     VmOptions opts = VmOptions::isolated();
     applyConfig(opts, cfg);
+    if (cfg.mutator_threads > 1) {
+      // Thread-count leg: one bundle copy per pool worker, each compared
+      // against the serial classic run of the identical shape.
+      const u32 copies = cfg.mutator_threads;
+      const std::vector<SpecRun>& classic =
+          classicPooledBaseline(pick, size, copies);
+      const std::vector<SpecRun> runs = runSpecPooled(wl, size, opts, copies);
+      ASSERT_EQ(classic.size(), runs.size());
+      for (size_t k = 0; k < runs.size(); ++k) {
+        SCOPED_TRACE(strf("bundle=%zu", k));
+        EXPECT_EQ(classic[k].checksum, runs[k].checksum);
+        EXPECT_EQ(classic[k].calls_in, runs[k].calls_in);
+        EXPECT_EQ(classic[k].bytes_charged, runs[k].bytes_charged);
+        EXPECT_EQ(classic[k].objects_charged, runs[k].objects_charged);
+        if (wl.name != "mtrt") {  // thread interleaving (see SpecEquivalence)
+          EXPECT_EQ(classic[k].objects_allocated, runs[k].objects_allocated);
+        }
+        EXPECT_LE(runs[k].objects_charged, runs[k].objects_allocated);
+      }
+      return;
+    }
+    const SpecRun& classic = classicSpecBaseline(pick, size);
     SpecRun run = runSpecOpts(wl, size, opts);
     // Identical results and identical reachability-based charges.
     EXPECT_EQ(classic.checksum, run.checksum);

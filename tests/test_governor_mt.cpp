@@ -1,0 +1,175 @@
+// ResourceGovernor under the mutator pool: the tick must aggregate
+// per-isolate counters bumped by *every* mutator thread, and the A7
+// hung-callers scan must not mistake a pool worker for a hung foreign
+// caller while it is blocked inside the very bundle it is scheduled for
+// (pool workers are creator-attributed to Isolate0, so without the
+// scheduled_isolate exemption every blocking bundle task would look like
+// a foreign thread trapped in the bundle and strike toward a kill).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <functional>
+#include <thread>
+
+#include "admin/governor.h"
+#include "bytecode/builder.h"
+#include "osgi/framework.h"
+#include "runtime/mutator_pool.h"
+#include "runtime/vm.h"
+#include "stdlib/system_library.h"
+#include "workloads/bundles.h"
+
+namespace ijvm {
+namespace {
+
+using namespace std::chrono;
+
+bool waitUntil(i64 timeout_ms, const std::function<bool()>& cond) {
+  auto deadline = steady_clock::now() + milliseconds(timeout_ms);
+  while (steady_clock::now() < deadline) {
+    if (cond()) return true;
+    std::this_thread::sleep_for(milliseconds(2));
+  }
+  return cond();
+}
+
+// A bundle whose nap(ms) parks the calling thread in Thread.sleep --
+// blocked inside the bundle, frames on stack: exactly the A7 shape.
+BundleDescriptor napBundle(const std::string& name, const std::string& pkg) {
+  BundleDescriptor desc;
+  desc.symbolic_name = name;
+  ClassBuilder cb(pkg + "/Main");
+  auto& m = cb.method("nap", "(I)I", ACC_PUBLIC | ACC_STATIC);
+  m.iload(0).i2l().invokestatic("java/lang/Thread", "sleep", "(J)V");
+  m.iconst(7).ireturn();
+  desc.classes.push_back(cb.build());
+  return desc;
+}
+
+TEST(GovernorMultiThread, PoolWorkerBlockedInScheduledBundleIsNotHung) {
+  VmOptions opts = VmOptions::isolated();
+  opts.mutator_threads = 2;
+  VM vm(opts);
+  installSystemLibrary(vm);
+  Framework fw(vm);
+  Bundle* b = fw.install(napBundle("napper", "np"));
+  fw.start(b);
+
+  // Hair-trigger A7: one blocked foreign caller, one strike, kill.
+  GovernorPolicy policy;
+  GovernorRule rule;
+  rule.signal = Signal::HungCallers;
+  rule.threshold = 0.5;
+  rule.strikes_to_act = 1;
+  rule.action = GovernorAction::Kill;
+  rule.label = "hung";
+  policy.rules.push_back(rule);
+  policy.warmup_ticks = 0;
+  policy.gc_if_allocated_bytes = 0;
+  ResourceGovernor gov(fw, policy);
+
+  // A pool worker sleeping inside the bundle it is *scheduled for* must
+  // not strike: it is the bundle's own work, not a trapped caller.
+  vm.mutatorPool().submit(
+      [&vm, b](JThread* t) {
+        vm.callStaticIn(t, b->loader(), "np/Main", "nap", "(I)I",
+                        {Value::ofInt(500)});
+        vm.clearPending(t);
+      },
+      b->isolate());
+  ASSERT_TRUE(waitUntil(5000, [&] {
+    return b->isolate()->stats.sleeping_threads.load() > 0;
+  })) << "pool task never parked in the bundle";
+  for (int i = 0; i < 3; ++i) {
+    for (const GovernorEvent& ev : gov.tick()) {
+      EXPECT_FALSE(ev.acted && ev.bundle_id == b->id())
+          << "pool worker misread as a hung caller: " << ev.rule_label;
+    }
+  }
+  EXPECT_TRUE(b->isolate()->isActive());
+  vm.mutatorPool().drain();
+
+  // Positive control -- the signal itself still works: a plain attached
+  // thread (creator Isolate0, no scheduled_isolate marker) parked inside
+  // the bundle IS a hung foreign caller, and one tick kills.
+  std::thread foreign([&] {
+    JThread* t = vm.attachThread("foreign", vm.isolateById(0));
+    vm.callStaticIn(t, b->loader(), "np/Main", "nap", "(I)I",
+                    {Value::ofInt(800)});
+    vm.clearPending(t);
+    vm.detachThread(t);
+  });
+  ASSERT_TRUE(waitUntil(5000, [&] {
+    return b->isolate()->stats.sleeping_threads.load() > 0;
+  })) << "foreign caller never parked in the bundle";
+  bool killed = false;
+  for (int i = 0; i < 3 && !killed; ++i) {
+    for (const GovernorEvent& ev : gov.tick()) {
+      killed |= ev.acted && ev.action == GovernorAction::Kill &&
+                ev.bundle_id == b->id();
+    }
+  }
+  EXPECT_TRUE(killed) << "a genuinely hung foreign caller must still strike";
+  foreign.join();
+  vm.shutdownAllThreads();
+}
+
+TEST(GovernorMultiThread, RateSignalsAggregateAcrossPoolWorkers) {
+  VmOptions opts = VmOptions::isolated();
+  opts.mutator_threads = 2;
+  VM vm(opts);
+  installSystemLibrary(vm);
+  Framework fw(vm);
+  Bundle* b = fw.install(makeMicroBundle("hotpair"));
+  fw.start(b);
+
+  // Each worker contributes ~5000 back-edges between ticks. The 7500
+  // threshold sits above anything one worker produced and below the
+  // two-worker sum: the rule can only trip if the tick aggregates the
+  // per-isolate counter every mutator bumps.
+  GovernorPolicy policy;
+  GovernorRule rule;
+  rule.signal = Signal::LoopBackEdgeRate;
+  rule.threshold = 7500.0;
+  rule.strikes_to_act = 1;
+  rule.action = GovernorAction::Kill;
+  rule.label = "hot-loop";
+  policy.rules.push_back(rule);
+  policy.warmup_ticks = 1;
+  policy.gc_if_allocated_bytes = 0;
+  ResourceGovernor gov(fw, policy);
+
+  gov.tick();  // warmup: baselines the per-tick deltas
+
+  MutatorPool& pool = vm.mutatorPool();
+  for (int task = 0; task < 2; ++task) {
+    pool.submit(
+        [&vm, b](JThread* t) {
+          for (int i = 0; i < 5; ++i) {
+            vm.callStaticIn(t, b->loader(), "micro/Bench", "spinFor", "(I)I",
+                            {Value::ofInt(1000)});
+            EXPECT_EQ(t->pending_exception, nullptr);
+          }
+        },
+        b->isolate());
+  }
+  pool.drain();
+
+  bool tripped = false;
+  double observed = 0.0;
+  for (const GovernorEvent& ev : gov.tick()) {
+    if (ev.bundle_id == b->id() && ev.signal == Signal::LoopBackEdgeRate) {
+      tripped |= ev.acted;
+      observed = ev.observed;
+    }
+  }
+  EXPECT_TRUE(tripped)
+      << "tick saw only " << observed
+      << " back-edges: per-isolate rates are not aggregating across "
+         "pool workers";
+  EXPECT_GE(observed, 7500.0);
+  vm.shutdownAllThreads();
+}
+
+}  // namespace
+}  // namespace ijvm

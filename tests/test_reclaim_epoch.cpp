@@ -1,0 +1,376 @@
+// Epoch-based reclamation of retired compiled code (docs/concurrency.md,
+// "Era-based code reclamation"): reclaimJitCode frees a retired JitCode
+// only once every counted (Running) mutator has published a safepoint era
+// at or past the era the code was armed with, and its active count is
+// zero. Covered here:
+//   * the era gate itself: a mutator that has not polled past the
+//     retiring era holds the free back, however many reclamation passes
+//     run; one poll releases it;
+//   * a thread stalled in a blocking native *inside* the compiled frame
+//     delays reclamation through the active pin -- and the retired code
+//     it sits in runs to completion uncorrupted;
+//   * a kill-churn platform with an unlimited code-cache budget stays
+//     bounded: every killed bundle's poisoned code is retired at the GC
+//     that declares its isolate Dead and freed by the next concurrent
+//     reclamation pass, with no stop-the-world;
+//   * demotion racing termination in both orders while the bundle's hot
+//     method is being executed from the mutator pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "bytecode/builder.h"
+#include "exec/code_cache.h"
+#include "exec/engine.h"
+#include "exec/jit.h"
+#include "exec/jit_internal.h"
+#include "exec/quickened.h"
+#include "osgi/framework.h"
+#include "runtime/mutator_pool.h"
+#include "runtime/safepoint.h"
+#include "runtime/vm.h"
+#include "stdlib/system_library.h"
+#include "workloads/bundles.h"
+
+namespace ijvm {
+namespace {
+
+#ifdef IJVM_DISABLE_JIT
+#define IJVM_REQUIRE_JIT() GTEST_SKIP() << "built with IJVM_DISABLE_JIT"
+#else
+#define IJVM_REQUIRE_JIT() (void)0
+#endif
+
+// Deterministic tiers: compile at the second entry, synchronously.
+VmOptions jitOptions() {
+  VmOptions opts = VmOptions::isolated();
+  opts.exec_engine = ExecEngine::Jit;
+  opts.fusion_threshold = 0;
+  opts.jit_threshold = 0;
+  opts.background_compile = false;
+  opts.code_cache_budget = 0;  // unlimited: nothing reclaims but the eras
+  return opts;
+}
+
+bool waitUntil(i64 timeout_ms, const std::function<bool()>& cond) {
+  auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (cond()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return cond();
+}
+
+// sum(0..n-1) via the canonical hot loop (same shape as test_code_cache).
+void defineSumLoop(ClassBuilder& cb, const std::string& method_name) {
+  auto& m = cb.method(method_name, "(I)I", ACC_PUBLIC | ACC_STATIC);
+  Label head = m.newLabel(), done = m.newLabel();
+  m.iconst(0).istore(1);
+  m.iconst(0).istore(2);
+  m.bind(head).iload(2).iload(0).ifIcmpGe(done);
+  m.iload(1).iload(2).iadd().istore(1);
+  m.iinc(2, 1).gotoLabel(head);
+  m.bind(done).iload(1).ireturn();
+}
+
+i32 goldenSum(i32 n) {
+  u32 sum = 0;
+  for (u32 i = 0; i < static_cast<u32>(n); ++i) sum += i;
+  return static_cast<i32>(sum);
+}
+
+// A counted mutator that polls only when told to: attaches a guest
+// thread, walks it through the real Blocked -> Running transition, and
+// then sits WITHOUT publishing eras -- exactly a mutator that has not
+// reached a poll since before the arm. The test advances it through the
+// numbered stages below.
+TEST(EpochReclaim, CodeFreedOnlyAfterEveryThreadPassesRetiringEra) {
+  IJVM_REQUIRE_JIT();
+  VM vm(jitOptions());
+  installSystemLibrary(vm);
+  ClassLoader* app = vm.registry().newLoader("app");
+  {
+    ClassBuilder cb("app/T");
+    defineSumLoop(cb, "f");
+    app->define(cb.build());
+  }
+  vm.createIsolate(app, "app");
+  JThread* main = vm.mainThread();
+  for (int i = 0; i < 2; ++i) {
+    Value r = vm.callStaticIn(main, app, "app/T", "f", "(I)I",
+                              {Value::ofInt(100)});
+    ASSERT_EQ(main->pending_exception, nullptr) << vm.pendingMessage(main);
+    ASSERT_EQ(r.asInt(), 4950);
+  }
+  JMethod* m =
+      vm.registry().resolve(app, "app/T")->findMethod("f", "(I)I");
+  ASSERT_NE(exec::jitCodeOf(m), nullptr);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  int stage = 0;
+  auto advance = [&](int s) {
+    std::lock_guard<std::mutex> lock(mu);
+    stage = s;
+    cv.notify_all();
+  };
+  auto await = [&](int s) {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return stage >= s; });
+  };
+  std::thread laggard([&] {
+    JThread* t = vm.attachThread("laggard", vm.isolateById(0));
+    // Running (counted), era published as of *now* -- and then no polls.
+    vm.safepoints().exitBlocked(t);
+    advance(1);
+    await(2);
+    // The poll every mutator issues at the interpreter loop / JIT
+    // back-edge: publish the current era.
+    t->publishEra(vm.safepoints().currentEra());
+    advance(3);
+    await(4);
+    vm.safepoints().enterBlocked(t);
+    vm.detachThread(t);
+  });
+  await(1);
+
+  // Retire the compiled method while the laggard is counted and stale.
+  ASSERT_TRUE(exec::demoteCompiled(vm, m));
+  ASSERT_GT(exec::codeCacheStats(vm).retired_bytes, 0u);
+
+  // The first pass arms (advances the era once); the laggard's published
+  // era predates the target, so no pass may free -- however many run.
+  EXPECT_EQ(exec::reclaimJitCode(vm), 0u);
+  const u64 armed_era = vm.safepoints().currentEra();
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(exec::reclaimJitCode(vm), 0u);
+  }
+  // Re-arming is idempotent: already-armed code must not advance eras.
+  EXPECT_EQ(vm.safepoints().currentEra(), armed_era);
+  EXPECT_GT(exec::codeCacheStats(vm).retired_bytes, 0u);
+
+  // One poll past the target releases the free.
+  advance(2);
+  await(3);
+  EXPECT_EQ(exec::reclaimJitCode(vm), 1u);
+  exec::CodeCacheStats stats = exec::codeCacheStats(vm);
+  EXPECT_EQ(stats.retired_bytes, 0u);
+  EXPECT_GE(stats.reclaimed, 1u);
+
+  advance(4);
+  laggard.join();
+  vm.shutdownAllThreads();
+}
+
+TEST(EpochReclaim, ThreadBlockedInNativeInsideCompiledFrameDelaysViaActivePin) {
+  IJVM_REQUIRE_JIT();
+  VM vm(jitOptions());
+  installSystemLibrary(vm);
+  ClassLoader* app = vm.registry().newLoader("app");
+  {
+    // nap(ms): sleep inside the compiled frame when ms > 0, then return
+    // the sum loop's checksum. Heated with nap(0), stalled with nap(big).
+    ClassBuilder cb("app/T");
+    auto& m = cb.method("nap", "(I)I", ACC_PUBLIC | ACC_STATIC);
+    Label skip = m.newLabel(), head = m.newLabel(), done = m.newLabel();
+    m.iload(0).ifle(skip);
+    m.iload(0).i2l().invokestatic("java/lang/Thread", "sleep", "(J)V");
+    m.bind(skip);
+    m.iconst(0).istore(1);
+    m.iconst(0).istore(2);
+    m.bind(head).iload(2).iconst(64).ifIcmpGe(done);
+    m.iload(1).iload(2).iadd().istore(1);
+    m.iinc(2, 1).gotoLabel(head);
+    m.bind(done).iload(1).ireturn();
+    app->define(cb.build());
+  }
+  vm.createIsolate(app, "app");
+  JThread* main = vm.mainThread();
+  // Heat with the sleep arm *taken* (1 ms): a never-executed arm would
+  // stay unquickened and the compiled code would deopt right at it
+  // instead of sleeping inside the frame.
+  for (int i = 0; i < 2; ++i) {
+    Value r = vm.callStaticIn(main, app, "app/T", "nap", "(I)I",
+                              {Value::ofInt(1)});
+    ASSERT_EQ(main->pending_exception, nullptr) << vm.pendingMessage(main);
+    ASSERT_EQ(r.asInt(), goldenSum(64));
+  }
+  JMethod* m =
+      vm.registry().resolve(app, "app/T")->findMethod("nap", "(I)I");
+  exec::JitCode* jc = exec::jitCodeOf(m);
+  ASSERT_NE(jc, nullptr);
+
+  // A guest thread parks in Thread.sleep *inside* the compiled frame: it
+  // is Blocked (quiescent for the era gate) but the frame pins the code
+  // through JitCode::active.
+  std::atomic<i32> result{-1};
+  std::thread sleeper([&] {
+    JThread* t = vm.attachThread("sleeper", vm.isolateById(0));
+    Value r = vm.callStaticIn(t, app, "app/T", "nap", "(I)I",
+                              {Value::ofInt(700)});
+    EXPECT_EQ(t->pending_exception, nullptr) << vm.pendingMessage(t);
+    result.store(r.asInt(), std::memory_order_release);
+    vm.detachThread(t);
+  });
+  ASSERT_TRUE(waitUntil(5000, [&] {
+    return jc->active.load(std::memory_order_acquire) > 0;
+  })) << "sleeper never entered the compiled frame";
+
+  // Retire out from under the parked frame, then hammer the reclaimer:
+  // the active pin must hold every pass back, era gate notwithstanding.
+  ASSERT_TRUE(exec::demoteCompiled(vm, m));
+  while (jc->active.load(std::memory_order_acquire) > 0) {
+    EXPECT_EQ(exec::reclaimJitCode(vm), 0u);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  sleeper.join();
+  // Never corrupted: the stalled frame ran its retired code to completion.
+  EXPECT_EQ(result.load(std::memory_order_acquire), goldenSum(64));
+
+  // Pin dropped (and the sleeper detached): the already-armed code frees.
+  EXPECT_EQ(exec::reclaimJitCode(vm), 1u);
+  EXPECT_EQ(exec::codeCacheStats(vm).retired_bytes, 0u);
+  vm.shutdownAllThreads();
+}
+
+TEST(EpochReclaim, KillChurnWithUnlimitedBudgetStaysBounded) {
+  IJVM_REQUIRE_JIT();
+  VM vm(jitOptions());
+  installSystemLibrary(vm);
+  Framework fw(vm);
+  JThread* t = vm.mainThread();
+  i32 expect = 0;
+  for (i32 j = 0; j < 256; ++j) expect ^= j;
+
+  u64 steady_installed = 0;
+  u64 reclaimed_before = 0;
+  for (int round = 0; round < 8; ++round) {
+    Bundle* b = fw.install(makeMicroBundle("churn" + std::to_string(round)));
+    fw.start(b);
+    for (int i = 0; i < 2; ++i) {
+      Value r = vm.callStaticIn(t, b->loader(), "micro/Bench", "spinFor",
+                                "(I)I", {Value::ofInt(256)});
+      ASSERT_EQ(t->pending_exception, nullptr) << vm.pendingMessage(t);
+      ASSERT_EQ(r.asInt(), expect);
+    }
+    ASSERT_GT(b->isolate()->stats.jit_code_bytes.load(), 0)
+        << "bundle never compiled";
+
+    fw.killBundle(b);
+    // The kill's own collection declared the thread-less isolate Dead --
+    // but its sweep ran before its Dead-marking, so the poisoned code is
+    // still installed and observable here (the PR that introduced
+    // demotion pinned exactly this: a kill never vanishes code the tick
+    // it lands)...
+    ASSERT_EQ(b->isolate()->state.load(), IsolateState::Dead);
+    EXPECT_GT(b->isolate()->stats.jit_code_bytes.load(), 0)
+        << "kill's own GC must not retire the poisoned code, round "
+        << round;
+    // ...and the *concurrent* pass -- no stop-the-world, no further GC --
+    // retires and frees it: with no counted mutators the arm and the free
+    // land in one call.
+    EXPECT_GE(exec::reclaimJitCode(vm), 1u) << "round " << round;
+
+    exec::CodeCacheStats stats = exec::codeCacheStats(vm);
+    EXPECT_EQ(stats.retired_bytes, 0u) << "round " << round;
+    EXPECT_EQ(b->isolate()->stats.jit_code_bytes.load(), 0)
+        << "dead bundle still holds code bytes, round " << round;
+    EXPECT_GT(stats.reclaimed, reclaimed_before) << "round " << round;
+    reclaimed_before = stats.reclaimed;
+    // Bounded: with an unlimited budget the installed footprint must not
+    // grow with the kill count -- only the first round's system-library
+    // compiles stick.
+    if (round == 0) {
+      steady_installed = stats.installed_bytes;
+    } else {
+      EXPECT_LE(stats.installed_bytes, steady_installed)
+          << "installed bytes grew with kill churn, round " << round;
+    }
+  }
+  vm.shutdownAllThreads();
+}
+
+TEST(EpochReclaim, DemotionRacesTerminationInBothOrdersUnderThePool) {
+  IJVM_REQUIRE_JIT();
+  VmOptions opts = jitOptions();
+  opts.mutator_threads = 2;
+  VM vm(opts);
+  installSystemLibrary(vm);
+  Framework fw(vm);
+  JThread* main = vm.mainThread();
+
+  // Runs the bundle's hot method from a pool worker in a loop until the
+  // kill unwinds it back to the worker's home isolate (StoppedIsolate).
+  auto spinViaPool = [&](Bundle* b) {
+    vm.mutatorPool().submit(
+        [&vm, b](JThread* t) {
+          for (;;) {
+            vm.callStaticIn(t, b->loader(), "micro/Bench", "spinFor", "(I)I",
+                            {Value::ofInt(1 << 18)});
+            if (t->pending_exception != nullptr) {
+              vm.clearPending(t);
+              return;
+            }
+          }
+        },
+        b->isolate());
+  };
+  auto compiledSpin = [&](Bundle* b) {
+    JMethod* spin = vm.registry()
+                        .resolve(b->loader(), "micro/Bench")
+                        ->findMethod("spinFor", "(I)I");
+    EXPECT_TRUE(
+        waitUntil(5000, [&] { return exec::jitCodeOf(spin) != nullptr; }))
+        << "spinFor was never compiled";
+    return spin;
+  };
+  auto expectFullyReclaimed = [&](Bundle* b, JMethod* spin) {
+    vm.mutatorPool().drain();  // the worker unwound out of the bundle
+    vm.collectGarbage(main, nullptr);  // declares the isolate Dead
+    exec::reclaimJitCode(vm);
+    EXPECT_EQ(exec::jitCodeOf(spin), nullptr);
+    EXPECT_EQ(exec::codeCacheStats(vm).retired_bytes, 0u);
+    EXPECT_EQ(b->isolate()->stats.jit_code_bytes.load(), 0);
+    // The method-level poison barrier still refuses re-entry.
+    vm.callStaticIn(main, b->loader(), "micro/Bench", "spinFor", "(I)I",
+                    {Value::ofInt(8)});
+    ASSERT_NE(main->pending_exception, nullptr);
+    EXPECT_NE(vm.pendingMessage(main).find("StoppedIsolate"),
+              std::string::npos);
+    vm.clearPending(main);
+  };
+
+  // Order 1: demote first (the worker falls back to the interpreter
+  // mid-spin), then terminate.
+  Bundle* a = fw.install(makeMicroBundle("race-a"));
+  fw.start(a);
+  spinViaPool(a);
+  JMethod* spin_a = compiledSpin(a);
+  exec::demoteLoaderJit(vm, a->loader());
+  EXPECT_EQ(exec::jitCodeOf(spin_a), nullptr);
+  fw.killBundle(a);
+  expectFullyReclaimed(a, spin_a);
+
+  // Order 2: terminate first (poisons the compiled entry under
+  // stop-the-world while the pool worker is parked at a poll), then
+  // demote what the kill left behind.
+  Bundle* b = fw.install(makeMicroBundle("race-b"));
+  fw.start(b);
+  spinViaPool(b);
+  JMethod* spin_b = compiledSpin(b);
+  fw.killBundle(b);
+  exec::demoteLoaderJit(vm, b->loader());
+  EXPECT_EQ(exec::jitCodeOf(spin_b), nullptr);
+  expectFullyReclaimed(b, spin_b);
+
+  vm.shutdownAllThreads();
+}
+
+}  // namespace
+}  // namespace ijvm

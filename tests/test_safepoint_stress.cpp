@@ -15,6 +15,9 @@
 #include <thread>
 
 #include "bytecode/builder.h"
+#include "obs/trace.h"
+#include "runtime/mutator_pool.h"
+#include "runtime/vm.h"
 #include "stdlib/system_library.h"
 #include "support/strf.h"
 
@@ -115,6 +118,56 @@ TEST(SafepointStressTest, GuestGcRacesAdminGcAndTermination) {
   }
   stop.store(true, std::memory_order_release);
   admin.join();
+}
+
+// ---- the mutator pool must not stretch stop-the-world entry ----
+//
+// Allocation churn submitted to the pool makes every worker a periodic
+// stop-the-world requester while the others are Running; the time-to-stop
+// histogram (stop request -> every mutator parked) must stay within an
+// absolute ceiling at every worker count. The ceiling is deliberately
+// loose (scheduler noise on loaded CI), but it is flat: a protocol whose
+// stop time grew with the thread count -- or a reclamation pass that
+// still parked the world -- would blow through it at 4 workers.
+TEST(SafepointStressTest, TimeToStopStaysBoundedAsMutatorPoolScales) {
+  constexpr u64 kP99CeilingNs = 250ull * 1000 * 1000;  // 250 ms
+  obs::setTraceEnabled(true);
+  for (u32 workers : {1u, 2u, 4u}) {
+    SCOPED_TRACE(strf("workers=%u", workers));
+    obs::resetTrace();  // per-scale histograms
+    VmOptions opts;
+    opts.gc_threshold = 64u << 10;  // force frequent guest-triggered GCs
+    opts.heap_limit = 64u << 20;
+    opts.mutator_threads = workers;
+    VM vm(opts);
+    installSystemLibrary(vm);
+    ClassLoader* app = vm.registry().newLoader("app");
+    Isolate* iso = vm.createIsolate(app, "app");
+    defineChurn(app);
+
+    MutatorPool& pool = vm.mutatorPool();
+    for (u32 k = 0; k < workers * 4; ++k) {
+      pool.submit(
+          [&vm, app](JThread* t) {
+            for (int round = 0; round < 6; ++round) {
+              vm.callStaticIn(t, app, "sp/Churn", "churn", "(I)I",
+                              {Value::ofInt(300)});
+              EXPECT_EQ(t->pending_exception, nullptr);
+            }
+          },
+          iso);
+    }
+    pool.drain();
+    EXPECT_GT(vm.gcCount(), 0u) << "churn never stormed the GC";
+
+    obs::HistSnapshot s = obs::latencySnapshot(obs::Lat::SafepointTimeToStop);
+    ASSERT_GT(s.count, 0u) << "no stop-the-world was ever timed";
+    EXPECT_LE(s.p99_ns, kP99CeilingNs)
+        << "time-to-stop p99 " << s.p99_ns << " ns at " << workers
+        << " pool workers (max " << s.max_ns << " ns over " << s.count
+        << " stops)";
+  }
+  obs::setTraceEnabled(false);
 }
 
 TEST(SafepointStressTest, BlockedScopeRestoresRunningState) {
