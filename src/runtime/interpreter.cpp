@@ -73,7 +73,7 @@ Value VM::invokeCore(JThread* t, JMethod* m, const Value* args, i32 nargs) {
       throwStopped(*this, t, owner_iso != nullptr ? owner_iso->id : kKillAll);
       break;
     }
-    if (t->frames_active >= kMaxStackDepth) {
+    if (t->depth() >= kMaxStackDepth) {
       throwGuest(t, "java/lang/StackOverflowError", m->fullName());
       break;
     }

@@ -96,20 +96,37 @@ class JThread {
   // Guest stack. Frames are pooled: entries [0, frames_active) are live,
   // the rest are retained for reuse so a method call does not heap-allocate
   // (hot path for Figure 1 / Table 1). The deque keeps Frame* stable.
+  //
+  // frames_active is atomic only because the governor's hung-caller scan
+  // reads hasFrames() cross-thread without stopping the world (a racy
+  // signal by design; strike hysteresis absorbs staleness). The owner is
+  // the sole writer, so accessors use relaxed plain load/store -- no RMW,
+  // the call hot path stays mov-only. The frames deque itself is owner- or
+  // world-stopped-only; cross-thread readers may touch the counter, never
+  // the frames.
   std::deque<Frame> frames;
-  size_t frames_active = 0;
+  std::atomic<size_t> frames_active{0};
 
   Frame& pushFrame() {
-    if (frames_active == frames.size()) frames.emplace_back();
-    Frame& f = frames[frames_active++];
+    const size_t n = frames_active.load(std::memory_order_relaxed);
+    if (n == frames.size()) frames.emplace_back();
+    Frame& f = frames[n];
     f.reset();
+    frames_active.store(n + 1, std::memory_order_relaxed);
     return f;
   }
-  void popFrame() { --frames_active; }
-  void dropAllFrames() { frames_active = 0; }
+  void popFrame() {
+    frames_active.store(frames_active.load(std::memory_order_relaxed) - 1,
+                        std::memory_order_relaxed);
+  }
+  void dropAllFrames() { frames_active.store(0, std::memory_order_relaxed); }
   Frame& frameAt(size_t i) { return frames[i]; }
-  Frame& topFrame() { return frames[frames_active - 1]; }
-  bool hasFrames() const { return frames_active > 0; }
+  Frame& topFrame() {
+    return frames[frames_active.load(std::memory_order_relaxed) - 1];
+  }
+  bool hasFrames() const {
+    return frames_active.load(std::memory_order_relaxed) > 0;
+  }
 
   // Pending guest exception being thrown/propagated (GC root).
   Object* pending_exception = nullptr;
@@ -178,7 +195,9 @@ class JThread {
   std::thread os_thread;
 
   // Depth of the guest stack.
-  size_t depth() const { return frames_active; }
+  size_t depth() const {
+    return frames_active.load(std::memory_order_relaxed);
+  }
 
  private:
   std::atomic<bool> done_{false};

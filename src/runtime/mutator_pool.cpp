@@ -31,14 +31,27 @@ void MutatorPool::submit(Task task, Isolate* iso) {
   const size_t n = queues_.size();
   const size_t home = next_queue_.fetch_add(1, std::memory_order_relaxed) % n;
   {
-    std::lock_guard<std::mutex> qlock(queues_[home]->m);
-    queues_[home]->dq.push_back(Slot{std::move(task), iso});
-  }
-  {
+    // The stop_ check and the push share idle_mutex_ so they order strictly
+    // against shutdown() (which flips stop_ under the lock) and against a
+    // parking worker's recheck in workerLoop(): either that recheck sees
+    // this task, or the worker is already waiting when we notify below.
     std::lock_guard<std::mutex> lock(idle_mutex_);
+    if (stop_) return;  // after shutdown(): dropped (contract in the header)
+    {
+      std::lock_guard<std::mutex> qlock(queues_[home]->m);
+      queues_[home]->dq.push_back(Slot{std::move(task), iso});
+    }
     ++submitted_;
   }
   idle_cv_.notify_one();
+}
+
+bool MutatorPool::anyQueued() {
+  for (const std::unique_ptr<WorkerQueue>& q : queues_) {
+    std::lock_guard<std::mutex> lock(q->m);
+    if (!q->dq.empty()) return true;
+  }
+  return false;
 }
 
 bool MutatorPool::take(size_t index, Slot& out) {
@@ -75,9 +88,14 @@ void MutatorPool::workerLoop(size_t index) {
     Slot slot;
     if (!take(index, slot)) {
       std::unique_lock<std::mutex> lock(idle_mutex_);
-      // Sleep only when no task is takeable: `completed_ + in-flight ==
-      // submitted_` is hard to count cheaply, so workers conservatively
-      // recheck the deques after every wakeup instead.
+      // Recheck under the lock before parking: submit() pushes while
+      // holding idle_mutex_, so a task that raced our failed take() is
+      // visible here, and one pushed after we wait() is covered by
+      // submit()'s notify. Without this recheck the notify could fire
+      // before we wait and the task would be stranded (lost wakeup).
+      if (anyQueued()) continue;
+      // Honor stop_ only once the queues are verifiably empty, so
+      // shutdown() keeps its contract that already-queued tasks still run.
       if (stop_) break;
       idle_cv_.wait(lock);
       continue;

@@ -54,11 +54,16 @@ class MutatorPool {
   // work). The marker is published on the worker's JThread while the task
   // runs so the governor's hung-caller scan does not mistake a worker
   // blocked inside the bundle it is scheduled for a hung foreign caller.
+  // After shutdown() the task is silently dropped (no worker could ever
+  // run it, and enqueueing it would hang a later drain()).
   void submit(Task task, Isolate* iso = nullptr);
 
   // Blocks until every task submitted so far has completed. Callable from
-  // any non-worker thread; typically a mutator drain point for the caller,
-  // so it brackets itself as Blocked via the VM's safepoints.
+  // any non-worker thread. NOTE: drain() does NOT bracket itself as
+  // Blocked — a caller that is counted as a Running guest thread must
+  // wrap the call in a BlockedScope itself, or a concurrent stop-the-world
+  // would wait on it forever while the workers park at polls mid-task.
+  // Current callers are all embedder threads, which are never counted.
   void drain();
 
   size_t workerCount() const { return workers_.size(); }
@@ -83,6 +88,11 @@ class MutatorPool {
   void workerLoop(size_t index);
   // Pops own-front or steals victim-back; false when nothing is runnable.
   bool take(size_t index, Slot& out);
+  // True when any deque is non-empty. Workers call it under idle_mutex_
+  // before parking (and before honoring stop_): submit() pushes under
+  // idle_mutex_ too, so the recheck cannot miss a task (no lost wakeup)
+  // and shutdown cannot strand queued work.
+  bool anyQueued();
 
   VM& vm_;
   std::vector<std::unique_ptr<WorkerQueue>> queues_;

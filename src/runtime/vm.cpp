@@ -621,7 +621,7 @@ void VM::enumerateRoots(const RootSink& sink) {
         }
       }
     }
-    for (size_t fi = 0; fi < t->frames_active; ++fi) {
+    for (size_t fi = 0; fi < t->depth(); ++fi) {
       Frame& f = t->frameAt(fi);
       const i32 iso = f.isolate != nullptr ? f.isolate->id : 0;
       for (Value& v : f.locals) {
@@ -743,7 +743,7 @@ bool VM::terminateIsolate(JThread* requester, Isolate* target) {
     for (auto& t : threads_) {
       if (t->state.load(std::memory_order_acquire) == ThreadState::Dead) continue;
       if (t.get() == requester && !t->hasFrames()) continue;
-      const size_t nframes = t->frames_active;
+      const size_t nframes = t->depth();
       for (size_t i = 1; i < nframes; ++i) {
         if (t->frameAt(i - 1).isolate == target &&
             t->frameAt(i).isolate != target) {

@@ -202,5 +202,75 @@ TEST(SafepointStressTest, BlockedScopeRestoresRunningState) {
   vm.detachThread(t);
 }
 
+// ---- pool wakeup and shutdown contracts ----
+//
+// Regression for a lost-wakeup race: a worker whose take() came up empty
+// parked on the idle CV without rechecking the deques under the lock, so a
+// submit() landing in that window could notify nobody and strand its task
+// -- every later drain() then hung. Tiny tasks drained in small batches
+// maximize park/unpark churn; with the unfixed code this hangs within a
+// few hundred rounds.
+TEST(SafepointStressTest, SubmitNeverStrandsTaskAcrossIdleParking) {
+  VmOptions opts;
+  opts.mutator_threads = 2;
+  VM vm(opts);
+  installSystemLibrary(vm);
+  vm.createIsolate(vm.registry().newLoader("app"), "app");
+  MutatorPool& pool = vm.mutatorPool();
+  std::atomic<u64> ran{0};
+  u64 expected = 0;
+  for (int round = 0; round < 2000; ++round) {
+    const int batch = 1 + (round % 3);
+    for (int k = 0; k < batch; ++k) {
+      pool.submit(
+          [&ran](JThread*) { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+    expected += batch;
+    pool.drain();  // hangs forever if any task was stranded
+    ASSERT_EQ(ran.load(std::memory_order_relaxed), expected);
+  }
+  EXPECT_EQ(pool.tasksCompleted(), expected);
+}
+
+// shutdown() promises that already-queued tasks still run: workers may
+// only exit once the deques are verifiably empty, even when stop_ was set
+// while they were between a failed take() and the idle wait.
+TEST(SafepointStressTest, ShutdownRunsAlreadyQueuedTasks) {
+  VmOptions opts;
+  opts.mutator_threads = 4;
+  VM vm(opts);
+  installSystemLibrary(vm);
+  vm.createIsolate(vm.registry().newLoader("app"), "app");
+  MutatorPool& pool = vm.mutatorPool();
+  std::atomic<u64> ran{0};
+  constexpr u64 kTasks = 512;
+  for (u64 k = 0; k < kTasks; ++k) {
+    pool.submit(
+        [&ran](JThread*) { ran.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.shutdown();  // joins workers; every queued task must have run
+  EXPECT_EQ(ran.load(), kTasks);
+  EXPECT_EQ(pool.tasksCompleted(), kTasks);
+}
+
+// submit() after shutdown() is dropped: nothing could ever run it, and
+// counting it as submitted would hang the next drain().
+TEST(SafepointStressTest, SubmitAfterShutdownIsDroppedAndDrainReturns) {
+  VmOptions opts;
+  opts.mutator_threads = 2;
+  VM vm(opts);
+  installSystemLibrary(vm);
+  vm.createIsolate(vm.registry().newLoader("app"), "app");
+  MutatorPool& pool = vm.mutatorPool();
+  std::atomic<u64> ran{0};
+  pool.submit(
+      [&ran](JThread*) { ran.fetch_add(1, std::memory_order_relaxed); });
+  pool.shutdown();
+  EXPECT_EQ(ran.load(), 1u);
+  pool.submit([](JThread*) { ADD_FAILURE() << "task ran after shutdown"; });
+  pool.drain();  // must return immediately: the late submit was dropped
+  EXPECT_EQ(pool.tasksCompleted(), 1u);
+}
+
 }  // namespace
 }  // namespace ijvm
