@@ -177,7 +177,12 @@ void CommHarness::incommunicadoServer() {
     if (!inc_requests_.pop(&msg, &stop_)) break;
     auto* ref = reinterpret_cast<GlobalRef*>(msg);
     Object* request = ref->obj;
-    Object* copy = deepCopy(vm_, t, request);
+    // Donation-aware transfer (docs/comm.md): the client relinquished the
+    // request when it pushed the GlobalRef, so eligible payload nodes are
+    // re-keyed to this isolate instead of copied; with comm_zero_copy off
+    // this is exactly the old deepCopy.
+    Object* copy =
+        transferGraph(vm_, t, vm_.isolateById(ref->isolate_id), request);
     vm_.removeGlobalRef(ref);
     i32 result = -1;
     if (copy != nullptr && t->pending_exception == nullptr) {
@@ -254,8 +259,9 @@ void CommHarness::rmiServer() {
     reply->fields()[status_f->slot] =
         Value::ofRef(roots.add(vm_.newStringObject(t, "OK")));
     std::string encoded = serializeGraph(vm_, reply);
-    server->write(strf("%09zu\n", encoded.size()));
-    server->write(encoded);
+    const std::string frames[2] = {strf("%09zu\n", encoded.size()),
+                                   std::move(encoded)};
+    server->writev(frames, 2);
   }
   vm_.detachThread(t);
 }
@@ -275,8 +281,9 @@ i64 CommHarness::runRmi(i32 n) {
     request->fields()[method_f->slot] = Value::ofRef(mname);
     request->fields()[seq_f->slot] = Value::ofInt(i);
     std::string encoded = serializeGraph(vm_, request);
-    rmi_channel_->write(strf("%09zu\n", encoded.size()));
-    rmi_channel_->write(encoded);
+    const std::string frames[2] = {strf("%09zu\n", encoded.size()),
+                                   std::move(encoded)};
+    rmi_channel_->writev(frames, 2);
 
     std::string header;
     IJVM_CHECK(rmi_channel_->readFully(&header, 10, &stop_), "rmi cancelled");

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "heap/object.h"
+#include "obs/trace.h"
 #include "support/strf.h"
 
 namespace ijvm {
@@ -25,16 +26,124 @@ std::vector<JField*> instanceFields(JClass* cls) {
   return out;
 }
 
-}  // namespace
+// Brackets straight-line host code so it counts as a Running mutator:
+// while counted, no stop-the-world operation (GC accounting pass,
+// terminateIsolate) can complete, so the bracketed code is atomic with
+// respect to both. Attached host threads (comm servers, pool embedders)
+// sit in Blocked between guest calls and are NOT parked by a
+// stop-the-world, so flipping them counted is the only way to exclude the
+// collector; a thread already Running is already counted and needs no
+// transition. The bracketed code must never poll, block or allocate.
+class CountedScope {
+ public:
+  CountedScope(VM& vm, JThread* t)
+      : sp_(vm.safepoints()),
+        t_(t),
+        was_blocked_(t->state.load(std::memory_order_acquire) !=
+                     ThreadState::Running) {
+    if (was_blocked_) sp_.exitBlocked(t_);
+  }
+  ~CountedScope() {
+    if (was_blocked_) sp_.enterBlocked(t_);
+  }
+  CountedScope(const CountedScope&) = delete;
+  CountedScope& operator=(const CountedScope&) = delete;
 
-Object* deepCopy(VM& vm, JThread* receiver, Object* src) {
+ private:
+  SafepointController& sp_;
+  JThread* t_;
+  const bool was_blocked_;
+};
+
+// True when `o` sits in `iso`'s interned-string table. Interning only
+// ever inserts a freshly allocated string (VM::internString), so an
+// object that is not interned now can never become interned later -- the
+// check is stable without holding the lock across the donation.
+bool isInternedIn(Isolate* iso, Object* o) {
+  std::lock_guard<std::mutex> lock(iso->strings_mutex);
+  auto it = iso->interned_strings.find(o->str());
+  return it != iso->interned_strings.end() && it->second == o;
+}
+
+// The shared copy/donate walker behind deepCopy and transferGraph.
+// `sender` == nullptr disables donation (pure deep copy).
+Object* copyOrTransfer(VM& vm, JThread* receiver, Isolate* sender,
+                       Object* src, TransferStats* stats) {
   if (src == nullptr) return nullptr;
   std::unordered_map<Object*, Object*> copies;
   LocalRootScope roots(receiver);
+  Isolate* recv_iso = receiver->current_isolate.load(std::memory_order_relaxed);
 
-  std::function<Object*(Object*)> copy = [&](Object* o) -> Object* {
+  bool donate_enabled = false;
+#ifndef IJVM_DISABLE_ZERO_COPY
+  donate_enabled = vm.options().comm_zero_copy && vm.options().isolation &&
+                   sender != nullptr && sender != recv_iso;
+#else
+  (void)sender;
+#endif
+
+  // Field/element path to the node being visited, for error reporting
+  // ("<root>.payload[3]").
+  std::vector<std::string> path;
+  auto pathString = [&]() {
+    std::string p = "<root>";
+    for (const std::string& seg : path) p += seg;
+    return p;
+  };
+
+  // Donates `o` (leaf kinds only): re-keys it to the receiver and moves
+  // its bytes from the sender's account to the receiver's. The decisive
+  // checks repeat inside a CountedScope so the re-key + charge transfer
+  // cannot interleave with a GC's charge recomputation or with
+  // terminateIsolate (docs/comm.md, "Donation vs termination"). Returns
+  // nullptr when ineligible; the caller falls back to copying.
+  auto tryDonate = [&](Object* o) -> Object* {
+    // Cheap conservative pre-checks (racy reads are fine; the decisive
+    // repeat is inside the bracket).
+    if (o->creator_isolate != sender->id || o->monitor != nullptr) {
+      return nullptr;
+    }
+    if (o->kind == ObjKind::String && isInternedIn(sender, o)) return nullptr;
+    CountedScope counted(vm, receiver);
+    if (!sender->isActive() || !recv_iso->isActive()) return nullptr;
+    if (o->creator_isolate != sender->id || o->monitor != nullptr) {
+      return nullptr;
+    }
+    o->creator_isolate = recv_iso->id;
+    const u64 bytes = o->byte_size;
+    if (vm.options().accounting) {
+      // Debit the receiver before crediting the sender so a concurrent
+      // memory-limit check never observes the bytes as unowned.
+      recv_iso->stats.donated_bytes_delta.fetch_add(
+          static_cast<i64>(bytes), std::memory_order_relaxed);
+      sender->stats.donated_bytes_delta.fetch_sub(
+          static_cast<i64>(bytes), std::memory_order_relaxed);
+      recv_iso->stats.bytes_donated_in.fetch_add(bytes, std::memory_order_relaxed);
+      sender->stats.bytes_donated_out.fetch_add(bytes, std::memory_order_relaxed);
+      recv_iso->stats.objects_donated_in.fetch_add(1, std::memory_order_relaxed);
+      sender->stats.objects_donated_out.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (stats != nullptr) {
+      stats->objects_donated += 1;
+      stats->bytes_donated += bytes;
+    }
+    return o;
+  };
+
+  std::function<Object*(Object*)> walk = [&](Object* o) -> Object* {
     if (o == nullptr) return nullptr;
     if (auto it = copies.find(o); it != copies.end()) return it->second;
+    // Donation fast path: only leaf kinds (primitive arrays, strings) are
+    // eligible, so a successful donation never recurses.
+    if (donate_enabled &&
+        (o->kind == ObjKind::String || o->kind == ObjKind::ArrayInt ||
+         o->kind == ObjKind::ArrayLong || o->kind == ObjKind::ArrayDouble)) {
+      if (Object* d = tryDonate(o)) {
+        copies.emplace(o, d);
+        roots.add(d);
+        return d;
+      }
+    }
     Object* dup = nullptr;
     switch (o->kind) {
       case ObjKind::String:
@@ -57,8 +166,14 @@ Object* deepCopy(VM& vm, JThread* receiver, Object* src) {
           copies.emplace(o, dup);
           roots.add(dup);
           for (i32 i = 0; i < o->length; ++i) {
-            dup->refElems()[i] = copy(o->refElems()[i]);
+            path.push_back(strf("[%d]", i));
+            dup->refElems()[i] = walk(o->refElems()[i]);
+            path.pop_back();
             if (receiver->pending_exception != nullptr) return nullptr;
+          }
+          if (stats != nullptr) {
+            stats->objects_copied += 1;
+            stats->bytes_copied += dup->byte_size;
           }
           return dup;
         }
@@ -72,20 +187,33 @@ Object* deepCopy(VM& vm, JThread* receiver, Object* src) {
           for (JField* f : instanceFields(o->cls)) {
             Value v = o->fields()[f->slot];
             if (v.kind == Kind::Ref) {
-              dup->fields()[f->slot] = Value::ofRef(copy(v.ref));
+              path.push_back("." + f->name);
+              dup->fields()[f->slot] = Value::ofRef(walk(v.ref));
+              path.pop_back();
               if (receiver->pending_exception != nullptr) return nullptr;
             } else {
               dup->fields()[f->slot] = v;
             }
           }
+          if (stats != nullptr) {
+            stats->objects_copied += 1;
+            stats->bytes_copied += dup->byte_size;
+          }
           return dup;
         }
         break;
       }
-      case ObjKind::Native:
-        vm.throwGuest(receiver, "java/lang/IllegalArgumentException",
-                      "cannot copy native-backed object: " + o->cls->name);
+      case ObjKind::Native: {
+        Isolate* owner = vm.isolateById(o->creator_isolate);
+        vm.throwGuest(
+            receiver, "java/lang/IllegalArgumentException",
+            strf("cannot copy native-backed object: %s (owned by isolate "
+                 "'%s' #%d) at %s",
+                 o->cls->name.c_str(),
+                 owner != nullptr ? owner->name.c_str() : "?",
+                 o->creator_isolate, pathString().c_str()));
         return nullptr;
+      }
     }
     if (dup == nullptr) {
       if (receiver->pending_exception == nullptr) {
@@ -95,10 +223,35 @@ Object* deepCopy(VM& vm, JThread* receiver, Object* src) {
     }
     copies.emplace(o, dup);
     roots.add(dup);
+    if (stats != nullptr) {
+      stats->objects_copied += 1;
+      stats->bytes_copied += dup->byte_size;
+    }
     return dup;
   };
 
-  return copy(src);
+  return walk(src);
+}
+
+}  // namespace
+
+Object* deepCopy(VM& vm, JThread* receiver, Object* src) {
+  return copyOrTransfer(vm, receiver, /*sender=*/nullptr, src, nullptr);
+}
+
+Object* transferGraph(VM& vm, JThread* receiver, Isolate* sender, Object* root,
+                      TransferStats* stats) {
+  TransferStats local;
+  if (stats == nullptr) stats = &local;
+  Object* out = copyOrTransfer(vm, receiver, sender, root, stats);
+  if (stats->objects_donated > 0 && obs::traceEnabled()) {
+    Isolate* recv_iso =
+        receiver->current_isolate.load(std::memory_order_relaxed);
+    obs::emit(obs::Ev::CommDonate, obs::Ph::Instant, recv_iso->id,
+              stats->bytes_donated, stats->objects_donated);
+    obs::recordLatency(obs::Lat::DonatedBytes, stats->bytes_donated);
+  }
+  return out;
 }
 
 // ------------------------------------------------------------- serialize

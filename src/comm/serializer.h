@@ -1,13 +1,18 @@
-// Object-graph copying and serialization between isolates.
+// Object-graph copying, donation and serialization between isolates.
 //
-// Two fidelity levels, matching the two isolate-communication baselines of
-// Table 1:
-//  * deepCopy     -- direct graph copy into the receiver's isolate, the
-//                    Incommunicado model (no byte encoding, but allocation
-//                    and copying per call, plus thread synchronization);
-//  * serialize /  -- verbose stream encoding with per-field tags and a
-//    deserialize    checksum, the RMI model (everything deepCopy does plus
-//                    encode/decode and transport).
+// Three fidelity levels, matching the isolate-communication models of
+// Table 1 plus the zero-copy extension (docs/comm.md):
+//  * transferGraph -- donation-aware graph transfer into the receiver's
+//                     isolate: primitive arrays and strings the sender has
+//                     relinquished are re-keyed to the receiver (ownership
+//                     donation, charge transfer through ResourceStats)
+//                     instead of copied; everything else deep-copies;
+//  * deepCopy      -- direct graph copy into the receiver's isolate, the
+//                     Incommunicado model (no byte encoding, but allocation
+//                     and copying per call, plus thread synchronization);
+//  * serialize /   -- verbose stream encoding with per-field tags and a
+//    deserialize     checksum, the RMI model (everything deepCopy does plus
+//                     encode/decode and transport).
 //
 // Supported graphs: null, strings, primitive arrays, reference arrays and
 // Plain objects (fields by declared order). Shared nodes and cycles are
@@ -20,6 +25,33 @@
 #include "runtime/vm.h"
 
 namespace ijvm {
+
+// Outcome counters of one transferGraph call (also traced as
+// Ev::CommDonate and the Lat::DonatedBytes histogram, docs/comm.md).
+struct TransferStats {
+  u64 objects_donated = 0;
+  u64 bytes_donated = 0;
+  u64 objects_copied = 0;
+  u64 bytes_copied = 0;
+};
+
+// Moves the graph rooted at `root` from `sender` into the isolate
+// `receiver` currently runs in. Donation-eligible nodes (docs/comm.md:
+// primitive arrays and non-interned strings created by `sender`, no
+// monitor, both isolates Active, options().comm_zero_copy set and the
+// path not compiled out) are re-keyed to the receiver with their bytes
+// charged to it -- sender credited, receiver debited, atomically with
+// respect to GC and terminateIsolate; every other node deep-copies.
+//
+// Contract: the sender must have relinquished the message -- after the
+// call it must not read or write any object reachable from `root` (the
+// returned graph may alias donated originals). Allocations for copied
+// nodes are charged to the receiver (it performs the copy). Returns
+// nullptr and sets a pending guest exception on failure; a failed or
+// partial transfer never leaks charge (donated-then-dropped nodes are
+// receiver-charged garbage reclaimed by the next GC).
+Object* transferGraph(VM& vm, JThread* receiver, Isolate* sender, Object* root,
+                      TransferStats* stats = nullptr);
 
 // Copies `src` into the isolate `receiver` currently runs in. Allocations
 // are charged to the receiver (it performs the copy). Returns nullptr and

@@ -114,11 +114,11 @@ std::string latencySection() {
       out += strf("  %-28s %8s %10s %10s %10s %10s\n", "path", "samples",
                   "p50", "p90", "p99", "max");
     }
-    // ReclaimEraLag counts *eras*, not nanoseconds (code_cache.cpp): a
-    // histogram fed in a different unit must not be rendered through
-    // humanNs.
+    // ReclaimEraLag counts *eras* and DonatedBytes counts *bytes*, not
+    // nanoseconds: a histogram fed in a different unit must not be
+    // rendered through humanNs.
     auto fmt = [l](u64 v) {
-      return l == Lat::ReclaimEraLag
+      return l == Lat::ReclaimEraLag || l == Lat::DonatedBytes
                  ? strf("%llu", static_cast<unsigned long long>(v))
                  : humanNs(v);
     };

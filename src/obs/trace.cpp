@@ -37,6 +37,8 @@ const char* evName(Ev e) {
     case Ev::GovernorAct: return "governor.act";
     case Ev::InterIsolateCall: return "call.inter-isolate";
     case Ev::ChannelSend: return "channel.send";
+    case Ev::ChannelSendBatch: return "channel.send-batch";
+    case Ev::CommDonate: return "comm.donate";
     case Ev::MutatorTask: return "mutator.task";
     case Ev::Count: break;
   }
@@ -52,6 +54,7 @@ const char* latName(Lat l) {
     case Lat::InterIsolateCall: return "inter-isolate call (sampled)";
     case Lat::ChannelSend: return "channel send";
     case Lat::ReclaimEraLag: return "reclaim era-lag (eras)";
+    case Lat::DonatedBytes: return "donated bytes per send (bytes)";
     case Lat::Count: break;
   }
   return "?";
@@ -89,6 +92,8 @@ const char* evCategory(Ev e) {
       return "governor";
     case Ev::InterIsolateCall:
     case Ev::ChannelSend:
+    case Ev::ChannelSendBatch:
+    case Ev::CommDonate:
       return "comm";
     case Ev::MutatorTask:
       return "pool";

@@ -69,6 +69,9 @@ enum class Ev : u8 {
   // -- communication (runtime/interpreter.cpp, stdlib/channels.cpp) --
   InterIsolateCall,  // span, sampled 1/256 (isolate = callee)
   ChannelSend,       // bytes pushed into a channel queue (a = bytes)
+  ChannelSendBatch,  // vectored send (a = bytes, b = frames coalesced)
+  CommDonate,        // transferGraph donated ownership (isolate = receiver,
+                     // a = bytes donated, b = objects donated)
   // -- mutator pool (runtime/mutator_pool.cpp) --
   MutatorTask,  // span: one pool task (isolate = scheduled-for, a = worker)
   Count,
@@ -86,6 +89,7 @@ enum class Lat : u8 {
   InterIsolateCall,     // migrated call, entry to return (sampled)
   ChannelSend,          // channel push wall time
   ReclaimEraLag,        // eras (NOT ns) past target when code was freed
+  DonatedBytes,         // bytes (NOT ns) donated per transferGraph call
   Count,
 };
 

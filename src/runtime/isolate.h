@@ -35,6 +35,23 @@ struct ResourceStats {
   std::atomic<u64> objects_charged{0};
   std::atomic<u64> connections_charged{0};
 
+  // Zero-copy communication counters (docs/comm.md): bytes/objects whose
+  // ownership this isolate gave away (out) or received (in) through
+  // transferGraph donations. Monotonic.
+  std::atomic<u64> bytes_donated_in{0};
+  std::atomic<u64> bytes_donated_out{0};
+  std::atomic<u64> objects_donated_in{0};
+  std::atomic<u64> objects_donated_out{0};
+  // Signed correction applied to the held-bytes estimate between GCs:
+  // a donation moves `byte_size` from the sender's delta to the
+  // receiver's *before* any accounting pass re-derives bytes_charged, so
+  // memory-limit checks see the transfer immediately. Reset to 0 by the
+  // GC together with bytes_since_gc (the recomputed charges then already
+  // bill donated objects to their new owner). Kept separate from the
+  // unsigned bytes_since_gc so crediting the sender for an object that
+  // predates the last GC cannot underflow.
+  std::atomic<i64> donated_bytes_delta{0};
+
   std::atomic<u64> threads_created{0};
   std::atomic<i64> live_threads{0};
 

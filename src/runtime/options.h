@@ -84,6 +84,21 @@ struct VmOptions {
   // drifting, not for steady-state services.
   size_t code_cache_budget = 8u << 20;
 
+  // Zero-copy inter-isolate communication (docs/comm.md): primitive
+  // arrays and strings relinquished by the sender are *donated* -- re-keyed
+  // to the receiver's isolate with the accounting charge transferring
+  // owners -- instead of deep-copied. Only affects graphs sent through
+  // transferGraph (comm/serializer.h); ineligible nodes (shared structure,
+  // interned strings, monitor-bearing or foreign-created objects) fall
+  // back to the copy path either way. Compile the fast path out entirely
+  // with -DIJVM_DISABLE_ZERO_COPY (transferGraph then always copies).
+  bool comm_zero_copy = true;
+  // Frames coalesced per vectored channel send (ByteChannel::writev,
+  // docs/comm.md "Batched sends"): senders buffer up to this many framed
+  // messages and push them with one lock acquisition and one wakeup.
+  // 1 = classic per-message sends.
+  u32 channel_batch = 1;
+
   // Bytes allocated since the previous collection that trigger a GC.
   size_t gc_threshold = 8u << 20;
   // Hard heap cap; exceeding it after a forced GC raises OutOfMemoryError.

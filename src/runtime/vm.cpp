@@ -376,9 +376,18 @@ bool VM::checkMemoryLimits(JThread* t, size_t bytes) {
     if (!options_.accounting || !options_.isolation) return false;
     size_t limit = iso->memory_limit;
     if (limit == 0) return false;
-    u64 held = iso->stats.bytes_charged.load(std::memory_order_relaxed) +
-               iso->stats.bytes_since_gc.load(std::memory_order_relaxed);
-    return held + bytes > limit;
+    // donated_bytes_delta folds ownership donations (docs/comm.md) into
+    // the held estimate before the next accounting pass re-derives the
+    // charges; the signed sum is clamped at zero -- a sender that gave
+    // away bytes charged before the last GC can transiently show a
+    // negative correction larger than bytes_since_gc.
+    i64 held = static_cast<i64>(
+                   iso->stats.bytes_charged.load(std::memory_order_relaxed)) +
+               static_cast<i64>(
+                   iso->stats.bytes_since_gc.load(std::memory_order_relaxed)) +
+               iso->stats.donated_bytes_delta.load(std::memory_order_relaxed);
+    if (held < 0) held = 0;
+    return static_cast<u64>(held) + bytes > limit;
   };
 
   if (heap_.wantsGc() || over_isolate_limit() ||
@@ -662,6 +671,11 @@ GcStats VM::collectGarbage(JThread* requester, Isolate* trigger) {
     iso->stats.objects_charged.store(charge.objects, std::memory_order_relaxed);
     iso->stats.connections_charged.store(charge.connections, std::memory_order_relaxed);
     iso->stats.bytes_since_gc.store(0, std::memory_order_relaxed);
+    // The recomputed charges already bill donated objects to their new
+    // owner (the re-key happened strictly before this pass: donation runs
+    // counted-Running, see comm/serializer.cpp), so the interim
+    // correction resets together with bytes_since_gc.
+    iso->stats.donated_bytes_delta.store(0, std::memory_order_relaxed);
   }
   if (options_.accounting && trigger != nullptr) {
     trigger->stats.gc_activations.fetch_add(1, std::memory_order_relaxed);
@@ -818,6 +832,11 @@ IsolateReport VM::reportFor(Isolate* iso) {
   r.objects_allocated = s.objects_allocated.load(std::memory_order_relaxed);
   r.bytes_allocated = s.bytes_allocated.load(std::memory_order_relaxed);
   r.bytes_since_gc = s.bytes_since_gc.load(std::memory_order_relaxed);
+  r.bytes_donated_in = s.bytes_donated_in.load(std::memory_order_relaxed);
+  r.bytes_donated_out = s.bytes_donated_out.load(std::memory_order_relaxed);
+  r.objects_donated_in = s.objects_donated_in.load(std::memory_order_relaxed);
+  r.objects_donated_out = s.objects_donated_out.load(std::memory_order_relaxed);
+  r.donated_bytes_delta = s.donated_bytes_delta.load(std::memory_order_relaxed);
   r.threads_created = s.threads_created.load(std::memory_order_relaxed);
   r.live_threads = s.live_threads.load(std::memory_order_relaxed);
   r.gc_activations = s.gc_activations.load(std::memory_order_relaxed);

@@ -55,6 +55,11 @@ struct IsolateReport {
   u64 objects_allocated = 0;
   u64 bytes_allocated = 0;
   u64 bytes_since_gc = 0;  // allocated since the last accounting pass
+  u64 bytes_donated_in = 0;     // ownership received via transferGraph
+  u64 bytes_donated_out = 0;    // ownership given away via transferGraph
+  u64 objects_donated_in = 0;
+  u64 objects_donated_out = 0;
+  i64 donated_bytes_delta = 0;  // signed held-bytes correction since last GC
   u64 threads_created = 0;
   i64 live_threads = 0;
   u64 gc_activations = 0;

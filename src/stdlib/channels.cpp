@@ -18,6 +18,17 @@ void ByteQueue::push(const u8* data, size_t n) {
   cv_.notify_all();
 }
 
+void ByteQueue::pushv(const std::string* parts, size_t count) {
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    for (size_t i = 0; i < count; ++i) {
+      const u8* data = reinterpret_cast<const u8*>(parts[i].data());
+      bytes_.insert(bytes_.end(), data, data + parts[i].size());
+    }
+  }
+  cv_.notify_all();
+}
+
 size_t ByteQueue::pop(u8* out, size_t n, const std::atomic<bool>* cancel) {
   std::unique_lock<std::mutex> lock(m_);
   for (;;) {
@@ -79,6 +90,23 @@ size_t ByteChannel::write(const u8* data, size_t n) {
     out_->push(data, n);
   }
   return n;
+}
+
+size_t ByteChannel::writev(const std::string* parts, size_t count) {
+  size_t total = 0;
+  for (size_t i = 0; i < count; ++i) total += parts[i].size();
+  if (count == 0) return 0;
+  if (obs::traceEnabled()) {
+    const u64 t0 = obs::traceNowNs();
+    out_->pushv(parts, count);
+    const u64 t1 = obs::traceNowNs();
+    obs::emitAt(t1, obs::Ev::ChannelSendBatch, obs::Ph::Instant, -1, total,
+                count);
+    obs::recordLatency(obs::Lat::ChannelSend, t1 - t0);
+  } else {
+    out_->pushv(parts, count);
+  }
+  return total;
 }
 
 size_t ByteChannel::read(u8* out, size_t n, const std::atomic<bool>* cancel) {

@@ -23,6 +23,11 @@ namespace ijvm {
 class ByteQueue {
  public:
   void push(const u8* data, size_t n);
+  // Vectored push: appends every part under ONE lock acquisition and one
+  // wakeup -- the per-message lock/notify cost amortizes across the batch
+  // (docs/comm.md, "Batched sends"). Readers cannot observe a partial
+  // batch boundary they could not also observe with per-part pushes.
+  void pushv(const std::string* parts, size_t count);
   // Blocking read of up to n bytes; returns 0 on closed-and-empty, or
   // SIZE_MAX when cancelled. `cancel` may be null.
   size_t pop(u8* out, size_t n, const std::atomic<bool>* cancel);
@@ -47,6 +52,9 @@ class ByteChannel {
   size_t write(const std::string& s) {
     return write(reinterpret_cast<const u8*>(s.data()), s.size());
   }
+  // Vectored send of `count` framed messages in one queue push (one lock,
+  // one wakeup, one trace event). Returns the total bytes written.
+  size_t writev(const std::string* parts, size_t count);
   // Blocking; semantics as ByteQueue::pop.
   size_t read(u8* out, size_t n, const std::atomic<bool>* cancel = nullptr);
   // Reads exactly n bytes or fails (closed/cancelled).

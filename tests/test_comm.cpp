@@ -111,6 +111,44 @@ TEST_F(CommFixture, DeepCopyCreatesDistinctObjectsChargedToReceiver) {
   EXPECT_EQ(src->fields()[pair_cls->findField("x")->slot].asInt(), 11);
 }
 
+TEST_F(CommFixture, NativeBackedObjectsReportOwnerAndFieldPath) {
+  // A graph that reaches a native-backed object cannot cross an isolate
+  // boundary; the error must name the object's class, the isolate that
+  // owns it, and the field path from the message root -- otherwise a
+  // bundle author staring at a failed send has nothing to go on.
+  boot();
+  ClassLoader* shared = fw->frameworkIsolate()->loader;
+  {
+    ClassBuilder cb("t/Box");
+    cb.field("left", "Ljava/lang/Object;");
+    cb.field("right", "Ljava/lang/Object;");
+    shared->define(cb.build());
+    ClassBuilder nb("t/NativeThing");
+    shared->define(nb.build());
+  }
+  JThread* t = vm->mainThread();
+  JClass* box_cls = shared->find("t/Box");
+  JClass* native_cls = shared->find("t/NativeThing");
+  LocalRootScope roots(t);
+  Object* box = roots.add(vm->allocObject(t, box_cls));
+  Object* nat = roots.add(vm->allocNativeObject(
+      t, native_cls, std::make_unique<NativePayload>()));
+  ASSERT_NE(nat, nullptr);
+  box->fields()[box_cls->findField("left")->slot] = Value::ofRef(nat);
+
+  Object* dup = deepCopy(*vm, t, box);
+  EXPECT_EQ(dup, nullptr);
+  ASSERT_NE(t->pending_exception, nullptr);
+  const std::string msg = vm->pendingMessage(t);
+  EXPECT_NE(msg.find("t/NativeThing"), std::string::npos) << msg;
+  const std::string owner =
+      t->current_isolate.load(std::memory_order_relaxed)->name;
+  EXPECT_NE(msg.find("owned by isolate '" + owner + "'"), std::string::npos)
+      << msg;
+  EXPECT_NE(msg.find("at <root>.left"), std::string::npos) << msg;
+  vm->clearPending(t);
+}
+
 TEST_F(CommFixture, AllFourModelsComputeTheSameResultAndOrderAsExpected) {
   boot();
   CommHarness harness(*fw);

@@ -15,22 +15,30 @@
 // concurrent bundle copies on the mutator pool, and every copy must still
 // be observably identical, per isolate, to a serial classic run of the
 // same shape. Build with -DIJVM_TEST_MUTATOR_THREADS=4 to pin the mutator
-// axis for a CI matrix leg.
+// axis for a CI matrix leg. Finally the harness sweeps the communication
+// axes (comm_zero_copy on/off x channel_batch in {1, 8, 64}): every seeded
+// config runs a two-isolate message workload through transferGraph and a
+// writev-batched serialize/deserialize channel, and must be observably
+// identical -- checksums and post-GC charges -- to the classic copy-only
+// oracle (docs/comm.md).
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "bytecode/builder.h"
+#include "comm/serializer.h"
 #include "exec/engine.h"
 #include "exec/quickened.h"
 #include "heap/object.h"
 #include "runtime/mutator_pool.h"
 #include "runtime/vm.h"
+#include "stdlib/channels.h"
 #include "stdlib/system_library.h"
 #include "support/rng.h"
 #include "support/strf.h"
@@ -436,6 +444,10 @@ struct RandomTierConfig {
   // matter with background=1 (the manager spawns max(1, N) builders).
   u32 mutator_threads = 1;
   u32 compiler_threads = 1;
+  // Communication axis (docs/comm.md): ownership donation on/off and the
+  // vectored channel-send batch size. Exercised by the per-seed comm leg.
+  bool comm_zero_copy = true;
+  u32 channel_batch = 1;
 
   std::string describe() const {
     auto th = [](u64 v) {
@@ -443,11 +455,13 @@ struct RandomTierConfig {
     };
     return strf(
         "fusion=%d jit=%d osr=%d fusion_threshold=%s jit_threshold=%s "
-        "background=%d cache_budget=%s mutators=%u compilers=%u",
+        "background=%d cache_budget=%s mutators=%u compilers=%u "
+        "zero_copy=%d batch=%u",
         fusion ? 1 : 0, jit ? 1 : 0, osr ? 1 : 0, th(fusion_threshold).c_str(),
         th(jit_threshold).c_str(), background ? 1 : 0,
         cache_budget == 0 ? "unlimited" : strf("%zu", cache_budget).c_str(),
-        mutator_threads, compiler_threads);
+        mutator_threads, compiler_threads, comm_zero_copy ? 1 : 0,
+        channel_batch);
   }
 };
 
@@ -472,6 +486,10 @@ RandomTierConfig configFromSeed(u64 seed) {
   constexpr u32 kThreadCounts[] = {1, 2, 4};
   c.mutator_threads = kThreadCounts[rng.nextBounded(3)];
   c.compiler_threads = kThreadCounts[rng.nextBounded(3)];
+  // Comm axes drawn after the thread axes, same reproducibility rule.
+  constexpr u32 kBatches[] = {1, 8, 64};
+  c.comm_zero_copy = rng.nextBounded(2) == 1;
+  c.channel_batch = kBatches[rng.nextBounded(3)];
 #ifdef IJVM_TEST_MUTATOR_THREADS
   // CI matrix leg: pin the mutator axis so the whole 200-seed sweep runs
   // through the pool at a fixed worker count.
@@ -490,6 +508,8 @@ void applyConfig(VmOptions& opts, const RandomTierConfig& c) {
   opts.code_cache_budget = c.cache_budget;
   opts.mutator_threads = c.mutator_threads;
   opts.compiler_threads = c.compiler_threads;
+  opts.comm_zero_copy = c.comm_zero_copy;
+  opts.channel_batch = c.channel_batch;
 }
 
 // Multi-threaded variant of runSpecOpts: `copies` identical bundles, one
@@ -595,6 +615,206 @@ const AttackOutcome& classicAttackBaseline(int attack_index) {
   return it->second;
 }
 
+// ---- inter-isolate communication leg (docs/comm.md) ----
+//
+// Every seeded config also runs a deterministic two-isolate message
+// workload: 12 seeded graphs (shared payload arrays, a cycle, SSO-sized
+// labels, some interned) are sent through transferGraph AND through a
+// writev-batched serialize/deserialize loopback channel honoring
+// opts.channel_batch; the receiver runs a guest sum() over every payload
+// (exercising whatever tier ladder the config enables). The checksum and
+// the post-GC per-isolate charges must match the classic copy-only
+// oracle exactly -- donation and batching have to be observably free.
+struct CommRun {
+  i64 checksum = 0;
+  u64 sender_bytes = 0, receiver_bytes = 0;
+  u64 sender_objects = 0, receiver_objects = 0;
+  u64 donated_out = 0;  // sanity only, never compared cross-mode
+};
+
+CommRun runCommRun(const VmOptions& opts) {
+  VM vm(opts);
+  installSystemLibrary(vm);
+  ClassLoader* platform = vm.registry().newLoader("platform");
+  vm.createIsolate(platform, "platform");
+  ClassLoader* sl = vm.registry().newLoader("comm-send");
+  Isolate* iso_s = vm.createIsolate(sl, "comm-send");
+  ClassLoader* rl = vm.registry().newLoader("comm-recv");
+  Isolate* iso_r = vm.createIsolate(rl, "comm-recv");
+  JThread* st = vm.attachThread("comm-send", iso_s);
+  JThread* rt = vm.attachThread("comm-recv", iso_r);
+
+  // Message class lives in the receiver's loader so deserializeGraph can
+  // resolve it; the sender allocates instances directly from the JClass*.
+  {
+    ClassBuilder cb("c/Msg");
+    cb.field("value", "I");
+    cb.field("label", "Ljava/lang/String;");
+    cb.field("payload", "[I");
+    cb.field("next", "Lc/Msg;");
+    rl->define(cb.build());
+  }
+  {
+    ClassBuilder cb("c/Lib");
+    auto& m = cb.method("sum", "([I)I", ACC_PUBLIC | ACC_STATIC);
+    Label loop = m.newLabel(), done = m.newLabel();
+    m.iconst(0).istore(1).iconst(0).istore(2);
+    m.bind(loop).iload(1).aload(0).arraylength().ifIcmpGe(done);
+    m.aload(0).iload(1).iaload().iload(2).iadd().istore(2);
+    m.iinc(1, 1).gotoLabel(loop);
+    m.bind(done).iload(2).ireturn();
+    rl->define(cb.build());
+  }
+  JClass* msg_cls = rl->find("c/Msg");
+  JField* value_f = msg_cls->findField("value");
+  JField* label_f = msg_cls->findField("label");
+  JField* payload_f = msg_cls->findField("payload");
+  JField* next_f = msg_cls->findField("next");
+
+  i64 h = 1469598103934665603LL;
+  auto mix = [&h](i64 v) { h = static_cast<i64>((static_cast<u64>(h) ^
+                                                 static_cast<u64>(v)) *
+                                                1099511628211ull); };
+  // Receiver-side view of one message pair a -> b -> a: field values,
+  // payload sums via the guest method, and the aliasing structure.
+  auto digest = [&](Object* a) {
+    if (a == nullptr) {
+      mix(-1);
+      return;
+    }
+    auto guestSum = [&](Object* arr) -> i64 {
+      Value r = vm.callStaticIn(rt, rl, "c/Lib", "sum", "([I)I",
+                                {Value::ofRef(arr)});
+      if (rt->pending_exception != nullptr) {
+        vm.clearPending(rt);
+        return -0x5EED;
+      }
+      return r.asInt();
+    };
+    mix(a->fields()[value_f->slot].asInt());
+    Object* la = a->fields()[label_f->slot].asRef();
+    mix(la != nullptr ? static_cast<i64>(la->str().size()) : -1);
+    if (la != nullptr) {
+      for (char ch : la->str()) mix(ch);
+    }
+    mix(guestSum(a->fields()[payload_f->slot].asRef()));
+    Object* b = a->fields()[next_f->slot].asRef();
+    if (b != nullptr) {
+      mix(b->fields()[value_f->slot].asInt());
+      mix(guestSum(b->fields()[payload_f->slot].asRef()));
+      mix(b->fields()[next_f->slot].asRef() == a ? 1 : 0);  // cycle kept
+      mix(a->fields()[payload_f->slot].asRef() ==
+                  b->fields()[payload_f->slot].asRef()
+              ? 1
+              : 0);  // sharing kept
+    }
+  };
+
+  auto channel = ByteChannel::loopback();
+  const u32 batch = opts.channel_batch == 0 ? 1 : opts.channel_batch;
+  std::vector<std::string> frames;  // header,body per queued message
+  std::vector<GlobalRef*> kept;
+  constexpr int kMessages = 12;
+
+  Rng rng(0xC0DE5EEDull);
+  for (int i = 0; i < kMessages; ++i) {
+    LocalRootScope roots(st);
+    Object* a = roots.add(vm.allocObject(st, msg_cls));
+    Object* b = roots.add(vm.allocObject(st, msg_cls));
+    const i32 len =
+        i % 4 == 3 ? 1024 : 32 + static_cast<i32>(rng.nextBounded(64));
+    Object* arr =
+        roots.add(vm.allocArrayObject(st, vm.registry().arrayClass("[I"), len));
+    if (a == nullptr || b == nullptr || arr == nullptr) {
+      mix(-2);
+      continue;
+    }
+    for (i32 k = 0; k < len; ++k) arr->intElems()[k] = rng.nextInt();
+    // SSO-sized labels keep string charges byte-identical across the
+    // donate-vs-copy modes; every fifth is interned (donation-ineligible).
+    std::string label =
+        strf("m%x", static_cast<unsigned>(rng.nextBounded(1u << 16)));
+    Object* s = i % 5 == 0 ? vm.internString(st, label)
+                           : vm.newStringObject(st, label);
+    if (s != nullptr) roots.add(s);
+    a->fields()[value_f->slot] = Value::ofInt(rng.nextInt());
+    a->fields()[label_f->slot] = Value::ofRef(s);
+    a->fields()[payload_f->slot] = Value::ofRef(arr);
+    a->fields()[next_f->slot] = Value::ofRef(b);
+    b->fields()[value_f->slot] = Value::ofInt(rng.nextInt());
+    b->fields()[payload_f->slot] = Value::ofRef(arr);  // shared subobject
+    b->fields()[next_f->slot] = Value::ofRef(a);       // cycle
+
+    // Channel leg first: encoding walks the graph read-only, so it must
+    // happen before transferGraph donates the payload away. Frames are
+    // flushed in channel_batch-sized vectored sends and decoded after the
+    // loop, so the observable order is batch-independent.
+    std::string enc = serializeGraph(vm, a);
+    frames.push_back(strf("%09zu\n", enc.size()));
+    frames.push_back(std::move(enc));
+    if (frames.size() >= 2 * static_cast<size_t>(batch)) {
+      channel->writev(frames.data(), frames.size());
+      frames.clear();
+    }
+
+    LocalRootScope got_scope(rt);
+    Object* got = transferGraph(vm, rt, iso_s, a);
+    if (got != nullptr) got_scope.add(got);
+    if (rt->pending_exception != nullptr) vm.clearPending(rt);
+    digest(got);
+    if (got != nullptr && i % 3 == 0) {
+      kept.push_back(vm.addGlobalRef(got, iso_r));
+    }
+  }
+  if (!frames.empty()) channel->writev(frames.data(), frames.size());
+
+  for (int i = 0; i < kMessages; ++i) {
+    std::string hdr, body;
+    if (!channel->readFully(&hdr, 10)) {
+      mix(-3);
+      break;
+    }
+    const size_t len = static_cast<size_t>(std::stoll(hdr));
+    if (!channel->readFully(&body, len)) {
+      mix(-3);
+      break;
+    }
+    LocalRootScope back_scope(rt);
+    Object* back = deserializeGraph(vm, rt, body);
+    if (back != nullptr) back_scope.add(back);
+    if (rt->pending_exception != nullptr) vm.clearPending(rt);
+    digest(back);
+    if (back != nullptr && i % 4 == 0) {
+      kept.push_back(vm.addGlobalRef(back, iso_r));
+    }
+  }
+
+  // Charges are reachability-based; compare them after a full collection.
+  vm.collectGarbage(vm.mainThread(), nullptr);
+  CommRun out;
+  out.checksum = h;
+  out.sender_bytes = iso_s->stats.bytes_charged.load();
+  out.receiver_bytes = iso_r->stats.bytes_charged.load();
+  out.sender_objects = iso_s->stats.objects_charged.load();
+  out.receiver_objects = iso_r->stats.objects_charged.load();
+  out.donated_out = iso_s->stats.objects_donated_out.load();
+  for (GlobalRef* ref : kept) vm.removeGlobalRef(ref);
+  vm.detachThread(st);
+  vm.detachThread(rt);
+  return out;
+}
+
+const CommRun& classicCommBaseline() {
+  static const CommRun baseline = [] {
+    VmOptions opts = VmOptions::isolated();
+    opts.exec_engine = ExecEngine::Classic;
+    opts.comm_zero_copy = false;
+    opts.channel_batch = 1;
+    return runCommRun(opts);
+  }();
+  return baseline;
+}
+
 class RandomTierDifferential : public ::testing::TestWithParam<int> {};
 
 TEST_P(RandomTierDifferential, MatchesClassicUnderRandomTierConfig) {
@@ -603,6 +823,30 @@ TEST_P(RandomTierDifferential, MatchesClassicUnderRandomTierConfig) {
   const RandomTierConfig cfg = configFromSeed(seed);
   SCOPED_TRACE(strf("seed=0x%llx (%s)", (unsigned long long)seed,
                     cfg.describe().c_str()));
+
+  {
+    // Communication leg: identical messages, sums and post-GC charges
+    // regardless of donation mode, batch size, or tier config.
+    VmOptions opts = VmOptions::isolated();
+    applyConfig(opts, cfg);
+    const CommRun& classic = classicCommBaseline();
+    const CommRun run = runCommRun(opts);
+    EXPECT_EQ(classic.checksum, run.checksum);
+    EXPECT_EQ(classic.sender_bytes, run.sender_bytes);
+    EXPECT_EQ(classic.receiver_bytes, run.receiver_bytes);
+    EXPECT_EQ(classic.sender_objects, run.sender_objects);
+    EXPECT_EQ(classic.receiver_objects, run.receiver_objects);
+    EXPECT_EQ(classic.donated_out, 0u);
+#ifdef IJVM_DISABLE_ZERO_COPY
+    EXPECT_EQ(run.donated_out, 0u);
+#else
+    if (cfg.comm_zero_copy) {
+      EXPECT_GT(run.donated_out, 0u);
+    } else {
+      EXPECT_EQ(run.donated_out, 0u);
+    }
+#endif
+  }
 
   // Workloads cycle deterministically so the 200 configs spread across all
   // seven SPEC analogs and all eight attacks.
