@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <memory>
 #include <string>
@@ -62,6 +63,25 @@ inline std::unique_ptr<BenchPlatform> bootPlatform(
 
 inline double pct(double with, double without) {
   return without > 0 ? (with / without - 1.0) * 100.0 : 0.0;
+}
+
+// Where BENCH_*.json files land. Benches used to write into the *build*
+// directory (whatever cwd ctest/the shell happened to use), so committed
+// reference runs never matched the tree. Resolution order:
+//   1. $IJVM_BENCH_OUT      -- explicit override (CI scratch dirs)
+//   2. IJVM_REPO_ROOT       -- baked in by CMake for bench targets; the
+//                              repo root, so `git diff` sees fresh runs
+//   3. cwd                  -- out-of-tree builds of the bench sources
+inline std::string benchOutPath(const char* filename) {
+  if (const char* dir = std::getenv("IJVM_BENCH_OUT");
+      dir != nullptr && dir[0] != '\0') {
+    return std::string(dir) + "/" + filename;
+  }
+#ifdef IJVM_REPO_ROOT
+  return std::string(IJVM_REPO_ROOT) + "/" + filename;
+#else
+  return filename;
+#endif
 }
 
 inline void printHeader(const char* title) {

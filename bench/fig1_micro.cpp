@@ -355,11 +355,11 @@ int main() {
               {"ops", ops}});
   }
 
-  const char* out_path = "BENCH_exec.json";
+  const std::string out_path = bench::benchOutPath("BENCH_exec.json");
   if (json.write(out_path)) {
-    std::printf("\nwrote %s\n", out_path);
+    std::printf("\nwrote %s\n", out_path.c_str());
   } else {
-    std::printf("\nfailed to write %s\n", out_path);
+    std::printf("\nfailed to write %s\n", out_path.c_str());
   }
   return 0;
 }

@@ -199,6 +199,6 @@ int main() {
               "by construction)\n",
               speedup4);
   json.add("multibundle:speedup", {{"speedup_4w_vs_1w", speedup4}});
-  mergeInto("BENCH_exec.json", json);
+  mergeInto(benchOutPath("BENCH_exec.json"), json);
   return speedup4 >= 2.5 ? 0 : 1;
 }

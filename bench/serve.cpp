@@ -317,11 +317,12 @@ int main(int argc, char** argv) {
               {"messages", static_cast<double>(c.messages)}});
   }
 
-  if (!json.write("BENCH_serve.json")) {
-    std::printf("failed to write BENCH_serve.json\n");
+  const std::string out_path = bench::benchOutPath("BENCH_serve.json");
+  if (!json.write(out_path)) {
+    std::printf("failed to write %s\n", out_path.c_str());
     return 1;
   }
-  std::printf("\nwrote BENCH_serve.json\n");
+  std::printf("\nwrote %s\n", out_path.c_str());
 #if !defined(IJVM_DISABLE_ZERO_COPY)
   // The acceptance bar only applies to real runs of the real fast path;
   // smoke runs are one noisy rep and the compile-out leg always copies.

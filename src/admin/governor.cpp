@@ -37,6 +37,7 @@ const char* signalName(Signal s) {
     case Signal::MethodInvocationRate: return "method-invocation-rate";
     case Signal::LoopBackEdgeRate: return "loop-back-edge-rate";
     case Signal::JitChurnRate: return "jit-churn-rate";
+    case Signal::JitPayoff: return "jit-payoff-rate";
   }
   return "?";
 }
@@ -91,6 +92,15 @@ GovernorPolicy GovernorPolicy::standard(u64 memory_budget_bytes,
   // breaks without killing anyone.
   p.rules.push_back({Signal::JitChurnRate, 8.0, 3, GovernorAction::DemoteJit,
                      "jit-thrash"});
+  // Payoff losses: the engine keeps measuring this bundle's compiled code
+  // slower than its own fused tier and reverting the promotions
+  // (docs/jit.md, "Payoff"). Each individual demotion already handled
+  // itself; a sustained *rate* means the bundle's working set is
+  // systematically compile-hostile, which the administrator should see.
+  // Warn only -- the per-method jit_payoff_max_demotes pin converges the
+  // demote loop without governor force.
+  p.rules.push_back({Signal::JitPayoff, 2.0, 2, GovernorAction::Warn,
+                     "jit-payoff"});
   return p;
 }
 
@@ -161,6 +171,8 @@ double ResourceGovernor::evaluate(const GovernorRule& rule,
     case Signal::JitChurnRate:
       return delta(&IsolateReport::jit_methods_compiled) +
              delta(&IsolateReport::jit_methods_demoted);
+    case Signal::JitPayoff:
+      return delta(&IsolateReport::jit_payoff_demotions);
   }
   return 0.0;
 }

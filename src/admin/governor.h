@@ -62,6 +62,14 @@ enum class Signal : u8 {
                          // pair with GovernorAction::DemoteJit, whose
                          // raised re-heat floor is exactly what stops the
                          // bouncing (docs/jit.md, "Code lifecycle")
+  JitPayoff,             // payoff-model demotions per tick (docs/jit.md,
+                         // "Payoff"): the engine measured this bundle's
+                         // compiled code slower than its own fused-tier
+                         // baseline and auto-demoted it. A sustained rate
+                         // means the bundle's hot set keeps compiling at
+                         // a loss -- surface it (Warn) or stop paying the
+                         // compile bandwidth (DemoteJit); the per-method
+                         // jit_payoff_max_demotes pin converges either way
 };
 
 const char* signalName(Signal s);

@@ -7,6 +7,7 @@
 #include <algorithm>
 
 #include "classes/class_loader.h"
+#include "exec/compile_manager.h"
 #include "exec/jit.h"
 #include "exec/jit_internal.h"
 #include "exec/quickened.h"
@@ -102,6 +103,42 @@ void CodeCache::noteBackgroundCompile() {
   ++background_compiles_;
 }
 
+void CodeCache::noteDemotedFloor(QCode* qc) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (std::find(demoted_floors_.begin(), demoted_floors_.end(), qc) ==
+      demoted_floors_.end()) {
+    demoted_floors_.push_back(qc);
+  }
+}
+
+u32 CodeCache::decayFloors() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  u32 live = 0;
+  for (size_t i = 0; i < demoted_floors_.size();) {
+    QCode* qc = demoted_floors_[i];
+    u64 f = qc->jit_hotness_floor.load(std::memory_order_relaxed);
+    // CAS, not a blind store: a concurrent demotion writing a *fresh*
+    // floor between our load and store must win -- halving it would let
+    // the method bounce straight back into the cache it was just evicted
+    // from. On contention skip this entry until the next pass.
+    if (f != 0 &&
+        !qc->jit_hotness_floor.compare_exchange_strong(
+            f, f / 2, std::memory_order_relaxed)) {
+      ++live;
+      ++i;
+      continue;
+    }
+    if (f / 2 == 0) {
+      demoted_floors_[i] = demoted_floors_.back();
+      demoted_floors_.pop_back();
+    } else {
+      ++live;
+      ++i;
+    }
+  }
+  return live;
+}
+
 u64 CodeCache::retiredBytes() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return retired_bytes_;
@@ -183,7 +220,14 @@ bool retireJitCode(JitCode& jc, bool deopt, bool raise_floor) {
     const u64 raw = m->profile_invocations.load(std::memory_order_relaxed) +
                     m->profile_loop_edges.load(std::memory_order_relaxed);
     jc.qc->jit_hotness_floor.store(raw, std::memory_order_relaxed);
+    // Register the floor for headroom-driven decay, so a demotion under a
+    // transient squeeze is not a life sentence (CodeCache::decayFloors).
+    jc.qc->state->code_cache->noteDemotedFloor(jc.qc);
   }
+  // Any retirement ends the payoff window generation: samples from this
+  // code (or from the fused tier racing this retire) must not leak into
+  // the next compiled generation's verdict.
+  payoffResetWindows(*jc.qc);
   // Un-patch the per-method entry: future invocations fall back to the
   // fused interpreter tier. CAS so a newer install racing this retire is
   // never clobbered (it cannot exist while m->jitcode still points here,
@@ -264,6 +308,10 @@ bool demoteCompiled(VM& vm, JMethod* m) {
   obs::emit(obs::Ev::JitDemote, obs::Ph::Instant, traceIsolateOfMethod(m),
             traceNameOfMethod(m));
   return true;
+}
+
+u32 decayDemotedFloors(VM& vm) {
+  return engineState(vm).code_cache->decayFloors();
 }
 
 u32 demoteLoaderJit(VM& vm, ClassLoader* loader) {

@@ -41,6 +41,7 @@ struct JMethod;
 namespace ijvm::exec {
 
 struct JitCode;  // jit_internal.h; opaque to everyone outside src/exec
+struct QCode;    // quickened.h
 
 // Aggregate cache state for tests, benches and admin reporting. Bytes are
 // the build-time footprint estimates of jit_internal.h.
@@ -91,6 +92,21 @@ class CodeCache {
   u64 retiredBytes() const;
   CodeCacheStats snapshot() const;
 
+  // Demotion-floor decay (docs/jit.md, "Code lifecycle"). Every demotion
+  // raises QCode::jit_hotness_floor so the method must earn fresh heat
+  // before recompiling -- but a floor raised under a *transient* cache
+  // squeeze must not penalize the method forever after the pressure
+  // clears. noteDemotedFloor registers the demoted method (retireJitCode
+  // calls it alongside the floor store); decayFloors halves every
+  // registered floor and drops methods whose floor reached zero, so a
+  // demoted method's required re-heat shrinks geometrically while the
+  // cache has headroom. Triggered by the compile manager's idle tick when
+  // installed bytes leave budget headroom; deterministic callers (tests,
+  // synchronous-mode embedders) drive decayDemotedFloors below. Returns
+  // the number of floors still nonzero after the pass.
+  void noteDemotedFloor(QCode* qc);
+  u32 decayFloors();
+
  private:
   struct Entry {
     JMethod* method = nullptr;
@@ -106,6 +122,7 @@ class CodeCache {
 
   mutable std::mutex mutex_;
   std::vector<Entry> installed_;
+  std::vector<QCode*> demoted_floors_;  // QCodes live as long as the VM
   u64 installed_bytes_ = 0;
   u64 retired_bytes_ = 0;
   u64 compiles_ = 0;
@@ -125,6 +142,11 @@ bool demoteCompiled(VM& vm, JMethod* m);
 // Governor seam (GovernorAction::DemoteJit): demotes every compiled
 // method defined by `loader`. Returns the number of methods demoted.
 u32 demoteLoaderJit(VM& vm, ClassLoader* loader);
+
+// One demotion-floor decay pass (see CodeCache::decayFloors): halves the
+// re-heat floor of every method demoted since its floor last reached
+// zero. Returns the number of floors still nonzero. Safe from any thread.
+u32 decayDemotedFloors(VM& vm);
 
 // Frees retired JitCodes whose active-execution count is zero. The caller
 // must have stopped the world (VM::collectGarbage calls this inside its

@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "classes/class_loader.h"
 #include "classes/jclass.h"
 #include "exec/code_cache.h"
 #include "exec/jit_internal.h"
@@ -22,6 +23,99 @@ namespace {
 // run the retired-code pressure check.
 constexpr auto kIdleTick = std::chrono::milliseconds(50);
 }  // namespace
+
+// ---- tier-3 payoff model (contract in compile_manager.h) --------------
+
+u64 payoffNowNs() {
+  return static_cast<u64>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void payoffResetWindows(QCode& qc) {
+  // Epoch first: an in-flight sample that already passed its epoch check
+  // can still land in the fresh window, but the race window is one
+  // fetch_add wide and the leak is one sample -- the windows are
+  // measurements, not invariants.
+  qc.payoff_epoch.fetch_add(1, std::memory_order_acq_rel);
+  qc.payoff_pre_ns.store(0, std::memory_order_relaxed);
+  qc.payoff_pre_units.store(0, std::memory_order_relaxed);
+  qc.payoff_pre_samples.store(0, std::memory_order_relaxed);
+  qc.payoff_post_ns.store(0, std::memory_order_relaxed);
+  qc.payoff_post_units.store(0, std::memory_order_relaxed);
+  qc.payoff_post_samples.store(0, std::memory_order_relaxed);
+  qc.payoff_settled.store(false, std::memory_order_release);
+}
+
+bool payoffAccumulate(VM& vm, QCode& qc, bool post, u32 epoch, u64 ns,
+                      u64 units) {
+  if (qc.payoff_epoch.load(std::memory_order_acquire) != epoch) {
+    return false;  // window generation changed while this sample ran
+  }
+  const u32 cap = std::max<u32>(1, vm.options().jit_payoff_samples);
+  std::atomic<u32>& samples = post ? qc.payoff_post_samples
+                                   : qc.payoff_pre_samples;
+  std::atomic<u64>& w_ns = post ? qc.payoff_post_ns : qc.payoff_pre_ns;
+  std::atomic<u64>& w_units = post ? qc.payoff_post_units
+                                   : qc.payoff_pre_units;
+  // Concurrent samplers may briefly overshoot the cap (each checked
+  // `samples < cap` before timing); extra samples only sharpen the
+  // estimate. The == below makes exactly one sample the window-filler.
+  const u32 n = samples.fetch_add(1, std::memory_order_acq_rel) + 1;
+  w_ns.fetch_add(ns, std::memory_order_relaxed);
+  w_units.fetch_add(units == 0 ? 1 : units, std::memory_order_relaxed);
+  return post && n == cap;
+}
+
+bool payoffEvaluate(VM& vm, QCode& qc) {
+  // One verdict per window generation: the settled exchange makes the
+  // racing second evaluator (two threads completing post samples
+  // back-to-back) a no-op. A demotion verdict un-settles again through
+  // retireJitCode -> payoffResetWindows, opening the next generation.
+  if (qc.payoff_settled.exchange(true, std::memory_order_acq_rel)) {
+    return false;
+  }
+  const VmOptions& opt = vm.options();
+  const u32 cap = std::max<u32>(1, opt.jit_payoff_samples);
+  const u32 pre_n = qc.payoff_pre_samples.load(std::memory_order_relaxed);
+  const u64 pre_ns = qc.payoff_pre_ns.load(std::memory_order_relaxed);
+  const u64 pre_units = qc.payoff_pre_units.load(std::memory_order_relaxed);
+  const u64 post_ns = qc.payoff_post_ns.load(std::memory_order_relaxed);
+  const u64 post_units = qc.payoff_post_units.load(std::memory_order_relaxed);
+  // Evidence floor: a method promoted before it came within sampling
+  // reach (tiny thresholds, governor promotion, OSR-heavy shapes) has no
+  // usable baseline. Stay settled -- none will ever arrive for this
+  // generation -- and give the compiled code the benefit of the doubt.
+  if (pre_n < cap / 4 + 1 || pre_units == 0 || pre_ns == 0 ||
+      post_units == 0 || post_ns == 0) {
+    return false;
+  }
+  const double pre_rate =
+      static_cast<double>(pre_ns) / static_cast<double>(pre_units);
+  const double post_rate =
+      static_cast<double>(post_ns) / static_cast<double>(post_units);
+  const double speedup = pre_rate / post_rate;
+  if (speedup >= opt.jit_payoff_min_speedup) return false;  // promotion paid
+  // Compiled code measured slower: revert the promotion through the same
+  // machinery budget pressure uses. Count the strike *before* demoting so
+  // the jit_payoff_max_demotes pin is in place by the time the raised
+  // re-heat floor decays and the method competes for promotion again.
+  const u32 strikes =
+      qc.payoff_demotes.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (strikes >= opt.jit_payoff_max_demotes) {
+    qc.jit_ineligible.store(true, std::memory_order_relaxed);
+  }
+  if (!demoteCompiled(vm, qc.method)) {
+    // Lost the retire race (concurrent deopt or budget demote); that
+    // retire reset the windows, which is all a demotion would have done.
+    return false;
+  }
+  if (Isolate* iso = qc.method->owner->loader->isolate()) {
+    iso->stats.jit_payoff_demotions.fetch_add(1, std::memory_order_relaxed);
+  }
+  return true;
+}
 
 CompileManager::CompileManager(VM& vm) : vm_(vm) {
   const u32 n = std::max<u32>(1, vm.options().compiler_threads);
@@ -106,6 +200,16 @@ void CompileManager::workerLoop(size_t index) {
       const u64 budget = vm_.options().code_cache_budget;
       const u64 slack = budget > 0 ? budget / 4 : (1u << 20);
       if (cache.retiredBytes() > slack) reclaimJitCode(vm_);
+      // Budget headroom doubles as the demotion-floor decay trigger
+      // (docs/jit.md, "Code lifecycle"): a method demoted under a
+      // transient cache squeeze must not stay penalized forever once the
+      // pressure clears. Only decay while at most half the budget is
+      // resident -- under sustained pressure the raised floors are doing
+      // exactly their job.
+      if (budget == 0 ||
+          cache.snapshot().installed_bytes <= budget / 2) {
+        cache.decayFloors();
+      }
       continue;
     }
     std::unique_ptr<JitCode> built = buildJitCode(vm_, m);

@@ -96,6 +96,49 @@ class CompileManager {
   std::vector<std::thread> workers_;
 };
 
+// ---- tier-3 payoff model (docs/jit.md, "Payoff") ----
+// Promotion stops being threshold-only: the engine times fused-tier
+// invocations while a method is within reach of promotion (the *pre*
+// window), compiled code times its own invocations after install (the
+// *post* window; both in runJit/interpretQuickened), and when a full post
+// window measures slower per profiled unit than the pre baseline the
+// method is auto-demoted through demoteCompiled. The policy lives here --
+// the compile manager owns the promote/demote decisions -- but the
+// functions are engine-state-only and work identically with synchronous
+// compilation (no CompileManager instance required).
+struct QCode;
+
+// Monotonic nanosecond clock for payoff samples. Independent of the
+// tracing subsystem so the payoff model works with -DIJVM_DISABLE_TRACE.
+u64 payoffNowNs();
+
+// Drops both payoff windows, clears the settled latch and bumps the
+// window generation (QCode::payoff_epoch), invalidating every in-flight
+// sample. Called by retireJitCode for *every* retirement -- payoff
+// demotion, budget demotion, governor demotion, deopt invalidation,
+// dead-isolate retirement -- so a new compiled generation always measures
+// against fresh windows and a mid-window demote resets cleanly.
+void payoffResetWindows(QCode& qc);
+
+// Folds one timed invocation into the pre (post=false) or post window,
+// unless `epoch` no longer matches the current window generation (the
+// sample straddled a retire; it is dropped). `units` is the invocation's
+// profiled weight: 1 + the back-edges it executed. Returns true exactly
+// when this sample completed the post window -- the caller then runs
+// payoffEvaluate.
+bool payoffAccumulate(VM& vm, QCode& qc, bool post, u32 epoch, u64 ns,
+                      u64 units);
+
+// Verdict on a full post window. With enough pre-window evidence it
+// computes measured speedup = (pre ns/unit) / (post ns/unit); below
+// VmOptions::jit_payoff_min_speedup the method is demoted (returns true),
+// and a method demoted jit_payoff_max_demotes times is pinned
+// jit-ineligible so the system converges instead of oscillating. At or
+// above the bar -- or without enough pre evidence to judge (a method
+// promoted before it was within sampling reach) -- the windows settle and
+// sampling stops. Exactly one verdict per window generation.
+bool payoffEvaluate(VM& vm, QCode& qc);
+
 // Joins the VM's compile manager if one was ever started; safe to call
 // repeatedly (VM::~VM calls it before tearing anything else down).
 void shutdownCompileManager(VM& vm);

@@ -29,6 +29,7 @@
 #include "exec/engine.h"
 
 #include "bytecode/disasm.h"
+#include "exec/compile_manager.h"
 #include "exec/fuse.h"
 #include "exec/interp_support.h"
 #include "exec/jit.h"
@@ -203,6 +204,34 @@ TaskClassMirror* staticMirrorSlow(VM& vm, JThread* t, ExecState& st, QInsn& q,
 Value interpretQuickened(VM& vm, JThread* t, Frame& frame) {
   JMethod* const method = frame.method;
   JClass* const owner = method->owner;
+  const bool accounting = vm.options().accounting;
+
+  method->profile_invocations.fetch_add(1, std::memory_order_relaxed);
+  if (accounting && frame.isolate != nullptr) {
+    frame.isolate->stats.method_invocations.fetch_add(1, std::memory_order_relaxed);
+  }
+
+#ifndef IJVM_DISABLE_JIT
+  // Steady-state compiled entry: a method with installed tier-3 code goes
+  // straight to it, skipping the tier-1/2 bookkeeping below -- the fusion
+  // and promotion checks are settled by construction once code is
+  // installed (fusion_done gates promotion), and the profile counters
+  // above still tick for the demotion re-heat floor and the governor's
+  // invocation-rate signal. A Deopt exit falls through into the full
+  // interpreter path with the compiled code already retired; jit_ran
+  // keeps that continuation from re-promoting or pre-sampling within the
+  // same entry.
+  bool jit_ran = false;
+  if (vm.options().exec_engine == ExecEngine::Jit) {
+    void* jcp = method->jitcode.load(std::memory_order_acquire);
+    if (jcp != nullptr) {
+      JitResult r = runJit(vm, t, frame, *static_cast<JitCode*>(jcp));
+      if (r.exit != JitExit::Deopt) return r.value;
+      jit_ran = true;
+    }
+  }
+#endif
+
   QCode* qc = static_cast<QCode*>(method->qcode.load(std::memory_order_acquire));
   if (qc == nullptr) qc = quicken(vm, method);
   ExecState& st = *qc->state;
@@ -211,12 +240,6 @@ Value interpretQuickened(VM& vm, JThread* t, Frame& frame) {
   std::vector<Value>& stack = frame.stack;
   std::vector<Value>& locals = frame.locals;
   SafepointController& safepoints = vm.safepoints();
-  const bool accounting = vm.options().accounting;
-
-  method->profile_invocations.fetch_add(1, std::memory_order_relaxed);
-  if (accounting && frame.isolate != nullptr) {
-    frame.isolate->stats.method_invocations.fetch_add(1, std::memory_order_relaxed);
-  }
 
 #ifndef IJVM_DISABLE_FUSION
   const bool fusion_on = vm.options().fusion;
@@ -267,14 +290,16 @@ Value interpretQuickened(VM& vm, JThread* t, Frame& frame) {
   // Tier-3 promotion (docs/jit.md): once a warmed method is hot past
   // VmOptions::jit_threshold -- and settled at the fusion tier, so the
   // compiler sees the final stream -- it is pushed through the
-  // promote-to-JIT queue and compiled to call-threaded code. A call that
-  // arrives here with compiled code runs it and returns without ever
-  // touching the dispatch loop below; a Deopt exit falls through into the
+  // promote-to-JIT queue and compiled to call-threaded code. (Steady-state
+  // calls to already-compiled methods never reach this block -- the fast
+  // path at function entry dispatched them.) A call whose compile lands
+  // here runs the fresh code and returns without ever touching the
+  // dispatch loop below; a Deopt exit falls through into the
   // interpreter at frame.pc with the compiled code invalidated. A method
   // that only gets hot *inside* an invocation is handled by on-stack
   // replacement at the back-edge batch flush instead (IJVM_MAYBE_OSR
   // below).
-  if (vm.options().exec_engine == ExecEngine::Jit) {
+  if (!jit_ran && vm.options().exec_engine == ExecEngine::Jit) {
     if (st.jit_pending.load(std::memory_order_relaxed)) drainJitQueue(vm);
     void* jcp = method->jitcode.load(std::memory_order_acquire);
     if (jcp == nullptr && qc->warmed.load(std::memory_order_relaxed) &&
@@ -301,6 +326,7 @@ Value interpretQuickened(VM& vm, JThread* t, Frame& frame) {
       // Deopt: the cold site quickens below and the method re-promotes at
       // a later entry with a compiled form covering strictly more of the
       // stream (bounded by kMaxJitDeopts).
+      jit_ran = true;
     }
   }
 #endif
@@ -319,6 +345,47 @@ Value interpretQuickened(VM& vm, JThread* t, Frame& frame) {
   // returns, call sites, exception dispatch and every 4096 edges): two
   // atomic RMWs per back-edge would dominate a tight guest loop.
   u64 pending_edges = 0;
+#ifndef IJVM_DISABLE_JIT
+  // Payoff pre-promotion window (docs/jit.md, "Payoff"): time fused-tier
+  // invocations while the method is within reach of promotion (hotness
+  // past half the threshold, or a compile already in flight), so a later
+  // post-install window has a baseline to beat. Two clock reads per
+  // sampled invocation, and only until the window fills or the verdict
+  // settles; everyone else pays one relaxed load. The sample accumulates
+  // in the destructor -- i.e. at *every* return path, unwinds included,
+  // matching what the compiled-side sampler times -- unless cancelled: an
+  // invocation that OSR-transfers mid-flight is neither purely
+  // interpreted nor purely compiled, and a deopt continuation (jit_ran)
+  // never starts a sample for the same reason.
+  struct PayoffPreSample {
+    VM* vm = nullptr;
+    QCode* qc = nullptr;
+    u32 epoch = 0;
+    u64 t0 = 0;
+    const u64* edges = nullptr;
+    void cancel() { qc = nullptr; }
+    ~PayoffPreSample() {
+      if (qc != nullptr) {
+        payoffAccumulate(*vm, *qc, /*post=*/false, epoch,
+                         payoffNowNs() - t0, 1 + *edges);
+      }
+    }
+  } payoff_pre;
+  u64 invocation_edges = 0;
+  if (!jit_ran && vm.options().jit_payoff &&
+      vm.options().exec_engine == ExecEngine::Jit &&
+      !qc->payoff_settled.load(std::memory_order_relaxed) &&
+      qc->payoff_pre_samples.load(std::memory_order_relaxed) <
+          vm.options().jit_payoff_samples &&
+      (qc->jit_queued.load(std::memory_order_relaxed) ||
+       effectiveJitHotness(method) > vm.options().jit_threshold / 2)) {
+    payoff_pre.vm = &vm;
+    payoff_pre.qc = qc;
+    payoff_pre.epoch = qc->payoff_epoch.load(std::memory_order_acquire);
+    payoff_pre.t0 = payoffNowNs();
+    payoff_pre.edges = &invocation_edges;
+  }
+#endif
 #if !defined(IJVM_DISABLE_JIT) && !defined(IJVM_DISABLE_OSR)
   // On-stack replacement (docs/jit.md): at a back-edge batch flush a
   // method hot past jit_threshold compiles and the live frame transfers
@@ -331,6 +398,9 @@ Value interpretQuickened(VM& vm, JThread* t, Frame& frame) {
 #endif
   auto flushProfile = [&]() {
     if (pending_edges == 0) return;
+#ifndef IJVM_DISABLE_JIT
+    invocation_edges += pending_edges;  // payoff unit weight, see above
+#endif
     method->profile_loop_edges.fetch_add(pending_edges, std::memory_order_relaxed);
     if (accounting && frame.isolate != nullptr) {
       frame.isolate->stats.loop_back_edges.fetch_add(pending_edges,
@@ -399,6 +469,7 @@ Value interpretQuickened(VM& vm, JThread* t, Frame& frame) {
       frame.pc = next;                                                         \
       JitResult osr_result;                                                    \
       if (tryOsr(vm, t, frame, *qc, osr_requested, &osr_result)) {             \
+        payoff_pre.cancel(); /* mixed-tier invocation: not a pre sample */     \
         if (osr_result.exit == JitExit::Deopt) {                               \
           next = frame.pc;                                                     \
         } else if (osr_result.exit == JitExit::Unwound) {                      \

@@ -87,6 +87,10 @@ struct JitCtx {
   Value* sp = nullptr;    // next free operand slot
   Value* locals = nullptr;
   u64 pending_edges = 0;
+  // Total back-edges this compiled execution ran (accumulated at every
+  // flushEdges): the payoff model's per-invocation unit weight, so an
+  // invocation spinning a long loop is not costed like a straight call.
+  u64 total_edges = 0;
   bool accounting = false;
   // The executing isolate's TCM index, hoisted once per compiled entry:
   // a thread's isolate reference is fixed for the duration of one frame
@@ -103,6 +107,7 @@ namespace {
 
 void flushEdges(JitCtx& cx) {
   if (cx.pending_edges == 0) return;
+  cx.total_edges += cx.pending_edges;
   cx.frame.method->profile_loop_edges.fetch_add(cx.pending_edges,
                                                 std::memory_order_relaxed);
   if (cx.accounting && cx.frame.isolate != nullptr) {
@@ -565,6 +570,36 @@ JIT_FUSED_ARITH_ST(op_ll_ior_st, a | b)
 JIT_FUSED_ARITH_ST(op_ll_ixor_st, a ^ b)
 #undef JIT_FUSED_ARITH_ST
 
+// Jit-only peephole: the long/double analog of the int local-pair triples
+// (`DLOAD a; DLOAD c; <op>` / `LLOAD a; LLOAD c; <op>` in one thunk).
+// The fusion tier never forms these -- wide pairs are rare in classic
+// OSGi code -- but numeric kernels (the mpegaudio FIR shape) spin on
+// them; the compiler picks them up from the *plain* quickened stream.
+// LDIV/LREM are excluded: they throw, and the triple's zero-divisor
+// unwind state would need its own dispatch bookkeeping for a case that
+// is never hot.
+#define JIT_WIDE_ARITH(NAME, GETTER, MAKE, EXPR)                               \
+  JH(NAME) {                                                                   \
+    const auto a = cx.locals[mi.a].GETTER();                                   \
+    const auto b = cx.locals[mi.c].GETTER();                                   \
+    jpush(cx, MAKE(EXPR));                                                     \
+    return mi.next;                                                            \
+  }
+JIT_WIDE_ARITH(op_dd_dadd, asDouble, Value::ofDouble, a + b)
+JIT_WIDE_ARITH(op_dd_dsub, asDouble, Value::ofDouble, a - b)
+JIT_WIDE_ARITH(op_dd_dmul, asDouble, Value::ofDouble, a * b)
+JIT_WIDE_ARITH(op_dd_ddiv, asDouble, Value::ofDouble, a / b)
+JIT_WIDE_ARITH(op_lw_ladd, asLong, Value::ofLong,
+               static_cast<i64>(static_cast<u64>(a) + static_cast<u64>(b)))
+JIT_WIDE_ARITH(op_lw_lsub, asLong, Value::ofLong,
+               static_cast<i64>(static_cast<u64>(a) - static_cast<u64>(b)))
+JIT_WIDE_ARITH(op_lw_lmul, asLong, Value::ofLong,
+               static_cast<i64>(static_cast<u64>(a) * static_cast<u64>(b)))
+JIT_WIDE_ARITH(op_lw_land, asLong, Value::ofLong, a & b)
+JIT_WIDE_ARITH(op_lw_lor, asLong, Value::ofLong, a | b)
+JIT_WIDE_ARITH(op_lw_lxor, asLong, Value::ofLong, a ^ b)
+#undef JIT_WIDE_ARITH
+
 #define JIT_FUSED_CMP(NAME, CMP)                                               \
   JH(NAME) {                                                                   \
     const i32 a = cx.locals[mi.a].asInt();                                     \
@@ -735,20 +770,21 @@ JH(op_putfield_q) {
 // Shared call tail. The arguments live in our scanned stack region, so
 // they stay GC-visible for the duration of the call.
 inline const MInsn* finishCall(JitCtx& cx, const MInsn& mi, JMethod* callee,
-                               i32 nargs) {
+                               i32 nargs, bool discard = false) {
   flushEdges(cx);
   cx.frame.pc = mi.pc;  // exception dispatch resumes at the call site
   Value r = cx.vm.invokeCore(cx.t, callee, cx.sp - nargs, nargs);
   cx.sp -= nargs;
   if (cx.t->pending_exception != nullptr) return &cx.jc.exn;
-  if (callee->sig.ret.kind != Kind::Void) jpush(cx, r);
+  if (!discard && callee->sig.ret.kind != Kind::Void) jpush(cx, r);
   return mi.next;
 }
 
 // Virtual/interface dispatch through the *shared* VCallIC slot: the same
 // mono -> 2-entry poly -> megamorphic machine as the interpreter, driven
 // by the same installVCallIC slow path.
-inline const MInsn* invokeWithIC(JitCtx& cx, const MInsn& mi, bool is_virtual) {
+inline const MInsn* invokeWithIC(JitCtx& cx, const MInsn& mi, bool is_virtual,
+                                 bool discard = false) {
   JMethod* resolved = static_cast<JMethod*>(mi.ptr);
   const i32 nargs = mi.c;
   Object* recv = cx.sp[-nargs].asRef();
@@ -776,7 +812,7 @@ inline const MInsn* invokeWithIC(JitCtx& cx, const MInsn& mi, bool is_virtual) {
     }
     installVCallIC(*cx.jc.qc->state, *mi.q, recv->cls, callee, cache);
   }
-  return finishCall(cx, mi, callee, nargs);
+  return finishCall(cx, mi, callee, nargs, discard);
 }
 
 JH(op_invokevirtual) { return invokeWithIC(cx, mi, /*is_virtual=*/true); }
@@ -799,6 +835,38 @@ JH(op_invokespecial) {
   return finishCall(cx, mi, m, mi.c);
 }
 
+// Jit-only peephole: call whose result is immediately POPped (fire-and-
+// forget calls -- the StringBuffer.append / event-notification shape on
+// the intra-isolate call row). One thunk that skips the result push
+// instead of push+pop across two dispatches. Pass 1 only forms the pair
+// when the *resolved* callee returns non-void: a POP after a void call
+// legitimately consumes an older stack value and must stay separate.
+// Overrides share the resolved descriptor, so the return kind is a
+// build-time constant even for virtual/interface sites.
+JH(op_invokevirtual_pop) {
+  return invokeWithIC(cx, mi, /*is_virtual=*/true, /*discard=*/true);
+}
+JH(op_invokeinterface_pop) {
+  return invokeWithIC(cx, mi, /*is_virtual=*/false, /*discard=*/true);
+}
+JH(op_invokestatic_pop) {
+  JMethod* m = static_cast<JMethod*>(mi.ptr);
+  if (!m->isStatic()) {
+    cx.vm.throwGuest(cx.t, "java/lang/IncompatibleClassChangeError",
+                     m->fullName());
+    return throwHere(cx, mi);
+  }
+  return finishCall(cx, mi, m, mi.c, /*discard=*/true);
+}
+JH(op_invokespecial_pop) {
+  JMethod* m = static_cast<JMethod*>(mi.ptr);
+  if (cx.sp[-mi.c].asRef() == nullptr) {
+    cx.vm.throwGuest(cx.t, "java/lang/NullPointerException", m->name);
+    return throwHere(cx, mi);
+  }
+  return finishCall(cx, mi, m, mi.c, /*discard=*/true);
+}
+
 // ---- objects & arrays -------------------------------------------------
 
 JH(op_new_q) {
@@ -814,6 +882,29 @@ JH(op_new_q) {
   if (cx.t->pending_exception != nullptr) return &cx.jc.exn;
   return mi.next;
 }
+
+// Jit-only peephole: the allocation prologue `NEW_Q cls; DUP` (every
+// javac-shaped `new T(...)` starts this way) as one thunk pushing the
+// fresh reference twice. Nothing is pushed before the throw checks, so
+// a <clinit> failure or OOM unwinds with the same stack the interpreter
+// would have had at the NEW.
+JH(op_new_dup) {
+  JClass* cls = static_cast<JClass*>(mi.ptr);
+  cx.frame.pc = mi.pc;  // <clinit> / allocation may throw or GC
+  if (cls->isInterface() || (cls->flags & ACC_ABSTRACT) != 0) {
+    cx.vm.throwGuest(cx.t, "java/lang/InstantiationError", cls->name);
+    return &cx.jc.exn;
+  }
+  if (!cx.vm.ensureInitialized(cx.t, cls)) return &cx.jc.exn;
+  Object* obj = cx.vm.allocObject(cx.t, cls);
+  if (obj != nullptr) {
+    jpush(cx, Value::ofRef(obj));
+    jpush(cx, Value::ofRef(obj));
+  }
+  if (cx.t->pending_exception != nullptr) return &cx.jc.exn;
+  return mi.next;
+}
+
 JH(op_newarray) {
   const i32 len = jpop(cx).asInt();
   cx.frame.pc = mi.pc;
@@ -854,6 +945,60 @@ JIT_ALOAD(op_daload, doubleElems, Value::ofDouble)
 JIT_ALOAD(op_aaload, refElems, Value::ofRef)
 #undef JIT_ALOAD
 
+// Jit-only peephole: array element load with *both* operands straight
+// from locals (`ALOAD arr; ILOAD idx; xALOAD` -- the canonical scan-loop
+// body on the db/jess rows). One thunk, no interior stack traffic: arr
+// from local mi.a, idx from local mi.b, only the element is pushed.
+// Nothing is pushed before the throw checks, so the unwind stack matches
+// the group head; handlers clear the stack on entry anyway (same rule as
+// fused groups).
+#define JIT_LL_ALOAD(NAME, ACCESSOR, MAKE)                                     \
+  JH(NAME) {                                                                   \
+    Object* arr = cx.locals[mi.a].asRef();                                     \
+    const i32 idx = cx.locals[mi.b].asInt();                                   \
+    if (arr == nullptr) {                                                      \
+      cx.vm.throwGuest(cx.t, "java/lang/NullPointerException", #NAME);         \
+      return throwHere(cx, mi);                                                \
+    }                                                                          \
+    if (idx < 0 || idx >= arr->length) {                                       \
+      cx.vm.throwGuest(cx.t, "java/lang/ArrayIndexOutOfBoundsException",       \
+                       strf("%d", idx));                                       \
+      return throwHere(cx, mi);                                                \
+    }                                                                          \
+    jpush(cx, MAKE(arr->ACCESSOR()[idx]));                                     \
+    return mi.next;                                                            \
+  }
+JIT_LL_ALOAD(op_ll_iaload, intElems, Value::ofInt)
+JIT_LL_ALOAD(op_ll_laload, longElems, Value::ofLong)
+JIT_LL_ALOAD(op_ll_daload, doubleElems, Value::ofDouble)
+JIT_LL_ALOAD(op_ll_aaload, refElems, Value::ofRef)
+#undef JIT_LL_ALOAD
+
+// The index-from-local fallback pair (`ILOAD idx; xALOAD`, array already
+// on the stack -- field-held arrays, chained loads). Replaces the stack
+// top in place.
+#define JIT_L_ALOAD(NAME, ACCESSOR, MAKE)                                      \
+  JH(NAME) {                                                                   \
+    Object* arr = cx.sp[-1].asRef();                                           \
+    const i32 idx = cx.locals[mi.a].asInt();                                   \
+    if (arr == nullptr) {                                                      \
+      cx.vm.throwGuest(cx.t, "java/lang/NullPointerException", #NAME);         \
+      return throwHere(cx, mi);                                                \
+    }                                                                          \
+    if (idx < 0 || idx >= arr->length) {                                       \
+      cx.vm.throwGuest(cx.t, "java/lang/ArrayIndexOutOfBoundsException",       \
+                       strf("%d", idx));                                       \
+      return throwHere(cx, mi);                                                \
+    }                                                                          \
+    cx.sp[-1] = MAKE(arr->ACCESSOR()[idx]);                                    \
+    return mi.next;                                                            \
+  }
+JIT_L_ALOAD(op_l_iaload, intElems, Value::ofInt)
+JIT_L_ALOAD(op_l_laload, longElems, Value::ofLong)
+JIT_L_ALOAD(op_l_daload, doubleElems, Value::ofDouble)
+JIT_L_ALOAD(op_l_aaload, refElems, Value::ofRef)
+#undef JIT_L_ALOAD
+
 #define JIT_ASTORE(NAME, ACCESSOR, GETTER, CAST)                               \
   JH(NAME) {                                                                   \
     Value v = jpop(cx);                                                        \
@@ -875,6 +1020,33 @@ JIT_ASTORE(op_iastore, intElems, asInt, static_cast<i32>)
 JIT_ASTORE(op_lastore, longElems, asLong, static_cast<i64>)
 JIT_ASTORE(op_dastore, doubleElems, asDouble, static_cast<double>)
 #undef JIT_ASTORE
+
+// Jit-only peephole: array store whose value comes straight from a local
+// (`xLOAD v; xASTORE` -- the write half of a copy loop). Arr and idx are
+// popped from the stack, the value is read from local mi.a; the partial
+// pops before a throw are unobservable for the usual reason (handlers
+// clear the stack on entry). AASTORE is excluded: its store-check path
+// stays a separate thunk.
+#define JIT_L_ASTORE(NAME, ACCESSOR, GETTER, CAST)                             \
+  JH(NAME) {                                                                   \
+    const i32 idx = jpop(cx).asInt();                                          \
+    Object* arr = jpop(cx).asRef();                                            \
+    if (arr == nullptr) {                                                      \
+      cx.vm.throwGuest(cx.t, "java/lang/NullPointerException", #NAME);         \
+      return throwHere(cx, mi);                                                \
+    }                                                                          \
+    if (idx < 0 || idx >= arr->length) {                                       \
+      cx.vm.throwGuest(cx.t, "java/lang/ArrayIndexOutOfBoundsException",       \
+                       strf("%d", idx));                                       \
+      return throwHere(cx, mi);                                                \
+    }                                                                          \
+    arr->ACCESSOR()[idx] = CAST(cx.locals[mi.a].GETTER());                     \
+    return mi.next;                                                            \
+  }
+JIT_L_ASTORE(op_l_iastore, intElems, asInt, static_cast<i32>)
+JIT_L_ASTORE(op_l_lastore, longElems, asLong, static_cast<i64>)
+JIT_L_ASTORE(op_l_dastore, doubleElems, asDouble, static_cast<double>)
+#undef JIT_L_ASTORE
 
 JH(op_aastore) {
   Value v = jpop(cx);
@@ -1266,6 +1438,77 @@ JitHandler getfieldArithVariant(Op arith, bool receiver_in_local) {
   }
 }
 
+// Jit-only peephole: array element load with array + index in locals
+// (`ALOAD arr; ILOAD idx; xALOAD`), keyed on the element-access opcode.
+JitHandler arrayLoadLLVariant(Op aload) {
+  switch (aload) {
+    case Op::IALOAD: return op_ll_iaload;
+    case Op::LALOAD: return op_ll_laload;
+    case Op::DALOAD: return op_ll_daload;
+    case Op::AALOAD: return op_ll_aaload;
+    default: return nullptr;
+  }
+}
+
+// Index-from-local pair (`ILOAD idx; xALOAD`, array on the stack).
+JitHandler arrayLoadLVariant(Op aload) {
+  switch (aload) {
+    case Op::IALOAD: return op_l_iaload;
+    case Op::LALOAD: return op_l_laload;
+    case Op::DALOAD: return op_l_daload;
+    case Op::AALOAD: return op_l_aaload;
+    default: return nullptr;
+  }
+}
+
+// Value-from-local store pair (`xLOAD v; xASTORE`). The load and store
+// kinds must agree; verified bytecode guarantees they do, but matching
+// the pair explicitly keeps a mismatched (unverifiable) stream on the
+// generic thunks.
+JitHandler arrayStoreLVariant(Op load, Op store) {
+  if (load == Op::ILOAD && store == Op::IASTORE) return op_l_iastore;
+  if (load == Op::LLOAD && store == Op::LASTORE) return op_l_lastore;
+  if (load == Op::DLOAD && store == Op::DASTORE) return op_l_dastore;
+  return nullptr;
+}
+
+// Wide local-pair arithmetic triple (`DLOAD a; DLOAD c; <op>` /
+// `LLOAD a; LLOAD c; <op>`). LDIV/LREM are excluded (they throw).
+JitHandler wideArithVariant(Op load, Op arith) {
+  if (load == Op::DLOAD) {
+    switch (arith) {
+      case Op::DADD: return op_dd_dadd;
+      case Op::DSUB: return op_dd_dsub;
+      case Op::DMUL: return op_dd_dmul;
+      case Op::DDIV: return op_dd_ddiv;
+      default: return nullptr;
+    }
+  }
+  if (load == Op::LLOAD) {
+    switch (arith) {
+      case Op::LADD: return op_lw_ladd;
+      case Op::LSUB: return op_lw_lsub;
+      case Op::LMUL: return op_lw_lmul;
+      case Op::LAND: return op_lw_land;
+      case Op::LOR: return op_lw_lor;
+      case Op::LXOR: return op_lw_lxor;
+      default: return nullptr;
+    }
+  }
+  return nullptr;
+}
+
+// Discard-result call variant for the `INVOKE*_Q; POP` pair.
+JitHandler invokePopVariant(Op invoke) {
+  switch (invoke) {
+    case Op::INVOKEVIRTUAL_Q: return op_invokevirtual_pop;
+    case Op::INVOKEINTERFACE_Q: return op_invokeinterface_pop;
+    case Op::INVOKESTATIC_Q: return op_invokestatic_pop;
+    case Op::INVOKESPECIAL_Q: return op_invokespecial_pop;
+    default: return nullptr;
+  }
+}
+
 }  // namespace
 
 // Builds `m`'s call-threaded code from a snapshot of its current
@@ -1439,6 +1682,86 @@ std::unique_ptr<JitCode> buildJitCode(VM& vm, JMethod* m) {
         mi.name = "ALOAD_GETFIELD_ARITH_J";
         len = 3;
       }
+    }
+    // Peephole (ISSUE 9 batch): array element load with array + index in
+    // locals -- the scan-loop body. `ALOAD arr; ILOAD idx; xALOAD`.
+    if (op == Op::ALOAD && i + 2 < n &&
+        snap[static_cast<size_t>(i + 1)].op == Op::ILOAD &&
+        entry[static_cast<size_t>(i + 1)] == 0 &&
+        entry[static_cast<size_t>(i + 2)] == 0 && coverageUniform(i, 3)) {
+      if (JitHandler al_fn =
+              arrayLoadLLVariant(snap[static_cast<size_t>(i + 2)].op);
+          al_fn != nullptr) {
+        mi.fn = al_fn;
+        mi.b = snap[static_cast<size_t>(i + 1)].a;  // index slot
+        mi.name = "ALOAD_ILOAD_XALOAD_J";
+        len = 3;
+      }
+    }
+    // Peephole: index-from-local load pair and value-from-local store
+    // pair. The ALOAD-headed triple above wins when it applies (it is
+    // checked first and sets len=3); this catches the array-on-stack
+    // remainder.
+    if ((op == Op::ILOAD || op == Op::LLOAD || op == Op::DLOAD) && len == 1 &&
+        i + 1 < n && entry[static_cast<size_t>(i + 1)] == 0 &&
+        coverageUniform(i, 2)) {
+      const Op op1 = snap[static_cast<size_t>(i + 1)].op;
+      JitHandler fn = op == Op::ILOAD ? arrayLoadLVariant(op1) : nullptr;
+      const char* nm = "ILOAD_XALOAD_J";
+      if (fn == nullptr) {
+        fn = arrayStoreLVariant(op, op1);
+        nm = "XLOAD_XASTORE_J";
+      }
+      if (fn != nullptr) {
+        mi.fn = fn;
+        mi.name = nm;
+        len = 2;
+      }
+    }
+    // Peephole: wide local-pair arithmetic triple (`DLOAD; DLOAD; <op>`,
+    // `LLOAD; LLOAD; <op>`) -- the FIR/accumulator shape. The fusion
+    // tier only forms int triples; the compiler picks the wide ones up
+    // from the plain quickened stream. Checked after the pairs: a
+    // matching triple overrides the 2-wide store pair (longer match
+    // first would also work, but the store pair cannot match when
+    // snap[i+1] is another load, so order is immaterial -- this block
+    // simply re-extends len).
+    if ((op == Op::DLOAD || op == Op::LLOAD) && i + 2 < n &&
+        snap[static_cast<size_t>(i + 1)].op == op &&
+        entry[static_cast<size_t>(i + 1)] == 0 &&
+        entry[static_cast<size_t>(i + 2)] == 0 && coverageUniform(i, 3)) {
+      if (JitHandler wa_fn =
+              wideArithVariant(op, snap[static_cast<size_t>(i + 2)].op);
+          wa_fn != nullptr) {
+        mi.fn = wa_fn;
+        mi.c = snap[static_cast<size_t>(i + 1)].a;  // second operand slot
+        mi.name = op == Op::DLOAD ? "DLOAD_DLOAD_ARITH_J"
+                                  : "LLOAD_LLOAD_ARITH_J";
+        len = 3;
+      }
+    }
+    // Peephole: call whose result is discarded (`INVOKE*_Q; POP`) -- one
+    // thunk that skips the result push. Only when the resolved callee
+    // returns non-void: a POP after a void call consumes an *older*
+    // stack value and must stay a separate thunk.
+    if ((op == Op::INVOKEVIRTUAL_Q || op == Op::INVOKEINTERFACE_Q ||
+         op == Op::INVOKESTATIC_Q || op == Op::INVOKESPECIAL_Q) &&
+        i + 1 < n && snap[static_cast<size_t>(i + 1)].op == Op::POP &&
+        entry[static_cast<size_t>(i + 1)] == 0 && coverageUniform(i, 2) &&
+        q.ptr != nullptr &&
+        static_cast<JMethod*>(q.ptr)->sig.ret.kind != Kind::Void) {
+      mi.fn = invokePopVariant(op);
+      mi.name = "INVOKE_POP_J";
+      len = 2;
+    }
+    // Peephole: allocation prologue `NEW_Q; DUP` (every `new T(...)`)
+    // as one double-push thunk.
+    if (op == Op::NEW_Q && i + 1 < n &&
+        snap[static_cast<size_t>(i + 1)].op == Op::DUP &&
+        entry[static_cast<size_t>(i + 1)] == 0 && coverageUniform(i, 2)) {
+      mi.fn = op_new_dup;
+      mi.name = "NEW_DUP_J";
+      len = 2;
     }
     jc->slot_of_pc[static_cast<size_t>(i)] = static_cast<i32>(jc->code.size());
     jc->code.push_back(mi);
@@ -1663,8 +1986,35 @@ JitResult runJit(VM& vm, JThread* t, Frame& frame, JitCode& jc) {
   jc.active.fetch_add(1, std::memory_order_acq_rel);
   jc.uses.fetch_add(1, std::memory_order_relaxed);
 
+  // Payoff post-install window (docs/jit.md, "Payoff"): time this
+  // compiled invocation unless the verdict already settled or the window
+  // is full -- steady-state code pays one relaxed load here, no clocks.
+  // The epoch is snapshotted before timing; a retire racing this
+  // execution invalidates the sample at accumulate time. OSR transfers
+  // (runJitOsr) never sample: a mid-invocation entry is neither a full
+  // interpreted nor a full compiled invocation.
+  const VmOptions& opt = vm.options();
+  bool payoff_timing = false;
+  u32 payoff_epoch = 0;
+  u64 payoff_t0 = 0;
+  if (opt.jit_payoff && !jc.qc->payoff_settled.load(std::memory_order_relaxed) &&
+      jc.qc->payoff_post_samples.load(std::memory_order_relaxed) <
+          opt.jit_payoff_samples) {
+    payoff_timing = true;
+    payoff_epoch = jc.qc->payoff_epoch.load(std::memory_order_acquire);
+    payoff_t0 = payoffNowNs();
+  }
+  if (opt.jit_payoff_test_entry_delay_ns != 0) {
+    // Test seam (tests/test_jit_payoff.cpp): make compiled entries
+    // deterministically slower than the fused tier so auto-demotion
+    // provably fires. Inside the timed window by construction.
+    const u64 until = payoffNowNs() + opt.jit_payoff_test_entry_delay_ns;
+    while (payoffNowNs() < until) {
+    }
+  }
+
   JitCtx cx{vm, t, frame, jc};
-  cx.accounting = vm.options().accounting;
+  cx.accounting = opt.accounting;
   cx.tcm_idx =
       vm.tcmIndex(t->current_isolate.load(std::memory_order_relaxed));
   // The whole region is GC-scanned for the duration of the compiled
@@ -1688,6 +2038,19 @@ JitResult runJit(VM& vm, JThread* t, Frame& frame, JitCode& jc) {
   if (cx.exit != JitExit::Deopt) {
     // Drop the scratch region so the pooled frame is left clean.
     frame.stack.clear();
+  }
+  // A deopt exit is a partial compiled execution (the interpreter
+  // finishes the invocation) and the deopt already retired this code --
+  // its sample would be dropped by the epoch check anyway.
+  if (payoff_timing && cx.exit != JitExit::Deopt) {
+    if (payoffAccumulate(vm, *jc.qc, /*post=*/true, payoff_epoch,
+                         payoffNowNs() - payoff_t0, 1 + cx.total_edges)) {
+      // This sample completed the post window: verdict time. A demotion
+      // verdict retires the code while we still hold `active`, which is
+      // fine -- retirement is poison-free and reclamation waits for the
+      // count to drop.
+      payoffEvaluate(vm, *jc.qc);
+    }
   }
   jc.active.fetch_sub(1, std::memory_order_acq_rel);
   return {cx.exit, cx.result};

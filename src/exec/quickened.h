@@ -154,6 +154,36 @@ struct QCode {
   // the jit_queued latch; buildJitCode consumes it into the compile
   // queue-wait histogram. 0 = no timed request in flight.
   std::atomic<u64> jit_request_ns{0};
+
+  // Payoff windows (docs/jit.md, "Payoff"; policy in compile_manager.cpp).
+  // Two sampled cost accumulators -- nanoseconds and profiled units
+  // (1 invocation + the back-edges that invocation executed) over up to
+  // VmOptions::jit_payoff_samples timed invocations each:
+  //   pre  -- fused-tier invocations while the method is within reach of
+  //           promotion (hotness past jit_threshold/2) or its compile is
+  //           in flight;
+  //   post -- compiled invocations after install.
+  // payoff_epoch guards both windows against mixed-generation samples: it
+  // is bumped by payoffResetWindows whenever the compiled code retires
+  // (demotion, deopt, poison sweep) or a payoff verdict lands, and every
+  // sampler snapshots it before timing -- a sample whose epoch no longer
+  // matches at accumulate time is dropped, so a mid-window demote or an
+  // OSR transfer can never fold one generation's time into another's
+  // window (the double-counting seam of PR 4's per-invocation OSR latch).
+  std::atomic<u32> payoff_epoch{0};
+  std::atomic<u64> payoff_pre_ns{0};
+  std::atomic<u64> payoff_pre_units{0};
+  std::atomic<u32> payoff_pre_samples{0};
+  std::atomic<u64> payoff_post_ns{0};
+  std::atomic<u64> payoff_post_units{0};
+  std::atomic<u32> payoff_post_samples{0};
+  // Payoff verdicts: demotions taken because compiled code measured
+  // slower (pins jit_ineligible at VmOptions::jit_payoff_max_demotes),
+  // and the settled latch set when a full post window measured at or
+  // above the required speedup (sampling stops; the method has proven
+  // its promotion).
+  std::atomic<u32> payoff_demotes{0};
+  std::atomic<bool> payoff_settled{false};
 };
 
 inline constexpr u32 kMaxJitDeopts = 8;

@@ -63,10 +63,11 @@ std::string isolateTable(const std::vector<IsolateReport>& reports) {
 
 std::string jitTable(const std::vector<IsolateReport>& reports) {
   std::string out;
-  out += strf("  %3s  %-18s %9s %9s %11s %12s %11s\n", "id", "isolate",
-              "compiled", "demoted", "code-bytes", "osr-refused", "recompiles");
+  out += strf("  %3s  %-18s %9s %9s %11s %12s %11s %10s\n", "id", "isolate",
+              "compiled", "demoted", "code-bytes", "osr-refused", "recompiles",
+              "payoff-dem");
   for (const IsolateReport& r : reports) {
-    out += strf("  %3d  %-18s %9llu %9llu %11s %12llu %11llu\n", r.id,
+    out += strf("  %3d  %-18s %9llu %9llu %11s %12llu %11llu %10llu\n", r.id,
                 r.name.c_str(),
                 static_cast<unsigned long long>(r.jit_methods_compiled),
                 static_cast<unsigned long long>(r.jit_methods_demoted),
@@ -75,7 +76,8 @@ std::string jitTable(const std::vector<IsolateReport>& reports) {
                                : 0)
                     .c_str(),
                 static_cast<unsigned long long>(r.osr_refused_transfers),
-                static_cast<unsigned long long>(r.jit_recompile_requests));
+                static_cast<unsigned long long>(r.jit_recompile_requests),
+                static_cast<unsigned long long>(r.jit_payoff_demotions));
   }
   return out;
 }

@@ -96,6 +96,10 @@ struct ResourceStats {
   // least once (the post-deopt recompile cycle).
   std::atomic<u64> osr_refused_transfers{0};
   std::atomic<u64> jit_recompile_requests{0};
+  // Payoff-model demotions (docs/jit.md, "Payoff"): compiled code that
+  // measured slower than the isolate's own fused-tier baseline and was
+  // auto-demoted. A nonzero rate feeds the governor's Signal::JitPayoff.
+  std::atomic<u64> jit_payoff_demotions{0};
 };
 
 enum class IsolateState : u8 { Active, Terminating, Dead };

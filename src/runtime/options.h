@@ -75,6 +75,37 @@ struct VmOptions {
   // moment the request is drained -- the configuration the tier tests
   // pin). Compile the thread out entirely with -DIJVM_DISABLE_BG_COMPILE.
   bool background_compile = true;
+  // Profile-driven payoff model (docs/jit.md, "Payoff"): promotion stops
+  // being threshold-only. While a method approaches promotion the engine
+  // samples its fused-tier cost per profiled unit (invocations +
+  // back-edges); after the compiled code installs it samples the compiled
+  // cost the same way, and when the measured speedup of a full
+  // post-install window falls below jit_payoff_min_speedup the method is
+  // auto-demoted through the same machinery the code-cache budget uses
+  // (demoteCompiled: entry un-patched, re-heat floor raised, code
+  // reclaimed once idle). A method payoff-demoted jit_payoff_max_demotes
+  // times is pinned jit-ineligible -- the system converges instead of
+  // oscillating. false keeps threshold-only promotion (no window
+  // sampling, no payoff demotions).
+  bool jit_payoff = true;
+  // Timed invocations per payoff window (pre-promotion and post-install
+  // each). Small enough that steady-state code stops paying clock reads
+  // within a few dozen calls of installing.
+  u32 jit_payoff_samples = 32;
+  // Demote when measured (pre ns/unit) / (post ns/unit) is below this.
+  // Below 1.0 gives the compiled tier the benefit of the doubt: both
+  // windows include callee time, which dilutes the measured ratio toward
+  // 1.0, so a reading under 0.95 means the compiled code is genuinely
+  // slower, not noise.
+  double jit_payoff_min_speedup = 0.95;
+  // Payoff demotions before the method is pinned jit-ineligible.
+  u32 jit_payoff_max_demotes = 3;
+  // Test seam (tests/test_jit_payoff.cpp): busy-wait this many
+  // nanoseconds at every compiled-code entry, making compiled code
+  // deterministically slower than the fused tier so auto-demotion
+  // provably fires. 0 (always, outside tests) injects nothing.
+  u64 jit_payoff_test_entry_delay_ns = 0;
+
   // Bound on installed tier-3 compiled-code bytes (docs/jit.md, "Code
   // lifecycle"). When an install pushes the code cache past the budget,
   // the coldest compiled methods are *demoted* -- entry un-patched, method

@@ -853,6 +853,8 @@ IsolateReport VM::reportFor(Isolate* iso) {
   r.osr_refused_transfers = s.osr_refused_transfers.load(std::memory_order_relaxed);
   r.jit_recompile_requests =
       s.jit_recompile_requests.load(std::memory_order_relaxed);
+  r.jit_payoff_demotions =
+      s.jit_payoff_demotions.load(std::memory_order_relaxed);
   return r;
 }
 

@@ -75,6 +75,7 @@ struct IsolateReport {
   i64 jit_code_bytes = 0;
   u64 osr_refused_transfers = 0;
   u64 jit_recompile_requests = 0;
+  u64 jit_payoff_demotions = 0;
 };
 
 class VM {

@@ -448,6 +448,12 @@ struct RandomTierConfig {
   // vectored channel-send batch size. Exercised by the per-seed comm leg.
   bool comm_zero_copy = true;
   u32 channel_batch = 1;
+  // Payoff axis (ISSUE 9, docs/jit.md "Payoff"): with the model on and
+  // the sample cap tiny, windows settle (and demotions can fire) inside
+  // the short sweep workloads -- compiled code may be yanked by its own
+  // measurement at any point, and the run must stay observably classic.
+  bool jit_payoff = false;
+  u32 jit_payoff_samples = 32;
 
   std::string describe() const {
     auto th = [](u64 v) {
@@ -456,12 +462,12 @@ struct RandomTierConfig {
     return strf(
         "fusion=%d jit=%d osr=%d fusion_threshold=%s jit_threshold=%s "
         "background=%d cache_budget=%s mutators=%u compilers=%u "
-        "zero_copy=%d batch=%u",
+        "zero_copy=%d batch=%u payoff=%d payoff_samples=%u",
         fusion ? 1 : 0, jit ? 1 : 0, osr ? 1 : 0, th(fusion_threshold).c_str(),
         th(jit_threshold).c_str(), background ? 1 : 0,
         cache_budget == 0 ? "unlimited" : strf("%zu", cache_budget).c_str(),
         mutator_threads, compiler_threads, comm_zero_copy ? 1 : 0,
-        channel_batch);
+        channel_batch, jit_payoff ? 1 : 0, jit_payoff_samples);
   }
 };
 
@@ -490,6 +496,12 @@ RandomTierConfig configFromSeed(u64 seed) {
   constexpr u32 kBatches[] = {1, 8, 64};
   c.comm_zero_copy = rng.nextBounded(2) == 1;
   c.channel_batch = kBatches[rng.nextBounded(3)];
+  // Payoff axis drawn after the comm axes (reproducibility rule: new
+  // axes always append). A cap of 2 settles verdicts almost immediately;
+  // 32 is the shipping default.
+  constexpr u32 kPayoffSamples[] = {2, 32};
+  c.jit_payoff = rng.nextBounded(2) == 1;
+  c.jit_payoff_samples = kPayoffSamples[rng.nextBounded(2)];
 #ifdef IJVM_TEST_MUTATOR_THREADS
   // CI matrix leg: pin the mutator axis so the whole 200-seed sweep runs
   // through the pool at a fixed worker count.
@@ -510,6 +522,8 @@ void applyConfig(VmOptions& opts, const RandomTierConfig& c) {
   opts.compiler_threads = c.compiler_threads;
   opts.comm_zero_copy = c.comm_zero_copy;
   opts.channel_batch = c.channel_batch;
+  opts.jit_payoff = c.jit_payoff;
+  opts.jit_payoff_samples = c.jit_payoff_samples;
 }
 
 // Multi-threaded variant of runSpecOpts: `copies` identical bundles, one

@@ -1,0 +1,232 @@
+// The tier-3 payoff model (src/exec/compile_manager.cpp, docs/jit.md
+// "Payoff"): per-method pre/post promotion cost windows, auto-demotion
+// when compiled code measures slower than the method's own fused-tier
+// baseline, the jit_payoff_max_demotes ineligibility pin, and the
+// demoted-floor decay that re-opens promotion once pressure passes.
+//
+// Determinism: these tests never compare two real timings against each
+// other. The slow-compiled-code legs inject a fixed entry delay through
+// VmOptions::jit_payoff_test_entry_delay_ns (counted inside the timed
+// post window), so "compiled is slower" is true by construction; the
+// keep-code legs turn the verdict off (jit_payoff = false) or lower the
+// bar (jit_payoff_min_speedup) far below anything noise can cross.
+#include <gtest/gtest.h>
+
+#include "bytecode/builder.h"
+#include "exec/code_cache.h"
+#include "exec/engine.h"
+#include "exec/jit.h"
+#include "exec/quickened.h"
+#include "runtime/vm.h"
+#include "stdlib/system_library.h"
+
+namespace ijvm {
+namespace {
+
+#ifdef IJVM_DISABLE_JIT
+#define IJVM_REQUIRE_JIT() GTEST_SKIP() << "built with IJVM_DISABLE_JIT"
+#else
+#define IJVM_REQUIRE_JIT() (void)0
+#endif
+
+// Tuned so the pre window provably fills before promotion: the loop body
+// contributes ~51 profile units per call (1 invocation + 50 back-edges),
+// pre sampling starts above jit_threshold/2 = 300 (call ~6) and
+// promotion lands above 600 (call ~12) -- about six pre samples against
+// an evidence floor of jit_payoff_samples/4+1 = 2.
+VmOptions payoffOptions() {
+  VmOptions opts = VmOptions::isolated();
+  opts.exec_engine = ExecEngine::Jit;
+  opts.fusion_threshold = 0;
+  opts.jit_threshold = 600;
+  opts.background_compile = false;  // promotion timing pinned to entries
+  opts.jit_payoff = true;
+  opts.jit_payoff_samples = 4;
+  return opts;
+}
+
+struct PayoffVm {
+  explicit PayoffVm(VmOptions opts) : vm(opts) {
+    installSystemLibrary(vm);
+    app = vm.registry().newLoader("app");
+    ClassBuilder cb("app/Loop");
+    auto& m = cb.method("f", "(I)I", ACC_PUBLIC | ACC_STATIC);
+    Label head = m.newLabel(), done = m.newLabel();
+    m.iconst(0).istore(1);
+    m.iconst(0).istore(2);
+    m.bind(head).iload(2).iload(0).ifIcmpGe(done);
+    m.iload(1).iload(2).iadd().istore(1);
+    m.iinc(2, 1).gotoLabel(head);
+    m.bind(done).iload(1).ireturn();
+    app->define(cb.build());
+    vm.createIsolate(app, "app");
+  }
+
+  int callLoop(int n) {
+    Value r = vm.callStaticIn(vm.mainThread(), app, "app/Loop", "f", "(I)I",
+                              {Value::ofInt(n)});
+    EXPECT_EQ(vm.mainThread()->pending_exception, nullptr)
+        << vm.pendingMessage(vm.mainThread());
+    return r.asInt();
+  }
+
+  JMethod* method() {
+    return vm.registry().resolve(app, "app/Loop")->findMethod("f", "(I)I");
+  }
+
+  exec::QCode* qcode() {
+    return static_cast<exec::QCode*>(method()->qcode.load());
+  }
+
+  u64 payoffDemotions() {
+    for (const IsolateReport& r : vm.reportAll()) {
+      if (r.name == "app") return r.jit_payoff_demotions;
+    }
+    return 0;
+  }
+
+  VM vm;
+  ClassLoader* app = nullptr;
+};
+
+// The tentpole invariant: compiled code that measures slower than the
+// method's own fused baseline is demoted without any outside help, and
+// a method that keeps losing is pinned ineligible after
+// jit_payoff_max_demotes strikes -- the ladder converges instead of
+// oscillating.
+TEST(JitPayoff, InjectedSlowdownAutoDemotesThenPinsIneligible) {
+  IJVM_REQUIRE_JIT();
+  VmOptions opts = payoffOptions();
+  // Every compiled entry eats 1ms inside the timed post window; the
+  // fused baseline for the 50-iteration loop is microseconds, so the
+  // measured speedup is far below jit_payoff_min_speedup on every
+  // window, deterministically.
+  opts.jit_payoff_test_entry_delay_ns = 1'000'000;
+  PayoffVm f(opts);
+
+  bool pinned = false;
+  int calls = 0;
+  for (; calls < 400 && !pinned; ++calls) {
+    ASSERT_EQ(f.callLoop(50), 1225);
+    exec::QCode* qc = f.qcode();
+    pinned = qc != nullptr && qc->jit_ineligible.load();
+  }
+  ASSERT_TRUE(pinned) << "payoff model never pinned the losing method "
+                         "ineligible (calls=" << calls << ")";
+  // Converged: each losing generation was demoted, the cap was reached,
+  // and the compiled code is gone for good.
+  EXPECT_GE(f.payoffDemotions(), f.vm.options().jit_payoff_max_demotes);
+  EXPECT_EQ(exec::jitCodeOf(f.method()), nullptr);
+  // Pinned means pinned: hammering the method never re-compiles it.
+  for (int i = 0; i < 50; ++i) ASSERT_EQ(f.callLoop(50), 1225);
+  EXPECT_EQ(exec::jitCodeOf(f.method()), nullptr);
+}
+
+// Negative control for the test seam itself: with the verdict disabled
+// the same injected slowdown is measured but never acted on -- proving
+// demotion comes from the payoff evaluation, not from the delay or any
+// other path.
+TEST(JitPayoff, PayoffOffKeepsSlowCompiledCodeInstalled) {
+  IJVM_REQUIRE_JIT();
+  VmOptions opts = payoffOptions();
+  opts.jit_payoff = false;
+  opts.jit_payoff_test_entry_delay_ns = 200'000;
+  PayoffVm f(opts);
+  for (int i = 0; i < 60; ++i) ASSERT_EQ(f.callLoop(50), 1225);
+  EXPECT_NE(exec::jitCodeOf(f.method()), nullptr);
+  EXPECT_EQ(f.payoffDemotions(), 0u);
+  exec::QCode* qc = f.qcode();
+  ASSERT_NE(qc, nullptr);
+  EXPECT_FALSE(qc->jit_ineligible.load());
+}
+
+// Winning code stays. The bar is dropped to 0.25 (compiled would have to
+// measure 4x slower than fused to lose) so scheduler noise cannot flip
+// the verdict; the windows still run for real.
+TEST(JitPayoff, FastCompiledCodeStaysInstalled) {
+  IJVM_REQUIRE_JIT();
+  VmOptions opts = payoffOptions();
+  opts.jit_payoff_min_speedup = 0.25;
+  PayoffVm f(opts);
+  for (int i = 0; i < 120; ++i) ASSERT_EQ(f.callLoop(200), 19900);
+  EXPECT_NE(exec::jitCodeOf(f.method()), nullptr);
+  EXPECT_EQ(f.payoffDemotions(), 0u);
+}
+
+// Satellite 3: a demotion that lands mid-window must reset the window
+// generation cleanly -- the epoch is bumped, the accumulators are
+// zeroed, and the settled latch re-opens, so no sample from the retired
+// generation can leak into the next one.
+TEST(JitPayoff, MidWindowDemoteResetsPayoffWindow) {
+  IJVM_REQUIRE_JIT();
+  VmOptions opts = payoffOptions();
+  opts.jit_payoff_min_speedup = 0.25;  // keep the model from demoting first
+  PayoffVm f(opts);
+  // Promote (and start filling the post window without finishing it:
+  // cap is 4, run exactly one compiled call after promotion).
+  JMethod* m = f.method();
+  int calls = 0;
+  while (exec::jitCodeOf(m) == nullptr && calls < 100) {
+    ASSERT_EQ(f.callLoop(50), 1225);
+    ++calls;
+  }
+  ASSERT_NE(exec::jitCodeOf(m), nullptr) << "method never promoted";
+  ASSERT_EQ(f.callLoop(50), 1225);  // one compiled invocation
+
+  exec::QCode* qc = f.qcode();
+  ASSERT_NE(qc, nullptr);
+  const u32 epoch_before = qc->payoff_epoch.load();
+
+  // Demote mid-window (the governor's DemoteJit path ends here too).
+  ASSERT_TRUE(exec::demoteCompiled(f.vm, m));
+  EXPECT_EQ(exec::jitCodeOf(m), nullptr);
+
+  EXPECT_GT(qc->payoff_epoch.load(), epoch_before)
+      << "retirement must open a new payoff generation";
+  EXPECT_EQ(qc->payoff_post_samples.load(), 0u);
+  EXPECT_EQ(qc->payoff_post_ns.load(), 0u);
+  EXPECT_EQ(qc->payoff_pre_samples.load(), 0u);
+  EXPECT_FALSE(qc->payoff_settled.load());
+}
+
+// Satellite 2: jit_hotness_floor decays back to zero under decay ticks
+// (regression test for the floor being raised on demotion but never
+// released -- methods stayed locked out of tier 3 forever).
+TEST(JitPayoff, DemotedHotnessFloorDecaysAndReopensPromotion) {
+  IJVM_REQUIRE_JIT();
+  VmOptions opts = payoffOptions();
+  opts.jit_payoff = false;  // floor mechanics only; no verdicts
+  PayoffVm f(opts);
+  JMethod* m = f.method();
+  int calls = 0;
+  while (exec::jitCodeOf(m) == nullptr && calls < 100) {
+    ASSERT_EQ(f.callLoop(50), 1225);
+    ++calls;
+  }
+  ASSERT_NE(exec::jitCodeOf(m), nullptr);
+  ASSERT_TRUE(exec::demoteCompiled(f.vm, m));
+
+  exec::QCode* qc = f.qcode();
+  ASSERT_NE(qc, nullptr);
+  const u64 floor = qc->jit_hotness_floor.load();
+  ASSERT_GT(floor, 0u) << "demotion must raise the re-heat floor";
+
+  // Each decay pass halves every demoted floor; the count of still-hot
+  // floors reaches zero in ~log2(floor) passes.
+  u32 remaining = ~0u;
+  for (int pass = 0; pass < 64 && remaining != 0; ++pass) {
+    remaining = exec::decayDemotedFloors(f.vm);
+  }
+  EXPECT_EQ(remaining, 0u);
+  EXPECT_EQ(qc->jit_hotness_floor.load(), 0u);
+
+  // With the floor gone the method re-promotes on accumulated hotness.
+  for (int i = 0; i < 30 && exec::jitCodeOf(m) == nullptr; ++i) {
+    ASSERT_EQ(f.callLoop(50), 1225);
+  }
+  EXPECT_NE(exec::jitCodeOf(m), nullptr)
+      << "decayed floor should re-open tier-3 promotion";
+}
+
+}  // namespace
+}  // namespace ijvm
