@@ -6,8 +6,11 @@
 // in isolated and shared mode and report the relative overhead. The shape
 // to reproduce: every overhead is small and positive, static access pays
 // the TCM indirection, allocation pays the accounting + limit checks.
+#include <cstring>
+
 #include "bench_util.h"
 #include "comm/comm.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "workloads/spec.h"
 
@@ -41,9 +44,130 @@ struct MicroSetup {
   }
 };
 
+// ---- profiler overhead (shared by the full run and --smoke) ----
+// The sampler thread ticks at VmOptions::profile_hz (97 Hz under
+// VmOptions::isolated) for the whole measurement; setEnabled toggles
+// whether a tick requests samples. Reps are interleaved (on, off, on,
+// off, ...) for the same clock-drift reason as the trace row, but judged
+// as *pairs*: each adjacent on/off pair runs under near-identical drift,
+// so its overhead ratio cancels the machine state two independent
+// min-of-N floors cannot -- the gate takes the median pair overhead.
+// Many short pairs beat few long ones: a scheduler burst lands in one
+// pair and the median shrugs it off, and the median's noise falls with
+// sqrt(pairs) while the total runtime stays fixed. Tracing is
+// held off for the duration so the row isolates the profiler's own cost:
+// the request stores, the self-sample stack walks and the ring
+// publishes. The poll-site fast path (two relaxed loads) runs in both
+// variants -- this row prices *sampling*; the noprofiler build leg
+// (-DIJVM_DISABLE_PROFILER) is what removes the polls themselves.
+struct ProfilerOverheadRow {
+  double on_per_op = 0.0;
+  double off_per_op = 0.0;
+  double overhead_pct = 0.0;
+  double profiler_available = 0.0;
+  double ops = 0.0;
+};
+
+double medianOf(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  const size_t n = v.size();
+  return n == 0 ? 0.0
+                : (n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]));
+}
+
+ProfilerOverheadRow measureProfilerOverhead(MicroSetup& jit, i32 calls_per_rep,
+                                            int pairs) {
+  ProfilerOverheadRow row;
+#ifndef IJVM_DISABLE_PROFILER
+  row.profiler_available = 1.0;
+#endif
+  row.ops = static_cast<double>(calls_per_rep);
+  obs::Profiler* prof = jit.platform->vm->profiler();
+  obs::setTraceEnabled(false);
+  auto timeOne = [&](bool on) {
+    if (prof != nullptr) prof->setEnabled(on);
+    const i64 t0 = nowNs();
+    jit.comm->runIJvm(calls_per_rep);
+    return static_cast<double>(nowNs() - t0);
+  };
+  std::vector<double> on_ns;
+  std::vector<double> off_ns;
+  std::vector<double> pair_pct;
+  for (int rep = 0; rep < pairs; ++rep) {
+    on_ns.push_back(timeOne(true));
+    off_ns.push_back(timeOne(false));
+    pair_pct.push_back(pct(on_ns.back(), off_ns.back()));
+  }
+  if (prof != nullptr) prof->setEnabled(true);
+  obs::setTraceEnabled(true);
+  row.on_per_op = medianOf(on_ns) / row.ops;
+  row.off_per_op = medianOf(off_ns) / row.ops;
+  row.overhead_pct = medianOf(pair_pct);
+  return row;
+}
+
+void printProfilerOverhead(const ProfilerOverheadRow& row) {
+#ifdef IJVM_DISABLE_PROFILER
+  std::printf("note: built with IJVM_DISABLE_PROFILER -- both columns run "
+              "unprofiled code\n");
+#endif
+  std::printf("%-26s %12s %13s %10s\n", "micro-benchmark", "profiled ns",
+              "unprofiled ns", "overhead");
+  std::printf("%-26s %12.1f %13.1f %+9.1f%%\n", "inter-isolate call",
+              row.on_per_op, row.off_per_op, row.overhead_pct);
+}
+
+void addProfilerOverheadJson(BenchJson& json, const ProfilerOverheadRow& row) {
+  json.add("profiler-overhead",
+           {{"profiled_ns_per_op", row.on_per_op},
+            {"unprofiled_ns_per_op", row.off_per_op},
+            {"overhead_pct", row.overhead_pct},
+            {"profiler_available", row.profiler_available},
+            {"ops", row.ops}});
+}
+
+// `--smoke`: the CI profiler-overhead gate (ISSUE 10). Boots only the
+// jit-ladder setup, measures the row above on the inter-isolate call
+// loop, writes it to BENCH_fig1_profiler_smoke.json, and fails the
+// process if the sampler's enabled overhead exceeds the 2% budget. With
+// the profiler compiled out both variants run identical code, so the
+// gate degenerates to timer noise around 0% and is not judged.
+int runSmoke() {
+  const i32 kCallsPerRep = 125000;  // ~13 ms per rep
+  const int kPairs = 64;
+  printHeader(
+      "Profiler-overhead smoke gate: sampling on vs off (budget <= 2%)");
+  MicroSetup jit(true, ExecEngine::Jit, [](VmOptions& o) {
+    o.fusion_threshold = 0;
+    o.jit_threshold = 1;
+  });
+  // Warm past promotion so the gate times steady-state tier-3 code, not
+  // the compile ramp.
+  jit.comm->runIJvm(1000000);
+  const ProfilerOverheadRow row =
+      measureProfilerOverhead(jit, kCallsPerRep, kPairs);
+  printProfilerOverhead(row);
+  BenchJson json;
+  addProfilerOverheadJson(json, row);
+  const std::string out_path =
+      bench::benchOutPath("BENCH_fig1_profiler_smoke.json");
+  if (!json.write(out_path)) {
+    std::printf("failed to write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s\n", out_path.c_str());
+  const bool ok = row.profiler_available == 0.0 || row.overhead_pct <= 2.0;
+  std::printf("gate: %s\n", ok ? "PASS (profiler overhead within the 2% budget)"
+                               : "FAIL (profiler overhead above 2%)");
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) return runSmoke();
+  }
   const i32 kCalls = 1000000;  // "performing the same operation a million times"
   const i32 kAllocs = 300000;
   const i32 kStatics = 1000000;
@@ -353,6 +477,20 @@ int main() {
               {"overhead_pct", overhead},
               {"trace_available", trace_available},
               {"ops", ops}});
+  }
+
+  // ---- profiler overhead: the sampler's cost on the same hot path ----
+  // Same loop, same interleaving discipline as the trace row above, but
+  // toggling the sampling profiler instead of the trace. Budget: <= 2%
+  // (`--smoke` runs only this row and gates on it in CI). With
+  // IJVM_DISABLE_PROFILER both runs execute identical code and the row
+  // reads ~0.
+  printHeader("Profiler overhead: sampling profiler on vs off (budget <= 2%)");
+  {
+    const ProfilerOverheadRow prow =
+        measureProfilerOverhead(jit, kCalls / 8, 64);
+    printProfilerOverhead(prow);
+    addProfilerOverheadJson(json, prow);
   }
 
   const std::string out_path = bench::benchOutPath("BENCH_exec.json");

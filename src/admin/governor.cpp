@@ -126,6 +126,7 @@ double ResourceGovernor::evaluate(const GovernorRule& rule,
                                   const IsolateReport& now,
                                   const BundleTrack& track,
                                   u64 total_cpu_delta,
+                                  bool profile_based,
                                   double hung_callers) const {
   const IsolateReport& prev = track.last;
   auto delta = [&](u64 IsolateReport::*field) -> double {
@@ -150,7 +151,8 @@ double ResourceGovernor::evaluate(const GovernorRule& rule,
       return hung_callers;
     case Signal::CpuShare: {
       if (total_cpu_delta == 0) return 0.0;
-      return delta(&IsolateReport::cpu_samples) /
+      return delta(profile_based ? &IsolateReport::cpu_profile_samples
+                                 : &IsolateReport::cpu_samples) /
              static_cast<double>(total_cpu_delta);
     }
     case Signal::GcRate:
@@ -220,13 +222,28 @@ std::vector<GovernorEvent> ResourceGovernor::tick() {
     // rate signals below therefore aggregate across threads by
     // construction; nothing here reads a single thread's counters.
     u64 total_cpu = 0;
-    for (const IsolateReport& r : fw_.reportAll()) total_cpu += r.cpu_samples;
+    u64 total_profile = 0;
+    for (const IsolateReport& r : fw_.reportAll()) {
+      total_cpu += r.cpu_samples;
+      total_profile += r.cpu_profile_samples;
+    }
     u64 total_cpu_delta =
         has_last_total_cpu_ && total_cpu >= last_total_cpu_
             ? total_cpu - last_total_cpu_
             : 0;
+    u64 total_profile_delta =
+        has_last_total_cpu_ && total_profile >= last_total_profile_
+            ? total_profile - last_total_profile_
+            : 0;
     last_total_cpu_ = total_cpu;
+    last_total_profile_ = total_profile;
     has_last_total_cpu_ = true;
+    // Prefer the safepoint-biased sampling profiler when it actually
+    // sampled this interval (obs/profiler.h); a disabled or idle profiler
+    // leaves total_profile_delta at 0 and the legacy sampler carries A6
+    // detection exactly as before.
+    const bool cpu_from_profiler = total_profile_delta > 0;
+    if (cpu_from_profiler) total_cpu_delta = total_profile_delta;
 
     // Hung callers per isolate: threads some *other* isolate created,
     // currently blocked while migrated into this one (racy atomic reads;
@@ -266,7 +283,8 @@ std::vector<GovernorEvent> ResourceGovernor::tick() {
         const GovernorRule& rule = policy_.rules[i];
         auto hung_it = hung.find(b->isolate()->id);
         double hung_here = hung_it == hung.end() ? 0.0 : hung_it->second;
-        double observed = evaluate(rule, now, track, total_cpu_delta, hung_here);
+        double observed = evaluate(rule, now, track, total_cpu_delta,
+                                   cpu_from_profiler, hung_here);
         int& strikes = track.strikes[i];
         const bool tripped = rule.fire_below ? observed <= rule.threshold
                                              : observed > rule.threshold;
@@ -306,7 +324,7 @@ std::vector<GovernorEvent> ResourceGovernor::tick() {
       track.last_jit_churn =
           evaluate(GovernorRule{Signal::JitChurnRate, 0.0, 1,
                                 GovernorAction::Warn, "churn"},
-                   now, track, total_cpu_delta, 0.0);
+                   now, track, total_cpu_delta, cpu_from_profiler, 0.0);
       track.last = now;
       track.has_last = true;
     }

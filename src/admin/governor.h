@@ -192,9 +192,14 @@ class ResourceGovernor {
     std::unordered_map<size_t, int> strikes;  // rule index -> strike count
   };
 
+  // `profile_based` selects which CPU counter CpuShare reads: the sampling
+  // profiler's safepoint-biased samples (cpu_profile_samples) when the
+  // profiler produced any this tick, else the legacy wall-clock sampler
+  // (cpu_samples). Both are leaf-attributed per isolate, so the share
+  // semantics are identical -- only the clock differs.
   double evaluate(const GovernorRule& rule, const IsolateReport& now,
                   const BundleTrack& track, u64 total_cpu_delta,
-                  double hung_callers) const;
+                  bool profile_based, double hung_callers) const;
 
   Framework& fw_;
   GovernorPolicy policy_;
@@ -205,6 +210,7 @@ class ResourceGovernor {
   std::vector<GovernorEvent> history_;
   std::vector<i32> killed_;
   u64 last_total_cpu_ = 0;
+  u64 last_total_profile_ = 0;
   bool has_last_total_cpu_ = false;
 
   std::function<void(const GovernorEvent&)> on_kill_;

@@ -85,6 +85,12 @@ struct JMethod {
   std::atomic<u64> profile_invocations{0};
   std::atomic<u64> profile_loop_edges{0};
 
+  // Cached obs::profileNameId(fullName()) -- 0 until the sampling
+  // profiler first sees this method in a stack walk. The profiler's
+  // interner is never reset, so a cached id stays valid for the life of
+  // the process (unlike trace name ids, which resetTrace invalidates).
+  std::atomic<u32> profile_name_id{0};
+
   bool isStatic() const { return (flags & ACC_STATIC) != 0; }
   bool isNative() const { return (flags & ACC_NATIVE) != 0; }
   bool isAbstract() const { return (flags & ACC_ABSTRACT) != 0; }

@@ -12,6 +12,7 @@
 #include "exec/code_cache.h"
 #include "exec/jit_internal.h"
 #include "exec/quickened.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "runtime/vm.h"
 #include "support/strf.h"
@@ -212,7 +213,17 @@ void CompileManager::workerLoop(size_t index) {
       }
       continue;
     }
-    std::unique_ptr<JitCode> built = buildJitCode(vm_, m);
+    std::unique_ptr<JitCode> built;
+    {
+      // Attribute build time to the requesting isolate in the sampling
+      // profiler's CPU table (obs/profiler.h): compiler threads have no
+      // guest frames, so they publish an activity slot instead.
+      Isolate* iso = m->owner->loader->isolate();
+      obs::ProfileActivityScope act(vm_, obs::SampleThreadKind::Compiler,
+                                    iso != nullptr ? iso->id : -1,
+                                    m->name.c_str());
+      built = buildJitCode(vm_, m);
+    }
     const bool ok = built != nullptr;
     {
       std::lock_guard<std::mutex> lock(mutex_);

@@ -35,6 +35,7 @@
 #include "exec/jit.h"
 #include "exec/quickened.h"
 #include "heap/object.h"
+#include "obs/profiler.h"
 #include "runtime/vm.h"
 #include "support/strf.h"
 
@@ -286,6 +287,16 @@ Value interpretQuickened(VM& vm, JThread* t, Frame& frame) {
   };
 #endif
 
+  // Tier tag for the profiler's stack samples (obs/profiler.h): stamped
+  // here and re-stamped wherever the tier changes mid-invocation (fusion
+  // at a batch flush, OSR transfer, deopt continuation).
+  auto stampTier = [&]() {
+    frame.tier = qc->fusion_done.load(std::memory_order_relaxed)
+                     ? FrameTier::Fused
+                     : FrameTier::Quickened;
+  };
+  stampTier();
+
 #ifndef IJVM_DISABLE_JIT
   // Tier-3 promotion (docs/jit.md): once a warmed method is hot past
   // VmOptions::jit_threshold -- and settled at the fusion tier, so the
@@ -327,6 +338,7 @@ Value interpretQuickened(VM& vm, JThread* t, Frame& frame) {
       // a later entry with a compiled form covering strictly more of the
       // stream (bounded by kMaxJitDeopts).
       jit_ran = true;
+      stampTier();  // back to the interpreter tier for the continuation
     }
   }
 #endif
@@ -422,6 +434,7 @@ Value interpretQuickened(VM& vm, JThread* t, Frame& frame) {
       i32 target = t->pending_stop_isolate.exchange(-1, std::memory_order_acq_rel);
       if (target >= 0) throwStopped(vm, t, target);
     }
+    IJVM_PROFILE_POLL(vm, t);
   };
 
   i32 pc = frame.pc;
@@ -472,6 +485,7 @@ Value interpretQuickened(VM& vm, JThread* t, Frame& frame) {
         payoff_pre.cancel(); /* mixed-tier invocation: not a pre sample */     \
         if (osr_result.exit == JitExit::Deopt) {                               \
           next = frame.pc;                                                     \
+          stampTier(); /* deopt continuation runs interpreted again */         \
         } else if (osr_result.exit == JitExit::Unwound) {                      \
           return {};                                                           \
         } else {                                                               \
@@ -502,6 +516,7 @@ Value interpretQuickened(VM& vm, JThread* t, Frame& frame) {
       if ((++pending_edges & 0xFFF) == 0) {                                    \
         flushProfile();                                                        \
         maybeFuse();                                                           \
+        stampTier(); /* a partial fusion pass may just have run */             \
         IJVM_MAYBE_OSR();                                                      \
       }                                                                        \
       frame.pc = next;                                                         \

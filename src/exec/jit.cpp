@@ -43,6 +43,7 @@
 #include "exec/jit_internal.h"
 #include "exec/quickened.h"
 #include "heap/object.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "runtime/vm.h"
 #include "support/strf.h"
@@ -132,6 +133,7 @@ void pollJit(JitCtx& cx) {
     i32 target = t->pending_stop_isolate.exchange(-1, std::memory_order_acq_rel);
     if (target >= 0) throwStopped(cx.vm, t, target);
   }
+  IJVM_PROFILE_POLL(cx.vm, t);
 }
 
 // Exception raised at this thunk: record the faulting pc and enter the
@@ -1901,6 +1903,7 @@ bool runJitOsr(VM& vm, JThread* t, Frame& frame, JitCode& jc, JitResult* out) {
   // reads as zero.
   jc.active.fetch_add(1, std::memory_order_acq_rel);
   jc.uses.fetch_add(1, std::memory_order_relaxed);
+  frame.tier = FrameTier::Osr;
 
   JitCtx cx{vm, t, frame, jc};
   cx.accounting = vm.options().accounting;
@@ -1985,6 +1988,7 @@ JitResult runJit(VM& vm, JThread* t, Frame& frame, JitCode& jc) {
   // observes either no entry at all or a nonzero count.
   jc.active.fetch_add(1, std::memory_order_acq_rel);
   jc.uses.fetch_add(1, std::memory_order_relaxed);
+  frame.tier = FrameTier::Jit;
 
   // Payoff post-install window (docs/jit.md, "Payoff"): time this
   // compiled invocation unless the verdict already settled or the window

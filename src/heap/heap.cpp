@@ -1,13 +1,30 @@
 #include "heap/heap.h"
 
+#include <algorithm>
 #include <bit>
 #include <cstring>
 #include <deque>
 
+// The block cache intentionally keeps freed object storage alive for reuse;
+// under AddressSanitizer that would mask use-after-free on guest objects, so
+// every free goes back to the real allocator there.
+#if defined(__SANITIZE_ADDRESS__)
+#define IJVM_HEAP_BLOCK_CACHE 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define IJVM_HEAP_BLOCK_CACHE 0
+#endif
+#endif
+#ifndef IJVM_HEAP_BLOCK_CACHE
+#define IJVM_HEAP_BLOCK_CACHE 1
+#endif
+
 #include "obs/trace.h"
 #include "support/strf.h"
 
+
 namespace ijvm {
+
 
 const char* accountingPolicyName(AccountingPolicy p) {
   switch (p) {
@@ -43,7 +60,15 @@ void Object::traceRefs(const std::function<void(Object*)>& visit) {
   }
 }
 
-Heap::Heap(size_t gc_threshold) : gc_threshold_(gc_threshold) {}
+Heap::Heap(size_t gc_threshold) : gc_threshold_(gc_threshold) {
+#if IJVM_HEAP_BLOCK_CACHE
+  // Retain up to two GC cycles' worth of churn, within sane bounds: enough
+  // that an allocate-everything-then-collect workload recycles its whole
+  // working set, bounded so an idle heap never pins tens of megabytes.
+  cache_cap_bytes_ = std::clamp<size_t>(gc_threshold * 2, size_t{1} << 20,
+                                        size_t{32} << 20);
+#endif
+}
 
 Heap::~Heap() {
   Object* o = all_objects_;
@@ -52,17 +77,58 @@ Heap::~Heap() {
     freeObject(o);
     o = next;
   }
+  for (std::vector<void*>& bucket : block_cache_) {
+    for (void* mem : bucket) ::operator delete(mem);
+    bucket.clear();
+  }
+  cached_bytes_ = 0;
+}
+
+int Heap::bucketFor(size_t total) {
+#if IJVM_HEAP_BLOCK_CACHE
+  if (total <= 4096) {
+    const size_t rounded = std::bit_ceil(std::max<size_t>(total, 32));
+    return std::countr_zero(rounded) - 5;  // 32 B..4 KiB -> 0..7
+  }
+  if (total <= size_t{128} << 10) {
+    // 4 KiB steps: 8 KiB..128 KiB -> 8..38.
+    return 6 + static_cast<int>((total + 4095) / 4096);
+  }
+#else
+  (void)total;
+#endif
+  return -1;
+}
+
+size_t Heap::bucketSize(int bucket) {
+  return bucket < 8 ? size_t{32} << bucket
+                    : static_cast<size_t>(bucket - 6) * 4096;
 }
 
 Object* Heap::allocRaw(JClass* cls, ObjKind kind, size_t payload_bytes, i32 length,
                        i32 creator_isolate) {
   const size_t total = sizeof(Object) + payload_bytes;
-  void* mem = ::operator new(total, std::nothrow);
+  const int bucket = bucketFor(total);
+  void* mem = nullptr;
+  if (bucket >= 0) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<void*>& cache = block_cache_[static_cast<size_t>(bucket)];
+    if (!cache.empty()) {
+      mem = cache.back();
+      cache.pop_back();
+      cached_bytes_ -= bucketSize(bucket);
+      recycled_allocs_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  if (mem == nullptr) {
+    mem = ::operator new(bucket >= 0 ? bucketSize(bucket) : total, std::nothrow);
+  }
   if (mem == nullptr) return nullptr;
   std::memset(mem, 0, total);
   Object* obj = new (mem) Object();
   obj->cls = cls;
   obj->kind = kind;
+  obj->alloc_bucket = bucket >= 0 ? static_cast<u16>(bucket) : kNoBucket;
   obj->length = length;
   obj->byte_size = total;
   obj->creator_isolate = creator_isolate;
@@ -165,7 +231,16 @@ void Heap::freeObject(Object* obj) {
     delete obj->nativeSlot();
   }
   delete obj->monitor;
+  const u16 bucket = obj->alloc_bucket;
   obj->~Object();
+  if (bucket != kNoBucket) {
+    const size_t block = bucketSize(bucket);
+    if (cached_bytes_ + block <= cache_cap_bytes_) {
+      block_cache_[bucket].push_back(obj);
+      cached_bytes_ += block;
+      return;
+    }
+  }
   ::operator delete(obj);
 }
 

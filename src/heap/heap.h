@@ -17,8 +17,21 @@
 //
 // The *caller* (VM::collectGarbage) is responsible for bringing all guest
 // threads to a safepoint first; the heap itself is oblivious to threads.
+//
+// Block recycling: object storage freed by the sweep is retained in a
+// size-bucketed cache (bounded by a multiple of the GC threshold) and
+// handed back out by the next allocations of the same size class, instead
+// of being returned to the system allocator. Allocation-heavy guests cycle
+// their working set through the heap once per GC; round-tripping that
+// memory through malloc/free lets the C library return the pages to the OS
+// between cycles (glibc arena trimming), turning every sweep into syscalls
+// and every re-allocation into page faults -- with pause times at the mercy
+// of allocator heap-layout luck. The cache keeps the hot path entirely in
+// user space. Disabled under AddressSanitizer so use-after-free detection
+// keeps seeing real frees.
 #pragma once
 
+#include <array>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -78,6 +91,12 @@ class Heap {
   size_t liveObjects() const { return live_objects_.load(std::memory_order_relaxed); }
   size_t bytesSinceGc() const { return bytes_since_gc_.load(std::memory_order_relaxed); }
   u64 totalAllocatedBytes() const { return total_allocated_.load(std::memory_order_relaxed); }
+  // Allocations served from the block cache / bytes currently retained.
+  u64 recycledAllocs() const { return recycled_allocs_.load(std::memory_order_relaxed); }
+  size_t cachedBytes() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return cached_bytes_;
+  }
   bool wantsGc() const { return bytesSinceGc() >= gc_threshold_; }
   size_t gcThreshold() const { return gc_threshold_; }
 
@@ -90,13 +109,24 @@ class Heap {
   void forEachObject(const std::function<void(Object*)>& fn);
 
  private:
+  // Block-cache size classes: powers of two from 32 B to 4 KiB, then 4 KiB
+  // multiples up to 128 KiB. Larger blocks bypass the cache.
+  static constexpr int kNumBuckets = 39;
+  static constexpr u16 kNoBucket = 0xffff;
+  static int bucketFor(size_t total);       // -1: uncacheable size
+  static size_t bucketSize(int bucket);
+
   Object* allocRaw(JClass* cls, ObjKind kind, size_t payload_bytes, i32 length,
                    i32 creator_isolate);
   static size_t footprint(const Object* obj);
-  void freeObject(Object* obj);
+  void freeObject(Object* obj);  // caller holds mutex_ (or is the destructor)
 
   size_t gc_threshold_;
-  mutable std::mutex mutex_;  // guards the object list and monitor creation
+  mutable std::mutex mutex_;  // guards the object list, block cache, monitors
+  std::array<std::vector<void*>, kNumBuckets> block_cache_;
+  size_t cached_bytes_ = 0;
+  size_t cache_cap_bytes_ = 0;  // 0 disables retention
+  std::atomic<u64> recycled_allocs_{0};
   Object* all_objects_ = nullptr;
   std::atomic<size_t> live_bytes_{0};
   std::atomic<size_t> live_objects_{0};

@@ -50,6 +50,10 @@ struct Object {
   JClass* cls = nullptr;
   ObjKind kind = ObjKind::Plain;
   u8 gc_mark = 0;
+  // Heap block-cache size class this object's storage came from (0xffff:
+  // allocated directly, returned to the system allocator on free). Fits in
+  // what was header padding.
+  u16 alloc_bucket = 0xffff;
   i32 creator_isolate = 0;   // isolate that allocated the object
   i32 charged_isolate = -1;  // isolate charged by the last GC pass (-1: none)
   // Scratch bitmask used by the DividedShared accounting pass: bit i set =

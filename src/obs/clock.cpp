@@ -1,0 +1,18 @@
+#include "obs/clock.h"
+
+#include <chrono>
+
+namespace ijvm::obs {
+
+u64 monoNowNs() {
+  // Function-local static: the epoch latches on the first call from any
+  // thread (C++11 guarantees the race-free init) and is never moved.
+  static const std::chrono::steady_clock::time_point kEpoch =
+      std::chrono::steady_clock::now();
+  return static_cast<u64>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - kEpoch)
+          .count());
+}
+
+}  // namespace ijvm::obs

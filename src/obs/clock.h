@@ -1,0 +1,21 @@
+// One steady-clock epoch for the whole obs layer.
+//
+// The trace rings, the latency histograms and the sampling profiler all
+// timestamp in "nanoseconds since epoch"; span<->sample correlation (a
+// profiler sample landing inside a GC pause span, a counter track lining
+// up with a compile span in Perfetto) only works when every subsystem
+// measures from the *same* epoch. trace.cpp used to keep a private t0
+// that resetTrace() re-based, which silently broke that comparability;
+// the epoch now lives here, is latched on first use, and is never
+// re-based for the life of the process.
+#pragma once
+
+#include "support/common.h"
+
+namespace ijvm::obs {
+
+// Monotonic nanoseconds since the process-wide obs epoch (latched the
+// first time any obs subsystem reads the clock). Safe from any thread.
+u64 monoNowNs();
+
+}  // namespace ijvm::obs

@@ -1,0 +1,105 @@
+// Metrics registry and the line-oriented admin endpoint
+// (docs/observability.md, "Metrics endpoint").
+//
+// The platform report (obs/report.h) is for humans; scrapers want stable
+// machine-readable series. MetricsRegistry is a pull-model registry:
+// callbacks are registered once (name, help, type) and evaluated at
+// render time, so registration costs nothing on any hot path and the
+// exposition is always a point-in-time snapshot. renderPrometheus()
+// writes the text exposition format:
+//
+//   # HELP ijvm_isolate_cpu_share CPU share over the last profiler window
+//   # TYPE ijvm_isolate_cpu_share gauge
+//   ijvm_isolate_cpu_share{isolate="app-a"} 0.75
+//
+// AdminServer serves it over a localhost TCP socket with a one-verb-per-
+// line protocol (tools/ijvm_admin is the matching client):
+//
+//   metrics  -> Prometheus exposition
+//   profile  -> collapsed stacks (flamegraph.pl format)
+//   report   -> the human platform report
+//   ping     -> "pong"
+//
+// Every response ends with a line containing a single "." so clients can
+// frame multi-line payloads without length headers. One request thread
+// serves connections sequentially: this is an admin port for one
+// operator/scraper, not a web server.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/common.h"
+
+namespace ijvm {
+class VM;
+}
+
+namespace ijvm::obs {
+
+enum class MetricType : u8 { Counter, Gauge };
+
+// One rendered sample of a metric: optional label set (already in
+// `key="value"` form, comma-separated, no braces) and the value.
+struct MetricSample {
+  std::string labels;
+  double value = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  using Collect = std::function<void(std::vector<MetricSample>*)>;
+
+  // Registers one metric family. `name` must be a valid Prometheus metric
+  // name (the registry does not rewrite it); `collect` is called at every
+  // render and appends one sample per label set.
+  void add(const std::string& name, const std::string& help, MetricType type,
+           Collect collect);
+
+  // Text exposition of every registered family, families in registration
+  // order (deterministic output for golden tests).
+  std::string renderPrometheus() const;
+
+ private:
+  struct Family {
+    std::string name;
+    std::string help;
+    MetricType type;
+    Collect collect;
+  };
+  std::vector<Family> families_;
+};
+
+// Registers the standard VM families on `reg`: per-isolate resource
+// counters (memory, CPU, donation traffic), compiled-code footprint,
+// profiler attribution, platform latency percentiles. The callbacks
+// capture `vm` -- the registry must not outlive it.
+void registerVmMetrics(MetricsRegistry* reg, VM& vm);
+
+// Escapes a string for use inside a Prometheus label value.
+std::string promEscape(const std::string& s);
+
+// The admin endpoint. Binds 127.0.0.1:`port` (0 = ephemeral; read the
+// chosen port back with port()) and serves the verb protocol above until
+// destruction. Construction never throws: ok() reports bind failure.
+class AdminServer {
+ public:
+  explicit AdminServer(VM& vm, u16 port = 0);
+  ~AdminServer();
+
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  bool ok() const;
+  u16 port() const;
+
+  MetricsRegistry& registry();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace ijvm::obs

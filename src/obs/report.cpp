@@ -2,6 +2,7 @@
 
 #include "exec/code_cache.h"
 #include "exec/compile_manager.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "runtime/mutator_pool.h"
 #include "runtime/vm.h"
@@ -45,18 +46,28 @@ std::string humanNs(u64 ns) {
 
 std::string isolateTable(const std::vector<IsolateReport>& reports) {
   std::string out;
-  out += strf("  %3s  %-18s %-11s %10s %10s %10s %12s %8s %9s\n", "id",
-              "isolate", "state", "charged", "cpu-smpls", "allocs",
-              "alloc-bytes", "threads", "calls-in");
+  // "prof-smpls" is the safepoint-biased sampling profiler's leaf count
+  // (obs/profiler.h); "cpu-smpls" stays the legacy wall-clock sampler.
+  // "donated in/out" are the PR-8 ownership-transfer totals -- bytes whose
+  // memory charge moved between bundles via transferGraph.
+  out += strf("  %3s  %-18s %-11s %10s %10s %10s %10s %12s %8s %9s %10s %10s\n",
+              "id", "isolate", "state", "charged", "cpu-smpls", "prof-smpls",
+              "allocs", "alloc-bytes", "threads", "calls-in", "donated-in",
+              "donated-out");
   for (const IsolateReport& r : reports) {
-    out += strf("  %3d  %-18s %-11s %10s %10llu %10llu %12s %8lld %9llu\n",
-                r.id, r.name.c_str(), stateName(r.state),
-                humanBytes(r.bytes_charged).c_str(),
-                static_cast<unsigned long long>(r.cpu_samples),
-                static_cast<unsigned long long>(r.objects_allocated),
-                humanBytes(r.bytes_allocated).c_str(),
-                static_cast<long long>(r.live_threads),
-                static_cast<unsigned long long>(r.calls_in));
+    out += strf(
+        "  %3d  %-18s %-11s %10s %10llu %10llu %10llu %12s %8lld %9llu %10s "
+        "%10s\n",
+        r.id, r.name.c_str(), stateName(r.state),
+        humanBytes(r.bytes_charged).c_str(),
+        static_cast<unsigned long long>(r.cpu_samples),
+        static_cast<unsigned long long>(r.cpu_profile_samples),
+        static_cast<unsigned long long>(r.objects_allocated),
+        humanBytes(r.bytes_allocated).c_str(),
+        static_cast<long long>(r.live_threads),
+        static_cast<unsigned long long>(r.calls_in),
+        humanBytes(r.bytes_donated_in).c_str(),
+        humanBytes(r.bytes_donated_out).c_str());
   }
   return out;
 }
@@ -154,6 +165,7 @@ std::string platformReport(VM& vm) {
     out += "latency histograms (log-bucketed; values are bucket midpoints):\n";
     out += lat;
   }
+  if (Profiler* prof = vm.profiler()) out += prof->attributionSection();
   return out;
 }
 

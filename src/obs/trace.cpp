@@ -2,13 +2,13 @@
 #include "obs/trace.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cstdio>
 #include <deque>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
 
+#include "obs/clock.h"
 #include "support/strf.h"
 
 namespace ijvm::obs {
@@ -40,6 +40,7 @@ const char* evName(Ev e) {
     case Ev::ChannelSendBatch: return "channel.send-batch";
     case Ev::CommDonate: return "comm.donate";
     case Ev::MutatorTask: return "mutator.task";
+    case Ev::MetricCounter: return "metric.counter";
     case Ev::Count: break;
   }
   return "?";
@@ -97,6 +98,8 @@ const char* evCategory(Ev e) {
       return "comm";
     case Ev::MutatorTask:
       return "pool";
+    case Ev::MetricCounter:
+      return "metrics";
     default:
       return "vm";
   }
@@ -143,7 +146,6 @@ struct TraceState {
   std::atomic<u64> epoch{1};
   std::atomic<bool> enabled{true};
   LatencyHistogram hists[static_cast<size_t>(Lat::Count)];
-  std::chrono::steady_clock::time_point t0 = std::chrono::steady_clock::now();
 };
 
 TraceState& state() {
@@ -208,11 +210,9 @@ void readRing(const Ring& r, std::vector<TraceEvent>* out) {
 
 }  // namespace
 
-u64 traceNowNs() {
-  return static_cast<u64>(std::chrono::duration_cast<std::chrono::nanoseconds>(
-                              std::chrono::steady_clock::now() - state().t0)
-                              .count());
-}
+// The obs layer's shared epoch (obs/clock.h): profiler samples and trace
+// spans must be directly comparable, so the trace keeps no private t0.
+u64 traceNowNs() { return monoNowNs(); }
 
 bool traceEnabled() {
   return state().enabled.load(std::memory_order_relaxed);
@@ -300,7 +300,8 @@ void resetTrace() {
   st.names.clear();
   for (auto& h : st.hists) h.reset();
   st.epoch.fetch_add(1, std::memory_order_acq_rel);
-  st.t0 = std::chrono::steady_clock::now();
+  // The clock epoch (obs/clock.h) is deliberately NOT re-based: profiler
+  // samples recorded across a reset must stay comparable to new spans.
 }
 
 // ---- Chrome trace-event export ----------------------------------------
@@ -322,6 +323,22 @@ void appendJsonEscaped(std::string* out, const std::string& s) {
         }
     }
   }
+}
+
+// A Perfetto counter-track sample ("ph":"C"): one named series per
+// metric, value in args. Emitted by the sampling profiler's window roll
+// (obs/profiler.cpp) so era-lag, queue depth and CPU share graph on the
+// same timeline as the B/E spans.
+std::string chromeCounter(const TraceEvent& e) {
+  std::string name = traceNameOf(static_cast<u32>(e.a));
+  if (name.empty()) name = "metric";
+  std::string row = strf("{\"name\":\"");
+  appendJsonEscaped(&row, name);
+  row += strf("\",\"cat\":\"metrics\",\"ph\":\"C\",\"ts\":%.3f,"
+              "\"pid\":1,\"tid\":%u,\"args\":{\"value\":%llu}}",
+              static_cast<double>(e.ts_ns) / 1000.0, e.tid,
+              static_cast<unsigned long long>(e.b));
+  return row;
 }
 
 // One trace-event JSON object. `ph` is the Chrome phase letter.
@@ -397,6 +414,10 @@ bool dumpChromeTrace(const std::string& path) {
   for (const TraceEvent& e : events) last_ts = std::max(last_ts, e.ts_ns);
   std::unordered_map<u32, std::vector<TraceEvent>> open;  // tid -> B stack
   for (const TraceEvent& e : events) {
+    if (e.ev == Ev::MetricCounter) {
+      put(chromeCounter(e));
+      continue;
+    }
     switch (e.ph) {
       case Ph::Instant:
         put(chromeEvent(e, 'i', 0));

@@ -74,6 +74,11 @@ enum class Ev : u8 {
                      // a = bytes donated, b = objects donated)
   // -- mutator pool (runtime/mutator_pool.cpp) --
   MutatorTask,  // span: one pool task (isolate = scheduled-for, a = worker)
+  // -- metrics (obs/profiler.cpp) --
+  MetricCounter,  // periodic counter sample for Perfetto counter tracks
+                  // (a = interned metric name id, b = value; exported as
+                  // "ph":"C" so era-lag, queue depth and CPU share are
+                  // graphable against the B/E spans on one timeline)
   Count,
 };
 
@@ -109,7 +114,9 @@ struct TraceEvent {
 
 #ifndef IJVM_DISABLE_TRACE
 
-// Monotonic nanoseconds on the trace's common epoch.
+// Monotonic nanoseconds on the obs layer's common epoch (obs/clock.h --
+// shared with the sampling profiler, so span and sample timestamps are
+// directly comparable).
 u64 traceNowNs();
 
 bool traceEnabled();

@@ -19,6 +19,7 @@
 #include "exec/engine.h"
 #include "exec/interp_support.h"
 #include "heap/object.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "runtime/vm.h"
 #include "support/strf.h"
@@ -255,6 +256,7 @@ Value VM::interpret(JThread* t, Frame& frame) {
 Value VM::interpretClassic(JThread* t, Frame& frame) {
   JMethod* method = frame.method;
   JClass* owner = method->owner;
+  frame.tier = FrameTier::Classic;  // profiler attribution (obs/profiler.h)
   const std::vector<Instruction>& code = method->code.insns;
   std::vector<Value>& stack = frame.stack;
   std::vector<Value>& locals = frame.locals;
@@ -289,6 +291,7 @@ Value VM::interpretClassic(JThread* t, Frame& frame) {
       i32 target = t->pending_stop_isolate.exchange(-1, std::memory_order_acq_rel);
       if (target >= 0) throwStopped(*this, t, target);
     }
+    IJVM_PROFILE_POLL(*this, t);
 
     if (t->pending_exception != nullptr) {
       if (dispatchException()) continue;

@@ -66,6 +66,13 @@ struct ResourceStats {
   // this isolate.
   std::atomic<u64> cpu_samples{0};
 
+  // Stack samples the sampling profiler (obs/profiler.h) attributed to
+  // this isolate -- the leaf frame's isolate, so library code is charged
+  // to its caller just like cpu_samples. The governor's Signal::CpuShare
+  // prefers deltas of this counter (safepoint-biased but stack-accurate)
+  // and falls back to cpu_samples when the profiler is off.
+  std::atomic<u64> cpu_profile_samples{0};
+
   // Threads currently blocked in Thread.sleep/Object.wait while executing
   // this isolate's code (A7 "hanging thread" detection).
   std::atomic<i64> sleeping_threads{0};

@@ -25,6 +25,19 @@ namespace ijvm {
 
 class VM;
 
+// Execution tier a frame is currently running in. Stamped by the engines
+// on entry and at tier transitions (OSR, deopt); read only by the owner
+// thread's profiler self-sample (obs/profiler.h SampleTier mirrors the
+// values). u8-backed so the Frame stays the same size class.
+enum class FrameTier : u8 {
+  Unknown = 0,
+  Classic,
+  Quickened,
+  Fused,
+  Jit,
+  Osr,
+};
+
 struct Frame {
   JMethod* method = nullptr;
   // The isolate this frame executes in. For system-library methods this is
@@ -33,6 +46,7 @@ struct Frame {
   std::vector<Value> locals;
   std::vector<Value> stack;
   i32 pc = 0;
+  FrameTier tier = FrameTier::Unknown;
 
   // Termination patch: when this frame completes, a StoppedIsolateException
   // targeted at `kill_isolate` is raised in the caller instead of delivering
@@ -53,6 +67,7 @@ struct Frame {
     kill_on_return = false;
     kill_isolate = -1;
     sync_object = nullptr;
+    tier = FrameTier::Unknown;
   }
 };
 
@@ -153,6 +168,15 @@ class JThread {
 
   // Hard cancellation (VM shutdown): blocking natives return early.
   std::atomic<bool> force_kill{false};
+
+  // Sampling-profiler handshake (obs/profiler.h): the sampler bumps
+  // profile_requests (at most one ahead of profile_taken); the owner
+  // notices the mismatch at its next safepoint poll site, walks its own
+  // frames, and acknowledges by writing profile_taken = profile_requests.
+  // profile_taken is owner-written; atomic (relaxed) only because the
+  // sampler reads it to enforce the one-outstanding-request cap.
+  std::atomic<u32> profile_requests{0};
+  std::atomic<u32> profile_taken{0};
 
   // Trace sampling counter for inter-isolate calls (obs/trace.h): the
   // ~169 ns migrated-call path cannot afford two clock reads per call, so

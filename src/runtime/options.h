@@ -149,6 +149,14 @@ struct VmOptions {
   // reference of running threads).
   i32 sampler_period_us = 1000;
 
+  // Sampling-profiler rate in Hz (obs/profiler.h): stack samples with
+  // per-isolate CPU attribution, tier tags and flame-graph export. 0
+  // disables the sampler thread (manual Profiler::tickOnce still works --
+  // the deterministic mode the tests drive). 97 rather than 100 so the
+  // sampler cannot phase-lock with millisecond-periodic guest behaviour.
+  // Ignored under -DIJVM_DISABLE_PROFILER.
+  u32 profile_hz = 97;
+
   // Mutator thread pool (src/runtime/mutator_pool.h, docs/concurrency.md):
   // the platform-side workers that run bundle entry points so thousands of
   // concurrent bundles do not serialize on one host thread. 0 means
@@ -167,6 +175,7 @@ struct VmOptions {
     o.isolation = false;
     o.accounting = false;
     o.sampler_period_us = 0;
+    o.profile_hz = 0;  // baseline JVM: no attribution machinery running
     return o;
   }
 };

@@ -3,7 +3,9 @@
 #include "obs/trace.h"
 #include "runtime/jthread.h"
 
+
 namespace ijvm {
+
 
 BlockedScope::BlockedScope(SafepointController& sp, JThread* t) : sp_(sp), t_(t) {
   if (t_ != nullptr) {

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <chrono>
 
+
 #include "exec/code_cache.h"
 #include "exec/compile_manager.h"
 #include "exec/jit.h"
 #include "heap/object.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "runtime/mutator_pool.h"
 #include "support/strf.h"
@@ -82,9 +84,16 @@ VM::VM(VmOptions options)
   if (options_.sampler_period_us > 0 && options_.accounting) {
     sampler_ = std::thread([this] { samplerLoop(); });
   }
+  profiler_ = std::make_unique<obs::Profiler>(*this);
+  if (options_.profile_hz > 0) profiler_->start(options_.profile_hz);
 }
 
 VM::~VM() {
+  // Stop the profiler's sampler thread before anything it reads (the
+  // thread list, the compile queue) starts unwinding. The Profiler object
+  // itself survives until member teardown: guests unwinding below may
+  // still acknowledge a pending sample request.
+  profiler_->stop();
   shutdownAllThreads();
   // Join the mutator pool before the compiler stops: in-flight pool tasks
   // unwind via force_kill at their next poll, and a draining worker may
@@ -189,6 +198,11 @@ std::vector<JThread*> VM::threadsSnapshot() {
   out.reserve(threads_.size());
   for (auto& t : threads_) out.push_back(t.get());
   return out;
+}
+
+void VM::forEachThread(const std::function<void(JThread&)>& fn) {
+  std::lock_guard<std::mutex> lock(threads_mutex_);
+  for (auto& t : threads_) fn(*t);
 }
 
 JThread* VM::spawnThread(JThread* caller, Object* thread_obj,
@@ -573,6 +587,7 @@ Isolate* VM::executionIsolate(Isolate* cur, const JMethod* m) const {
 
 // ---- garbage collection ----
 
+
 void VM::enumerateRoots(const RootSink& sink) {
   // Step 2 (paper): per-isolate roots -- interned strings, statics and
   // Class objects -- in isolate id order ("first isolate" charging).
@@ -644,6 +659,7 @@ void VM::enumerateRoots(const RootSink& sink) {
   }
 }
 
+
 GcStats VM::collectGarbage(JThread* requester, Isolate* trigger) {
   const bool self_is_guest =
       requester != nullptr &&
@@ -654,6 +670,12 @@ GcStats VM::collectGarbage(JThread* requester, Isolate* trigger) {
   obs::TraceSpan gc_span(obs::Ev::GcPause,
                          trigger != nullptr ? trigger->id : -1,
                          /*a=*/0, obs::Lat::GcPause);
+  // The driving thread does no guest work for the rest of this function;
+  // the activity slot makes the sampler attribute the pause to GC (the
+  // parked mutators are not Running, so they take no samples meanwhile).
+  obs::ProfileActivityScope gc_act(*this, obs::SampleThreadKind::Gc,
+                                   trigger != nullptr ? trigger->id : -1,
+                                   "gc.collect");
   safepoints_.stopTheWorld(self_is_guest ? requester : nullptr);
 
   GcStats stats = heap_.collect([this](const RootSink& sink) { enumerateRoots(sink); },
@@ -841,6 +863,7 @@ IsolateReport VM::reportFor(Isolate* iso) {
   r.live_threads = s.live_threads.load(std::memory_order_relaxed);
   r.gc_activations = s.gc_activations.load(std::memory_order_relaxed);
   r.cpu_samples = s.cpu_samples.load(std::memory_order_relaxed);
+  r.cpu_profile_samples = s.cpu_profile_samples.load(std::memory_order_relaxed);
   r.sleeping_threads = s.sleeping_threads.load(std::memory_order_relaxed);
   r.io_bytes_read = s.io_bytes_read.load(std::memory_order_relaxed);
   r.io_bytes_written = s.io_bytes_written.load(std::memory_order_relaxed);

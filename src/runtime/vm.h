@@ -35,6 +35,10 @@ namespace ijvm {
 
 class MutatorPool;
 
+namespace obs {
+class Profiler;
+}
+
 // A C++-held guest reference that keeps its object alive across GCs and
 // charges it to `isolate_id` during the accounting pass. Created via
 // VM::addGlobalRef, removed via VM::removeGlobalRef (or VM teardown).
@@ -64,6 +68,7 @@ struct IsolateReport {
   i64 live_threads = 0;
   u64 gc_activations = 0;
   u64 cpu_samples = 0;
+  u64 cpu_profile_samples = 0;
   i64 sleeping_threads = 0;
   u64 io_bytes_read = 0;
   u64 io_bytes_written = 0;
@@ -114,6 +119,16 @@ class VM {
   // creator's thread limit (throws on the *calling* thread).
   JThread* spawnThread(JThread* caller, Object* thread_obj, const std::string& name);
   std::vector<JThread*> threadsSnapshot();
+  // Runs `fn` for every guest thread record under the thread-list lock
+  // (records are never freed before ~VM, but the list itself grows
+  // concurrently). Used by the sampling profiler's tick.
+  void forEachThread(const std::function<void(JThread&)>& fn);
+
+  // ---- sampling profiler (obs/profiler.h) ----
+  // Never null after construction (an inert stub under
+  // -DIJVM_DISABLE_PROFILER); the sampler thread runs only when
+  // options().profile_hz > 0.
+  obs::Profiler* profiler() { return profiler_.get(); }
 
   // ---- mutator pool (src/runtime/mutator_pool.h) ----
   // The platform's worker pool for running bundle tasks concurrently
@@ -267,6 +282,12 @@ class VM {
 
   std::mutex pool_mutex_;  // guards lazy pool creation
   std::unique_ptr<MutatorPool> mutator_pool_;
+
+  // Declared last so it is destroyed first -- but only after ~VM's body
+  // has joined every guest thread (a guest mid-IJVM_PROFILE_POLL may call
+  // into it until then). Its own sampler thread is stopped at the top of
+  // ~VM, before any subsystem it reads (threads, compile queue) unwinds.
+  std::unique_ptr<obs::Profiler> profiler_;
 };
 
 // Name of the exception used by isolate termination. Lives in java/lang so

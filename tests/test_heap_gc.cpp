@@ -273,5 +273,24 @@ TEST_F(GcFixture, PerIsolateLimitEnforcedAtAllocation) {
   EXPECT_LT(grabbed.asInt(), 64);
 }
 
+TEST_F(GcFixture, SweptBlocksAreRecycledBySameSizeAllocations) {
+  JThread* t = vm->mainThread();
+  JClass* int_arr = vm->registry().arrayClass("[I");
+  auto churn = [&] {
+    for (int i = 0; i < 16; ++i) vm->allocArrayObject(t, int_arr, 4096);
+    vm->collectGarbage(t, nullptr);  // nothing roots the arrays
+  };
+  churn();
+  if (vm->heap().cachedBytes() == 0) {
+    GTEST_SKIP() << "block cache disabled (sanitizer build)";
+  }
+  // The second round allocates the same size classes the sweep just
+  // retained, so its arrays must come out of the block cache instead of
+  // the system allocator.
+  const u64 recycled_before = vm->heap().recycledAllocs();
+  churn();
+  EXPECT_GE(vm->heap().recycledAllocs() - recycled_before, 16u);
+}
+
 }  // namespace
 }  // namespace ijvm

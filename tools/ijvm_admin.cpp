@@ -1,0 +1,121 @@
+// ijvm_admin: command-line client for the VM's admin endpoint
+// (src/obs/metrics.h AdminServer; docs/observability.md, "Metrics
+// endpoint").
+//
+//   ijvm_admin --port 7421 metrics    # Prometheus exposition
+//   ijvm_admin --port 7421 profile    # collapsed stacks (flamegraph.pl)
+//   ijvm_admin --port 7421 report     # human platform report
+//   ijvm_admin --port 7421 ping
+//
+// Protocol: one verb per line; the server's response ends with a line
+// containing a single ".". The client strips that terminator, so output
+// pipes cleanly into promtool / flamegraph.pl.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--host HOST] --port PORT <metrics|profile|report|"
+               "ping>\n",
+               argv0);
+}
+
+int runVerb(const std::string& host, int port, const std::string& verb) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::perror("socket");
+    return 1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<unsigned short>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    std::fprintf(stderr, "ijvm_admin: bad host address \"%s\"\n",
+                 host.c_str());
+    ::close(fd);
+    return 1;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    std::fprintf(stderr, "ijvm_admin: connect %s:%d: %s\n", host.c_str(),
+                 port, std::strerror(errno));
+    ::close(fd);
+    return 1;
+  }
+
+  const std::string request = verb + "\n";
+  size_t off = 0;
+  while (off < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + off, request.size() - off, 0);
+    if (n <= 0) {
+      std::perror("send");
+      ::close(fd);
+      return 1;
+    }
+    off += static_cast<size_t>(n);
+  }
+
+  // Print response lines until the "." terminator (or EOF).
+  std::string buf;
+  char chunk[4096];
+  bool terminated = false;
+  while (!terminated) {
+    size_t nl;
+    while (!terminated && (nl = buf.find('\n')) != std::string::npos) {
+      std::string line = buf.substr(0, nl);
+      buf.erase(0, nl + 1);
+      if (line == ".") {
+        terminated = true;
+        break;
+      }
+      std::fputs(line.c_str(), stdout);
+      std::fputc('\n', stdout);
+    }
+    if (terminated) break;
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;  // EOF before terminator: print what we have
+    buf.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return terminated ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  std::string verb;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--host" && i + 1 < argc) {
+      host = argv[++i];
+    } else if (arg == "--port" && i + 1 < argc) {
+      port = std::atoi(argv[++i]);
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage(argv[0]);
+      return 1;
+    } else {
+      verb = arg;
+    }
+  }
+  if (port <= 0 || verb.empty() ||
+      (verb != "metrics" && verb != "profile" && verb != "report" &&
+       verb != "ping")) {
+    usage(argv[0]);
+    return 1;
+  }
+  return runVerb(host, port, verb);
+}
